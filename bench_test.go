@@ -1,0 +1,276 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one group per
+// table/figure:
+//
+//	BenchmarkFig7/*      — Fig. 7: ⊟ vs two-phase precision runs on the
+//	                       WCET suite (the measured quantity is solver
+//	                       runtime; precision deltas are reported via -v
+//	                       metrics).
+//	BenchmarkTable1/*    — Table 1: ∇ vs ⊟, without and with context, on
+//	                       the SpecCPU-scale synthetic suite.
+//	BenchmarkSolvers/*   — solver micro-benchmarks (RR/W/SRR/SW on chain
+//	                       systems; cost model of Theorems 1–2).
+//	BenchmarkDegrading   — ⊟ₖ ablation on the non-monotonic oscillator.
+//
+// Run: go test -bench=. -benchmem
+package warrow_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"warrow/internal/analysis"
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/eqn"
+	"warrow/internal/experiments"
+	"warrow/internal/lattice"
+	"warrow/internal/precision"
+	"warrow/internal/solver"
+	"warrow/internal/synth"
+	"warrow/internal/wcet"
+)
+
+// BenchmarkFig7 measures, per WCET benchmark, the ⊟-solver and the
+// two-phase baseline under the Fig. 7 configuration, and reports the
+// precision improvement as a custom metric.
+func BenchmarkFig7(b *testing.B) {
+	for _, bench := range wcet.All() {
+		ast, err := cint.Parse(bench.Src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := cfg.Build(ast)
+		b.Run(bench.Name+"/warrow", func(b *testing.B) {
+			var last *analysis.Result
+			for i := 0; i < b.N; i++ {
+				last, err = analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, MaxEvals: 20_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(last.Stats.Evals), "evals")
+			b.ReportMetric(float64(last.NumUnknowns()), "unknowns")
+		})
+		b.Run(bench.Name+"/twophase", func(b *testing.B) {
+			var base *analysis.Result
+			for i := 0; i < b.N; i++ {
+				base, err = analysis.Run(g, analysis.Options{Op: analysis.OpTwoPhase, MaxEvals: 20_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			warrow, err := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, MaxEvals: 20_000_000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := precision.Compare(warrow, base)
+			b.ReportMetric(c.ImprovedPct(), "%improved")
+		})
+	}
+}
+
+// BenchmarkTable1 measures the four Table 1 configurations per synthetic
+// SpecCPU-scale program. The context-sensitive runs are the expensive ones;
+// unknown counts are reported as metrics.
+func BenchmarkTable1(b *testing.B) {
+	type config struct {
+		name    string
+		ctx     analysis.ContextPolicy
+		op      analysis.OpKind
+		degrade int
+	}
+	configs := []config{
+		{"noctx/widen", analysis.NoContext, analysis.OpWiden, 0},
+		{"noctx/warrow", analysis.NoContext, analysis.OpWarrow, 0},
+		{"ctx/widen", analysis.BucketContext, analysis.OpWiden, 0},
+		// ⊟₂: the degrading operator of Sec. 4; context-sensitive systems
+		// are non-monotonic, so plain ⊟ has no termination guarantee.
+		{"ctx/warrow", analysis.BucketContext, analysis.OpWarrow, 2},
+	}
+	for _, p := range synth.SpecSuite() {
+		ast, err := cint.Parse(p.Src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := cfg.Build(ast)
+		for _, c := range configs {
+			b.Run(p.Name+"/"+c.name, func(b *testing.B) {
+				var last *analysis.Result
+				for i := 0; i < b.N; i++ {
+					last, err = analysis.Run(g, analysis.Options{
+						Context: c.ctx, Op: c.op, DegradeAfter: c.degrade, MaxEvals: 200_000_000,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(last.NumUnknowns()), "unknowns")
+				b.ReportMetric(float64(last.Stats.Evals), "evals")
+			})
+		}
+	}
+}
+
+// chainSystem builds the n-unknown chain x_i = x_{i-1}+1 capped at h, a
+// worst-case for round-robin and a best case for the structured solvers.
+func chainSystem(n int, h uint64) *eqn.System[int, lattice.Nat] {
+	sys := eqn.NewSystem[int, lattice.Nat]()
+	for i := 0; i < n; i++ {
+		i := i
+		if i == 0 {
+			sys.Define(0, nil, func(func(int) lattice.Nat) lattice.Nat {
+				return lattice.NatOf(1)
+			})
+			continue
+		}
+		sys.Define(i, []int{i - 1}, func(get func(int) lattice.Nat) lattice.Nat {
+			v := get(i - 1)
+			if v.IsInf() || v.Val() >= h {
+				return lattice.NatOf(h)
+			}
+			return lattice.NatOf(v.Val() + 1)
+		})
+	}
+	return sys
+}
+
+// BenchmarkSolvers compares the generic solvers on the chain system with
+// ⊞ = ⊔ — the cost model behind Theorems 1 and 2.
+func BenchmarkSolvers(b *testing.B) {
+	l := lattice.NatInf
+	init := func(int) lattice.Nat { return lattice.NatOf(0) }
+	op := solver.Op[int](solver.Join[lattice.Nat](l))
+	for _, n := range []int{64, 256} {
+		sys := chainSystem(n, 32)
+		b.Run(fmt.Sprintf("RR/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solver.RR(sys, l, op, init, solver.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("W/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solver.W(sys, l, op, init, solver.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("SRR/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solver.SRR(sys, l, op, init, solver.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("SW/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solver.SW(sys, l, op, init, solver.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("SLR/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.SLR(sys.AsPure(), l, op, init, n-1, solver.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWarrowVsTwoPhaseSolve measures end-to-end solving cost of ⊟ vs
+// the two-phase regime on the loop-heavy WCET programs taken together —
+// the "⊟ costs about the same" claim of Sec. 7.
+func BenchmarkWarrowVsTwoPhaseSolve(b *testing.B) {
+	var graphs []*cfg.Program
+	for _, bench := range wcet.All() {
+		ast, err := cint.Parse(bench.Src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs = append(graphs, cfg.Build(ast))
+	}
+	b.Run("warrow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range graphs {
+				if _, err := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, MaxEvals: 20_000_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("twophase", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range graphs {
+				if _, err := analysis.Run(g, analysis.Options{Op: analysis.OpTwoPhase, MaxEvals: 20_000_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkDegrading measures the ⊟ₖ ablation: enforcing termination on a
+// non-monotonic oscillator for increasing thresholds k.
+func BenchmarkDegrading(b *testing.B) {
+	l := lattice.Ints
+	osc := eqn.NewSystem[string, lattice.Interval]()
+	osc.Define("x", []string{"x"}, func(get func(string) lattice.Interval) lattice.Interval {
+		v := get("x")
+		if v.IsEmpty() {
+			return lattice.Singleton(0)
+		}
+		if v.Hi.IsPosInf() {
+			return lattice.Range(0, 5)
+		}
+		return lattice.NewInterval(lattice.Fin(0), v.Hi.Add(lattice.Fin(1)))
+	})
+	init := func(string) lattice.Interval { return lattice.EmptyInterval }
+	for _, k := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				deg := solver.NewDegrading[string, lattice.Interval](l, k)
+				if _, _, err := solver.SRR(osc, l, deg, init, solver.Config{MaxEvals: 100000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The experiments package is exercised here so `go test ./...` covers the
+// exact code paths cmd/bench runs.
+func TestExperimentsFig7Shape(t *testing.T) {
+	r, err := experiments.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 20 {
+		t.Fatalf("only %d rows", len(r.Rows))
+	}
+	if r.WeightedAvg <= 5 {
+		t.Errorf("weighted average improvement %.1f%% implausibly low", r.WeightedAvg)
+	}
+	zero := 0
+	for _, row := range r.Rows {
+		if row.Improved == 0 {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Error("expected at least one 0%-improvement benchmark (qsort-exam analogue)")
+	}
+	t.Log("\n" + experiments.FormatFig7(r))
+}
+
+func TestExperimentsTraces(t *testing.T) {
+	out := experiments.TraceExamples()
+	for _, want := range []string{"diverges", "terminated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command bench regenerates the paper's evaluation artifacts:
+//
+//	bench -fig7       Figure 7 (precision ⊟ vs two-phase on the WCET suite)
+//	bench -table1     Table 1  (runtime/unknowns on SpecCPU-scale programs)
+//	bench -traces     Examples 1–4 (solver divergence and termination)
+//	bench -ablations  ⊟ₖ degradation, solver work, threshold widening
+//	bench -all        everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"warrow/internal/experiments"
+)
+
+func main() {
+	fig7 := flag.Bool("fig7", false, "regenerate Figure 7")
+	table1 := flag.Bool("table1", false, "regenerate Table 1")
+	traces := flag.Bool("traces", false, "print Examples 1-4 solver traces")
+	ablations := flag.Bool("ablations", false, "run the ablation studies")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	if !*fig7 && !*table1 && !*traces && !*ablations && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *all {
+		*fig7, *table1, *traces, *ablations = true, true, true, true
+	}
+	if *traces {
+		fmt.Println(experiments.TraceExamples())
+	}
+	if *fig7 {
+		r, err := experiments.Fig7()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig7:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatFig7(r))
+	}
+	if *table1 {
+		rows, err := experiments.Table1(func(r experiments.Table1Row) {
+			fmt.Fprintf(os.Stderr, "  done %-12s (noctx %d unknowns, ctx %d unknowns)\n",
+				r.Name, r.WarrowNoCtx.Unknowns, r.WarrowCtx.Unknowns)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatTable1(rows))
+	}
+	if *ablations {
+		fmt.Println(experiments.AblationDegrading())
+		fmt.Println(experiments.AblationSWvsW())
+		fmt.Println(experiments.AblationThresholds())
+		fmt.Println(experiments.AblationLocalized())
+	}
+}

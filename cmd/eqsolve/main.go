@@ -1,0 +1,125 @@
+// Command eqsolve solves a textual system of equations (see internal/eqdsl
+// for the format) with a chosen solver and update operator — a workbench
+// for experimenting with the paper's solver/operator matrix:
+//
+//	eqsolve -solver rr  -op warrow examples/systems/example1.eq   # diverges
+//	eqsolve -solver srr -op warrow examples/systems/example1.eq   # terminates
+//	eqsolve -solver sw  -op warrow examples/systems/loop.eq
+//	eqsolve -solver slr -op warrow -query e examples/systems/loop.eq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"warrow/internal/eqdsl"
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+func main() {
+	solverFlag := flag.String("solver", "sw", "solver: rr, w, srr, sw, or slr")
+	opFlag := flag.String("op", "warrow", "operator: join, widen, narrow, warrow, or replace")
+	query := flag.String("query", "", "with -solver slr: the unknown to solve for (default: last defined)")
+	maxEvals := flag.Int("max-evals", 100000, "evaluation budget (0 = unbounded)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eqsolve:", err)
+		os.Exit(1)
+	}
+	f, err := eqdsl.Parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eqsolve:", err)
+		os.Exit(1)
+	}
+	cfg := solver.Config{MaxEvals: *maxEvals}
+	switch f.Domain {
+	case eqdsl.DomainNatInf:
+		sys, err := f.NatSystem()
+		if err != nil {
+			fatal(err)
+		}
+		run(f, sys, lattice.NatInf, *solverFlag, *opFlag, *query,
+			func(string) lattice.Nat { return lattice.NatOf(0) }, cfg)
+	case eqdsl.DomainInterval:
+		sys, err := f.IntervalSystem()
+		if err != nil {
+			fatal(err)
+		}
+		run(f, sys, lattice.Ints, *solverFlag, *opFlag, *query,
+			func(string) lattice.Interval { return lattice.EmptyInterval }, cfg)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eqsolve:", err)
+	os.Exit(1)
+}
+
+// run dispatches on solver and operator names for a concrete domain.
+func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
+	solverName, opName, query string, init func(string) D, cfg solver.Config) {
+
+	var combine solver.Combine[D]
+	switch opName {
+	case "join":
+		combine = solver.Join(l)
+	case "widen":
+		combine = solver.Widen(l)
+	case "narrow":
+		combine = solver.Narrow(l)
+	case "warrow":
+		combine = solver.Warrow(l)
+	case "replace":
+		combine = solver.Replace[D]()
+	default:
+		fatal(fmt.Errorf("unknown operator %q", opName))
+	}
+	op := solver.Op[string](combine)
+
+	var sigma map[string]D
+	var st solver.Stats
+	var err error
+	switch solverName {
+	case "rr":
+		sigma, st, err = solver.RR(sys, l, op, init, cfg)
+	case "w":
+		sigma, st, err = solver.W(sys, l, op, init, cfg)
+	case "srr":
+		sigma, st, err = solver.SRR(sys, l, op, init, cfg)
+	case "sw":
+		sigma, st, err = solver.SW(sys, l, op, init, cfg)
+	case "slr":
+		if query == "" {
+			query = f.Order[len(f.Order)-1]
+		}
+		var res solver.Result[string, D]
+		res, err = solver.SLR(sys.AsPure(), l, op, init, query, cfg)
+		sigma, st = res.Values, res.Stats
+	default:
+		fatal(fmt.Errorf("unknown solver %q", solverName))
+	}
+	if err != nil {
+		fmt.Printf("%s with %s: %v after %d evaluations (partial state below)\n",
+			solverName, opName, err, st.Evals)
+	} else {
+		fmt.Printf("%s with %s: solved in %d evaluations, %d updates\n",
+			solverName, opName, st.Evals, st.Updates)
+	}
+	for _, x := range f.Order {
+		if v, ok := sigma[x]; ok {
+			fmt.Printf("  %-8s = %s\n", x, l.Format(v))
+		}
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runEqsolve(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestEqsolveSRRTerminates(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "srr", "-op", "warrow", "../../examples/systems/example1.eq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "solved") || strings.Count(out, "∞") != 3 {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestEqsolveRRDiverges(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "rr", "-op", "warrow", "-max-evals", "2000",
+		"../../examples/systems/example1.eq")
+	if err == nil {
+		t.Fatalf("expected nonzero exit:\n%s", out)
+	}
+	if !strings.Contains(out, "budget exceeded") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestEqsolveIntervalLoop(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "sw", "-op", "warrow", "../../examples/systems/loop.eq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"[0,100]", "[0,99]", "[100,100]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEqsolveSLRQuery(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "slr", "-op", "warrow", "-query", "e",
+		"../../examples/systems/loop.eq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "[100,100]") {
+		t.Errorf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,180 @@
+// Command warrow analyzes a mini-C program with the ⊟-based interval
+// analysis and prints the inferred invariants.
+//
+//	warrow [flags] file.c        analyze a source file
+//	warrow [flags] -bench name   analyze an embedded WCET benchmark
+//	warrow -list                 list embedded benchmarks
+//
+// Flags select the fixpoint regime (-op warrow|widen|twophase), the context
+// policy (-context none|bucket|full), the entry function and the output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"warrow/internal/analysis"
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+	"warrow/internal/wcet"
+)
+
+// traceOp wraps an update operator and prints changed updates to stdout,
+// the -trace debugging aid.
+type traceOp struct {
+	inner solver.Operator[analysis.Key, analysis.Env]
+	l     *analysis.EnvLattice
+	n     int
+	limit int
+}
+
+// Apply implements solver.Operator.
+func (o *traceOp) Apply(x analysis.Key, old, new analysis.Env) analysis.Env {
+	r := o.inner.Apply(x, old, new)
+	if !o.l.Eq(r, old) && o.n < o.limit {
+		o.n++
+		fmt.Printf("  [%4d] %-30s %s -> %s\n", o.n, x, old, r)
+	}
+	return r
+}
+
+func main() {
+	debug.SetMaxStack(6 << 30) // the local solver recurses per unknown
+	opFlag := flag.String("op", "warrow", "fixpoint operator: warrow, widen, or twophase")
+	ctxFlag := flag.String("context", "none", "context policy: none, bucket, or full")
+	entry := flag.String("entry", "main", "entry function")
+	benchName := flag.String("bench", "", "analyze the named embedded WCET benchmark")
+	list := flag.Bool("list", false, "list embedded benchmarks")
+	dumpCFG := flag.Bool("cfg", false, "dump control-flow graphs instead of analyzing")
+	dumpDOT := flag.Bool("dot", false, "dump control-flow graphs as Graphviz dot")
+	degrade := flag.Int("degrade", 0, "with -op warrow: switch to the self-terminating ⊟ₖ operator after k narrow→widen flips (0 = plain ⊟)")
+	warnings := flag.Bool("warnings", false, "report possible division-by-zero, out-of-bounds subscripts, and dead code")
+	localized := flag.Bool("localized", false, "with -op warrow: accelerate only at widening points (implies -degrade 2 unless set)")
+	thresholds := flag.Bool("thresholds", false, "infer widening thresholds from the program's constants")
+	trace := flag.Int("trace", 0, "print the first N solver value updates (0 = off)")
+	maxEvals := flag.Int("max-evals", 50_000_000, "evaluation budget (0 = unbounded)")
+	flag.Parse()
+
+	if *list {
+		for _, b := range wcet.All() {
+			fmt.Printf("%-16s %4d loc\n", b.Name, b.LOC())
+		}
+		return
+	}
+
+	var src, name string
+	switch {
+	case *benchName != "":
+		b, ok := wcet.ByName(*benchName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "warrow: no embedded benchmark %q (try -list)\n", *benchName)
+			os.Exit(1)
+		}
+		src, name = b.Src, b.Name
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "warrow:", err)
+			os.Exit(1)
+		}
+		src, name = string(data), flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ast, err := cint.Parse(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warrow: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	prog := cfg.Build(ast)
+
+	if *dumpCFG {
+		for _, fn := range prog.Order {
+			fmt.Printf("=== %s ===\n%s\n", fn, prog.Graphs[fn].Dump())
+		}
+		return
+	}
+	if *dumpDOT {
+		fmt.Print(prog.DOT())
+		return
+	}
+
+	var op analysis.OpKind
+	switch *opFlag {
+	case "warrow":
+		op = analysis.OpWarrow
+	case "widen":
+		op = analysis.OpWiden
+	case "twophase":
+		op = analysis.OpTwoPhase
+	default:
+		fmt.Fprintf(os.Stderr, "warrow: unknown -op %q\n", *opFlag)
+		os.Exit(2)
+	}
+	var ctx analysis.ContextPolicy
+	switch *ctxFlag {
+	case "none":
+		ctx = analysis.NoContext
+	case "bucket":
+		ctx = analysis.BucketContext
+	case "full":
+		ctx = analysis.FullContext
+	default:
+		fmt.Fprintf(os.Stderr, "warrow: unknown -context %q\n", *ctxFlag)
+		os.Exit(2)
+	}
+
+	opts := analysis.Options{
+		Entry:        *entry,
+		Context:      ctx,
+		Op:           op,
+		DegradeAfter: *degrade,
+		Localized:    *localized,
+		MaxEvals:     *maxEvals,
+	}
+	if *thresholds {
+		opts.Widening = analysis.InferThresholds(ast)
+	}
+	start := time.Now()
+	var res *analysis.Result
+	if *trace > 0 {
+		if opts.Widening == nil {
+			opts.Widening = lattice.Ints
+		}
+		envL := analysis.NewEnvLattice(opts.Widening)
+		var inner solver.Operator[analysis.Key, analysis.Env]
+		if op == analysis.OpWarrow {
+			inner = solver.Op[analysis.Key](solver.Warrow[analysis.Env](envL))
+		} else {
+			inner = solver.Op[analysis.Key](solver.Widen[analysis.Env](envL))
+		}
+		res, err = analysis.RunWithOperator(prog, opts, &traceOp{inner: inner, l: envL, limit: *trace})
+	} else {
+		res, err = analysis.Run(prog, opts)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warrow: %s: %v (after %d evaluations)\n", name, err, res.Stats.Evals)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: op=%s context=%s  %d unknowns, %d evaluations, %v\n\n",
+		name, op, ctx, res.NumUnknowns(), res.Stats.Evals, elapsed.Round(time.Millisecond))
+	if rep := res.AssertionReport(); rep != "" {
+		fmt.Println("assertions:")
+		fmt.Print(rep)
+		fmt.Println()
+	}
+	if *warnings {
+		fmt.Println("warnings:")
+		fmt.Print(res.WarningReport())
+		fmt.Println()
+	}
+	fmt.Print(res.Report())
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI builds-and-runs this command via `go run`, returning combined
+// output.
+func runCLI(t *testing.T, dir string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIAnalyzeBenchmark(t *testing.T) {
+	out, err := runCLI(t, ".", "-bench", "bs")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"op=warrow", "binary_search", "flow-insensitive variables"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%.600s", want, out)
+		}
+	}
+}
+
+func TestCLIList(t *testing.T) {
+	out, err := runCLI(t, ".", "-list")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "qsort-exam") || !strings.Contains(out, "loc") {
+		t.Errorf("list output:\n%.400s", out)
+	}
+}
+
+func TestCLIFileWithAssertsAndWarnings(t *testing.T) {
+	dir := t.TempDir()
+	src := `
+int a[4];
+int main() {
+    int i;
+    i = 0;
+    while (i < 4) { a[i] = i; i = i + 1; }
+    assert(i == 4);
+    return a[7];
+}`
+	path := filepath.Join(dir, "prog.c")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, ".", "-warnings", path)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"proved", "assert((i == 4))", "definite index-out-of-bounds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIDumpsAndTrace(t *testing.T) {
+	out, err := runCLI(t, ".", "-cfg", "-bench", "fac")
+	if err != nil || !strings.Contains(out, "-> ") {
+		t.Errorf("-cfg: err=%v\n%.300s", err, out)
+	}
+	out, err = runCLI(t, ".", "-dot", "-bench", "fac")
+	if err != nil || !strings.Contains(out, "digraph") {
+		t.Errorf("-dot: err=%v\n%.300s", err, out)
+	}
+	out, err = runCLI(t, ".", "-trace", "3", "-bench", "fac")
+	if err != nil || !strings.Contains(out, "[   1]") {
+		t.Errorf("-trace: err=%v\n%.300s", err, out)
+	}
+}
+
+func TestCLIBadInputs(t *testing.T) {
+	if out, err := runCLI(t, ".", "-bench", "no-such"); err == nil {
+		t.Errorf("missing benchmark accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, ".", "-op", "bogus", "-bench", "bs"); err == nil {
+		t.Errorf("bad -op accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, ".", "-context", "bogus", "-bench", "bs"); err == nil {
+		t.Errorf("bad -context accepted:\n%s", out)
+	}
+}

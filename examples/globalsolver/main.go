@@ -1,0 +1,158 @@
+// Globalsolver: build a finite equation system from one function's CFG and
+// solve it with the *global* structured solvers — and measure how much the
+// linear order matters, as the paper notes (Sec. 4, citing Bourdoncle):
+// "the linear ordering should be chosen in a way that innermost loops would
+// be evaluated before iteration on outer loops." The same system is solved
+// under the Bourdoncle weak-topological order and under the worst-case
+// reversed order, with SRR and SW, using the combined operator ⊟.
+package main
+
+import (
+	"fmt"
+
+	"warrow/internal/analysis"
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+const program = `
+int main() {
+    int i; int j; int s;
+    s = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        for (j = 0; j < i; j = j + 1) {
+            s = s + 1;
+        }
+    }
+    return s;
+}
+`
+
+// evalE evaluates the +-only integer expressions this program contains.
+func evalE(in analysis.Env, x cint.Expr) lattice.Interval {
+	switch x := x.(type) {
+	case *cint.IntLit:
+		return lattice.Singleton(x.Value)
+	case *cint.Ident:
+		return in.Get(x.Obj.ID)
+	case *cint.BinaryExpr:
+		if x.Op == cint.TokPlus {
+			return evalE(in, x.X).Add(evalE(in, x.Y))
+		}
+	}
+	return lattice.FullInterval
+}
+
+// applyEdge is the transfer function for the edge kinds the program uses.
+func applyEdge(e *cfg.Edge, in analysis.Env) analysis.Env {
+	if in.IsBot() {
+		return analysis.BotEnv
+	}
+	switch e.Kind {
+	case cfg.Decl:
+		return in.Set(e.Var.ID, lattice.FullInterval)
+	case cfg.Assign:
+		if id, ok := e.Lhs.(*cint.Ident); ok {
+			return in.Set(id.Obj.ID, evalE(in, e.Rhs))
+		}
+	case cfg.Guard:
+		b, ok := e.Cond.(*cint.BinaryExpr)
+		if !ok || b.Op != cint.TokLt {
+			return in
+		}
+		id, ok := b.X.(*cint.Ident)
+		if !ok {
+			return in
+		}
+		cur := in.Get(id.Obj.ID)
+		bound := evalE(in, b.Y)
+		if e.Branch {
+			return in.Set(id.Obj.ID, cur.RestrictLt(bound))
+		}
+		return in.Set(id.Obj.ID, cur.RestrictGe(bound))
+	case cfg.Ret:
+		if e.Rhs != nil {
+			return in.Set("@ret", evalE(in, e.Rhs))
+		}
+	}
+	return in
+}
+
+func main() {
+	prog := cfg.Build(cint.MustParse(program))
+	g := prog.Graphs["main"]
+	envL := analysis.NewEnvLattice(lattice.Ints)
+
+	buildSystem := func(order []*cfg.Node) *eqn.System[int, analysis.Env] {
+		sys := eqn.NewSystem[int, analysis.Env]()
+		for _, n := range order {
+			if n == g.Entry {
+				sys.Define(n.ID, nil, func(func(int) analysis.Env) analysis.Env {
+					return analysis.TopEnv
+				})
+				continue
+			}
+			var deps []int
+			for _, e := range n.In {
+				deps = append(deps, e.From.ID)
+			}
+			in := append([]*cfg.Edge(nil), n.In...)
+			sys.Define(n.ID, deps, func(get func(int) analysis.Env) analysis.Env {
+				out := analysis.BotEnv
+				for _, e := range in {
+					out = envL.Join(out, applyEdge(e, get(e.From.ID)))
+				}
+				return out
+			})
+		}
+		return sys
+	}
+
+	op := solver.Op[int](solver.Warrow[analysis.Env](envL))
+	init := func(int) analysis.Env { return analysis.BotEnv }
+
+	run := func(name string, order []*cfg.Node, useSW bool) {
+		sys := buildSystem(order)
+		var sigma map[int]analysis.Env
+		var st solver.Stats
+		var err error
+		if useSW {
+			sigma, st, err = solver.SW(sys, envL, op, init, solver.Config{MaxEvals: 1_000_000})
+		} else {
+			sigma, st, err = solver.SRR(sys, envL, op, init, solver.Config{MaxEvals: 1_000_000})
+		}
+		if err != nil {
+			fmt.Printf("  %-22s diverged after %d evaluations\n", name, st.Evals)
+			return
+		}
+		fmt.Printf("  %-22s %5d evaluations, %4d updates, exit %s\n",
+			name, st.Evals, st.Updates, sigma[g.Exit.ID])
+	}
+
+	wto := g.WTO()
+	wtoOrder := cfg.LinearizeWTO(wto)
+	reversed := make([]*cfg.Node, len(wtoOrder))
+	for i, n := range wtoOrder {
+		reversed[len(wtoOrder)-1-i] = n
+	}
+
+	rpoOrder := g.Nodes // reverse postorder: the front-end's native order
+
+	fmt.Printf("nested-loop CFG, %d nodes\nWTO: %s\n\n", len(g.Nodes), cfg.FormatWTO(wto))
+	run("SW, RPO order", rpoOrder, true)
+	run("SW, WTO order", wtoOrder, true)
+	run("SW, reversed order", reversed, true)
+	run("SRR, RPO order", rpoOrder, false)
+	run("SRR, WTO order", wtoOrder, false)
+	run("SRR, reversed order", reversed, false)
+
+	fmt.Println()
+	fmt.Println("Both cost AND precision depend on the order: with an unfortunate")
+	fmt.Println("schedule the inner loop head widens i to +inf and its own back edge")
+	fmt.Println("then justifies the loss forever — narrowing cannot recover it. The")
+	fmt.Println("paper's remark that the ordering \"has a significant impact on")
+	fmt.Println("performance\" (citing Bourdoncle) extends to precision under ⊟.")
+}

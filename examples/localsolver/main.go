@@ -1,0 +1,62 @@
+// Localsolver: the infinite equation system of the paper's Examples 5–6,
+//
+//	y_{2n}   = max(y_{y_{2n}}, n)        (the index y_{2n} is a *value*!)
+//	y_{2n+1} = y_{6n+4}
+//
+// has infinitely many unknowns, so no global solver applies. The local
+// solver SLR explores only the unknowns the query y1 actually depends on —
+// discovering dependences on the fly, since the right-hand sides are pure —
+// and returns the finite partial solution {y0↦0, y1↦2, y2↦2, y4↦2}.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+func main() {
+	l := lattice.NatInf
+	sys := func(x uint64) eqn.RHS[uint64, lattice.Nat] {
+		if x%2 == 0 {
+			n := x / 2
+			return func(get func(uint64) lattice.Nat) lattice.Nat {
+				idx := get(x) // dynamic dependence: index is the current value
+				if idx.IsInf() {
+					return lattice.NatInfElem
+				}
+				return l.Join(get(idx.Val()), lattice.NatOf(n))
+			}
+		}
+		n := (x - 1) / 2
+		return func(get func(uint64) lattice.Nat) lattice.Nat {
+			return get(6*n + 4)
+		}
+	}
+
+	res, err := solver.SLR[uint64, lattice.Nat](
+		sys, l,
+		solver.Op[uint64](solver.Join[lattice.Nat](l)),
+		func(uint64) lattice.Nat { return lattice.NatOf(0) },
+		1, // query: y1
+		solver.Config{},
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("querying y1 of the infinite system of Example 5:")
+	keys := make([]uint64, 0, len(res.Values))
+	for k := range res.Values {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		fmt.Printf("  y%-3d = %s\n", k, res.Values[k])
+	}
+	fmt.Printf("explored %d of infinitely many unknowns (%d evaluations)\n",
+		res.Stats.Unknowns, res.Stats.Evals)
+}

@@ -1,0 +1,10 @@
+# Example 1 of the paper (PLDI'13): a finite MONOTONIC system on which
+# plain round-robin iteration with the combined operator ⊟ never
+# terminates, while structured round-robin (SRR) stabilizes quickly.
+#
+#   eqsolve -solver rr  -op warrow example1.eq    # exhausts its budget
+#   eqsolve -solver srr -op warrow example1.eq    # x1 = x2 = x3 = ∞
+domain natinf
+x1 = x2
+x2 = x3 + 1
+x3 = x1

@@ -1,0 +1,8 @@
+# Example 2 of the paper: LIFO worklist iteration (W) with ⊟ diverges;
+# the priority-queue variant SW terminates.
+#
+#   eqsolve -solver w  -op warrow example2.eq     # exhausts its budget
+#   eqsolve -solver sw -op warrow example2.eq     # x1 = x2 = ∞
+domain natinf
+x1 = min(x1 + 1, x2 + 1)
+x2 = min(x2 + 1, x1 + 1)

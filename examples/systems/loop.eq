@@ -1,0 +1,7 @@
+# The constraint system of:  i = 0; while (i < 100) i = i + 1;
+# h = loop head, b = body entry, e = exit. With ⊟ every structured solver
+# computes the exact bounds in one pass: h=[0,100], b=[0,99], e=[100,100].
+domain interval
+h = join([0,0], b + [1,1])
+b = meet(h, [-inf,99])
+e = meet(h, [100,inf])

@@ -1,0 +1,3 @@
+module warrow
+
+go 1.22

@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/lattice"
+)
+
+func run(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	ast, err := cint.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.MaxEvals == 0 {
+		opts.MaxEvals = 2_000_000
+	}
+	res, err := Run(cfg.Build(ast), opts)
+	if err != nil {
+		t.Fatalf("analysis diverged: %v (stats %+v)", err, res.Stats)
+	}
+	return res
+}
+
+func wantIv(t *testing.T, got lattice.Interval, want lattice.Interval, what string) {
+	t.Helper()
+	if !lattice.Ints.Eq(got, want) {
+		t.Errorf("%s = %s, want %s", what, got, want)
+	}
+}
+
+// The program of the paper's Example 7.
+const example7 = `
+int g = 0;
+void f(int b) {
+    if (b) { g = b + 1; } else { g = -b - 1; }
+}
+int main() {
+    f(1);
+    f(2);
+    return 0;
+}
+`
+
+// TestExample7WarrowGlobal: context-sensitive analysis with ⊟ computes the
+// tight interval [0,3] for g, exactly as in the paper's Example 9.
+func TestExample7WarrowGlobal(t *testing.T) {
+	res := run(t, example7, Options{Context: FullContext, Op: OpWarrow})
+	wantIv(t, res.Global("g"), lattice.Range(0, 3), "g")
+	// f must have been analyzed in two contexts (b:[1,1] and b:[2,2]).
+	if ctxs := res.Contexts("f"); len(ctxs) != 2 {
+		t.Errorf("contexts of f: %v, want 2", ctxs)
+	}
+}
+
+// TestExample7WidenOnly: with plain ∇ the global keeps its widened value.
+func TestExample7WidenOnly(t *testing.T) {
+	res := run(t, example7, Options{Context: FullContext, Op: OpWiden})
+	g := res.Global("g")
+	if !g.Hi.IsPosInf() {
+		t.Errorf("g = %s, want an upper bound widened to +inf", g)
+	}
+	if g.Lo.IsNegInf() {
+		t.Errorf("g = %s: lower bound should stay 0 (values only grew upward)", g)
+	}
+}
+
+// TestCountingLoop: the canonical loop gets exact bounds with ⊟.
+func TestCountingLoop(t *testing.T) {
+	res := run(t, `
+int main() {
+    int i;
+    i = 0;
+    while (i < 100) {
+        i = i + 1;
+    }
+    return i;
+}`, Options{Op: OpWarrow})
+	wantIv(t, res.ReturnValue("main"), lattice.Singleton(100), "return of main")
+}
+
+// TestCountingLoopWidenOnly: without narrowing the exit keeps +inf.
+func TestCountingLoopWidenOnly(t *testing.T) {
+	res := run(t, `
+int main() {
+    int i;
+    i = 0;
+    while (i < 100) {
+        i = i + 1;
+    }
+    return i;
+}`, Options{Op: OpWiden})
+	ret := res.ReturnValue("main")
+	if !ret.Hi.IsPosInf() {
+		t.Errorf("return = %s, want upper bound +inf under ∇-only", ret)
+	}
+}
+
+// TestTwoPhaseOnMonotone: context-insensitive (monotonic) systems give the
+// same loop bounds under two-phase and ⊟.
+func TestTwoPhaseOnMonotone(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    i = 0;
+    while (i < 100) {
+        i = i + 1;
+    }
+    return i;
+}`
+	a := run(t, src, Options{Op: OpWarrow, Context: NoContext})
+	b := run(t, src, Options{Op: OpTwoPhase, Context: NoContext})
+	wantIv(t, a.ReturnValue("main"), lattice.Singleton(100), "⊟ return")
+	wantIv(t, b.ReturnValue("main"), lattice.Singleton(100), "two-phase return")
+}
+
+// TestNestedLoops: invariants for both counters.
+func TestNestedLoops(t *testing.T) {
+	res := run(t, `
+int main() {
+    int s;
+    s = 0;
+    for (int i = 0; i < 10; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1) {
+            s = s + 1;
+        }
+    }
+    return s;
+}`, Options{Op: OpWarrow})
+	ret := res.ReturnValue("main")
+	if !lattice.Ints.Leq(ret, lattice.AtLeast(0)) {
+		t.Errorf("s = %s, want ⊆ [0,+inf]", ret)
+	}
+	if ret.Lo.IsNegInf() {
+		t.Errorf("s = %s: narrowing should recover s >= 0", ret)
+	}
+}
+
+// TestBranchRefinement: guards refine both operands.
+func TestBranchRefinement(t *testing.T) {
+	res := run(t, `
+int main() {
+    int x;
+    int y;
+    y = 0;
+    if (x < 10) {
+        if (x > 0) {
+            y = x;
+        }
+    }
+    return y;
+}`, Options{Op: OpWarrow})
+	wantIv(t, res.ReturnValue("main"), lattice.Range(0, 9), "return of main")
+}
+
+// TestInfeasibleBranchPruned: constant conditions kill the dead branch.
+func TestInfeasibleBranchPruned(t *testing.T) {
+	res := run(t, `
+int main() {
+    int x;
+    x = 5;
+    if (x > 10) {
+        x = 1000;
+    }
+    return x;
+}`, Options{Op: OpWarrow})
+	wantIv(t, res.ReturnValue("main"), lattice.Singleton(5), "return of main")
+}
+
+// TestContextSensitivityPrecision: FullContext keeps call sites apart;
+// NoContext merges them.
+func TestContextSensitivityPrecision(t *testing.T) {
+	src := `
+int id(int x) { return x; }
+int main() {
+    int a;
+    int b;
+    a = id(1);
+    b = id(100);
+    return a;
+}`
+	full := run(t, src, Options{Context: FullContext, Op: OpWarrow})
+	wantIv(t, full.ReturnValue("main"), lattice.Singleton(1), "full-context return")
+
+	none := run(t, src, Options{Context: NoContext, Op: OpWarrow})
+	ret := none.ReturnValue("main")
+	if !ret.Contains(1) || !ret.Contains(100) {
+		t.Errorf("context-insensitive return %s must cover both call sites", ret)
+	}
+}
+
+// TestRecursionBucketContext: recursion terminates under the finite bucket
+// context policy and yields a sound result.
+func TestRecursionBucketContext(t *testing.T) {
+	res := run(t, `
+int fac(int n) {
+    int r;
+    if (n <= 1) { return 1; }
+    r = fac(n - 1);
+    return n * r;
+}
+int main() {
+    int x;
+    x = fac(5);
+    return x;
+}`, Options{Context: BucketContext, Op: OpWarrow})
+	ret := res.ReturnValue("main")
+	if !ret.Contains(120) {
+		t.Errorf("fac(5) result %s must contain 120", ret)
+	}
+}
+
+// TestPointerWrites: writes through pointers reach the flow-insensitive
+// cells of their targets.
+func TestPointerWrites(t *testing.T) {
+	res := run(t, `
+void store(int *dst, int v) { *dst = v; }
+int main() {
+    int x;
+    int y;
+    x = 0;
+    y = 0;
+    store(&x, 7);
+    store(&y, 9);
+    return x + y;
+}`, Options{Context: FullContext, Op: OpWarrow})
+	// x and y are address-taken, hence flow-insensitive; both collect their
+	// initializations and the stored values.
+	var xID, yID string
+	for _, l := range res.CFG.AST.FuncByName["main"].Locals {
+		switch l.Name {
+		case "x":
+			xID = l.ID
+		case "y":
+			yID = l.ID
+		}
+	}
+	x := res.Global(xID)
+	if !x.Contains(0) || !x.Contains(7) || !x.Contains(9) {
+		// Points-to is flow-insensitive, so dst may target x or y: the
+		// union of stored values is sound.
+		t.Errorf("x = %s, want to contain {0,7,9}", x)
+	}
+	y := res.Global(yID)
+	if !y.Contains(9) {
+		t.Errorf("y = %s, want to contain 9", y)
+	}
+}
+
+// TestArraySummary: array cells join all written values plus the implicit
+// initial value.
+func TestArraySummary(t *testing.T) {
+	res := run(t, `
+int a[10];
+int main() {
+    for (int i = 0; i < 10; i = i + 1) {
+        a[i] = i * 2;
+    }
+    return a[3];
+}`, Options{Op: OpWarrow})
+	av := res.Global("a")
+	if !av.Contains(0) || !av.Contains(18) {
+		t.Errorf("a = %s, want to contain 0 and 18", av)
+	}
+	ret := res.ReturnValue("main")
+	if !lattice.Ints.Leq(av, ret) {
+		t.Errorf("a[3] read %s should be the summary %s", ret, av)
+	}
+}
+
+// TestUnreachableFunctionNotAnalyzed: local solving skips dead code.
+func TestUnreachableFunctionNotAnalyzed(t *testing.T) {
+	res := run(t, `
+int dead() { return 42; }
+int main() { return 0; }
+`, Options{Op: OpWarrow})
+	if res.Reachable("dead") {
+		t.Error("dead should not be analyzed")
+	}
+	if res.Reachable("main") != true {
+		t.Error("main should be reachable")
+	}
+}
+
+// TestGlobalReadsSeeInitializers: a global read before any write sees the
+// initializer.
+func TestGlobalReadsSeeInitializers(t *testing.T) {
+	res := run(t, `
+int limit = 25;
+int main() {
+    int i;
+    i = 0;
+    while (i < limit) {
+        i = i + 1;
+    }
+    return i;
+}`, Options{Op: OpWarrow})
+	wantIv(t, res.Global("limit"), lattice.Singleton(25), "limit")
+	ret := res.ReturnValue("main")
+	if !lattice.Ints.Leq(ret, lattice.Range(0, 25)) {
+		t.Errorf("return %s, want ⊆ [0,25]", ret)
+	}
+}
+
+// TestVoidInfiniteLoopCalleeBlocksCaller: a call that never returns makes
+// the continuation unreachable.
+func TestVoidInfiniteLoopCalleeBlocksCaller(t *testing.T) {
+	res := run(t, `
+int g = 0;
+void spin() {
+    int i;
+    i = 0;
+    while (1) { i = i + 1; }
+}
+int main() {
+    spin();
+    g = 1;
+    return 0;
+}`, Options{Op: OpWarrow})
+	wantIv(t, res.Global("g"), lattice.Singleton(0), "g (write after non-returning call)")
+}
+
+// TestDoWhileBounds: do-while executes at least once.
+func TestDoWhileBounds(t *testing.T) {
+	res := run(t, `
+int main() {
+    int i;
+    i = 0;
+    do { i = i + 1; } while (i < 5);
+    return i;
+}`, Options{Op: OpWarrow})
+	wantIv(t, res.ReturnValue("main"), lattice.Singleton(5), "return of main")
+}
+
+// TestBreakRefinement: break exits carry the loop-body environment.
+func TestBreakRefinement(t *testing.T) {
+	res := run(t, `
+int main() {
+    int i;
+    i = 0;
+    while (1) {
+        i = i + 1;
+        if (i >= 10) { break; }
+    }
+    return i;
+}`, Options{Op: OpWarrow})
+	wantIv(t, res.ReturnValue("main"), lattice.Singleton(10), "return of main")
+}
+
+// TestModAndDiv: arithmetic transfer functions flow through.
+func TestModAndDiv(t *testing.T) {
+	res := run(t, `
+int main() {
+    int x;
+    int r;
+    if (x < 0) { x = -x; }
+    r = x % 10;
+    return r / 2;
+}`, Options{Op: OpWarrow})
+	ret := res.ReturnValue("main")
+	if !lattice.Ints.Leq(ret, lattice.Range(0, 4)) {
+		t.Errorf("return %s, want ⊆ [0,4]", ret)
+	}
+}
+
+// TestReportSmoke: the textual report renders without crashing and mentions
+// every function.
+func TestReportSmoke(t *testing.T) {
+	res := run(t, example7, Options{Context: FullContext, Op: OpWarrow})
+	rep := res.Report()
+	for _, want := range []string{"main", "f (", "g"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

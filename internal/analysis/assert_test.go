@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"warrow/internal/cint"
+	"warrow/internal/interp"
+)
+
+// TestAssertClassification: the analyzer proves assertions that follow from
+// the ⊟-invariants, flags impossible ones, and says "unknown" honestly.
+func TestAssertClassification(t *testing.T) {
+	src := `
+int g = 0;
+void f(int b) {
+    if (b) { g = b + 1; } else { g = -b - 1; }
+}
+int main() {
+    int i;
+    int x;
+    i = 0;
+    while (i < 100) {
+        i = i + 1;
+        assert(i <= 100);          // proved: loop invariant
+    }
+    assert(i == 100);              // proved: exact exit value
+    f(1);
+    f(2);
+    assert(g >= 0);                // proved: flow-insensitive g = [0,3]
+    assert(g <= 3);                // proved
+    assert(g == 2);                // unknown: g is [0,3]
+    if (i < 50) {
+        assert(0 == 1);            // unreachable: i == 100 here
+    }
+    x = i - 100;
+    assert(x != 0);                // failed: x is exactly 0
+    return x;
+}`
+	res := run(t, src, Options{Op: OpWarrow, Context: FullContext})
+	as := res.Assertions()
+	if len(as) != 7 {
+		t.Fatalf("found %d assertions, want 7:\n%s", len(as), res.AssertionReport())
+	}
+	want := []AssertStatus{
+		AssertProved,      // i <= 100
+		AssertProved,      // i == 100
+		AssertProved,      // g >= 0
+		AssertProved,      // g <= 3
+		AssertUnknown,     // g == 2
+		AssertUnreachable, // 0 == 1
+		AssertFailed,      // x != 0
+	}
+	for i, a := range as {
+		if a.Status != want[i] {
+			t.Errorf("assert(%s) at %s: %s, want %s", a.Cond, a.Pos, a.Status, want[i])
+		}
+	}
+	rep := res.AssertionReport()
+	if !strings.Contains(rep, "4/7 proved") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+// TestAssertRefinesDownstream: a passing assertion may be assumed afterwards.
+func TestAssertRefinesDownstream(t *testing.T) {
+	src := `
+int main() {
+    int x;
+    assert(x >= 0 && x < 10);
+    return x;
+}`
+	res := run(t, src, Options{Op: OpWarrow})
+	ret := res.ReturnValue("main")
+	if !ret.Contains(0) || !ret.Contains(9) || ret.Contains(-1) || ret.Contains(10) {
+		t.Errorf("return = %s, want [0,9]", ret)
+	}
+}
+
+// TestAssertInterp: the concrete interpreter aborts on failing assertions
+// and passes true ones.
+func TestAssertInterp(t *testing.T) {
+	ok := cint.MustParse(`int main() { int i; i = 3; assert(i == 3); return i; }`)
+	if _, err := interp.New(ok).Run(); err != nil {
+		t.Fatalf("true assertion aborted: %v", err)
+	}
+	bad := cint.MustParse(`int main() { int i; i = 3; assert(i > 3); return i; }`)
+	if _, err := interp.New(bad).Run(); err == nil || !strings.Contains(err.Error(), "assertion failed") {
+		t.Fatalf("false assertion did not abort: %v", err)
+	}
+}

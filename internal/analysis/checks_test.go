@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkWarnings(t *testing.T, src string, opts Options) []Warning {
+	t.Helper()
+	return run(t, src, opts).Check()
+}
+
+func findWarning(ws []Warning, kind WarnKind) (Warning, bool) {
+	for _, w := range ws {
+		if w.Kind == kind {
+			return w, true
+		}
+	}
+	return Warning{}, false
+}
+
+// TestCheckDivByZero: a possibly-zero divisor is flagged; a proven-nonzero
+// one is not.
+func TestCheckDivByZero(t *testing.T) {
+	ws := checkWarnings(t, `
+int main() {
+    int x;
+    int y;
+    y = 100 / x;
+    return y;
+}`, Options{Op: OpWarrow})
+	w, ok := findWarning(ws, WarnDivByZero)
+	if !ok {
+		t.Fatalf("missing div-by-zero warning: %v", ws)
+	}
+	if w.Definite {
+		t.Errorf("x is unknown, warning should be possible, got %s", w)
+	}
+
+	ws = checkWarnings(t, `
+int main() {
+    int x;
+    int y;
+    if (x > 0) {
+        y = 100 / x;
+    }
+    return 0;
+}`, Options{Op: OpWarrow})
+	if w, ok := findWarning(ws, WarnDivByZero); ok {
+		t.Errorf("guarded division flagged: %s", w)
+	}
+}
+
+// TestCheckDefiniteDivByZero: dividing by a constant zero is definite.
+func TestCheckDefiniteDivByZero(t *testing.T) {
+	ws := checkWarnings(t, `
+int main() {
+    int z;
+    int y;
+    z = 0;
+    y = 1 / z;
+    return y;
+}`, Options{Op: OpWarrow})
+	w, ok := findWarning(ws, WarnDivByZero)
+	if !ok || !w.Definite {
+		t.Fatalf("want definite div-by-zero, got %v", ws)
+	}
+}
+
+// TestCheckIndexBounds: proven-safe subscripts are silent; out-of-range
+// ones are flagged with the right severity.
+func TestCheckIndexBounds(t *testing.T) {
+	// Safe: loop bound matches the array length.
+	ws := checkWarnings(t, `
+int a[10];
+int main() {
+    int i;
+    for (i = 0; i < 10; i = i + 1) { a[i] = i; }
+    return a[9];
+}`, Options{Op: OpWarrow})
+	if w, ok := findWarning(ws, WarnIndexOOB); ok {
+		t.Errorf("safe loop flagged: %s", w)
+	}
+
+	// Possible: the loop runs one step too far.
+	ws = checkWarnings(t, `
+int a[10];
+int main() {
+    int i;
+    for (i = 0; i <= 10; i = i + 1) { a[i] = i; }
+    return a[9];
+}`, Options{Op: OpWarrow})
+	w, ok := findWarning(ws, WarnIndexOOB)
+	if !ok {
+		t.Fatalf("off-by-one loop not flagged: %v", ws)
+	}
+	if w.Definite {
+		t.Errorf("off-by-one is possible, not definite: %s", w)
+	}
+
+	// Definite: constant index beyond the bounds.
+	ws = checkWarnings(t, `
+int a[4];
+int main() { return a[7]; }`, Options{Op: OpWarrow})
+	w, ok = findWarning(ws, WarnIndexOOB)
+	if !ok || !w.Definite {
+		t.Fatalf("want definite OOB, got %v", ws)
+	}
+}
+
+// TestCheckIndexThroughPointer: subscripting a pointer checks the smallest
+// array it may reference.
+func TestCheckIndexThroughPointer(t *testing.T) {
+	ws := checkWarnings(t, `
+int small[4];
+int big[100];
+int main() {
+    int *p;
+    int x;
+    if (small[0] == 0) { p = small; } else { p = big; }
+    x = p[50];
+    return x;
+}`, Options{Op: OpWarrow})
+	w, ok := findWarning(ws, WarnIndexOOB)
+	if !ok {
+		t.Fatalf("p may point to small[4]; p[50] not flagged: %v", ws)
+	}
+	if !strings.Contains(w.Msg, "[0,3]") {
+		t.Errorf("warning should cite the smallest array: %s", w)
+	}
+}
+
+// TestCheckDeadCode: code after a non-returning call is reported once.
+func TestCheckDeadCode(t *testing.T) {
+	ws := checkWarnings(t, `
+void spin() {
+    int i;
+    i = 0;
+    while (1) { i = i + 1; }
+}
+int main() {
+    int x;
+    x = 1;
+    spin();
+    x = 2;
+    return x;
+}`, Options{Op: OpWarrow})
+	if _, ok := findWarning(ws, WarnDeadCode); !ok {
+		t.Fatalf("missing dead-code warning: %v", ws)
+	}
+}
+
+// TestCheckInfeasibleBranchNotDead: branch pruning is not "dead code".
+func TestCheckInfeasibleBranchNotDead(t *testing.T) {
+	ws := checkWarnings(t, `
+int main() {
+    int x;
+    x = 5;
+    if (x > 10) { x = 99; }
+    return x;
+}`, Options{Op: OpWarrow})
+	if w, ok := findWarning(ws, WarnDeadCode); ok {
+		t.Errorf("infeasible branch flagged as dead code: %s", w)
+	}
+}
+
+// TestWarningReportFormat smoke-tests the textual report.
+func TestWarningReportFormat(t *testing.T) {
+	res := run(t, `
+int a[4];
+int main() { return a[7]; }`, Options{Op: OpWarrow})
+	rep := res.WarningReport()
+	if !strings.Contains(rep, "definite index-out-of-bounds") {
+		t.Errorf("report: %s", rep)
+	}
+	clean := run(t, `int main() { return 0; }`, Options{Op: OpWarrow})
+	if got := clean.WarningReport(); got != "no warnings\n" {
+		t.Errorf("clean report: %q", got)
+	}
+}
+
+// TestWarrowSharpensChecks: the ⊟-solver's extra precision eliminates a
+// false alarm the ∇-only analysis raises — precision has a user-visible
+// payoff.
+func TestWarrowSharpensChecks(t *testing.T) {
+	src := `
+int bound = 0;
+int a[10];
+int main() {
+    int i;
+    int j;
+    for (i = 0; i < 10; i = i + 1) {
+        bound = i;
+    }
+    j = bound;
+    if (j >= 0) {
+        if (j < 10) {
+            a[j] = 1;
+        }
+    }
+    return a[0];
+}`
+	warrow := checkWarnings(t, src, Options{Op: OpWarrow})
+	if w, ok := findWarning(warrow, WarnIndexOOB); ok {
+		t.Errorf("⊟: guarded a[j] flagged: %s", w)
+	}
+}

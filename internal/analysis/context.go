@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"strings"
+
+	"warrow/internal/cint"
+	"warrow/internal/lattice"
+)
+
+// ContextPolicy selects how calling contexts are formed for
+// interprocedural analysis.
+type ContextPolicy int
+
+// Context policies.
+const (
+	// NoContext analyzes each function once, merging all call sites —
+	// the "without context" configuration of Table 1. The resulting
+	// constraint system is monotonic.
+	NoContext ContextPolicy = iota
+	// BucketContext distinguishes calls by a finite abstraction of the
+	// integer arguments (sign buckets of the bounds). The context depends
+	// non-monotonically on computed values — the paper's central
+	// motivation — while the context space stays finite, so ⊟-solvers
+	// terminate. This is the "with context" configuration of Table 1.
+	BucketContext
+	// FullContext distinguishes calls by the exact argument intervals.
+	// Maximal precision, but the set of contexts — and hence unknowns —
+	// may grow without bound; use with an evaluation budget.
+	FullContext
+)
+
+// String renders the policy.
+func (p ContextPolicy) String() string {
+	switch p {
+	case NoContext:
+		return "none"
+	case BucketContext:
+		return "bucket"
+	case FullContext:
+		return "full"
+	default:
+		return "?"
+	}
+}
+
+// bucketBound classifies an extended bound into a small finite alphabet.
+func bucketBound(e lattice.Ext) string {
+	switch {
+	case e.IsNegInf():
+		return "-inf"
+	case e.IsPosInf():
+		return "+inf"
+	case e.Int() < 0:
+		return "neg"
+	case e.Int() == 0:
+		return "0"
+	case e.Int() <= 16:
+		return "small"
+	default:
+		return "big"
+	}
+}
+
+// bucket renders a finite abstraction of an interval.
+func bucket(v lattice.Interval) string {
+	if v.IsEmpty() {
+		return "bot"
+	}
+	return bucketBound(v.Lo) + ".." + bucketBound(v.Hi)
+}
+
+// makeContext renders the calling context string for a call to fn whose
+// integer parameters receive the given argument intervals (indexed like
+// fn.Params; non-integer parameters contribute nothing).
+func makeContext(policy ContextPolicy, fn *cint.FuncDecl, args []lattice.Interval) string {
+	if policy == NoContext {
+		return ""
+	}
+	var parts []string
+	for i, p := range fn.Params {
+		if p.Type.Kind != cint.TypeInt || i >= len(args) {
+			continue
+		}
+		switch policy {
+		case BucketContext:
+			parts = append(parts, p.Name+":"+bucket(args[i]))
+		case FullContext:
+			parts = append(parts, p.Name+":"+args[i].String())
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"testing"
+
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// TestDegradeAfterOption: ⊟ₖ via Options still computes exact invariants on
+// monotone programs (no phase switches occur, so it behaves like plain ⊟).
+func TestDegradeAfterOption(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    i = 0;
+    while (i < 100) { i = i + 1; }
+    return i;
+}`
+	res := run(t, src, Options{Op: OpWarrow, DegradeAfter: 2})
+	wantIv(t, res.ReturnValue("main"), lattice.Singleton(100), "return with ⊟₂")
+}
+
+// TestRunWithOperator: the instrumentation hook produces the same result as
+// Run with the equivalent operator.
+func TestRunWithOperator(t *testing.T) {
+	src := `
+int g = 0;
+void f(int b) { g = b + 1; }
+int main() { f(1); f(2); return 0; }`
+	res1 := run(t, src, Options{Op: OpWarrow, Context: FullContext})
+
+	ast := res1.CFG
+	envL := NewEnvLattice(lattice.Ints)
+	op := solver.Op[Key](solver.Warrow[Env](envL))
+	res2, err := RunWithOperator(ast, Options{Context: FullContext, MaxEvals: 1_000_000}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lattice.Ints.Eq(res1.Global("g"), res2.Global("g")) {
+		t.Errorf("g: Run=%s RunWithOperator=%s", res1.Global("g"), res2.Global("g"))
+	}
+}
+
+// TestBandAssignment documents the priority bands.
+func TestBandAssignment(t *testing.T) {
+	cases := []struct {
+		k    Key
+		want int
+	}{
+		{Key{Kind: KStart}, 2},
+		{Key{Kind: KGlobal, Var: "g"}, 1},
+		{Key{Kind: KPoint, Fn: "f", Node: 0}, 1}, // entry: side-effected
+		{Key{Kind: KPoint, Fn: "f", Node: 3}, 0},
+	}
+	for _, c := range cases {
+		if got := Band(c.k); got != c.want {
+			t.Errorf("Band(%v) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}

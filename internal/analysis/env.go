@@ -1,0 +1,249 @@
+// Package analysis implements the paper's evaluation analysis for mini-C:
+// an interval analysis of integer variables in which local variables are
+// analyzed context-sensitively (with a configurable notion of calling
+// context) while globals — together with address-taken locals and arrays —
+// are treated flow-insensitively through the side-effecting constraint
+// systems of Sec. 6, on top of a flow-insensitive points-to analysis.
+//
+// The constraint system has one Env-valued unknown per (function, context,
+// program point) plus one unknown per flow-insensitive variable. Function
+// entry environments and global values are propagated purely by side
+// effects, following Apinis, Seidl and Vojdani's "Side-Effecting Constraint
+// Systems" formulation, so the system can be solved locally by SLR⁺ with
+// any update operator: ⊟ (the paper's contribution), plain widening (the
+// Table 1 comparator), or the classical two-phase baseline (the Fig. 7
+// comparator).
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"warrow/internal/lattice"
+)
+
+// Env is an abstract environment: the interval values of the scalar,
+// non-address-taken locals in scope, or ⊥ for unreachable program points.
+// Variables without a binding are unconstrained (⊤ = [-∞,+∞]); bindings
+// equal to ⊤ are never stored, so environments stay small and canonical.
+// Env values are immutable.
+type Env struct {
+	bot  bool
+	vars map[string]lattice.Interval
+}
+
+// BotEnv is the unreachable environment.
+var BotEnv = Env{bot: true}
+
+// TopEnv is the reachable environment with no constraints.
+var TopEnv = Env{}
+
+// IsBot reports whether the environment is unreachable.
+func (e Env) IsBot() bool { return e.bot }
+
+// Get returns the interval of id, or ⊤ if unbound. Get on ⊥ returns the
+// empty interval.
+func (e Env) Get(id string) lattice.Interval {
+	if e.bot {
+		return lattice.EmptyInterval
+	}
+	if v, ok := e.vars[id]; ok {
+		return v
+	}
+	return lattice.FullInterval
+}
+
+// Set returns a copy of e with id bound to v. Binding the empty interval
+// collapses the environment to ⊥ (no concrete state assigns an impossible
+// value); binding ⊤ removes the entry.
+func (e Env) Set(id string, v lattice.Interval) Env {
+	if e.bot {
+		return e
+	}
+	if v.IsEmpty() {
+		return BotEnv
+	}
+	full := lattice.Ints.Eq(v, lattice.FullInterval)
+	if full {
+		if _, had := e.vars[id]; !had {
+			return e
+		}
+	}
+	vars := make(map[string]lattice.Interval, len(e.vars)+1)
+	for k, val := range e.vars {
+		vars[k] = val
+	}
+	if full {
+		delete(vars, id)
+	} else {
+		vars[id] = v
+	}
+	return Env{vars: vars}
+}
+
+// Binding returns an environment with the single binding id ↦ v; used for
+// side-effect contributions to flow-insensitive unknowns.
+func Binding(id string, v lattice.Interval) Env {
+	return TopEnv.Set(id, v)
+}
+
+// Len returns the number of explicit bindings.
+func (e Env) Len() int { return len(e.vars) }
+
+// Ids returns the bound variable IDs, sorted.
+func (e Env) Ids() []string {
+	out := make([]string, 0, len(e.vars))
+	for k := range e.vars {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the environment deterministically.
+func (e Env) String() string {
+	if e.bot {
+		return "⊥"
+	}
+	if len(e.vars) == 0 {
+		return "⊤"
+	}
+	parts := make([]string, 0, len(e.vars))
+	for _, id := range e.Ids() {
+		parts = append(parts, id+"="+e.vars[id].String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// EnvLattice is the lattice of abstract environments: the bottom-lifted
+// pointwise lift of an interval lattice, with absent bindings read as ⊤.
+type EnvLattice struct {
+	// Iv is the interval lattice used for variable values; its widening
+	// (plain or threshold-based) determines the analysis's acceleration.
+	Iv *lattice.IntervalLattice
+}
+
+// NewEnvLattice returns an environment lattice over the given interval
+// lattice.
+func NewEnvLattice(iv *lattice.IntervalLattice) *EnvLattice {
+	return &EnvLattice{Iv: iv}
+}
+
+// Bottom returns the unreachable environment.
+func (*EnvLattice) Bottom() Env { return BotEnv }
+
+// Top returns the unconstrained environment.
+func (*EnvLattice) Top() Env { return TopEnv }
+
+// Leq reports the pointwise order with ⊥ below everything.
+func (l *EnvLattice) Leq(a, b Env) bool {
+	if a.bot {
+		return true
+	}
+	if b.bot {
+		return false
+	}
+	for id, bv := range b.vars {
+		if !l.Iv.Leq(a.Get(id), bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eq reports environment equality.
+func (l *EnvLattice) Eq(a, b Env) bool {
+	if a.bot || b.bot {
+		return a.bot == b.bot
+	}
+	if len(a.vars) != len(b.vars) {
+		return false
+	}
+	for id, av := range a.vars {
+		bv, ok := b.vars[id]
+		if !ok || !l.Iv.Eq(av, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// combine merges two reachable environments pointwise with op, dropping ⊤
+// results. onlyCommon restricts the result to ids bound in both (correct
+// for operations where op(x, ⊤) = ⊤, i.e. Join and Widen).
+func (l *EnvLattice) combine(a, b Env, op func(x, y lattice.Interval) lattice.Interval, onlyCommon bool) Env {
+	vars := make(map[string]lattice.Interval)
+	for id, av := range a.vars {
+		bv, inB := b.vars[id]
+		if onlyCommon && !inB {
+			continue
+		}
+		if !inB {
+			bv = lattice.FullInterval
+		}
+		v := op(av, bv)
+		if v.IsEmpty() {
+			return BotEnv
+		}
+		if !l.Iv.Eq(v, lattice.FullInterval) {
+			vars[id] = v
+		}
+	}
+	for id, bv := range b.vars {
+		if _, inA := a.vars[id]; inA {
+			continue
+		}
+		if onlyCommon {
+			continue
+		}
+		v := op(lattice.FullInterval, bv)
+		if v.IsEmpty() {
+			return BotEnv
+		}
+		if !l.Iv.Eq(v, lattice.FullInterval) {
+			vars[id] = v
+		}
+	}
+	return Env{vars: vars}
+}
+
+// Join joins pointwise; ⊥ is neutral.
+func (l *EnvLattice) Join(a, b Env) Env {
+	if a.bot {
+		return b
+	}
+	if b.bot {
+		return a
+	}
+	return l.combine(a, b, l.Iv.Join, true)
+}
+
+// Meet meets pointwise; an empty component collapses to ⊥.
+func (l *EnvLattice) Meet(a, b Env) Env {
+	if a.bot || b.bot {
+		return BotEnv
+	}
+	return l.combine(a, b, l.Iv.Meet, false)
+}
+
+// Widen widens pointwise; ⊥ is neutral.
+func (l *EnvLattice) Widen(a, b Env) Env {
+	if a.bot {
+		return b
+	}
+	if b.bot {
+		return a
+	}
+	return l.combine(a, b, l.Iv.Widen, true)
+}
+
+// Narrow narrows pointwise; requires b ⊑ a.
+func (l *EnvLattice) Narrow(a, b Env) Env {
+	if a.bot || b.bot {
+		return b
+	}
+	return l.combine(a, b, l.Iv.Narrow, false)
+}
+
+// Format renders an environment.
+func (*EnvLattice) Format(a Env) string { return a.String() }

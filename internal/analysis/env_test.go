@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"warrow/internal/lattice"
+)
+
+func randEnv(r *rand.Rand) Env {
+	if r.Intn(8) == 0 {
+		return BotEnv
+	}
+	e := TopEnv
+	vars := []string{"x", "y", "z"}
+	for _, v := range vars {
+		switch r.Intn(4) {
+		case 0: // unbound (⊤)
+		case 1:
+			lo := int64(r.Intn(21) - 10)
+			hi := lo + int64(r.Intn(10))
+			e = e.Set(v, lattice.Range(lo, hi))
+		case 2:
+			e = e.Set(v, lattice.AtLeast(int64(r.Intn(11)-5)))
+		case 3:
+			e = e.Set(v, lattice.AtMost(int64(r.Intn(11)-5)))
+		}
+	}
+	return e
+}
+
+// TestEnvLatticeLaws: the environment lattice satisfies the lattice and
+// widening/narrowing laws on random samples (property-based CheckLaws).
+func TestEnvLatticeLaws(t *testing.T) {
+	l := NewEnvLattice(lattice.Ints)
+	r := rand.New(rand.NewSource(11))
+	samples := []Env{BotEnv, TopEnv}
+	for i := 0; i < 20; i++ {
+		samples = append(samples, randEnv(r))
+	}
+	if err := lattice.CheckLaws[Env](l, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvBasics(t *testing.T) {
+	e := TopEnv.Set("x", lattice.Range(1, 2))
+	if e.IsBot() || e.Len() != 1 {
+		t.Fatal("Set")
+	}
+	if !lattice.Ints.Eq(e.Get("x"), lattice.Range(1, 2)) {
+		t.Fatal("Get")
+	}
+	if !lattice.Ints.Eq(e.Get("unbound"), lattice.FullInterval) {
+		t.Fatal("unbound reads as ⊤")
+	}
+	// Binding ⊤ removes the entry.
+	e2 := e.Set("x", lattice.FullInterval)
+	if e2.Len() != 0 {
+		t.Fatalf("binding ⊤ should drop the entry: %s", e2)
+	}
+	// Binding ⊥ collapses to the unreachable environment.
+	e3 := e.Set("y", lattice.EmptyInterval)
+	if !e3.IsBot() {
+		t.Fatalf("binding ⊥ should collapse: %s", e3)
+	}
+	// Bot is sticky.
+	if !BotEnv.Set("x", lattice.Singleton(1)).IsBot() {
+		t.Fatal("Set on ⊥")
+	}
+	if !BotEnv.Get("x").IsEmpty() {
+		t.Fatal("Get on ⊥")
+	}
+}
+
+func TestEnvImmutability(t *testing.T) {
+	e := TopEnv.Set("x", lattice.Range(1, 2))
+	_ = e.Set("x", lattice.Singleton(9))
+	_ = e.Set("y", lattice.Singleton(3))
+	if !lattice.Ints.Eq(e.Get("x"), lattice.Range(1, 2)) || e.Len() != 1 {
+		t.Fatal("Set mutated the receiver")
+	}
+}
+
+func TestEnvJoinDropsOneSidedBindings(t *testing.T) {
+	l := NewEnvLattice(lattice.Ints)
+	a := TopEnv.Set("x", lattice.Range(0, 1))
+	b := TopEnv.Set("y", lattice.Range(5, 6))
+	j := l.Join(a, b)
+	// x is ⊤ in b and y is ⊤ in a, so the join constrains nothing.
+	if j.Len() != 0 {
+		t.Fatalf("join = %s, want ⊤", j)
+	}
+	// ⊥ is neutral.
+	if !l.Eq(l.Join(BotEnv, a), a) || !l.Eq(l.Join(a, BotEnv), a) {
+		t.Fatal("⊥ not neutral for join")
+	}
+}
+
+func TestEnvWidenNarrow(t *testing.T) {
+	l := NewEnvLattice(lattice.Ints)
+	a := TopEnv.Set("x", lattice.Range(0, 10))
+	b := TopEnv.Set("x", lattice.Range(0, 11))
+	w := l.Widen(a, b)
+	if !lattice.Ints.Eq(w.Get("x"), lattice.NewInterval(lattice.Fin(0), lattice.PosInf)) {
+		t.Fatalf("widen = %s", w)
+	}
+	n := l.Narrow(w, b)
+	if !lattice.Ints.Eq(n.Get("x"), lattice.Range(0, 11)) {
+		t.Fatalf("narrow = %s", n)
+	}
+	// Narrowing can introduce bindings absent in a (a reads them as ⊤).
+	n2 := l.Narrow(TopEnv, b)
+	if !lattice.Ints.Eq(n2.Get("x"), lattice.Range(0, 11)) {
+		t.Fatalf("narrow from ⊤ = %s", n2)
+	}
+}
+
+func TestEnvStringDeterministic(t *testing.T) {
+	e := TopEnv.Set("b", lattice.Singleton(2)).Set("a", lattice.Singleton(1))
+	if got := e.String(); got != "{a=[1,1], b=[2,2]}" {
+		t.Fatalf("String = %q", got)
+	}
+	if BotEnv.String() != "⊥" || TopEnv.String() != "⊤" {
+		t.Fatal("extremal strings")
+	}
+}
+
+func TestBindingHelper(t *testing.T) {
+	b := Binding("g", lattice.Range(0, 3))
+	if b.Len() != 1 || !lattice.Ints.Eq(b.Get("g"), lattice.Range(0, 3)) {
+		t.Fatalf("Binding = %s", b)
+	}
+	if Binding("g", lattice.FullInterval).Len() != 0 {
+		t.Fatal("Binding of ⊤ should be empty")
+	}
+	if !Binding("g", lattice.EmptyInterval).IsBot() {
+		t.Fatal("Binding of ⊥ should be ⊥")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	cases := []struct {
+		k    Key
+		want string
+	}{
+		{Key{Kind: KStart}, "<start>"},
+		{Key{Kind: KGlobal, Var: "g"}, "glob:g"},
+		{Key{Kind: KPoint, Fn: "f", Node: 3}, "f@3"},
+		{Key{Kind: KPoint, Fn: "f", Ctx: "b:small..small", Node: 3}, "f[b:small..small]@3"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Key%v = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestContextPolicies(t *testing.T) {
+	src := `int f(int a, int b) { return a + b; } int main() { int r; r = f(1, 2); return r; }`
+	res := run(t, src, Options{Context: FullContext, Op: OpWarrow})
+	ctxs := res.Contexts("f")
+	if len(ctxs) != 1 || !strings.Contains(ctxs[0], "a:[1,1]") {
+		t.Errorf("full contexts: %v", ctxs)
+	}
+	res = run(t, src, Options{Context: BucketContext, Op: OpWarrow})
+	ctxs = res.Contexts("f")
+	if len(ctxs) != 1 || !strings.Contains(ctxs[0], "small") {
+		t.Errorf("bucket contexts: %v", ctxs)
+	}
+	res = run(t, src, Options{Context: NoContext, Op: OpWarrow})
+	if ctxs = res.Contexts("f"); len(ctxs) != 1 || ctxs[0] != "" {
+		t.Errorf("no-context contexts: %v", ctxs)
+	}
+}

@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"fmt"
+
+	"warrow/internal/cint"
+	"warrow/internal/lattice"
+)
+
+// evalCtx evaluates expressions abstractly during one right-hand-side
+// evaluation. readFI reads the current value of a flow-insensitive variable
+// (routed through the solver's get so dependences are tracked).
+type evalCtx struct {
+	a      *analyzer
+	readFI func(id string) lattice.Interval
+}
+
+// readVar returns the interval of a variable, from the environment for
+// scalar locals and from the flow-insensitive unknown otherwise.
+func (ec evalCtx) readVar(env Env, v *cint.VarDecl) lattice.Interval {
+	if ec.a.flowIns[v.ID] {
+		return ec.readFI(v.ID)
+	}
+	return env.Get(v.ID)
+}
+
+// targets returns the cells a pointer-valued expression may point to.
+func (ec evalCtx) targets(e cint.Expr) []string {
+	switch x := e.(type) {
+	case *cint.Ident:
+		if x.Obj.Type.Kind == cint.TypeArray {
+			return []string{x.Obj.ID}
+		}
+		return ec.a.pt.PointsTo(x.Obj.ID).Elems()
+	case *cint.UnaryExpr:
+		if x.Op == cint.TokAmp {
+			return []string{x.X.(*cint.Ident).Obj.ID}
+		}
+		if x.Op == cint.TokStar {
+			var out []string
+			for _, t := range ec.targets(x.X) {
+				out = append(out, ec.a.pt.PointsTo(t).Elems()...)
+			}
+			return out
+		}
+	case *cint.IndexExpr:
+		// &a[i] aliases the array cell itself in our summarization.
+		return ec.targets(x.X)
+	}
+	return nil
+}
+
+// eval returns the interval abstraction of an int-valued expression.
+func (ec evalCtx) eval(env Env, e cint.Expr) lattice.Interval {
+	if env.IsBot() {
+		return lattice.EmptyInterval
+	}
+	switch x := e.(type) {
+	case *cint.IntLit:
+		return lattice.Singleton(x.Value)
+	case *cint.Ident:
+		if x.Obj.Type.Kind != cint.TypeInt {
+			return lattice.FullInterval // pointer used as value (comparisons)
+		}
+		return ec.readVar(env, x.Obj)
+	case *cint.UnaryExpr:
+		switch x.Op {
+		case cint.TokMinus:
+			return ec.eval(env, x.X).Neg()
+		case cint.TokNot:
+			return triToInterval(triNot(ec.truth(env, x.X)))
+		case cint.TokStar:
+			return ec.readCells(ec.targets(x.X))
+		}
+		return lattice.FullInterval
+	case *cint.BinaryExpr:
+		switch x.Op {
+		case cint.TokPlus:
+			return ec.eval(env, x.X).Add(ec.eval(env, x.Y))
+		case cint.TokMinus:
+			return ec.eval(env, x.X).Sub(ec.eval(env, x.Y))
+		case cint.TokStar:
+			return ec.eval(env, x.X).Mul(ec.eval(env, x.Y))
+		case cint.TokSlash:
+			return ec.eval(env, x.X).Div(ec.eval(env, x.Y))
+		case cint.TokPercent:
+			return ec.eval(env, x.X).Rem(ec.eval(env, x.Y))
+		case cint.TokLt, cint.TokLe, cint.TokGt, cint.TokGe, cint.TokEq, cint.TokNe,
+			cint.TokAndAnd, cint.TokOrOr:
+			return triToInterval(ec.truth(env, x))
+		}
+		return lattice.FullInterval
+	case *cint.IndexExpr:
+		return ec.readCells(ec.targets(x.X))
+	default:
+		panic(fmt.Sprintf("analysis: eval of %T", e))
+	}
+}
+
+// readCells joins the flow-insensitive values of the given cells; an empty
+// target set (e.g. a wild pointer) reads as ⊤.
+func (ec evalCtx) readCells(cells []string) lattice.Interval {
+	if len(cells) == 0 {
+		return lattice.FullInterval
+	}
+	out := lattice.EmptyInterval
+	for _, c := range cells {
+		out = ec.a.ivl.Join(out, ec.readFI(c))
+	}
+	return out
+}
+
+// Not negates a three-valued truth value.
+func triNot(t lattice.Tri) lattice.Tri {
+	switch t {
+	case lattice.TriTrue:
+		return lattice.TriFalse
+	case lattice.TriFalse:
+		return lattice.TriTrue
+	default:
+		return lattice.TriUnknown
+	}
+}
+
+// triToInterval renders a truth value as the interval of a C boolean.
+func triToInterval(t lattice.Tri) lattice.Interval {
+	switch t {
+	case lattice.TriTrue:
+		return lattice.Singleton(1)
+	case lattice.TriFalse:
+		return lattice.Singleton(0)
+	default:
+		return lattice.Range(0, 1)
+	}
+}
+
+// truth abstractly evaluates an expression as a condition.
+func (ec evalCtx) truth(env Env, e cint.Expr) lattice.Tri {
+	switch x := e.(type) {
+	case *cint.BinaryExpr:
+		switch x.Op {
+		case cint.TokLt:
+			return ec.eval(env, x.X).CmpLt(ec.eval(env, x.Y))
+		case cint.TokLe:
+			return ec.eval(env, x.X).CmpLe(ec.eval(env, x.Y))
+		case cint.TokGt:
+			return ec.eval(env, x.Y).CmpLt(ec.eval(env, x.X))
+		case cint.TokGe:
+			return ec.eval(env, x.Y).CmpLe(ec.eval(env, x.X))
+		case cint.TokEq:
+			if x.X.Type().Kind != cint.TypeInt {
+				return lattice.TriUnknown // pointer equality
+			}
+			return ec.eval(env, x.X).CmpEq(ec.eval(env, x.Y))
+		case cint.TokNe:
+			if x.X.Type().Kind != cint.TypeInt {
+				return lattice.TriUnknown
+			}
+			return triNot(ec.eval(env, x.X).CmpEq(ec.eval(env, x.Y)))
+		case cint.TokAndAnd:
+			l, r := ec.truth(env, x.X), ec.truth(env, x.Y)
+			switch {
+			case l == lattice.TriFalse || r == lattice.TriFalse:
+				return lattice.TriFalse
+			case l == lattice.TriTrue && r == lattice.TriTrue:
+				return lattice.TriTrue
+			default:
+				return lattice.TriUnknown
+			}
+		case cint.TokOrOr:
+			l, r := ec.truth(env, x.X), ec.truth(env, x.Y)
+			switch {
+			case l == lattice.TriTrue || r == lattice.TriTrue:
+				return lattice.TriTrue
+			case l == lattice.TriFalse && r == lattice.TriFalse:
+				return lattice.TriFalse
+			default:
+				return lattice.TriUnknown
+			}
+		}
+	case *cint.UnaryExpr:
+		if x.Op == cint.TokNot {
+			return triNot(ec.truth(env, x.X))
+		}
+	}
+	// Arithmetic condition: nonzero means true.
+	v := ec.eval(env, e)
+	switch {
+	case v.IsEmpty():
+		return lattice.TriUnknown
+	case !v.Contains(0):
+		return lattice.TriTrue
+	default:
+		if c, ok := v.IsConst(); ok && c == 0 {
+			return lattice.TriFalse
+		}
+		return lattice.TriUnknown
+	}
+}
+
+// refine restricts env under the assumption that cond evaluates to branch,
+// returning ⊥ when the branch is infeasible.
+func (ec evalCtx) refine(env Env, cond cint.Expr, branch bool) Env {
+	if env.IsBot() {
+		return BotEnv
+	}
+	switch t := ec.truth(env, cond); {
+	case t == lattice.TriTrue && !branch:
+		return BotEnv
+	case t == lattice.TriFalse && branch:
+		return BotEnv
+	}
+	switch x := cond.(type) {
+	case *cint.BinaryExpr:
+		op := x.Op
+		if !branch {
+			if neg, ok := negateCmp(op); ok {
+				return ec.refineCmp(env, neg, x.X, x.Y)
+			}
+			// !(a && b), !(a || b): handled conservatively (the CFG
+			// compiles short-circuit guards away; this path only triggers
+			// for programmatic use).
+			return env
+		}
+		switch op {
+		case cint.TokLt, cint.TokLe, cint.TokGt, cint.TokGe, cint.TokEq, cint.TokNe:
+			return ec.refineCmp(env, op, x.X, x.Y)
+		case cint.TokAndAnd:
+			return ec.refine(ec.refine(env, x.X, true), x.Y, true)
+		}
+		return env
+	case *cint.UnaryExpr:
+		if x.Op == cint.TokNot {
+			return ec.refine(env, x.X, !branch)
+		}
+	case *cint.Ident:
+		// Truthiness of a scalar: x != 0 / x == 0.
+		if x.Obj.Type.Kind == cint.TypeInt && !ec.a.flowIns[x.Obj.ID] {
+			v := env.Get(x.Obj.ID)
+			if branch {
+				return env.Set(x.Obj.ID, v.RestrictNe(lattice.Singleton(0)))
+			}
+			return env.Set(x.Obj.ID, v.RestrictEq(lattice.Singleton(0)))
+		}
+	}
+	return env
+}
+
+// negateCmp returns the complementary comparison operator.
+func negateCmp(op cint.TokKind) (cint.TokKind, bool) {
+	switch op {
+	case cint.TokLt:
+		return cint.TokGe, true
+	case cint.TokLe:
+		return cint.TokGt, true
+	case cint.TokGt:
+		return cint.TokLe, true
+	case cint.TokGe:
+		return cint.TokLt, true
+	case cint.TokEq:
+		return cint.TokNe, true
+	case cint.TokNe:
+		return cint.TokEq, true
+	default:
+		return op, false
+	}
+}
+
+// refineCmp refines env under the comparison lhs op rhs, narrowing the
+// bindings of scalar-local operands on both sides.
+func (ec evalCtx) refineCmp(env Env, op cint.TokKind, lhs, rhs cint.Expr) Env {
+	lv, rv := ec.eval(env, lhs), ec.eval(env, rhs)
+	env = ec.refineVar(env, lhs, restrict(op, lv, rv))
+	env = ec.refineVar(env, rhs, restrict(swapCmp(op), rv, lv))
+	return env
+}
+
+// swapCmp mirrors a comparison operator (a < b ⇔ b > a).
+func swapCmp(op cint.TokKind) cint.TokKind {
+	switch op {
+	case cint.TokLt:
+		return cint.TokGt
+	case cint.TokLe:
+		return cint.TokGe
+	case cint.TokGt:
+		return cint.TokLt
+	case cint.TokGe:
+		return cint.TokLe
+	default:
+		return op // ==, != are symmetric
+	}
+}
+
+// restrict applies the refinement for "x op other" to the interval of x.
+func restrict(op cint.TokKind, x, other lattice.Interval) lattice.Interval {
+	switch op {
+	case cint.TokLt:
+		return x.RestrictLt(other)
+	case cint.TokLe:
+		return x.RestrictLe(other)
+	case cint.TokGt:
+		return x.RestrictGt(other)
+	case cint.TokGe:
+		return x.RestrictGe(other)
+	case cint.TokEq:
+		return x.RestrictEq(other)
+	case cint.TokNe:
+		return x.RestrictNe(other)
+	default:
+		return x
+	}
+}
+
+// refineVar stores a refined interval back if the operand is a scalar local
+// identifier (flow-insensitive variables cannot be refined soundly).
+func (ec evalCtx) refineVar(env Env, e cint.Expr, v lattice.Interval) Env {
+	id, ok := e.(*cint.Ident)
+	if !ok || id.Obj.Type.Kind != cint.TypeInt || ec.a.flowIns[id.Obj.ID] {
+		return env
+	}
+	return env.Set(id.Obj.ID, v)
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"warrow/internal/cfg"
+	"warrow/internal/solver"
+)
+
+// wideningPoints computes, per function, the loop heads: targets of
+// retreating edges in the reverse-postorder numbering. Restricting the
+// accelerated operator to these points (plus the side-effected unknowns)
+// is the classical Bourdoncle discipline; everywhere else plain
+// re-evaluation suffices, since every cycle of the constraint system
+// passes through a widening point.
+func wideningPoints(prog *cfg.Program) map[string]map[int]bool {
+	wp := make(map[string]map[int]bool, len(prog.Graphs))
+	for name, g := range prog.Graphs {
+		pts := make(map[int]bool)
+		for _, n := range g.Nodes {
+			for _, e := range n.Out {
+				if e.To.ID <= e.From.ID {
+					pts[e.To.ID] = true
+				}
+			}
+		}
+		wp[name] = pts
+	}
+	return wp
+}
+
+// localizedOp applies an accelerated operator only at widening points,
+// function entries, flow-insensitive unknowns and the root; all other
+// program points take the plain new value. Soundness is unaffected — a
+// replace-updated unknown satisfies σ[x] = fₓ(σ) exactly — and a non-loop
+// join never passes through a widened intermediate state that narrowing
+// must repair.
+//
+// Termination caveat: the Theorem 3 guarantee relies on *every* unknown
+// stabilizing its own chain; plain updates track their inputs instead, so
+// a widening point can repeatedly narrow against a stale downstream value
+// that then creeps upward (observed on the `prime` benchmark: the loop
+// head flips [3,∞] ↔ [3,k] with k growing by 2 per cycle). Localized mode
+// therefore uses the degrading operator ⊟ₖ at widening points, which
+// bounds the narrow→widen flips per unknown; Run defaults k to 2.
+type localizedOp struct {
+	inner solver.Operator[Key, Env] // the accelerated operator, normally ⊟ₖ
+	wp    map[string]map[int]bool
+}
+
+// Apply implements solver.Operator.
+func (o *localizedOp) Apply(k Key, old, new Env) Env {
+	if k.Kind == KPoint && k.Node != 0 && !o.wp[k.Fn][k.Node] {
+		return new
+	}
+	return o.inner.Apply(k, old, new)
+}

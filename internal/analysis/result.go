@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/lattice"
+)
+
+// Global returns the flow-insensitive interval computed for a variable ID,
+// or the empty interval if the variable was never written (unreachable).
+func (r *Result) Global(id string) lattice.Interval {
+	return r.Values[Key{Kind: KGlobal, Var: id}].Get(id)
+}
+
+// PointEnv returns the environment at a program point, joined over all
+// contexts in which the function was analyzed.
+func (r *Result) PointEnv(fn string, node int) Env {
+	out := BotEnv
+	for k, v := range r.Values {
+		if k.Kind == KPoint && k.Fn == fn && k.Node == node {
+			out = r.EnvL.Join(out, v)
+		}
+	}
+	return out
+}
+
+// Contexts returns the distinct contexts in which fn was analyzed, sorted.
+func (r *Result) Contexts(fn string) []string {
+	seen := map[string]bool{}
+	for k := range r.Values {
+		if k.Kind == KPoint && k.Fn == fn && !seen[k.Ctx] {
+			seen[k.Ctx] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reachable reports whether fn was analyzed in any context with a reachable
+// entry.
+func (r *Result) Reachable(fn string) bool {
+	for k, v := range r.Values {
+		if k.Kind == KPoint && k.Fn == fn && k.Node == 0 && !v.IsBot() {
+			return true
+		}
+	}
+	return false
+}
+
+// NumUnknowns returns the number of unknowns the solver encountered.
+func (r *Result) NumUnknowns() int { return len(r.Values) }
+
+// ReturnValue returns the interval of fn's return value joined over all
+// contexts.
+func (r *Result) ReturnValue(fn string) lattice.Interval {
+	g := r.CFG.Graphs[fn]
+	if g == nil {
+		return lattice.EmptyInterval
+	}
+	env := r.PointEnv(fn, g.Exit.ID)
+	return env.Get(g.Fn.Name + "::@ret")
+}
+
+// Report renders all per-point invariants of a function (merged over
+// contexts) plus the globals, for the CLI and the examples.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	var globals []string
+	for k := range r.Values {
+		if k.Kind == KGlobal {
+			globals = append(globals, k.Var)
+		}
+	}
+	sort.Strings(globals)
+	if len(globals) > 0 {
+		sb.WriteString("flow-insensitive variables:\n")
+		for _, id := range globals {
+			fmt.Fprintf(&sb, "  %-24s %s\n", id, r.Global(id))
+		}
+	}
+	for _, name := range r.CFG.Order {
+		if !r.Reachable(name) {
+			fmt.Fprintf(&sb, "%s: unreachable\n", name)
+			continue
+		}
+		ctxs := r.Contexts(name)
+		fmt.Fprintf(&sb, "%s (%d context(s)):\n", name, len(ctxs))
+		g := r.CFG.Graphs[name]
+		for _, n := range g.Nodes {
+			env := r.PointEnv(name, n.ID)
+			fmt.Fprintf(&sb, "  @%-3d %s\n", n.ID, env)
+		}
+	}
+	return sb.String()
+}
+
+// AssertStatus classifies an assertion.
+type AssertStatus int
+
+// Assertion classifications.
+const (
+	// AssertProved: the condition holds on every abstract state reaching it.
+	AssertProved AssertStatus = iota
+	// AssertFailed: the condition is false on every abstract state reaching
+	// it (and the point is reachable) — the assertion always aborts.
+	AssertFailed
+	// AssertUnknown: the analysis cannot decide.
+	AssertUnknown
+	// AssertUnreachable: no abstract state reaches the assertion.
+	AssertUnreachable
+)
+
+// String renders the status.
+func (s AssertStatus) String() string {
+	switch s {
+	case AssertProved:
+		return "proved"
+	case AssertFailed:
+		return "failed"
+	case AssertUnknown:
+		return "unknown"
+	default:
+		return "unreachable"
+	}
+}
+
+// Assertion is the verdict for one assert statement.
+type Assertion struct {
+	Fn     string
+	Pos    cint.Pos
+	Cond   cint.Expr
+	Status AssertStatus
+}
+
+// Assertions classifies every assert statement of the program against the
+// computed invariants (merged over contexts).
+func (r *Result) Assertions() []Assertion {
+	var out []Assertion
+	for _, fn := range r.CFG.Order {
+		g := r.CFG.Graphs[fn]
+		for _, n := range g.Nodes {
+			for _, e := range n.Out {
+				if e.Kind != cfg.Assert {
+					continue
+				}
+				env := r.PointEnv(fn, e.From.ID)
+				a := Assertion{Fn: fn, Pos: e.Pos, Cond: e.Cond}
+				switch {
+				case env.IsBot():
+					a.Status = AssertUnreachable
+				default:
+					switch r.truthAt(env, e.Cond) {
+					case lattice.TriTrue:
+						a.Status = AssertProved
+					case lattice.TriFalse:
+						a.Status = AssertFailed
+					default:
+						a.Status = AssertUnknown
+					}
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Col < out[j].Pos.Col
+	})
+	return out
+}
+
+// truthAt evaluates a condition against an environment using the computed
+// flow-insensitive values for globals.
+func (r *Result) truthAt(env Env, cond cint.Expr) lattice.Tri {
+	flowIns := make(map[string]bool)
+	for k := range r.Values {
+		if k.Kind == KGlobal {
+			flowIns[k.Var] = true
+		}
+	}
+	a := &analyzer{pt: r.PT, envL: r.EnvL, ivl: r.EnvL.Iv, flowIns: flowIns}
+	ec := evalCtx{a: a, readFI: func(id string) lattice.Interval { return r.Global(id) }}
+	return ec.truth(env, cond)
+}
+
+// AssertionReport renders the verdicts, one per line.
+func (r *Result) AssertionReport() string {
+	as := r.Assertions()
+	if len(as) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	proved := 0
+	for _, a := range as {
+		if a.Status == AssertProved {
+			proved++
+		}
+		fmt.Fprintf(&sb, "  %s:%-8s %-12s assert(%s)\n", a.Fn, a.Pos, a.Status, a.Cond)
+	}
+	fmt.Fprintf(&sb, "assertions: %d/%d proved\n", proved, len(as))
+	return sb.String()
+}

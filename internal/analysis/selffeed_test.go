@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/lattice"
+	"warrow/internal/points2"
+	"warrow/internal/solver"
+)
+
+// selfFeedSrc accumulates a bounded local into a global that is also read
+// on the right-hand side: the update g = g + f reads the global it feeds.
+// Such self-feeding globals expose a scheduling hazard of uniform
+// discovery-order keys (see solver.SLRPlusKeyed): the global is discovered
+// *during* the evaluation of its own reader, receives a smaller key, and
+// with ⊟ keeps narrowing against a stale contribution while the reader
+// bumps it by one — forever.
+const selfFeedSrc = `
+int s = 0;
+int fac(int n) {
+    int r;
+    if (n == 0) { return 1; }
+    r = fac(n - 1);
+    return n * r;
+}
+int main() {
+    int i;
+    int f;
+    for (i = 0; i <= 5; i = i + 1) {
+        f = fac(i);
+        s = s + f;
+    }
+    return s;
+}`
+
+func buildSelfFeed(t *testing.T) (*analyzer, Key) {
+	t.Helper()
+	ast, err := cint.Parse(selfFeedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := cfg.Build(ast)
+	return &analyzer{
+		prog:    prog,
+		pt:      points2.Analyze(prog),
+		envL:    NewEnvLattice(lattice.Ints),
+		ivl:     lattice.Ints,
+		flowIns: map[string]bool{"s": true},
+		policy:  NoContext,
+		entry:   "main",
+	}, Key{Kind: KStart}
+}
+
+// TestSelfFeedingGlobalDivergesWithoutBands documents the hazard: plain
+// SLR⁺ with uniform keys and ⊟ oscillates on the self-feeding global.
+func TestSelfFeedingGlobalDivergesWithoutBands(t *testing.T) {
+	a, start := buildSelfFeed(t)
+	op := solver.Op[Key](solver.Warrow[Env](a.envL))
+	init := func(Key) Env { return BotEnv }
+	_, err := solver.SLRPlus(a.system(), a.envL, op, init, start, solver.Config{MaxEvals: 200000})
+	if !errors.Is(err, solver.ErrEvalBudget) {
+		t.Fatalf("expected oscillation under uniform keys, got err=%v", err)
+	}
+}
+
+// TestSelfFeedingGlobalTerminatesWithBands: scheduling flow-insensitive
+// unknowns in a higher priority band restores termination and yields the
+// expected fixpoint s = [0,+inf] (the flow-insensitive least solution of
+// s ⊒ s + f).
+func TestSelfFeedingGlobalTerminatesWithBands(t *testing.T) {
+	a, start := buildSelfFeed(t)
+	op := solver.Op[Key](solver.Warrow[Env](a.envL))
+	init := func(Key) Env { return BotEnv }
+	band := func(k Key) int {
+		switch k.Kind {
+		case KStart:
+			return 2
+		case KGlobal:
+			return 1
+		default:
+			return 0
+		}
+	}
+	res, err := solver.SLRPlusKeyed(a.system(), a.envL, op, init, start, band, solver.Config{MaxEvals: 200000})
+	if err != nil {
+		t.Fatalf("banded SLR⁺ diverged: %v", err)
+	}
+	s := res.Values[Key{Kind: KGlobal, Var: "s"}].Get("s")
+	want := lattice.NewInterval(lattice.Fin(0), lattice.PosInf)
+	if !lattice.Ints.Eq(s, want) {
+		t.Errorf("s = %s, want %s", s, want)
+	}
+}

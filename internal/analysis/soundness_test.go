@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/interp"
+	"warrow/internal/wcet"
+)
+
+// storeSite identifies where a concrete store lands in the CFG: the node
+// *after* the storing edge, where the abstract environment reflects it.
+type storeSite struct {
+	fn   string
+	node int
+}
+
+// storeIndex maps (varID, source position) to the program points following
+// the assignments of that variable at that position.
+func storeIndex(prog *cfg.Program) map[string]map[cint.Pos][]storeSite {
+	idx := make(map[string]map[cint.Pos][]storeSite)
+	add := func(id string, pos cint.Pos, s storeSite) {
+		if idx[id] == nil {
+			idx[id] = make(map[cint.Pos][]storeSite)
+		}
+		idx[id][pos] = append(idx[id][pos], s)
+	}
+	for _, fn := range prog.Order {
+		g := prog.Graphs[fn]
+		for _, n := range g.Nodes {
+			for _, e := range n.Out {
+				var id string
+				switch {
+				case e.Kind == cfg.Decl:
+					id = e.Var.ID
+				case (e.Kind == cfg.Assign || e.Kind == cfg.Call) && e.Lhs != nil:
+					if l, ok := e.Lhs.(*cint.Ident); ok {
+						id = l.Obj.ID
+					}
+				}
+				if id != "" {
+					add(id, e.Pos, storeSite{fn: fn, node: e.To.ID})
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// TestSoundnessAgainstConcreteExecution is the strongest end-to-end
+// property test of the analyzer: every WCET benchmark is executed
+// concretely with an observer recording every store, and every observed
+// value must lie within the abstract invariant at the corresponding
+// program point — the flow-insensitive interval for globals, address-taken
+// locals and arrays; the post-store point environment for scalar locals;
+// the entry environment for parameters. The concrete return value of main
+// must lie in the abstract one. All three fixpoint regimes must be sound
+// here, since without context sensitivity the systems are monotonic.
+func TestSoundnessAgainstConcreteExecution(t *testing.T) {
+	for _, op := range []OpKind{OpWarrow, OpWiden, OpTwoPhase} {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			for _, b := range wcet.All() {
+				checkSoundness(t, op, b.Name, b.Src)
+			}
+		})
+	}
+}
+
+func checkSoundness(t *testing.T, op OpKind, name, src string) {
+	t.Helper()
+	checkSoundnessOpts(t, name, src, Options{Op: op, Context: NoContext, MaxEvals: 20_000_000})
+}
+
+func checkSoundnessOpts(t *testing.T, name, src string, opts Options) {
+	t.Helper()
+	op := opts.Op
+	ast, err := cint.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	prog := cfg.Build(ast)
+	res, err := Run(prog, opts)
+	if err != nil {
+		t.Fatalf("%s (%v): %v", name, op, err)
+	}
+	sites := storeIndex(prog)
+	flowIns := func(v *cint.VarDecl) bool {
+		return v.Global || v.AddrTaken || v.Type.Kind == cint.TypeArray
+	}
+	// Cache merged point environments.
+	envCache := make(map[storeSite]Env)
+	pointEnv := func(s storeSite) Env {
+		if e, ok := envCache[s]; ok {
+			return e
+		}
+		e := res.PointEnv(s.fn, s.node)
+		envCache[s] = e
+		return e
+	}
+
+	violations := 0
+	report := func(format string, args ...any) {
+		violations++
+		if violations <= 5 {
+			t.Errorf("%s (%v): %s", name, op, fmt.Sprintf(format, args...))
+		}
+	}
+	ip := interp.New(ast)
+	ip.Fuel = 3_000_000
+	ip.Observe = func(v *cint.VarDecl, val int64, pos cint.Pos) {
+		if flowIns(v) {
+			if !intValued(v.Type) {
+				return
+			}
+			if g := res.Global(v.ID); !g.Contains(val) {
+				report("store %s = %d outside flow-insensitive %s", v.ID, val, g)
+			}
+			return
+		}
+		if v.Type.Kind != cint.TypeInt {
+			return
+		}
+		if v.Fn != nil && pos == v.Fn.Pos {
+			// Parameter binding: check the entry environment.
+			env := pointEnv(storeSite{fn: v.Fn.Name, node: 0})
+			if iv := env.Get(v.ID); !iv.Contains(val) {
+				report("param %s = %d outside entry %s", v.ID, val, iv)
+			}
+			return
+		}
+		for _, s := range sites[v.ID][pos] {
+			env := pointEnv(s)
+			if env.IsBot() {
+				report("store %s = %d at concretely-executed but abstractly-unreachable %s@%d",
+					v.ID, val, s.fn, s.node)
+				continue
+			}
+			if iv := env.Get(v.ID); !iv.Contains(val) {
+				report("store %s = %d at %s@%d outside %s", v.ID, val, s.fn, s.node, iv)
+			}
+		}
+	}
+	ret, err := ip.Run()
+	if err != nil {
+		if errors.Is(err, interp.ErrFuel) {
+			t.Logf("%s: out of fuel (partial trace checked)", name)
+			return
+		}
+		t.Fatalf("%s: concrete execution failed: %v", name, err)
+	}
+	if rv := res.ReturnValue("main"); !rv.Contains(ret) {
+		t.Errorf("%s (%v): concrete return %d outside abstract %s", name, op, ret, rv)
+	}
+	if violations > 5 {
+		t.Errorf("%s (%v): %d further violations suppressed", name, op, violations-5)
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"warrow/internal/cint"
+	"warrow/internal/lattice"
+)
+
+// InferThresholds collects the integer constants appearing in a program —
+// literals, their negations, and off-by-one neighbours — as widening
+// thresholds. Guards like `i < 100` make 99/100 the natural resting points
+// of loop counters, so widening to the nearest program constant instead of
+// straight to ±∞ frequently removes the need to narrow at all. Use the
+// returned lattice as Options.Widening.
+func InferThresholds(prog *cint.Program) *lattice.IntervalLattice {
+	set := map[int64]bool{0: true, 1: true, -1: true}
+	add := func(v int64) {
+		set[v] = true
+		set[-v] = true
+		set[v-1] = true
+		set[v+1] = true
+	}
+	var walkExpr func(e cint.Expr)
+	walkExpr = func(e cint.Expr) {
+		switch x := e.(type) {
+		case *cint.IntLit:
+			add(x.Value)
+		case *cint.UnaryExpr:
+			walkExpr(x.X)
+		case *cint.BinaryExpr:
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		case *cint.IndexExpr:
+			walkExpr(x.X)
+			walkExpr(x.Idx)
+		case *cint.CallExpr:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walkStmt func(s cint.Stmt)
+	walkStmt = func(s cint.Stmt) {
+		switch x := s.(type) {
+		case *cint.BlockStmt:
+			for _, sub := range x.Stmts {
+				walkStmt(sub)
+			}
+		case *cint.DeclStmt:
+			if x.Decl.Init != nil {
+				walkExpr(x.Decl.Init)
+			}
+			if x.Decl.Type.Kind == cint.TypeArray {
+				add(x.Decl.Type.Len)
+			}
+		case *cint.AssignStmt:
+			walkExpr(x.Lhs)
+			if x.Call != nil {
+				walkExpr(x.Call)
+			} else {
+				walkExpr(x.Rhs)
+			}
+		case *cint.ExprStmt:
+			walkExpr(x.Call)
+		case *cint.IfStmt:
+			walkExpr(x.Cond)
+			walkStmt(x.Then)
+			if x.Else != nil {
+				walkStmt(x.Else)
+			}
+		case *cint.WhileStmt:
+			walkExpr(x.Cond)
+			walkStmt(x.Body)
+		case *cint.DoWhileStmt:
+			walkStmt(x.Body)
+			walkExpr(x.Cond)
+		case *cint.ForStmt:
+			if x.Init != nil {
+				walkStmt(x.Init)
+			}
+			if x.Cond != nil {
+				walkExpr(x.Cond)
+			}
+			if x.Post != nil {
+				walkStmt(x.Post)
+			}
+			walkStmt(x.Body)
+		case *cint.ReturnStmt:
+			if x.Value != nil {
+				walkExpr(x.Value)
+			}
+		case *cint.AssertStmt:
+			walkExpr(x.Cond)
+		}
+	}
+	for _, g := range prog.Globals {
+		if g.Init != nil {
+			walkExpr(g.Init)
+		}
+		if g.Type.Kind == cint.TypeArray {
+			add(g.Type.Len)
+		}
+	}
+	for _, fn := range prog.Funcs {
+		walkStmt(fn.Body)
+	}
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return lattice.NewIntervalLattice(out...)
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"testing"
+
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/lattice"
+	"warrow/internal/wcet"
+)
+
+// TestInferThresholdsWidenOnly: with inferred thresholds, even the ∇-only
+// solver lands on the exact loop bound — the counter widens to the guard
+// constant instead of to +inf.
+func TestInferThresholdsWidenOnly(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    i = 0;
+    while (i < 100) { i = i + 1; }
+    return i;
+}`
+	ast := cint.MustParse(src)
+	prog := cfg.Build(ast)
+	res, err := Run(prog, Options{
+		Op:       OpWiden,
+		Widening: InferThresholds(ast),
+		MaxEvals: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := res.ReturnValue("main")
+	if !ret.Hi.IsFinite() {
+		t.Errorf("∇ with inferred thresholds should keep a finite bound, got %s", ret)
+	}
+	if !ret.Contains(100) {
+		t.Errorf("return %s must contain 100", ret)
+	}
+}
+
+// TestInferThresholdsSound: threshold widening never breaks the soundness
+// check on a sample of benchmarks.
+func TestInferThresholdsSound(t *testing.T) {
+	for _, name := range []string{"bs", "crc", "adpcm-lite"} {
+		b, ok := wcet.ByName(name)
+		if !ok {
+			t.Fatal(name)
+		}
+		ast := cint.MustParse(b.Src)
+		checkSoundnessOpts(t, name, b.Src, Options{
+			Op:       OpWarrow,
+			Widening: InferThresholds(ast),
+			MaxEvals: 20_000_000,
+		})
+	}
+}
+
+// TestInferThresholdsCollectsNeighbors: guard constants, their negations
+// and off-by-one neighbours are all thresholds.
+func TestInferThresholdsCollectsNeighbors(t *testing.T) {
+	ast := cint.MustParse(`
+int a[16];
+int main() { int i; if (i < 42) { i = 7; } return i; }`)
+	l := InferThresholds(ast)
+	// Widening [0,40] up by 1 must stop at 41 (= 42-1), not jump to +inf.
+	got := l.Widen(lattice.Range(0, 40), lattice.Range(0, 41))
+	if !l.Eq(got, lattice.Range(0, 41)) {
+		t.Errorf("widen stopped at %s, want [0,41]", got)
+	}
+	// Array length 16 is a threshold as well.
+	got = l.Widen(lattice.Range(0, 14), lattice.Range(0, 15))
+	if !got.Hi.IsFinite() || got.Hi.Int() > 16 {
+		t.Errorf("widen with array-length threshold gave %s", got)
+	}
+	// Negations are present.
+	got = l.Widen(lattice.Range(-40, 0), lattice.Range(-41, 0))
+	if !got.Lo.IsFinite() {
+		t.Errorf("negative side should hit a threshold, got %s", got)
+	}
+}

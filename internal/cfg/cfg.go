@@ -1,0 +1,417 @@
+// Package cfg builds control-flow graphs for mini-C functions. Nodes are
+// program points; edges carry the actions the abstract interpreter
+// executes: declarations, assignments, branch guards (with short-circuit
+// && and || compiled into guard chains), calls, and returns.
+//
+// Nodes of each function are numbered in reverse postorder from the entry,
+// the Bourdoncle-style linear order the structured solvers SRR/SW and the
+// local solver SLR consume: inner-loop heads receive consistent positions
+// so iteration stabilizes inner loops before outer ones.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"warrow/internal/cint"
+)
+
+// EdgeKind enumerates CFG edge actions.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// Nop transfers control without effect.
+	Nop EdgeKind = iota
+	// Decl introduces a local variable (Var), optionally with initializer
+	// Rhs.
+	Decl
+	// Assign stores Rhs into the lvalue Lhs.
+	Assign
+	// Guard is taken when Cond evaluates to Branch.
+	Guard
+	// Call invokes Call.Fn, optionally storing the result into Lhs.
+	Call
+	// Ret leaves the function with optional result Rhs; it always targets
+	// the exit node.
+	Ret
+	// Assert continues only when Cond holds; the analyzer classifies each
+	// assertion as proved, failed, or unknown.
+	Assert
+)
+
+// String renders the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case Nop:
+		return "nop"
+	case Decl:
+		return "decl"
+	case Assign:
+		return "assign"
+	case Guard:
+		return "guard"
+	case Call:
+		return "call"
+	case Ret:
+		return "ret"
+	case Assert:
+		return "assert"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Node is a program point.
+type Node struct {
+	// ID is the reverse-postorder index within the function, 0 = entry.
+	ID int
+	// Fn is the function the node belongs to.
+	Fn *cint.FuncDecl
+	// Out and In are the adjacent edges.
+	Out []*Edge
+	In  []*Edge
+	// Pos approximates the source position of the point.
+	Pos cint.Pos
+}
+
+// Name returns a stable human-readable identifier like "main@3".
+func (n *Node) Name() string { return fmt.Sprintf("%s@%d", n.Fn.Name, n.ID) }
+
+// Edge is a CFG edge labelled with an action.
+type Edge struct {
+	From, To *Node
+	Kind     EdgeKind
+
+	Var    *cint.VarDecl  // Decl
+	Lhs    cint.Expr      // Assign, Call (optional result target)
+	Rhs    cint.Expr      // Assign, Decl initializer, Ret value (optional)
+	Cond   cint.Expr      // Guard
+	Branch bool           // Guard polarity
+	Call   *cint.CallExpr // Call
+	Pos    cint.Pos
+}
+
+// Label renders the edge action for diagnostics.
+func (e *Edge) Label() string {
+	switch e.Kind {
+	case Nop:
+		return "nop"
+	case Decl:
+		if e.Rhs != nil {
+			return fmt.Sprintf("decl %s %s = %s", e.Var.Type, e.Var.Name, e.Rhs)
+		}
+		return fmt.Sprintf("decl %s %s", e.Var.Type, e.Var.Name)
+	case Assign:
+		return fmt.Sprintf("%s = %s", e.Lhs, e.Rhs)
+	case Guard:
+		if e.Branch {
+			return fmt.Sprintf("[%s]", e.Cond)
+		}
+		return fmt.Sprintf("[!(%s)]", e.Cond)
+	case Call:
+		if e.Lhs != nil {
+			return fmt.Sprintf("%s = %s", e.Lhs, e.Call)
+		}
+		return e.Call.String()
+	case Ret:
+		if e.Rhs != nil {
+			return fmt.Sprintf("return %s", e.Rhs)
+		}
+		return "return"
+	case Assert:
+		return fmt.Sprintf("assert(%s)", e.Cond)
+	default:
+		return "?"
+	}
+}
+
+// Graph is the control-flow graph of one function.
+type Graph struct {
+	Fn    *cint.FuncDecl
+	Entry *Node
+	Exit  *Node
+	// Nodes lists all reachable nodes in reverse postorder (Entry first).
+	Nodes []*Node
+}
+
+// Program bundles the CFGs of a translation unit.
+type Program struct {
+	AST    *cint.Program
+	Graphs map[string]*Graph
+	// Order lists function names in declaration order.
+	Order []string
+}
+
+// Build constructs CFGs for all functions of a checked program.
+func Build(prog *cint.Program) *Program {
+	p := &Program{AST: prog, Graphs: make(map[string]*Graph, len(prog.Funcs))}
+	for _, fn := range prog.Funcs {
+		p.Graphs[fn.Name] = buildFunc(fn)
+		p.Order = append(p.Order, fn.Name)
+	}
+	return p
+}
+
+// builder accumulates nodes and edges during construction.
+type builder struct {
+	fn    *cint.FuncDecl
+	nodes []*Node
+	exit  *Node
+
+	breaks    []*Node
+	continues []*Node
+}
+
+func buildFunc(fn *cint.FuncDecl) *Graph {
+	b := &builder{fn: fn}
+	entry := b.newNode(fn.Pos)
+	b.exit = b.newNode(fn.Pos)
+	end := b.stmt(entry, fn.Body)
+	if end != nil {
+		// Falling off the end returns without a value.
+		b.edge(&Edge{From: end, To: b.exit, Kind: Ret, Pos: fn.Pos})
+	}
+	g := &Graph{Fn: fn, Entry: entry, Exit: b.exit}
+	g.number()
+	return g
+}
+
+func (b *builder) newNode(pos cint.Pos) *Node {
+	n := &Node{ID: -1, Fn: b.fn, Pos: pos}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+func (b *builder) edge(e *Edge) {
+	e.From.Out = append(e.From.Out, e)
+	e.To.In = append(e.To.In, e)
+}
+
+// stmt emits s starting at cur and returns the node where control
+// continues, or nil if control never falls through (return/break/continue).
+func (b *builder) stmt(cur *Node, s cint.Stmt) *Node {
+	if cur == nil {
+		return nil // unreachable code is dropped
+	}
+	switch s := s.(type) {
+	case *cint.BlockStmt:
+		for _, sub := range s.Stmts {
+			cur = b.stmt(cur, sub)
+		}
+		return cur
+	case *cint.EmptyStmt:
+		return cur
+	case *cint.DeclStmt:
+		next := b.newNode(s.Position())
+		b.edge(&Edge{From: cur, To: next, Kind: Decl, Var: s.Decl, Rhs: s.Decl.Init, Pos: s.Position()})
+		return next
+	case *cint.AssignStmt:
+		next := b.newNode(s.Position())
+		if s.Call != nil {
+			b.edge(&Edge{From: cur, To: next, Kind: Call, Lhs: s.Lhs, Call: s.Call, Pos: s.Position()})
+		} else {
+			b.edge(&Edge{From: cur, To: next, Kind: Assign, Lhs: s.Lhs, Rhs: s.Rhs, Pos: s.Position()})
+		}
+		return next
+	case *cint.ExprStmt:
+		next := b.newNode(s.Position())
+		b.edge(&Edge{From: cur, To: next, Kind: Call, Call: s.Call, Pos: s.Position()})
+		return next
+	case *cint.IfStmt:
+		thenN := b.newNode(s.Then.Position())
+		join := b.newNode(s.Position())
+		elseN := join
+		if s.Else != nil {
+			elseN = b.newNode(s.Else.Position())
+		}
+		b.cond(cur, s.Cond, thenN, elseN)
+		if end := b.stmt(thenN, s.Then); end != nil {
+			b.edge(&Edge{From: end, To: join, Kind: Nop, Pos: s.Position()})
+		}
+		if s.Else != nil {
+			if end := b.stmt(elseN, s.Else); end != nil {
+				b.edge(&Edge{From: end, To: join, Kind: Nop, Pos: s.Position()})
+			}
+		}
+		return join
+	case *cint.WhileStmt:
+		head := b.newNode(s.Position())
+		body := b.newNode(s.Body.Position())
+		exit := b.newNode(s.Position())
+		b.edge(&Edge{From: cur, To: head, Kind: Nop, Pos: s.Position()})
+		b.cond(head, s.Cond, body, exit)
+		b.pushLoop(exit, head)
+		end := b.stmt(body, s.Body)
+		b.popLoop()
+		if end != nil {
+			b.edge(&Edge{From: end, To: head, Kind: Nop, Pos: s.Position()})
+		}
+		return exit
+	case *cint.DoWhileStmt:
+		body := b.newNode(s.Body.Position())
+		check := b.newNode(s.Position())
+		exit := b.newNode(s.Position())
+		b.edge(&Edge{From: cur, To: body, Kind: Nop, Pos: s.Position()})
+		b.pushLoop(exit, check)
+		end := b.stmt(body, s.Body)
+		b.popLoop()
+		if end != nil {
+			b.edge(&Edge{From: end, To: check, Kind: Nop, Pos: s.Position()})
+		}
+		b.cond(check, s.Cond, body, exit)
+		return exit
+	case *cint.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+			if cur == nil {
+				return nil
+			}
+		}
+		head := b.newNode(s.Position())
+		body := b.newNode(s.Body.Position())
+		post := b.newNode(s.Position())
+		exit := b.newNode(s.Position())
+		b.edge(&Edge{From: cur, To: head, Kind: Nop, Pos: s.Position()})
+		if s.Cond != nil {
+			b.cond(head, s.Cond, body, exit)
+		} else {
+			b.edge(&Edge{From: head, To: body, Kind: Nop, Pos: s.Position()})
+		}
+		b.pushLoop(exit, post)
+		end := b.stmt(body, s.Body)
+		b.popLoop()
+		if end != nil {
+			b.edge(&Edge{From: end, To: post, Kind: Nop, Pos: s.Position()})
+		}
+		if s.Post != nil {
+			if after := b.stmt(post, s.Post); after != nil {
+				b.edge(&Edge{From: after, To: head, Kind: Nop, Pos: s.Position()})
+			}
+		} else {
+			b.edge(&Edge{From: post, To: head, Kind: Nop, Pos: s.Position()})
+		}
+		return exit
+	case *cint.AssertStmt:
+		next := b.newNode(s.Position())
+		b.edge(&Edge{From: cur, To: next, Kind: Assert, Cond: s.Cond, Branch: true, Pos: s.Position()})
+		return next
+	case *cint.ReturnStmt:
+		b.edge(&Edge{From: cur, To: b.exit, Kind: Ret, Rhs: s.Value, Pos: s.Position()})
+		return nil
+	case *cint.BreakStmt:
+		if len(b.breaks) == 0 {
+			// Checked structurally here rather than in sema: break outside
+			// a loop.
+			panic(fmt.Sprintf("cfg: break outside loop at %s", s.Position()))
+		}
+		b.edge(&Edge{From: cur, To: b.breaks[len(b.breaks)-1], Kind: Nop, Pos: s.Position()})
+		return nil
+	case *cint.ContinueStmt:
+		if len(b.continues) == 0 {
+			panic(fmt.Sprintf("cfg: continue outside loop at %s", s.Position()))
+		}
+		b.edge(&Edge{From: cur, To: b.continues[len(b.continues)-1], Kind: Nop, Pos: s.Position()})
+		return nil
+	default:
+		panic(fmt.Sprintf("cfg: unhandled statement %T", s))
+	}
+}
+
+func (b *builder) pushLoop(brk, cont *Node) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// cond emits guard edges routing control from cur to tTarget when e holds
+// and to fTarget otherwise, compiling short-circuit operators into guard
+// chains.
+func (b *builder) cond(cur *Node, e cint.Expr, tTarget, fTarget *Node) {
+	switch x := e.(type) {
+	case *cint.BinaryExpr:
+		switch x.Op {
+		case cint.TokAndAnd:
+			mid := b.newNode(x.Position())
+			b.cond(cur, x.X, mid, fTarget)
+			b.cond(mid, x.Y, tTarget, fTarget)
+			return
+		case cint.TokOrOr:
+			mid := b.newNode(x.Position())
+			b.cond(cur, x.X, tTarget, mid)
+			b.cond(mid, x.Y, tTarget, fTarget)
+			return
+		}
+	case *cint.UnaryExpr:
+		if x.Op == cint.TokNot {
+			b.cond(cur, x.X, fTarget, tTarget)
+			return
+		}
+	}
+	b.edge(&Edge{From: cur, To: tTarget, Kind: Guard, Cond: e, Branch: true, Pos: e.Position()})
+	b.edge(&Edge{From: cur, To: fTarget, Kind: Guard, Cond: e, Branch: false, Pos: e.Position()})
+}
+
+// number assigns reverse-postorder IDs to the nodes reachable from Entry,
+// prunes unreachable nodes and edges, and fills g.Nodes.
+func (g *Graph) number() {
+	seen := make(map[*Node]bool)
+	var post []*Node
+	var dfs func(n *Node)
+	dfs = func(n *Node) {
+		seen[n] = true
+		for _, e := range n.Out {
+			if !seen[e.To] {
+				dfs(e.To)
+			}
+		}
+		post = append(post, n)
+	}
+	dfs(g.Entry)
+	// Ensure the exit exists even if unreachable (e.g. infinite loop).
+	if !seen[g.Exit] {
+		post = append([]*Node{g.Exit}, post...)
+		seen[g.Exit] = true
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	for i, n := range post {
+		n.ID = i
+	}
+	// Drop in-edges from unreachable nodes.
+	for _, n := range post {
+		kept := n.In[:0]
+		for _, e := range n.In {
+			if seen[e.From] {
+				kept = append(kept, e)
+			}
+		}
+		n.In = kept
+	}
+	g.Nodes = post
+}
+
+// Dump renders the graph as one edge per line, for tests and debugging.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	edges := make([]*Edge, 0)
+	for _, n := range g.Nodes {
+		edges = append(edges, n.Out...)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From.ID != edges[j].From.ID {
+			return edges[i].From.ID < edges[j].From.ID
+		}
+		return edges[i].To.ID < edges[j].To.ID
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "%s -> %s: %s\n", e.From.Name(), e.To.Name(), e.Label())
+	}
+	return sb.String()
+}

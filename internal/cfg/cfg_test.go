@@ -1,0 +1,278 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"warrow/internal/cint"
+)
+
+func build(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := cint.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(prog)
+}
+
+func TestStraightLine(t *testing.T) {
+	p := build(t, `int main() { int x; x = 1; x = x + 1; return x; }`)
+	g := p.Graphs["main"]
+	if g.Entry.ID != 0 {
+		t.Errorf("entry ID = %d", g.Entry.ID)
+	}
+	// entry -decl-> -assign-> -assign-> -ret-> exit
+	kinds := []EdgeKind{}
+	n := g.Entry
+	for len(n.Out) == 1 {
+		kinds = append(kinds, n.Out[0].Kind)
+		n = n.Out[0].To
+	}
+	want := []EdgeKind{Decl, Assign, Assign, Ret}
+	if len(kinds) != len(want) {
+		t.Fatalf("edge chain %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("edge %d is %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	if n != g.Exit {
+		t.Error("chain should end at exit")
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	p := build(t, `int main() { int x; if (x < 0) { x = 0; } else { x = 1; } return x; }`)
+	g := p.Graphs["main"]
+	// There must be exactly two guard edges with the same condition and
+	// opposite polarity.
+	var guards []*Edge
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if e.Kind == Guard {
+				guards = append(guards, e)
+			}
+		}
+	}
+	if len(guards) != 2 {
+		t.Fatalf("%d guard edges, want 2\n%s", len(guards), g.Dump())
+	}
+	if guards[0].Branch == guards[1].Branch {
+		t.Error("guards should have opposite polarity")
+	}
+}
+
+func TestWhileLoopShape(t *testing.T) {
+	p := build(t, `int main() { int i; i = 0; while (i < 10) { i = i + 1; } return i; }`)
+	g := p.Graphs["main"]
+	dump := g.Dump()
+	if !strings.Contains(dump, "[(i < 10)]") || !strings.Contains(dump, "[!((i < 10))]") {
+		t.Errorf("missing guards:\n%s", dump)
+	}
+	// The loop head must have two in-edges (initial entry + back edge).
+	var head *Node
+	for _, n := range g.Nodes {
+		hasGuardOut := false
+		for _, e := range n.Out {
+			if e.Kind == Guard {
+				hasGuardOut = true
+			}
+		}
+		if hasGuardOut && len(n.In) >= 2 {
+			head = n
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head found:\n%s", dump)
+	}
+	// Reverse postorder: the loop head precedes the loop body and exit.
+	for _, e := range head.Out {
+		if e.To.ID <= head.ID && e.To != head {
+			t.Errorf("successor %s numbered before head %s", e.To.Name(), head.Name())
+		}
+	}
+}
+
+func TestForDesugar(t *testing.T) {
+	p := build(t, `int main() { int s; s = 0; for (int i = 0; i < 4; i = i + 1) { s = s + i; } return s; }`)
+	g := p.Graphs["main"]
+	dump := g.Dump()
+	for _, want := range []string{"decl int s", "decl int i = 0", "[(i < 4)]", "i = (i + 1)", "s = (s + i)"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	p := build(t, `
+int main() {
+    int i;
+    i = 0;
+    while (1) {
+        i = i + 1;
+        if (i > 5) { break; }
+        if (i == 2) { continue; }
+        i = i + 1;
+    }
+    return i;
+}`)
+	g := p.Graphs["main"]
+	if len(g.Nodes) < 8 {
+		t.Errorf("suspiciously small graph:\n%s", g.Dump())
+	}
+	// All nodes reachable, and exit is reachable via the break.
+	if g.Exit.ID < 0 {
+		t.Error("exit unnumbered")
+	}
+	if len(g.Exit.In) == 0 {
+		t.Errorf("exit unreachable:\n%s", g.Dump())
+	}
+}
+
+func TestShortCircuitCompilesToGuardChain(t *testing.T) {
+	p := build(t, `int main() { int a; int b; if (a > 0 && b > 0 || a < -3) { a = 1; } return a; }`)
+	g := p.Graphs["main"]
+	count := 0
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if e.Kind == Guard {
+				count++
+				// No && or || may survive into guard conditions.
+				if be, ok := e.Cond.(*cint.BinaryExpr); ok {
+					if be.Op == cint.TokAndAnd || be.Op == cint.TokOrOr {
+						t.Errorf("short-circuit operator in guard: %s", e.Cond)
+					}
+				}
+			}
+		}
+	}
+	if count != 6 { // three atomic conditions, two polarities each
+		t.Errorf("%d guard edges, want 6:\n%s", count, g.Dump())
+	}
+}
+
+func TestNotInCondSwapsTargets(t *testing.T) {
+	p := build(t, `int main() { int a; a = 0; if (!(a < 3)) { a = 1; } else { a = 2; } return a; }`)
+	g := p.Graphs["main"]
+	dump := g.Dump()
+	// The negation disappears; the guards are on (a < 3) itself.
+	if strings.Contains(dump, "!(a") && !strings.Contains(dump, "[!((a < 3))]") {
+		t.Errorf("negation not compiled away:\n%s", dump)
+	}
+}
+
+func TestUnreachableCodePruned(t *testing.T) {
+	p := build(t, `int main() { return 0; int x; x = 1; }`)
+	g := p.Graphs["main"]
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if e.Kind == Assign {
+				t.Errorf("unreachable assignment survived: %s", e.Label())
+			}
+		}
+	}
+}
+
+func TestInfiniteLoopKeepsExitNode(t *testing.T) {
+	p := build(t, `int main() { int i; i = 0; while (1) { i = i + 1; } return i; }`)
+	g := p.Graphs["main"]
+	if g.Exit == nil {
+		t.Fatal("exit missing")
+	}
+	// while(1) still generates a false guard edge to the exit-side node, so
+	// the exit may be reachable; the important property is that numbering
+	// does not crash and entry is node 0.
+	if g.Entry.ID != 0 {
+		t.Errorf("entry ID = %d", g.Entry.ID)
+	}
+}
+
+func TestReversePostorderProperty(t *testing.T) {
+	p := build(t, `
+int f(int n) {
+    int s;
+    s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1) {
+            s = s + j;
+        }
+    }
+    return s;
+}
+int main() { int r; r = f(3); return r; }
+`)
+	g := p.Graphs["f"]
+	// In reverse postorder, every non-back edge goes from lower to higher ID.
+	backEdges := 0
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if e.To.ID <= e.From.ID {
+				backEdges++
+			}
+		}
+	}
+	if backEdges != 2 { // one per loop
+		t.Errorf("%d back edges, want 2:\n%s", backEdges, g.Dump())
+	}
+	if len(p.Order) != 2 || p.Order[0] != "f" {
+		t.Errorf("order: %v", p.Order)
+	}
+}
+
+func TestCallEdges(t *testing.T) {
+	p := build(t, `
+void f(int b) { b = b + 1; }
+int id(int x) { return x; }
+int main() { int y; f(1); y = id(2); return y; }
+`)
+	g := p.Graphs["main"]
+	var calls []*Edge
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if e.Kind == Call {
+				calls = append(calls, e)
+			}
+		}
+	}
+	if len(calls) != 2 {
+		t.Fatalf("%d call edges, want 2", len(calls))
+	}
+	if calls[0].Call.Fn.Name != "f" || calls[0].Lhs != nil {
+		t.Errorf("first call: %s", calls[0].Label())
+	}
+	if calls[1].Call.Fn.Name != "id" || calls[1].Lhs == nil {
+		t.Errorf("second call: %s", calls[1].Label())
+	}
+}
+
+func TestDoWhileRunsBodyFirst(t *testing.T) {
+	p := build(t, `int main() { int i; i = 0; do { i = i + 1; } while (i < 3); return i; }`)
+	g := p.Graphs["main"]
+	dump := g.Dump()
+	if !strings.Contains(dump, "[(i < 3)]") {
+		t.Errorf("missing loop guard:\n%s", dump)
+	}
+	// The body assignment node must be reachable from entry without passing
+	// a guard (do-while enters the body unconditionally).
+	n := g.Entry
+	steps := 0
+	for n != nil && steps < 10 {
+		var next *Node
+		for _, e := range n.Out {
+			if e.Kind == Guard {
+				next = nil
+				break
+			}
+			next = e.To
+			if e.Kind == Assign && strings.Contains(e.Label(), "i = (i + 1)") {
+				return // found body before any guard
+			}
+		}
+		n = next
+		steps++
+	}
+	t.Errorf("body not reached unconditionally:\n%s", dump)
+}

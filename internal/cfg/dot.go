@@ -1,0 +1,70 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax for visual inspection:
+//
+//	go run ./cmd/warrow -dot prog.c | dot -Tsvg > cfg.svg
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Fn.Name)
+	g.dotBody(&sb, "n", "  ")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// dotBody emits node and edge statements with the given node-name prefix
+// and indentation.
+func (g *Graph) dotBody(sb *strings.Builder, prefix, indent string) {
+	fmt.Fprintf(sb, "%snode [shape=circle, fontsize=10];\n", indent)
+	for _, n := range g.Nodes {
+		attrs := ""
+		switch n {
+		case g.Entry:
+			attrs = ", style=filled, fillcolor=palegreen"
+		case g.Exit:
+			attrs = ", style=filled, fillcolor=lightpink, shape=doublecircle"
+		}
+		fmt.Fprintf(sb, "%s%s%d [label=\"%d\"%s];\n", indent, prefix, n.ID, n.ID, attrs)
+	}
+	edges := make([]*Edge, 0)
+	for _, n := range g.Nodes {
+		edges = append(edges, n.Out...)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From.ID != edges[j].From.ID {
+			return edges[i].From.ID < edges[j].From.ID
+		}
+		return edges[i].To.ID < edges[j].To.ID
+	})
+	for _, e := range edges {
+		style := ""
+		switch e.Kind {
+		case Guard:
+			style = ", style=dashed"
+		case Call:
+			style = ", color=blue"
+		}
+		fmt.Fprintf(sb, "%s%s%d -> %s%d [label=%q%s];\n",
+			indent, prefix, e.From.ID, prefix, e.To.ID, e.Label(), style)
+	}
+}
+
+// DOT renders all function graphs of the program as one dot document with
+// one clustered subgraph per function.
+func (p *Program) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph program {\n")
+	for i, name := range p.Order {
+		g := p.Graphs[name]
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=%q;\n", i, name)
+		g.dotBody(&sb, fmt.Sprintf("f%d_n", i), "    ")
+		sb.WriteString("  }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,42 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphDOT(t *testing.T) {
+	p := build(t, `int main() { int i; i = 0; while (i < 3) { i = i + 1; } return i; }`)
+	dot := p.Graphs["main"].DOT()
+	for _, want := range []string{
+		`digraph "main"`,
+		"style=filled, fillcolor=palegreen", // entry
+		"style=filled, fillcolor=lightpink", // exit
+		`label="[(i < 3)]", style=dashed`,   // guard edge
+		`label="i = (i + 1)"`,               // assign edge
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestProgramDOT(t *testing.T) {
+	p := build(t, `
+void f(int x) { x = x + 1; }
+int main() { f(3); return 0; }`)
+	dot := p.DOT()
+	for _, want := range []string{"cluster_0", "cluster_1", `label="f"`, `label="main"`, "color=blue"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("program DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Node names are function-prefixed, so clusters cannot collide.
+	if !strings.Contains(dot, "f0_n0") || !strings.Contains(dot, "f1_n0") {
+		t.Error("missing prefixed node names")
+	}
+}

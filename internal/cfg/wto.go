@@ -1,0 +1,182 @@
+package cfg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The paper (Sec. 4) prescribes choosing the solvers' linear order "in a
+// way that innermost loops would be evaluated before iteration on outer
+// loops", citing Bourdoncle. This file implements Bourdoncle's weak
+// topological ordering (WTO): a hierarchical decomposition of the graph
+// into nested components, each headed by the entry of a loop. Linearizing
+// a WTO yields exactly such an order, and the component heads are the
+// canonical widening points.
+
+// WTOElem is a vertex or a component of a weak topological ordering.
+type WTOElem interface{ wtoElem() }
+
+// WTOVertex is a single program point outside any (further) component.
+type WTOVertex struct{ Node *Node }
+
+// WTOComponent is a loop: its head followed by the nested ordering of its
+// body.
+type WTOComponent struct {
+	Head *Node
+	Body []WTOElem
+}
+
+func (WTOVertex) wtoElem()     {}
+func (*WTOComponent) wtoElem() {}
+
+// WTO computes the weak topological ordering of the graph from its entry,
+// using Bourdoncle's partitioning algorithm.
+func (g *Graph) WTO() []WTOElem {
+	w := &wtoState{
+		num:   make(map[*Node]int),
+		onStk: make(map[*Node]bool),
+	}
+	var partition []WTOElem
+	w.visit(g.Entry, &partition)
+	return partition
+}
+
+type wtoState struct {
+	cnt   int
+	num   map[*Node]int
+	stack []*Node
+	onStk map[*Node]bool
+}
+
+func (w *wtoState) push(v *Node) {
+	w.stack = append(w.stack, v)
+	w.onStk[v] = true
+}
+
+func (w *wtoState) pop() *Node {
+	v := w.stack[len(w.stack)-1]
+	w.stack = w.stack[:len(w.stack)-1]
+	w.onStk[v] = false
+	return v
+}
+
+// visit implements Bourdoncle's recursive partitioning; it prepends
+// elements to partition and returns the head number of the SCC v belongs
+// to.
+func (w *wtoState) visit(v *Node, partition *[]WTOElem) int {
+	w.push(v)
+	w.cnt++
+	w.num[v] = w.cnt
+	head := w.num[v]
+	loop := false
+	for _, e := range v.Out {
+		s := e.To
+		var min int
+		if w.num[s] == 0 {
+			min = w.visit(s, partition)
+		} else {
+			min = w.num[s]
+		}
+		// Completed vertices carry num = MaxInt, so min ≤ head exactly when
+		// s (or a vertex reachable from it) is still on the stack — i.e. v
+		// and s share a component.
+		if min <= head {
+			head = min
+			loop = true
+		}
+	}
+	if head == w.num[v] {
+		w.num[v] = math.MaxInt
+		element := w.pop()
+		if loop {
+			for element != v {
+				w.num[element] = 0 // to be revisited inside the component
+				element = w.pop()
+			}
+			*partition = prepend(*partition, w.component(v))
+		} else {
+			*partition = prepend(*partition, WTOVertex{Node: v})
+		}
+	}
+	return head
+}
+
+// component builds the WTO of the strongly connected component headed by v.
+func (w *wtoState) component(v *Node) *WTOComponent {
+	var body []WTOElem
+	for _, e := range v.Out {
+		if w.num[e.To] == 0 {
+			w.visit(e.To, &body)
+		}
+	}
+	return &WTOComponent{Head: v, Body: body}
+}
+
+func prepend(xs []WTOElem, x WTOElem) []WTOElem {
+	return append([]WTOElem{x}, xs...)
+}
+
+// LinearizeWTO flattens a WTO into the linear order the structured solvers
+// consume: each component head immediately precedes its body.
+func LinearizeWTO(wto []WTOElem) []*Node {
+	var out []*Node
+	var walk func(es []WTOElem)
+	walk = func(es []WTOElem) {
+		for _, e := range es {
+			switch x := e.(type) {
+			case WTOVertex:
+				out = append(out, x.Node)
+			case *WTOComponent:
+				out = append(out, x.Head)
+				walk(x.Body)
+			}
+		}
+	}
+	walk(wto)
+	return out
+}
+
+// WTOHeads returns the component heads at all nesting depths — the
+// canonical widening points of the graph.
+func WTOHeads(wto []WTOElem) []*Node {
+	var out []*Node
+	var walk func(es []WTOElem)
+	walk = func(es []WTOElem) {
+		for _, e := range es {
+			if c, ok := e.(*WTOComponent); ok {
+				out = append(out, c.Head)
+				walk(c.Body)
+			}
+		}
+	}
+	walk(wto)
+	return out
+}
+
+// FormatWTO renders the ordering in Bourdoncle's parenthesized notation,
+// e.g. "0 1 (2 3 (4 5) 6) 7".
+func FormatWTO(wto []WTOElem) string {
+	var sb strings.Builder
+	var walk func(es []WTOElem)
+	walk = func(es []WTOElem) {
+		for i, e := range es {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			switch x := e.(type) {
+			case WTOVertex:
+				fmt.Fprintf(&sb, "%d", x.Node.ID)
+			case *WTOComponent:
+				fmt.Fprintf(&sb, "(%d", x.Head.ID)
+				if len(x.Body) > 0 {
+					sb.WriteByte(' ')
+					walk(x.Body)
+				}
+				sb.WriteByte(')')
+			}
+		}
+	}
+	walk(wto)
+	return sb.String()
+}

@@ -1,0 +1,160 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func wtoOf(t *testing.T, src string) (*Graph, []WTOElem) {
+	t.Helper()
+	p := build(t, src)
+	g := p.Graphs["main"]
+	return g, g.WTO()
+}
+
+func TestWTOStraightLine(t *testing.T) {
+	g, wto := wtoOf(t, `int main() { int x; x = 1; x = x + 1; return x; }`)
+	if len(WTOHeads(wto)) != 0 {
+		t.Fatalf("no loops, but heads: %s", FormatWTO(wto))
+	}
+	lin := LinearizeWTO(wto)
+	if len(lin) != len(g.Nodes) {
+		t.Fatalf("linearization covers %d of %d nodes", len(lin), len(g.Nodes))
+	}
+	// Straight-line WTO is a topological order: every edge goes forward.
+	pos := map[*Node]int{}
+	for i, n := range lin {
+		pos[n] = i
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if pos[e.To] <= pos[e.From] {
+				t.Errorf("edge %d->%d goes backward in %s", e.From.ID, e.To.ID, FormatWTO(wto))
+			}
+		}
+	}
+}
+
+func TestWTOSingleLoop(t *testing.T) {
+	g, wto := wtoOf(t, `int main() { int i; i = 0; while (i < 9) { i = i + 1; } return i; }`)
+	heads := WTOHeads(wto)
+	if len(heads) != 1 {
+		t.Fatalf("heads = %v in %s", heads, FormatWTO(wto))
+	}
+	// The single head must agree with the back-edge-target computation.
+	backTargets := map[*Node]bool{}
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if e.To.ID <= e.From.ID {
+				backTargets[e.To] = true
+			}
+		}
+	}
+	if !backTargets[heads[0]] {
+		t.Errorf("WTO head %d is not a back-edge target", heads[0].ID)
+	}
+	// Bourdoncle notation contains exactly one parenthesized component.
+	s := FormatWTO(wto)
+	if strings.Count(s, "(") != 1 {
+		t.Errorf("notation: %s", s)
+	}
+}
+
+func TestWTONestedLoops(t *testing.T) {
+	_, wto := wtoOf(t, `
+int main() {
+    int i; int j; int s;
+    s = 0;
+    for (i = 0; i < 5; i = i + 1) {
+        for (j = 0; j < i; j = j + 1) {
+            s = s + 1;
+        }
+    }
+    return s;
+}`)
+	heads := WTOHeads(wto)
+	if len(heads) != 2 {
+		t.Fatalf("want 2 heads, got %v in %s", heads, FormatWTO(wto))
+	}
+	// Nesting: the inner component sits inside the outer one in the
+	// notation — two opening parens before the first closing one.
+	s := FormatWTO(wto)
+	first := strings.IndexByte(s, ')')
+	if strings.Count(s[:first], "(") != 2 {
+		t.Errorf("inner loop not nested in outer: %s", s)
+	}
+}
+
+func TestWTOCoversAllReachable(t *testing.T) {
+	p := build(t, `
+int main() {
+    int i; int x;
+    i = 0;
+    while (1) {
+        i = i + 1;
+        if (i > 5) { break; }
+        if (i == 2) { continue; }
+        x = i;
+    }
+    do { i = i - 1; } while (i > 0);
+    return i;
+}`)
+	g := p.Graphs["main"]
+	lin := LinearizeWTO(g.WTO())
+	seen := map[*Node]bool{}
+	for _, n := range lin {
+		if seen[n] {
+			t.Fatalf("node %d appears twice", n.ID)
+		}
+		seen[n] = true
+	}
+	for _, n := range g.Nodes {
+		reachableFromEntry := n == g.Entry || len(n.In) > 0
+		if reachableFromEntry && !seen[n] {
+			t.Errorf("node %d missing from WTO", n.ID)
+		}
+	}
+}
+
+// TestWTOHeadsMatchBackEdgeTargets: on the reducible CFGs our front-end
+// produces, the WTO component heads coincide with the loop heads the
+// localized analysis computes from retreating edges.
+func TestWTOHeadsMatchBackEdgeTargets(t *testing.T) {
+	src := `
+int f(int n) {
+    int s; int i; int j;
+    s = 0;
+    for (i = 0; i < n; i = i + 1) {
+        j = i;
+        while (j > 0) {
+            s = s + j;
+            j = j - 1;
+        }
+    }
+    do { s = s - 1; } while (s > 100);
+    return s;
+}
+int main() { int r; r = f(9); return r; }`
+	p := build(t, src)
+	g := p.Graphs["f"]
+	wtoHeads := map[int]bool{}
+	for _, h := range WTOHeads(g.WTO()) {
+		wtoHeads[h.ID] = true
+	}
+	backTargets := map[int]bool{}
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if e.To.ID <= e.From.ID {
+				backTargets[e.To.ID] = true
+			}
+		}
+	}
+	if len(wtoHeads) != len(backTargets) {
+		t.Fatalf("heads %v vs back-edge targets %v", wtoHeads, backTargets)
+	}
+	for id := range backTargets {
+		if !wtoHeads[id] {
+			t.Errorf("back-edge target %d is not a WTO head", id)
+		}
+	}
+}

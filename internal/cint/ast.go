@@ -1,0 +1,295 @@
+package cint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind enumerates mini-C type constructors.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeInt TypeKind = iota
+	TypePtr
+	TypeArray
+	TypeVoid
+)
+
+// Type is a mini-C type: int, pointer, fixed-size array of int, or void
+// (function results only).
+type Type struct {
+	Kind TypeKind
+	Elem *Type // pointee (TypePtr) or element (TypeArray)
+	Len  int64 // array length (TypeArray)
+}
+
+// Predefined types.
+var (
+	IntType  = &Type{Kind: TypeInt}
+	VoidType = &Type{Kind: TypeVoid}
+)
+
+// PtrTo returns the pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TypePtr, Elem: elem} }
+
+// ArrayOf returns the array type of n elems.
+func ArrayOf(elem *Type, n int64) *Type { return &Type{Kind: TypeArray, Elem: elem, Len: n} }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypePtr:
+		return t.Elem.Equal(o.Elem)
+	case TypeArray:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	default:
+		return true
+	}
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeVoid:
+		return "void"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	default:
+		return "?"
+	}
+}
+
+// VarDecl declares a variable: a global, a function parameter, or a local.
+type VarDecl struct {
+	Name string
+	Type *Type
+	Init Expr // optional initializer
+	Pos  Pos
+
+	// Filled by semantic analysis.
+	Global bool
+	Fn     *FuncDecl // owning function (nil for globals)
+	ID     string    // unique identifier, e.g. "g" or "main::i"
+	// AddrTaken reports whether &v occurs anywhere; only such variables
+	// (and arrays) can be pointer targets.
+	AddrTaken bool
+}
+
+// String returns the unique ID.
+func (v *VarDecl) String() string { return v.ID }
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*VarDecl
+	Body   *BlockStmt
+	Pos    Pos
+
+	// Filled by semantic analysis: all locals including parameters.
+	Locals []*VarDecl
+}
+
+// Program is a parsed-and-checked translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+
+	FuncByName map[string]*FuncDecl
+}
+
+// Expr is a mini-C expression.
+type Expr interface {
+	exprNode()
+	// Position returns the source position of the expression.
+	Position() Pos
+	// Type returns the checked type (after sema).
+	Type() *Type
+	// String renders the expression.
+	String() string
+}
+
+type exprBase struct {
+	pos Pos
+	typ *Type
+}
+
+func (e *exprBase) exprNode()     {}
+func (e *exprBase) Position() Pos { return e.pos }
+
+// Type returns the checked type of the expression (nil before sema).
+func (e *exprBase) Type() *Type { return e.typ }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.Value) }
+
+// Ident names a variable.
+type Ident struct {
+	exprBase
+	Name string
+	Obj  *VarDecl // resolved by sema
+}
+
+func (e *Ident) String() string { return e.Name }
+
+// UnaryExpr is -x, !x, *p or &v.
+type UnaryExpr struct {
+	exprBase
+	Op TokKind
+	X  Expr
+}
+
+func (e *UnaryExpr) String() string {
+	op := map[TokKind]string{TokMinus: "-", TokNot: "!", TokStar: "*", TokAmp: "&"}[e.Op]
+	return op + e.X.String()
+}
+
+// BinaryExpr is x op y for arithmetic, comparison and logical operators.
+type BinaryExpr struct {
+	exprBase
+	Op   TokKind
+	X, Y Expr
+}
+
+func (e *BinaryExpr) String() string {
+	op := map[TokKind]string{
+		TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+		TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=", TokEq: "==", TokNe: "!=",
+		TokAndAnd: "&&", TokOrOr: "||",
+	}[e.Op]
+	return fmt.Sprintf("(%s %s %s)", e.X, op, e.Y)
+}
+
+// IndexExpr is a[i].
+type IndexExpr struct {
+	exprBase
+	X   Expr
+	Idx Expr
+}
+
+func (e *IndexExpr) String() string { return fmt.Sprintf("%s[%s]", e.X, e.Idx) }
+
+// CallExpr is f(args). Calls are statement-level only (see package doc).
+type CallExpr struct {
+	exprBase
+	Name string
+	Args []Expr
+	Fn   *FuncDecl // resolved by sema
+}
+
+func (e *CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(parts, ", "))
+}
+
+// Stmt is a mini-C statement.
+type Stmt interface {
+	stmtNode()
+	// Position returns the source position of the statement.
+	Position() Pos
+}
+
+type stmtBase struct{ pos Pos }
+
+func (s *stmtBase) stmtNode()     {}
+func (s *stmtBase) Position() Pos { return s.pos }
+
+// BlockStmt is { stmts }.
+type BlockStmt struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable, optionally with an initializer.
+type DeclStmt struct {
+	stmtBase
+	Decl *VarDecl
+}
+
+// AssignStmt is lhs = rhs; where lhs is an identifier, *p, or a[i]. If Call
+// is non-nil the statement is lhs = f(args); and Rhs is nil.
+type AssignStmt struct {
+	stmtBase
+	Lhs  Expr
+	Rhs  Expr
+	Call *CallExpr
+}
+
+// ExprStmt is a call statement f(args);.
+type ExprStmt struct {
+	stmtBase
+	Call *CallExpr
+}
+
+// IfStmt is if (cond) then else else.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is do body while (cond);.
+type DoWhileStmt struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// ForStmt is for (init; cond; post) body. Init and Post are optional simple
+// statements (assignment or declaration); Cond is optional.
+type ForStmt struct {
+	stmtBase
+	Init Stmt // nil, *DeclStmt, *AssignStmt or *ExprStmt
+	Cond Expr // nil means true
+	Post Stmt // nil, *AssignStmt or *ExprStmt
+	Body Stmt
+}
+
+// ReturnStmt is return e; or return;.
+type ReturnStmt struct {
+	stmtBase
+	Value Expr // nil for bare return
+}
+
+// BreakStmt is break;.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt is continue;.
+type ContinueStmt struct{ stmtBase }
+
+// AssertStmt is assert(cond); — execution aborts if cond is false. The
+// analyzer classifies each assertion as proved, failed, or unknown.
+type AssertStmt struct {
+	stmtBase
+	Cond Expr
+}
+
+// EmptyStmt is ;.
+type EmptyStmt struct{ stmtBase }

@@ -1,0 +1,205 @@
+package cint
+
+import "strconv"
+
+// Lexer turns mini-C source text into tokens. It supports // line comments
+// and /* block */ comments.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, returning the token stream terminated by
+// an EOF token, or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) bump() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.bump()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.bump()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.bump()
+			lx.bump()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.bump()
+					lx.bump()
+					closed = true
+					break
+				}
+				lx.bump()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isLetter(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isLetter(lx.peek()) || isDigit(lx.peek())) {
+			lx.bump()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.bump()
+		}
+		text := lx.src[start:lx.off]
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, errf(pos, "integer literal %q out of range", text)
+		}
+		return Token{Kind: TokInt, Text: text, Val: v, Pos: pos}, nil
+	}
+	one := func(k TokKind) (Token, error) {
+		lx.bump()
+		return Token{Kind: k, Text: string(c), Pos: pos}, nil
+	}
+	two := func(k TokKind, text string) (Token, error) {
+		lx.bump()
+		lx.bump()
+		return Token{Kind: k, Text: text, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ';':
+		return one(TokSemi)
+	case ',':
+		return one(TokComma)
+	case '+':
+		return one(TokPlus)
+	case '-':
+		return one(TokMinus)
+	case '*':
+		return one(TokStar)
+	case '/':
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '=':
+		if lx.peek2() == '=' {
+			return two(TokEq, "==")
+		}
+		return one(TokAssign)
+	case '!':
+		if lx.peek2() == '=' {
+			return two(TokNe, "!=")
+		}
+		return one(TokNot)
+	case '<':
+		if lx.peek2() == '=' {
+			return two(TokLe, "<=")
+		}
+		return one(TokLt)
+	case '>':
+		if lx.peek2() == '=' {
+			return two(TokGe, ">=")
+		}
+		return one(TokGt)
+	case '&':
+		if lx.peek2() == '&' {
+			return two(TokAndAnd, "&&")
+		}
+		return one(TokAmp)
+	case '|':
+		if lx.peek2() == '|' {
+			return two(TokOrOr, "||")
+		}
+		return Token{}, errf(pos, "unexpected character %q (bitwise-or is not supported)", string(c))
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}

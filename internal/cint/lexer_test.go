@@ -1,0 +1,100 @@
+package cint
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("int x = 42; // comment\nx = x + 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokKwInt, TokIdent, TokAssign, TokInt, TokSemi,
+		TokIdent, TokAssign, TokIdent, TokPlus, TokInt, TokSemi, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[3].Val != 42 {
+		t.Errorf("literal value = %d", toks[3].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("< <= > >= == != && || ! & * / % + - =")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokLt, TokLe, TokGt, TokGe, TokEq, TokNe, TokAndAnd, TokOrOr,
+		TokNot, TokAmp, TokStar, TokSlash, TokPercent, TokPlus, TokMinus,
+		TokAssign, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a /* multi\nline */ b // rest\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 || toks[0].Text != "a" || toks[1].Text != "b" || toks[2].Text != "c" {
+		t.Fatalf("tokens: %v", toks)
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Errorf("c at line %d, want 3", toks[2].Pos.Line)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("if ifx while whiley return returns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokKwIf, TokIdent, TokKwWhile, TokIdent, TokKwReturn, TokIdent, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "/* unterminated", "99999999999999999999", "a | b"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}

@@ -1,0 +1,650 @@
+package cint
+
+import "fmt"
+
+// Parser is a recursive-descent parser for mini-C.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes, parses and semantically checks a mini-C translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and embedded
+// benchmark programs.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("cint.MustParse: %v", err))
+	}
+	return prog
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { return p.toks[p.pos+1] }
+
+func (p *Parser) bump() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.bump()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, describe(p.cur()))
+	}
+	return p.bump(), nil
+}
+
+func describe(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokInt:
+		return fmt.Sprintf("integer %s", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{FuncByName: make(map[string]*FuncDecl)}
+	for !p.at(TokEOF) {
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		typ := p.parseStars(base)
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TokLParen) {
+			fn, err := p.parseFuncRest(typ, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.FuncByName[fn.Name]; dup {
+				return nil, errf(fn.Pos, "duplicate function %q", fn.Name)
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			prog.FuncByName[fn.Name] = fn
+			continue
+		}
+		decl, err := p.parseVarRest(typ, nameTok, true)
+		if err != nil {
+			return nil, err
+		}
+		decl.Global = true
+		prog.Globals = append(prog.Globals, decl)
+	}
+	return prog, nil
+}
+
+// parseBaseType parses 'int' or 'void'.
+func (p *Parser) parseBaseType() (*Type, error) {
+	switch p.cur().Kind {
+	case TokKwInt:
+		p.bump()
+		return IntType, nil
+	case TokKwVoid:
+		p.bump()
+		return VoidType, nil
+	default:
+		return nil, errf(p.cur().Pos, "expected type, found %s", describe(p.cur()))
+	}
+}
+
+// parseStars wraps base in one pointer layer per '*'.
+func (p *Parser) parseStars(base *Type) *Type {
+	for p.accept(TokStar) {
+		base = PtrTo(base)
+	}
+	return base
+}
+
+// parseVarRest parses the rest of a variable declaration after the name:
+// optional array suffix, optional initializer, and the terminating ';'.
+func (p *Parser) parseVarRest(typ *Type, name Token, global bool) (*VarDecl, error) {
+	if typ.Kind == TypeVoid {
+		return nil, errf(name.Pos, "variable %q has void type", name.Text)
+	}
+	if p.accept(TokLBracket) {
+		lenTok, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if lenTok.Val <= 0 {
+			return nil, errf(lenTok.Pos, "array length must be positive")
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		typ = ArrayOf(typ, lenTok.Val)
+	}
+	decl := &VarDecl{Name: name.Text, Type: typ, Pos: name.Pos}
+	if p.accept(TokAssign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if global {
+			if _, ok := constFold(init); !ok {
+				return nil, errf(init.Position(), "global initializer must be a constant expression")
+			}
+		}
+		decl.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+// constFold evaluates constant integer expressions (literals with unary
+// minus and arithmetic).
+func constFold(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Value, true
+	case *UnaryExpr:
+		if e.Op == TokMinus {
+			if v, ok := constFold(e.X); ok {
+				return -v, true
+			}
+		}
+	case *BinaryExpr:
+		x, okx := constFold(e.X)
+		y, oky := constFold(e.Y)
+		if okx && oky {
+			switch e.Op {
+			case TokPlus:
+				return x + y, true
+			case TokMinus:
+				return x - y, true
+			case TokStar:
+				return x * y, true
+			case TokSlash:
+				if y != 0 {
+					return x / y, true
+				}
+			case TokPercent:
+				if y != 0 {
+					return x % y, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+func (p *Parser) parseFuncRest(ret *Type, name Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.Text, Ret: ret, Pos: name.Pos}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.at(TokKwVoid) && p.next().Kind == TokRParen {
+		p.bump() // f(void)
+	}
+	for !p.at(TokRParen) {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		typ := p.parseStars(base)
+		if typ.Kind == TypeVoid {
+			return nil, errf(p.cur().Pos, "parameter has void type")
+		}
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, &VarDecl{Name: nameTok.Text, Type: typ, Pos: nameTok.Pos})
+	}
+	p.bump() // ')'
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{stmtBase: stmtBase{pos: lb.Pos}}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, errf(p.cur().Pos, "unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.bump() // '}'
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokSemi:
+		p.bump()
+		return &EmptyStmt{stmtBase{tok.Pos}}, nil
+	case TokKwInt:
+		p.bump()
+		typ := p.parseStars(IntType)
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		decl, err := p.parseVarRest(typ, nameTok, false)
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{stmtBase{tok.Pos}, decl}, nil
+	case TokKwIf:
+		p.bump()
+		cond, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept(TokKwElse) {
+			if els, err = p.parseStmt(); err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{stmtBase{tok.Pos}, cond, then, els}, nil
+	case TokKwWhile:
+		p.bump()
+		cond, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{stmtBase{tok.Pos}, cond, body}, nil
+	case TokKwDo:
+		p.bump()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKwWhile); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{stmtBase{tok.Pos}, body, cond}, nil
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwReturn:
+		p.bump()
+		var val Expr
+		if !p.at(TokSemi) {
+			var err error
+			if val, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{stmtBase{tok.Pos}, val}, nil
+	case TokKwAssert:
+		p.bump()
+		cond, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &AssertStmt{stmtBase{tok.Pos}, cond}, nil
+	case TokKwBreak:
+		p.bump()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{stmtBase{tok.Pos}}, nil
+	case TokKwContinue:
+		p.bump()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{stmtBase{tok.Pos}}, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	tok := p.bump() // 'for'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var initStmt Stmt
+	if !p.at(TokSemi) {
+		if p.at(TokKwInt) {
+			declTok := p.bump()
+			typ := p.parseStars(IntType)
+			nameTok, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			decl, err := p.parseVarRest(typ, nameTok, false) // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+			initStmt = &DeclStmt{stmtBase{declTok.Pos}, decl}
+		} else {
+			s, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			initStmt = s
+		}
+	} else {
+		p.bump() // ';'
+	}
+	var cond Expr
+	if !p.at(TokSemi) {
+		var err error
+		if cond, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	var post Stmt
+	if !p.at(TokRParen) {
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		post = s
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{stmtBase{tok.Pos}, initStmt, cond, post, body}, nil
+}
+
+// parseSimpleStmt parses an assignment `lhs = expr`, an assignment from a
+// call `lhs = f(args)`, or a call statement `f(args)` — without the
+// trailing semicolon.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	tok := p.cur()
+	if tok.Kind == TokIdent && p.next().Kind == TokLParen {
+		call, err := p.parseCall()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{stmtBase{tok.Pos}, call}, nil
+	}
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	if p.at(TokIdent) && p.next().Kind == TokLParen {
+		call, err := p.parseCall()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{stmtBase: stmtBase{tok.Pos}, Lhs: lhs, Call: call}, nil
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{stmtBase: stmtBase{tok.Pos}, Lhs: lhs, Rhs: rhs}, nil
+}
+
+func (p *Parser) parseCall() (*CallExpr, error) {
+	nameTok := p.bump()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{exprBase: exprBase{pos: nameTok.Pos}, Name: nameTok.Text}
+	for !p.at(TokRParen) {
+		if len(call.Args) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+	}
+	p.bump() // ')'
+	return call, nil
+}
+
+func (p *Parser) parseParenExpr() (Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Expression precedence, loosest first: || , && , comparison, + - , * / %.
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOrOr) {
+		op := p.bump()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{exprBase{pos: op.Pos}, op.Kind, x, y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	x, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAndAnd) {
+		op := p.bump()
+		y, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{exprBase{pos: op.Pos}, op.Kind, x, y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	x, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TokLt, TokLe, TokGt, TokGe, TokEq, TokNe:
+		op := p.bump()
+		y, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{exprBase{pos: op.Pos}, op.Kind, x, y}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	x, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := p.bump()
+		y, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{exprBase{pos: op.Pos}, op.Kind, x, y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokStar) || p.at(TokSlash) || p.at(TokPercent) {
+		op := p.bump()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{exprBase{pos: op.Pos}, op.Kind, x, y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus, TokNot, TokStar, TokAmp:
+		op := p.bump()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{exprBase{pos: op.Pos}, op.Kind, x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokLBracket) {
+		lb := p.bump()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{exprBase{pos: lb.Pos}, x, idx}
+	}
+	return x, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokInt:
+		p.bump()
+		return &IntLit{exprBase{pos: tok.Pos}, tok.Val}, nil
+	case TokIdent:
+		if p.next().Kind == TokLParen {
+			return nil, errf(tok.Pos, "call to %q nested in an expression; calls may only appear as `x = f(…);` or `f(…);`", tok.Text)
+		}
+		p.bump()
+		return &Ident{exprBase: exprBase{pos: tok.Pos}, Name: tok.Text}, nil
+	case TokLParen:
+		p.bump()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errf(tok.Pos, "expected expression, found %s", describe(tok))
+	}
+}

@@ -1,0 +1,175 @@
+package cint
+
+import (
+	"strings"
+	"testing"
+)
+
+const exampleProgram = `
+// The program of the paper's Example 7.
+int g = 0;
+
+void f(int b) {
+    if (b) { g = b + 1; } else { g = -b - 1; }
+}
+
+int main() {
+    f(1);
+    f(2);
+    return 0;
+}
+`
+
+func TestParseExample7(t *testing.T) {
+	prog, err := Parse(exampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 1 || prog.Globals[0].Name != "g" {
+		t.Fatalf("globals: %v", prog.Globals)
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs: %d", len(prog.Funcs))
+	}
+	f := prog.FuncByName["f"]
+	if f == nil || len(f.Params) != 1 || f.Params[0].Name != "b" {
+		t.Fatalf("f: %+v", f)
+	}
+	if f.Ret.Kind != TypeVoid {
+		t.Errorf("f returns %s", f.Ret)
+	}
+	if prog.FuncByName["main"].Ret.Kind != TypeInt {
+		t.Error("main should return int")
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    int a[10];
+    int *p;
+    p = &i;
+    *p = 3;
+    for (i = 0; i < 10; i = i + 1) { a[i] = i; }
+    while (i > 0) { i = i - 1; }
+    do { i = i + 2; } while (i < 4);
+    if (i == 4 && a[0] >= 0 || !i) { ; } else { break_loop: ; }
+    return 0;
+}
+`
+	// Remove the label (not supported) to keep the source valid.
+	src = strings.Replace(src, "break_loop: ;", ";", 1)
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.FuncByName["main"]
+	if len(main.Locals) != 3 {
+		t.Errorf("locals: %d, want 3", len(main.Locals))
+	}
+	// Local IDs are function-qualified and unique.
+	seen := map[string]bool{}
+	for _, l := range main.Locals {
+		if seen[l.ID] {
+			t.Errorf("duplicate local ID %s", l.ID)
+		}
+		seen[l.ID] = true
+		if !strings.HasPrefix(l.ID, "main::") {
+			t.Errorf("local ID %s not function-qualified", l.ID)
+		}
+	}
+}
+
+func TestParseForWithDecl(t *testing.T) {
+	prog, err := Parse(`int main() { int s; s = 0; for (int i = 0; i < 4; i = i + 1) { s = s + i; } return s; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(prog.FuncByName["main"].Locals); got != 2 {
+		t.Errorf("locals = %d, want 2", got)
+	}
+}
+
+func TestParseGlobalArrayAndInit(t *testing.T) {
+	prog, err := Parse(`
+int buf[16];
+int limit = 3 * 5 + 1;
+int neg = -7;
+int main() { return limit; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Globals[0].Type.Kind != TypeArray || prog.Globals[0].Type.Len != 16 {
+		t.Errorf("buf type: %s", prog.Globals[0].Type)
+	}
+	if v, ok := constFold(prog.Globals[1].Init); !ok || v != 16 {
+		t.Errorf("limit init folds to %d, %v", v, ok)
+	}
+	if v, ok := constFold(prog.Globals[2].Init); !ok || v != -7 {
+		t.Errorf("neg init folds to %d, %v", v, ok)
+	}
+}
+
+func TestParseCallForms(t *testing.T) {
+	prog, err := Parse(`
+int id(int x) { return x; }
+int main() {
+    int y;
+    id(3);
+    y = id(4);
+    return y;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.FuncByName["main"].Body.Stmts
+	if _, ok := body[1].(*ExprStmt); !ok {
+		t.Errorf("statement 1 is %T, want *ExprStmt", body[1])
+	}
+	as, ok := body[2].(*AssignStmt)
+	if !ok || as.Call == nil || as.Call.Name != "id" {
+		t.Errorf("statement 2 is %T (call %v)", body[2], as)
+	}
+}
+
+func TestParseRejectsNestedCall(t *testing.T) {
+	_, err := Parse(`
+int id(int x) { return x; }
+int main() { int y; y = 1 + id(3); return y; }
+`)
+	if err == nil || !strings.Contains(err.Error(), "nested") {
+		t.Errorf("expected nested-call error, got %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`int main() { return 0 }`,            // missing semicolon
+		`int main() { if i { return 0; } }`,  // missing parens
+		`int main() {`,                       // unterminated block
+		`void x;`,                            // void variable
+		`int a[0]; int main() { return 0; }`, // zero-length array
+		`int main() { 3 = x; return 0; }`,    // bad lvalue start
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	prog, err := Parse(`int main() { int x; int y; x = 1; y = (x + 2) * -x; if (x <= y && y != 0) { y = y / 2 % 3; } return y; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smoke-test String() on a deep expression.
+	body := prog.FuncByName["main"].Body.Stmts
+	as := body[3].(*AssignStmt)
+	if got := as.Rhs.String(); got != "((x + 2) * -x)" {
+		t.Errorf("String = %q", got)
+	}
+}

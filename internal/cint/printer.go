@@ -1,0 +1,203 @@
+package cint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a checked (or merely parsed) program back to mini-C source.
+// The output reparses to a structurally identical program (see the
+// round-trip property tests), which makes Print usable for program
+// transformation tools and for dumping generated programs.
+func Print(prog *Program) string {
+	p := &printer{}
+	for _, g := range prog.Globals {
+		p.varDecl(g)
+		p.w(";\n")
+	}
+	if len(prog.Globals) > 0 {
+		p.w("\n")
+	}
+	for i, fn := range prog.Funcs {
+		if i > 0 {
+			p.w("\n")
+		}
+		p.funcDecl(fn)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) w(format string, args ...any) {
+	fmt.Fprintf(&p.sb, format, args...)
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("    ", p.indent))
+	p.w(format, args...)
+	p.sb.WriteByte('\n')
+}
+
+// typePrefix renders the base-and-stars part of a declaration ("int **").
+func typePrefix(t *Type) string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypePtr:
+		return typePrefix(t.Elem) + "*"
+	case TypeArray:
+		return typePrefix(t.Elem)
+	default:
+		return "?"
+	}
+}
+
+// varDecl renders "int *p" or "int a[4]" (without the semicolon).
+func (p *printer) varDecl(v *VarDecl) {
+	p.w("%s %s", typePrefix(v.Type), v.Name)
+	if v.Type.Kind == TypeArray {
+		p.w("[%d]", v.Type.Len)
+	}
+	if v.Init != nil {
+		p.w(" = %s", v.Init)
+	}
+}
+
+func (p *printer) funcDecl(fn *FuncDecl) {
+	params := make([]string, len(fn.Params))
+	for i, prm := range fn.Params {
+		params[i] = fmt.Sprintf("%s %s", typePrefix(prm.Type), prm.Name)
+	}
+	p.w("%s %s(%s) ", typePrefix(fn.Ret), fn.Name, strings.Join(params, ", "))
+	p.block(fn.Body)
+	p.w("\n")
+}
+
+// block renders { ... } starting at the current position.
+func (p *printer) block(b *BlockStmt) {
+	p.w("{\n")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+// stmtInline renders simple statements without the trailing semicolon, for
+// for-headers.
+func stmtInline(s Stmt) string {
+	switch s := s.(type) {
+	case *DeclStmt:
+		var sb strings.Builder
+		sb.WriteString(typePrefix(s.Decl.Type) + " " + s.Decl.Name)
+		if s.Decl.Type.Kind == TypeArray {
+			fmt.Fprintf(&sb, "[%d]", s.Decl.Type.Len)
+		}
+		if s.Decl.Init != nil {
+			fmt.Fprintf(&sb, " = %s", s.Decl.Init)
+		}
+		return sb.String()
+	case *AssignStmt:
+		if s.Call != nil {
+			return fmt.Sprintf("%s = %s", s.Lhs, s.Call)
+		}
+		return fmt.Sprintf("%s = %s", s.Lhs, s.Rhs)
+	case *ExprStmt:
+		return s.Call.String()
+	default:
+		return ""
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		p.sb.WriteString(strings.Repeat("    ", p.indent))
+		p.block(s)
+	case *EmptyStmt:
+		p.line(";")
+	case *DeclStmt, *AssignStmt, *ExprStmt:
+		p.line("%s;", stmtInline(s))
+	case *IfStmt:
+		p.sb.WriteString(strings.Repeat("    ", p.indent))
+		p.w("if (%s) ", s.Cond)
+		p.stmtAsBlock(s.Then)
+		if s.Else != nil {
+			// Reopen the line for the else.
+			trimNewline(&p.sb)
+			p.w(" else ")
+			p.stmtAsBlock(s.Else)
+		}
+	case *WhileStmt:
+		p.sb.WriteString(strings.Repeat("    ", p.indent))
+		p.w("while (%s) ", s.Cond)
+		p.stmtAsBlock(s.Body)
+	case *DoWhileStmt:
+		p.sb.WriteString(strings.Repeat("    ", p.indent))
+		p.w("do ")
+		p.stmtAsBlock(s.Body)
+		trimNewline(&p.sb)
+		p.w(" while (%s);\n", s.Cond)
+	case *ForStmt:
+		p.sb.WriteString(strings.Repeat("    ", p.indent))
+		cond := ""
+		if s.Cond != nil {
+			cond = s.Cond.String()
+		}
+		post := ""
+		if s.Post != nil {
+			post = stmtInline(s.Post)
+		}
+		init := ""
+		if s.Init != nil {
+			init = stmtInline(s.Init)
+		}
+		p.w("for (%s; %s; %s) ", init, cond, post)
+		p.stmtAsBlock(s.Body)
+	case *ReturnStmt:
+		if s.Value != nil {
+			p.line("return %s;", s.Value)
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *AssertStmt:
+		p.line("assert(%s);", s.Cond)
+	default:
+		p.line("/* unhandled %T */", s)
+	}
+}
+
+// stmtAsBlock renders a statement as a braced block (normalizing single
+// statements), keeping the printer position after the closing brace line.
+func (p *printer) stmtAsBlock(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		p.block(b)
+		return
+	}
+	p.w("{\n")
+	p.indent++
+	p.stmt(s)
+	p.indent--
+	p.line("}")
+}
+
+// trimNewline removes one trailing newline so a continuation ("else",
+// "while") can share the line with the closing brace.
+func trimNewline(sb *strings.Builder) {
+	s := sb.String()
+	if strings.HasSuffix(s, "\n") {
+		sb.Reset()
+		sb.WriteString(s[:len(s)-1])
+	}
+}

@@ -1,0 +1,369 @@
+package cint
+
+import "fmt"
+
+// Check performs semantic analysis on a parsed program: it resolves
+// identifiers to declarations, assigns unique IDs, type-checks expressions
+// and statements, and records which variables have their address taken.
+// Parse calls Check automatically; it is exported for tools that build ASTs
+// programmatically.
+func Check(prog *Program) error {
+	c := &checker{prog: prog, globals: make(map[string]*VarDecl)}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errf(g.Pos, "duplicate global %q", g.Name)
+		}
+		if _, isFn := prog.FuncByName[g.Name]; isFn {
+			return errf(g.Pos, "global %q collides with a function name", g.Name)
+		}
+		g.Global = true
+		g.ID = g.Name
+		c.globals[g.Name] = g
+		if g.Init != nil {
+			if err := c.checkExpr(g.Init); err != nil {
+				return err
+			}
+			if g.Init.Type().Kind != TypeInt || g.Type.Kind != TypeInt {
+				return errf(g.Pos, "global initializer only supported for int globals")
+			}
+		}
+	}
+	for _, fn := range prog.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog    *Program
+	globals map[string]*VarDecl
+
+	fn     *FuncDecl
+	scopes []map[string]*VarDecl
+	nlocal int
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*VarDecl)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(v *VarDecl) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[v.Name]; dup {
+		return errf(v.Pos, "redeclaration of %q in the same scope", v.Name)
+	}
+	v.Fn = c.fn
+	v.ID = fmt.Sprintf("%s::%s#%d", c.fn.Name, v.Name, c.nlocal)
+	c.nlocal++
+	c.fn.Locals = append(c.fn.Locals, v)
+	top[v.Name] = v
+	return nil
+}
+
+func (c *checker) lookup(name string) *VarDecl {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.nlocal = 0
+	c.scopes = nil
+	c.pushScope()
+	defer c.popScope()
+	for _, p := range fn.Params {
+		if err := c.declare(p); err != nil {
+			return err
+		}
+	}
+	return c.checkBlock(fn.Body)
+}
+
+func (c *checker) checkBlock(blk *BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range blk.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(s)
+	case *EmptyStmt:
+		return nil
+	case *DeclStmt:
+		if s.Decl.Init != nil {
+			if err := c.checkExpr(s.Decl.Init); err != nil {
+				return err
+			}
+			if !assignable(s.Decl.Type, s.Decl.Init.Type()) {
+				return errf(s.Decl.Pos, "cannot initialize %s with %s", s.Decl.Type, s.Decl.Init.Type())
+			}
+		}
+		return c.declare(s.Decl)
+	case *AssignStmt:
+		if err := c.checkLvalue(s.Lhs); err != nil {
+			return err
+		}
+		if s.Call != nil {
+			if err := c.checkCall(s.Call); err != nil {
+				return err
+			}
+			if !assignable(s.Lhs.Type(), s.Call.Fn.Ret) {
+				return errf(s.Position(), "cannot assign %s result of %q to %s",
+					s.Call.Fn.Ret, s.Call.Name, s.Lhs.Type())
+			}
+			return nil
+		}
+		if err := c.checkExpr(s.Rhs); err != nil {
+			return err
+		}
+		if !assignable(s.Lhs.Type(), s.Rhs.Type()) {
+			return errf(s.Position(), "cannot assign %s to %s", s.Rhs.Type(), s.Lhs.Type())
+		}
+		return nil
+	case *ExprStmt:
+		return c.checkCall(s.Call)
+	case *IfStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		return c.checkStmt(s.Body)
+	case *DoWhileStmt:
+		if err := c.checkStmt(s.Body); err != nil {
+			return err
+		}
+		return c.checkCond(s.Cond)
+	case *ForStmt:
+		c.pushScope() // the for header opens a scope for its declaration
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkCond(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		return c.checkStmt(s.Body)
+	case *ReturnStmt:
+		if s.Value == nil {
+			if c.fn.Ret.Kind != TypeVoid {
+				return errf(s.Position(), "function %q must return %s", c.fn.Name, c.fn.Ret)
+			}
+			return nil
+		}
+		if c.fn.Ret.Kind == TypeVoid {
+			return errf(s.Position(), "void function %q returns a value", c.fn.Name)
+		}
+		if err := c.checkExpr(s.Value); err != nil {
+			return err
+		}
+		if !assignable(c.fn.Ret, s.Value.Type()) {
+			return errf(s.Position(), "return type mismatch: %s vs %s", s.Value.Type(), c.fn.Ret)
+		}
+		return nil
+	case *AssertStmt:
+		return c.checkCond(s.Cond)
+	case *BreakStmt, *ContinueStmt:
+		return nil
+	default:
+		return errf(s.Position(), "unhandled statement %T", s)
+	}
+}
+
+// checkCond checks a branch condition; any int or pointer value is allowed
+// (nonzero means true).
+func (c *checker) checkCond(e Expr) error {
+	if err := c.checkExpr(e); err != nil {
+		return err
+	}
+	if e.Type().Kind == TypeVoid {
+		return errf(e.Position(), "condition has void type")
+	}
+	return nil
+}
+
+// assignable reports whether a value of type src may be stored in dst.
+// Array-to-pointer decay is applied to src.
+func assignable(dst, src *Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	src = decay(src)
+	return dst.Equal(src)
+}
+
+// decay converts an array type to the corresponding pointer type.
+func decay(t *Type) *Type {
+	if t != nil && t.Kind == TypeArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+func (c *checker) checkLvalue(e Expr) error {
+	switch e := e.(type) {
+	case *Ident:
+		if err := c.checkExpr(e); err != nil {
+			return err
+		}
+		if e.Obj.Type.Kind == TypeArray {
+			return errf(e.Position(), "cannot assign to array %q", e.Name)
+		}
+		return nil
+	case *UnaryExpr:
+		if e.Op != TokStar {
+			return errf(e.Position(), "expression is not assignable")
+		}
+		return c.checkExpr(e)
+	case *IndexExpr:
+		return c.checkExpr(e)
+	default:
+		return errf(e.Position(), "expression is not assignable")
+	}
+}
+
+func (c *checker) checkCall(call *CallExpr) error {
+	fn, ok := c.prog.FuncByName[call.Name]
+	if !ok {
+		return errf(call.Position(), "call to undefined function %q", call.Name)
+	}
+	call.Fn = fn
+	call.typ = fn.Ret
+	if len(call.Args) != len(fn.Params) {
+		return errf(call.Position(), "%q expects %d arguments, got %d",
+			call.Name, len(fn.Params), len(call.Args))
+	}
+	for i, a := range call.Args {
+		if err := c.checkExpr(a); err != nil {
+			return err
+		}
+		if !assignable(fn.Params[i].Type, a.Type()) {
+			return errf(a.Position(), "argument %d of %q: cannot pass %s as %s",
+				i+1, call.Name, a.Type(), fn.Params[i].Type)
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		e.typ = IntType
+		return nil
+	case *Ident:
+		obj := c.lookup(e.Name)
+		if obj == nil {
+			return errf(e.Position(), "undefined variable %q", e.Name)
+		}
+		e.Obj = obj
+		e.typ = obj.Type
+		return nil
+	case *UnaryExpr:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		xt := e.X.Type()
+		switch e.Op {
+		case TokMinus, TokNot:
+			if xt.Kind != TypeInt {
+				return errf(e.Position(), "operand of %s must be int, got %s", e.Op, xt)
+			}
+			e.typ = IntType
+		case TokStar:
+			xt = decay(xt)
+			if xt.Kind != TypePtr {
+				return errf(e.Position(), "cannot dereference %s", xt)
+			}
+			e.typ = xt.Elem
+		case TokAmp:
+			id, ok := e.X.(*Ident)
+			if !ok {
+				return errf(e.Position(), "can only take the address of a variable")
+			}
+			if id.Obj.Type.Kind == TypeArray {
+				return errf(e.Position(), "&array is not supported; arrays decay to pointers")
+			}
+			id.Obj.AddrTaken = true
+			e.typ = PtrTo(id.Obj.Type)
+		default:
+			return errf(e.Position(), "unhandled unary operator %s", e.Op)
+		}
+		return nil
+	case *BinaryExpr:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(e.Y); err != nil {
+			return err
+		}
+		xt, yt := decay(e.X.Type()), decay(e.Y.Type())
+		switch e.Op {
+		case TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokAndAnd, TokOrOr:
+			if xt.Kind != TypeInt || yt.Kind != TypeInt {
+				return errf(e.Position(), "operands of %s must be int, got %s and %s", e.Op, xt, yt)
+			}
+		case TokLt, TokLe, TokGt, TokGe:
+			if xt.Kind != TypeInt || yt.Kind != TypeInt {
+				return errf(e.Position(), "operands of %s must be int, got %s and %s", e.Op, xt, yt)
+			}
+		case TokEq, TokNe:
+			if !xt.Equal(yt) {
+				return errf(e.Position(), "operands of %s must have the same type, got %s and %s", e.Op, xt, yt)
+			}
+		default:
+			return errf(e.Position(), "unhandled binary operator %s", e.Op)
+		}
+		e.typ = IntType
+		return nil
+	case *IndexExpr:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(e.Idx); err != nil {
+			return err
+		}
+		xt := decay(e.X.Type())
+		if xt.Kind != TypePtr {
+			return errf(e.Position(), "cannot index %s", e.X.Type())
+		}
+		if e.Idx.Type().Kind != TypeInt {
+			return errf(e.Idx.Position(), "array index must be int")
+		}
+		e.typ = xt.Elem
+		return nil
+	case *CallExpr:
+		return errf(e.Position(), "calls may only appear at statement level")
+	default:
+		return errf(e.Position(), "unhandled expression %T", e)
+	}
+}

@@ -1,0 +1,149 @@
+package cint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSemaResolution(t *testing.T) {
+	prog, err := Parse(`
+int g;
+int main() {
+    int x;
+    x = g;
+    {
+        int x;
+        x = 2;
+    }
+    return x;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.FuncByName["main"]
+	outer := main.Body.Stmts[1].(*AssignStmt)
+	if outer.Lhs.(*Ident).Obj.ID != "main::x#0" {
+		t.Errorf("outer x resolves to %s", outer.Lhs.(*Ident).Obj.ID)
+	}
+	if outer.Rhs.(*Ident).Obj.ID != "g" || !outer.Rhs.(*Ident).Obj.Global {
+		t.Errorf("g resolves to %s", outer.Rhs.(*Ident).Obj.ID)
+	}
+	inner := main.Body.Stmts[2].(*BlockStmt).Stmts[1].(*AssignStmt)
+	if inner.Lhs.(*Ident).Obj.ID != "main::x#1" {
+		t.Errorf("inner x resolves to %s (shadowing broken)", inner.Lhs.(*Ident).Obj.ID)
+	}
+	ret := main.Body.Stmts[3].(*ReturnStmt)
+	if ret.Value.(*Ident).Obj.ID != "main::x#0" {
+		t.Errorf("return x resolves to %s", ret.Value.(*Ident).Obj.ID)
+	}
+}
+
+func TestSemaTypes(t *testing.T) {
+	prog, err := Parse(`
+int main() {
+    int i;
+    int *p;
+    int a[4];
+    p = &i;
+    i = *p + a[1];
+    p = a;
+    return i;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.FuncByName["main"]
+	assignI := main.Body.Stmts[4].(*AssignStmt)
+	if assignI.Rhs.Type().Kind != TypeInt {
+		t.Errorf("*p + a[1] has type %s", assignI.Rhs.Type())
+	}
+	// &i marks i address-taken.
+	var iDecl *VarDecl
+	for _, l := range main.Locals {
+		if l.Name == "i" {
+			iDecl = l
+		}
+	}
+	if iDecl == nil || !iDecl.AddrTaken {
+		t.Error("i should be marked address-taken")
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`int main() { return x; }`, "undefined variable"},
+		{`int main() { y(); return 0; }`, "undefined function"},
+		{`int f(int a) { return a; } int main() { f(); return 0; }`, "expects 1 arguments"},
+		{`int f(int *p) { return 0; } int main() { f(3); return 0; }`, "cannot pass"},
+		{`int main() { int x; int x; return 0; }`, "redeclaration"},
+		{`int g; int g; int main() { return 0; }`, "duplicate global"},
+		{`void f() { return 3; }  int main() { return 0; }`, "void function"},
+		{`int main() { return; }`, "must return"},
+		{`int main() { int *p; p = 3; return 0; }`, "cannot assign"},
+		{`int main() { int i; i = *i; return 0; }`, "cannot dereference"},
+		{`int main() { int a[3]; a = 0; return 0; }`, "cannot assign to array"},
+		{`int main() { int i; i = &3; return 0; }`, "address of a variable"},
+		{`int main() { int *p; int i; i = p + 1; return 0; }`, "must be int"},
+		{`int main() { int *p; int i; i = p == 1; return 0; }`, "same type"},
+		{`int f() { return 0; } int main() { int i; i = f; return 0; }`, "undefined variable"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail with %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestSemaPointerComparison(t *testing.T) {
+	_, err := Parse(`
+int main() {
+    int i; int j; int *p; int *q;
+    p = &i; q = &j;
+    if (p == q) { i = 1; }
+    if (p != q) { j = 1; }
+    return 0;
+}
+`)
+	if err != nil {
+		t.Fatalf("pointer equality should be allowed: %v", err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{IntType, "int"},
+		{VoidType, "void"},
+		{PtrTo(IntType), "int*"},
+		{PtrTo(PtrTo(IntType)), "int**"},
+		{ArrayOf(IntType, 8), "int[8]"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !PtrTo(IntType).Equal(PtrTo(IntType)) {
+		t.Error("int* should equal int*")
+	}
+	if PtrTo(IntType).Equal(IntType) {
+		t.Error("int* should not equal int")
+	}
+	if ArrayOf(IntType, 3).Equal(ArrayOf(IntType, 4)) {
+		t.Error("arrays of different length should differ")
+	}
+}

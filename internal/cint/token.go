@@ -1,0 +1,156 @@
+// Package cint implements a front-end for mini-C, the C-like language the
+// analyzer operates on: lexer, recursive-descent parser, AST, and semantic
+// analysis (scoping and type checking).
+//
+// Mini-C covers the program fragment the paper's evaluation exercises:
+// global and local int variables, pointers, fixed-size int arrays,
+// functions with int/pointer parameters, the usual statements (if, while,
+// for, do-while, return, break, continue), and side-effect-free expressions
+// with one CIL-like normalization: function calls appear only at statement
+// level, either as `x = f(e, …);` or `f(e, …);` — never nested inside an
+// expression. This mirrors how CIL simplifies C for Goblint and keeps
+// transfer functions compositional.
+package cint
+
+import "fmt"
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+
+	// Keywords.
+	TokKwInt
+	TokKwVoid
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwDo
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+	TokKwAssert
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokNot    // !
+	TokLt     // <
+	TokLe     // <=
+	TokGt     // >
+	TokGe     // >=
+	TokEq     // ==
+	TokNe     // !=
+	TokAndAnd // &&
+	TokOrOr   // ||
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF:        "EOF",
+	TokIdent:      "identifier",
+	TokInt:        "integer literal",
+	TokKwInt:      "'int'",
+	TokKwVoid:     "'void'",
+	TokKwIf:       "'if'",
+	TokKwElse:     "'else'",
+	TokKwWhile:    "'while'",
+	TokKwFor:      "'for'",
+	TokKwDo:       "'do'",
+	TokKwReturn:   "'return'",
+	TokKwBreak:    "'break'",
+	TokKwContinue: "'continue'",
+	TokKwAssert:   "'assert'",
+	TokLParen:     "'('",
+	TokRParen:     "')'",
+	TokLBrace:     "'{'",
+	TokRBrace:     "'}'",
+	TokLBracket:   "'['",
+	TokRBracket:   "']'",
+	TokSemi:       "';'",
+	TokComma:      "','",
+	TokAssign:     "'='",
+	TokPlus:       "'+'",
+	TokMinus:      "'-'",
+	TokStar:       "'*'",
+	TokSlash:      "'/'",
+	TokPercent:    "'%'",
+	TokAmp:        "'&'",
+	TokNot:        "'!'",
+	TokLt:         "'<'",
+	TokLe:         "'<='",
+	TokGt:         "'>'",
+	TokGe:         "'>='",
+	TokEq:         "'=='",
+	TokNe:         "'!='",
+	TokAndAnd:     "'&&'",
+	TokOrOr:       "'||'",
+}
+
+// String renders the token kind for diagnostics.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"int":      TokKwInt,
+	"void":     TokKwVoid,
+	"if":       TokKwIf,
+	"else":     TokKwElse,
+	"while":    TokKwWhile,
+	"for":      TokKwFor,
+	"do":       TokKwDo,
+	"return":   TokKwReturn,
+	"break":    TokKwBreak,
+	"continue": TokKwContinue,
+	"assert":   TokKwAssert,
+}
+
+// Token is a lexeme with position.
+type Token struct {
+	Kind TokKind
+	Text string // identifier or literal spelling
+	Val  int64  // value for TokInt
+	Pos  Pos
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

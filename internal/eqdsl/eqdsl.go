@@ -1,0 +1,473 @@
+// Package eqdsl parses a small textual language for systems of equations,
+// so the paper's example systems can be kept as plain-text artifacts and
+// solved with any solver/operator combination from the command line
+// (cmd/eqsolve).
+//
+// A system file looks like:
+//
+//	# Example 1 of the paper (monotonic, RR+⊟ diverges)
+//	domain natinf
+//	x1 = x2
+//	x2 = x3 + 1
+//	x3 = x1
+//
+// or, over intervals:
+//
+//	domain interval
+//	h = join([0,0], b + [1,1])
+//	b = meet(h, [-inf,99])
+//	e = meet(h, [100,inf])
+//
+// Domains:
+//
+//	natinf    ℕ ∪ {∞} with the widening/narrowing of the paper's Examples
+//	          1–4. Operators: +, min(a,b), max(a,b); literals: 0, 1, …, inf.
+//	interval  integer intervals. Operators: +, -, *, join(a,b), meet(a,b);
+//	          literals: n (singleton) and [lo,hi] with inf/-inf bounds.
+//
+// Equations are listed one per line as `name = expr`; # starts a comment.
+// The order of equations fixes the linear order the structured solvers use.
+package eqdsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+)
+
+// Domain identifies the value domain of a system file.
+type Domain int
+
+// Supported domains.
+const (
+	DomainNatInf Domain = iota
+	DomainInterval
+)
+
+// String renders the domain name.
+func (d Domain) String() string {
+	if d == DomainNatInf {
+		return "natinf"
+	}
+	return "interval"
+}
+
+// File is a parsed system file.
+type File struct {
+	Domain Domain
+	// Order lists unknowns in file order.
+	Order []string
+	// Defs maps unknowns to their right-hand-side expressions.
+	Defs map[string]Expr
+}
+
+// Expr is an expression tree.
+type Expr interface{ exprNode() }
+
+// Var references an unknown.
+type Var struct{ Name string }
+
+// Lit is a literal: for natinf a single bound, for intervals a pair.
+type Lit struct {
+	Lo, Hi lattice.Ext // natinf uses Lo only (PosInf encodes ∞)
+}
+
+// BinOp is a binary operation: + - * min max join meet.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Var) exprNode()   {}
+func (*Lit) exprNode()   {}
+func (*BinOp) exprNode() {}
+
+// Parse reads a system file.
+func Parse(src string) (*File, error) {
+	f := &File{Defs: make(map[string]Expr)}
+	sawDomain := false
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if !sawDomain {
+			fields := strings.Fields(line)
+			if len(fields) != 2 || fields[0] != "domain" {
+				return nil, fmt.Errorf("line %d: expected `domain natinf|interval`, got %q", lineNo+1, line)
+			}
+			switch fields[1] {
+			case "natinf":
+				f.Domain = DomainNatInf
+			case "interval":
+				f.Domain = DomainInterval
+			default:
+				return nil, fmt.Errorf("line %d: unknown domain %q", lineNo+1, fields[1])
+			}
+			sawDomain = true
+			continue
+		}
+		name, rhs, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("line %d: expected `name = expr`", lineNo+1)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" || strings.ContainsAny(name, " \t()[],") {
+			return nil, fmt.Errorf("line %d: bad unknown name %q", lineNo+1, name)
+		}
+		if _, dup := f.Defs[name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate equation for %q", lineNo+1, name)
+		}
+		e, err := parseExpr(rhs, f.Domain)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+		}
+		f.Order = append(f.Order, name)
+		f.Defs[name] = e
+	}
+	if !sawDomain {
+		return nil, fmt.Errorf("empty system: missing `domain` header")
+	}
+	if len(f.Order) == 0 {
+		return nil, fmt.Errorf("no equations")
+	}
+	// All referenced unknowns must be defined.
+	for _, name := range f.Order {
+		var undef string
+		walk(f.Defs[name], func(e Expr) {
+			if v, ok := e.(*Var); ok {
+				if _, defined := f.Defs[v.Name]; !defined && undef == "" {
+					undef = v.Name
+				}
+			}
+		})
+		if undef != "" {
+			return nil, fmt.Errorf("equation for %s references undefined unknown %q", name, undef)
+		}
+	}
+	return f, nil
+}
+
+// walk visits the expression tree.
+func walk(e Expr, visit func(Expr)) {
+	visit(e)
+	if b, ok := e.(*BinOp); ok {
+		walk(b.L, visit)
+		walk(b.R, visit)
+	}
+}
+
+// exprParser is a tiny recursive-descent parser over tokens.
+type exprParser struct {
+	toks   []string
+	pos    int
+	domain Domain
+}
+
+func tokenize(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case strings.IndexByte("()[],+*", c) >= 0:
+			toks = append(toks, string(c))
+			i++
+		case c == '-':
+			// Negative literal or subtraction: lex as '-' and let the
+			// parser decide by context.
+			toks = append(toks, "-")
+			i++
+		default:
+			j := i
+			for j < len(s) && strings.IndexByte(" \t()[],+-*", s[j]) < 0 {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func parseExpr(s string, d Domain) (Expr, error) {
+	p := &exprParser{toks: tokenize(s), domain: d}
+	e, err := p.sum()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("trailing input %q", strings.Join(p.toks[p.pos:], " "))
+	}
+	return e, nil
+}
+
+func (p *exprParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *exprParser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *exprParser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+func (p *exprParser) sum() (Expr, error) {
+	l, err := p.product()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "+" || p.peek() == "-" {
+		op := p.next()
+		r, err := p.product()
+		if err != nil {
+			return nil, err
+		}
+		if op == "-" && p.domain == DomainNatInf {
+			return nil, fmt.Errorf("subtraction is not available in the natinf domain")
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *exprParser) product() (Expr, error) {
+	l, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "*" {
+		p.next()
+		if p.domain == DomainNatInf {
+			return nil, fmt.Errorf("multiplication is not available in the natinf domain")
+		}
+		r, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "*", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *exprParser) atom() (Expr, error) {
+	switch t := p.next(); {
+	case t == "":
+		return nil, fmt.Errorf("unexpected end of expression")
+	case t == "(":
+		e, err := p.sum()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t == "[":
+		if p.domain != DomainInterval {
+			return nil, fmt.Errorf("interval literal in %s domain", p.domain)
+		}
+		lo, err := p.bound()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		hi, err := p.bound()
+		if err != nil {
+			return nil, err
+		}
+		return &Lit{Lo: lo, Hi: hi}, p.expect("]")
+	case t == "-":
+		// Negative numeric literal.
+		n := p.next()
+		v, err := strconv.ParseInt(n, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expected number after '-', got %q", n)
+		}
+		return p.numberLit(-v)
+	case t == "min" || t == "max" || t == "join" || t == "meet":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		l, err := p.sum()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		r, err := p.sum()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		op := t
+		// In a lattice min/max are meet/join; accept both spellings.
+		if op == "min" {
+			op = "meet"
+		}
+		if op == "max" {
+			op = "join"
+		}
+		return &BinOp{Op: op, L: l, R: r}, nil
+	case t == "inf":
+		return &Lit{Lo: lattice.PosInf, Hi: lattice.PosInf}, nil
+	default:
+		if v, err := strconv.ParseInt(t, 10, 64); err == nil {
+			return p.numberLit(v)
+		}
+		return &Var{Name: t}, nil
+	}
+}
+
+func (p *exprParser) numberLit(v int64) (Expr, error) {
+	if p.domain == DomainNatInf && v < 0 {
+		return nil, fmt.Errorf("negative literal %d in natinf domain", v)
+	}
+	return &Lit{Lo: lattice.Fin(v), Hi: lattice.Fin(v)}, nil
+}
+
+// bound parses an interval bound: a number, inf, or -inf.
+func (p *exprParser) bound() (lattice.Ext, error) {
+	t := p.next()
+	neg := false
+	if t == "-" {
+		neg = true
+		t = p.next()
+	}
+	if t == "inf" {
+		if neg {
+			return lattice.NegInf, nil
+		}
+		return lattice.PosInf, nil
+	}
+	v, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return lattice.Ext{}, fmt.Errorf("bad bound %q", t)
+	}
+	if neg {
+		v = -v
+	}
+	return lattice.Fin(v), nil
+}
+
+// NatSystem builds the eqn.System over ℕ∪{∞} for a natinf file.
+func (f *File) NatSystem() (*eqn.System[string, lattice.Nat], error) {
+	if f.Domain != DomainNatInf {
+		return nil, fmt.Errorf("eqdsl: system has domain %s, not natinf", f.Domain)
+	}
+	sys := eqn.NewSystem[string, lattice.Nat]()
+	for _, name := range f.Order {
+		e := f.Defs[name]
+		deps := depsOf(e)
+		sys.Define(name, deps, func(get func(string) lattice.Nat) lattice.Nat {
+			return evalNat(e, get)
+		})
+	}
+	return sys, nil
+}
+
+// IntervalSystem builds the eqn.System over intervals for an interval file.
+func (f *File) IntervalSystem() (*eqn.System[string, lattice.Interval], error) {
+	if f.Domain != DomainInterval {
+		return nil, fmt.Errorf("eqdsl: system has domain %s, not interval", f.Domain)
+	}
+	sys := eqn.NewSystem[string, lattice.Interval]()
+	for _, name := range f.Order {
+		e := f.Defs[name]
+		deps := depsOf(e)
+		sys.Define(name, deps, func(get func(string) lattice.Interval) lattice.Interval {
+			return evalInterval(e, get)
+		})
+	}
+	return sys, nil
+}
+
+// depsOf collects the referenced unknowns.
+func depsOf(e Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	walk(e, func(x Expr) {
+		if v, ok := x.(*Var); ok && !seen[v.Name] {
+			seen[v.Name] = true
+			out = append(out, v.Name)
+		}
+	})
+	return out
+}
+
+// evalNat evaluates an expression over ℕ∪{∞}.
+func evalNat(e Expr, get func(string) lattice.Nat) lattice.Nat {
+	switch x := e.(type) {
+	case *Var:
+		return get(x.Name)
+	case *Lit:
+		if x.Lo.IsPosInf() {
+			return lattice.NatInfElem
+		}
+		return lattice.NatOf(uint64(x.Lo.Int()))
+	case *BinOp:
+		l := evalNat(x.L, get)
+		r := evalNat(x.R, get)
+		switch x.Op {
+		case "+":
+			if l.IsInf() || r.IsInf() {
+				return lattice.NatInfElem
+			}
+			return lattice.NatOf(l.Val() + r.Val())
+		case "join":
+			return lattice.NatInf.Join(l, r)
+		case "meet":
+			return lattice.NatInf.Meet(l, r)
+		}
+	}
+	panic("eqdsl: bad natinf expression")
+}
+
+// evalInterval evaluates an expression over intervals.
+func evalInterval(e Expr, get func(string) lattice.Interval) lattice.Interval {
+	switch x := e.(type) {
+	case *Lit:
+		return lattice.NewInterval(x.Lo, x.Hi)
+	case *Var:
+		return get(x.Name)
+	case *BinOp:
+		l := evalInterval(x.L, get)
+		r := evalInterval(x.R, get)
+		switch x.Op {
+		case "+":
+			return l.Add(r)
+		case "-":
+			return l.Sub(r)
+		case "*":
+			return l.Mul(r)
+		case "join":
+			return lattice.Ints.Join(l, r)
+		case "meet":
+			return lattice.Ints.Meet(l, r)
+		}
+	}
+	panic("eqdsl: bad interval expression")
+}

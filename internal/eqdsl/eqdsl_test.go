@@ -1,0 +1,184 @@
+package eqdsl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+const example1 = `
+# Example 1 of the paper: RR with ⊟ diverges, SRR terminates.
+domain natinf
+x1 = x2
+x2 = x3 + 1
+x3 = x1
+`
+
+const example2 = `
+domain natinf
+x1 = min(x1 + 1, x2 + 1)
+x2 = min(x2 + 1, x1 + 1)
+`
+
+const loopSystem = `
+# Constraint system of: i = 0; while (i < 100) i = i + 1;
+domain interval
+h = join([0,0], b + [1,1])
+b = meet(h, [-inf,99])
+e = meet(h, [100,inf])
+`
+
+func TestParseExample1(t *testing.T) {
+	f, err := Parse(example1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Domain != DomainNatInf || len(f.Order) != 3 || f.Order[0] != "x1" {
+		t.Fatalf("parsed: %+v", f)
+	}
+}
+
+func TestSolveExample1(t *testing.T) {
+	f, err := Parse(example1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := f.NatSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lattice.NatInf
+	op := solver.Op[string](solver.Warrow[lattice.Nat](l))
+	zero := func(string) lattice.Nat { return lattice.NatOf(0) }
+
+	// RR diverges, SRR terminates — the paper's Examples 1 and 3, now
+	// loaded from the text artifact.
+	_, _, err = solver.RR(sys, l, op, zero, solver.Config{MaxEvals: 10000})
+	if !errors.Is(err, solver.ErrEvalBudget) {
+		t.Fatalf("RR should diverge: %v", err)
+	}
+	sigma, _, err := solver.SRR(sys, l, op, zero, solver.Config{MaxEvals: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range f.Order {
+		if !sigma[x].IsInf() {
+			t.Errorf("σ[%s] = %s, want ∞", x, sigma[x])
+		}
+	}
+}
+
+func TestSolveExample2(t *testing.T) {
+	f, err := Parse(example2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := f.NatSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lattice.NatInf
+	op := solver.Op[string](solver.Warrow[lattice.Nat](l))
+	zero := func(string) lattice.Nat { return lattice.NatOf(0) }
+	_, _, err = solver.W(sys, l, op, zero, solver.Config{MaxEvals: 10000})
+	if !errors.Is(err, solver.ErrEvalBudget) {
+		t.Fatalf("W should diverge: %v", err)
+	}
+	sigma, _, err := solver.SW(sys, l, op, zero, solver.Config{MaxEvals: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sigma["x1"].IsInf() || !sigma["x2"].IsInf() {
+		t.Errorf("σ = %v", sigma)
+	}
+}
+
+func TestSolveLoopSystem(t *testing.T) {
+	f, err := Parse(loopSystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := f.IntervalSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lattice.Ints
+	op := solver.Op[string](solver.Warrow[lattice.Interval](l))
+	bot := func(string) lattice.Interval { return lattice.EmptyInterval }
+	sigma, _, err := solver.SW(sys, l, op, bot, solver.Config{MaxEvals: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Eq(sigma["h"], lattice.Range(0, 100)) {
+		t.Errorf("h = %s, want [0,100]", sigma["h"])
+	}
+	if !l.Eq(sigma["e"], lattice.Singleton(100)) {
+		t.Errorf("e = %s, want [100,100]", sigma["e"])
+	}
+}
+
+func TestParseNegativeAndArith(t *testing.T) {
+	f, err := Parse(`
+domain interval
+a = [-5,5] * [2,2] - 3
+b = a + -2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := f.IntervalSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lattice.Ints
+	op := solver.Op[string](solver.Replace[lattice.Interval]())
+	bot := func(string) lattice.Interval { return lattice.EmptyInterval }
+	sigma, _, err := solver.SRR(sys, l, op, bot, solver.Config{MaxEvals: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Eq(sigma["a"], lattice.Range(-13, 7)) {
+		t.Errorf("a = %s, want [-13,7]", sigma["a"])
+	}
+	if !l.Eq(sigma["b"], lattice.Range(-15, 5)) {
+		t.Errorf("b = %s, want [-15,5]", sigma["b"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`x = 1`, "domain"},
+		{`domain foo`, "unknown domain"},
+		{`domain natinf`, "no equations"},
+		{`domain natinf` + "\nx = y", "undefined unknown"},
+		{`domain natinf` + "\nx = 1\nx = 2", "duplicate"},
+		{`domain natinf` + "\nx = x - 1", "subtraction"},
+		{`domain natinf` + "\nx = x * 2", "multiplication"},
+		{`domain natinf` + "\nx = -1", "negative"},
+		{`domain natinf` + "\nx = [0,1]", "interval literal"},
+		{`domain interval` + "\nx = (x", "expected"},
+		{`domain interval` + "\nx = x 3", "trailing"},
+		{`domain interval` + "\nbad name = 1", "bad unknown name"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	f, err := Parse("# header\ndomain natinf # trailing\nx = 1 # eol\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Order) != 1 {
+		t.Fatalf("order: %v", f.Order)
+	}
+}

@@ -1,0 +1,201 @@
+// Package eqn represents systems of equations x = fₓ over an arbitrary
+// value domain, in the three flavours used by the paper's solvers:
+//
+//   - System: a finite system with statically declared dependences, as
+//     required by the global solvers RR, W, SRR and SW;
+//   - Pure: a possibly infinite system whose right-hand sides are pure in
+//     the sense of Hofmann, Karbyshev and Seidl — they interact with the
+//     current assignment only through a get callback, so dependences can be
+//     discovered on the fly by the local solvers RLD and SLR;
+//   - Sides: a side-effecting system whose right-hand sides may additionally
+//     contribute values to other unknowns through a side callback, solved by
+//     SLR⁺.
+//
+// The package also provides solution verifiers used throughout the tests:
+// a ⊞-solution for a binary operator ⊞ satisfies σ[x] = σ[x] ⊞ fₓ(σ) for
+// all x, and a post-solution satisfies fₓ(σ) ⊑ σ[x].
+package eqn
+
+import (
+	"fmt"
+
+	"warrow/internal/lattice"
+)
+
+// RHS is a pure right-hand side of an equation: it may observe the current
+// assignment only through get.
+type RHS[X comparable, D any] func(get func(X) D) D
+
+// SideRHS is a right-hand side that may additionally produce side effects:
+// side(z, d) contributes the value d to the unknown z. Per the paper's
+// convention, a right-hand side must not side-effect its own left-hand side
+// and contributes to each other unknown at most once per evaluation.
+type SideRHS[X comparable, D any] func(get func(X) D, side func(z X, d D)) D
+
+// Pure is a possibly infinite system of pure equations: it maps an unknown
+// to its right-hand side, or nil if the unknown has no equation (its value
+// stays at the initial assignment).
+type Pure[X comparable, D any] func(x X) RHS[X, D]
+
+// Sides is a possibly infinite system of side-effecting equations.
+type Sides[X comparable, D any] func(x X) SideRHS[X, D]
+
+// System is a finite system of equations with statically known dependences,
+// in a fixed linear order x₁, …, xₙ. The order matters: SRR and SW iterate
+// along it, so it should list innermost-loop unknowns first (Bourdoncle).
+type System[X comparable, D any] struct {
+	order []X
+	rhs   map[X]RHS[X, D]
+	deps  map[X][]X
+}
+
+// NewSystem returns an empty finite system.
+func NewSystem[X comparable, D any]() *System[X, D] {
+	return &System[X, D]{
+		rhs:  make(map[X]RHS[X, D]),
+		deps: make(map[X][]X),
+	}
+}
+
+// Define appends the equation x = rhs with the given static dependence set
+// (a superset of the unknowns rhs actually reads). Defining the same
+// unknown twice panics: equations are single-assignment.
+func (s *System[X, D]) Define(x X, deps []X, rhs RHS[X, D]) *System[X, D] {
+	if _, dup := s.rhs[x]; dup {
+		panic(fmt.Sprintf("eqn: duplicate definition of %v", x))
+	}
+	s.order = append(s.order, x)
+	s.rhs[x] = rhs
+	s.deps[x] = append([]X(nil), deps...)
+	return s
+}
+
+// Order returns the unknowns in definition order.
+func (s *System[X, D]) Order() []X { return s.order }
+
+// Len returns the number of equations.
+func (s *System[X, D]) Len() int { return len(s.order) }
+
+// RHS returns the right-hand side of x, or nil if x is not defined.
+func (s *System[X, D]) RHS(x X) RHS[X, D] { return s.rhs[x] }
+
+// Deps returns the declared dependences of x.
+func (s *System[X, D]) Deps(x X) []X { return s.deps[x] }
+
+// Infl returns the influence sets: Infl[y] contains y itself together with
+// every x whose right-hand side depends on y (the sets infl_y of the paper,
+// which include y as a precaution for non-idempotent operators).
+func (s *System[X, D]) Infl() map[X][]X {
+	infl := make(map[X][]X, len(s.order))
+	seen := make(map[X]map[X]bool, len(s.order))
+	add := func(y, x X) {
+		if seen[y] == nil {
+			seen[y] = make(map[X]bool)
+		}
+		if !seen[y][x] {
+			seen[y][x] = true
+			infl[y] = append(infl[y], x)
+		}
+	}
+	for _, y := range s.order {
+		add(y, y)
+	}
+	for _, x := range s.order {
+		for _, y := range s.deps[x] {
+			add(y, x)
+		}
+	}
+	return infl
+}
+
+// Eval evaluates the right-hand side of x under the assignment σ, reading
+// absent unknowns as init(x).
+func (s *System[X, D]) Eval(x X, sigma map[X]D, init func(X) D) D {
+	get := func(y X) D {
+		if v, ok := sigma[y]; ok {
+			return v
+		}
+		return init(y)
+	}
+	return s.rhs[x](get)
+}
+
+// AsPure views the finite system as a pure system for the local solvers.
+func (s *System[X, D]) AsPure() Pure[X, D] {
+	return func(x X) RHS[X, D] { return s.rhs[x] }
+}
+
+// ConstBottom returns an initial assignment mapping every unknown to the
+// lattice's bottom element.
+func ConstBottom[X comparable, D any](l lattice.Lattice[D]) func(X) D {
+	return func(X) D { return l.Bottom() }
+}
+
+// Const returns an initial assignment mapping every unknown to d.
+func Const[X comparable, D any](d D) func(X) D {
+	return func(X) D { return d }
+}
+
+// IsPostSolution reports whether σ is a post-solution of the finite system:
+// fₓ(σ) ⊑ σ[x] for every defined unknown, reading absent unknowns as
+// init(x). On failure it returns the offending unknown.
+func IsPostSolution[X comparable, D any](l lattice.Lattice[D], s *System[X, D], sigma map[X]D, init func(X) D) (X, bool) {
+	get := func(y X) D {
+		if v, ok := sigma[y]; ok {
+			return v
+		}
+		return init(y)
+	}
+	for _, x := range s.order {
+		if !l.Leq(s.rhs[x](get), get(x)) {
+			return x, false
+		}
+	}
+	var zero X
+	return zero, true
+}
+
+// IsCombineSolution reports whether σ is a ⊞-solution of the finite system:
+// σ[x] = σ[x] ⊞ fₓ(σ) for every defined unknown, where equality is the
+// lattice's. On failure it returns the offending unknown.
+func IsCombineSolution[X comparable, D any](l lattice.Lattice[D], combine func(old, new D) D, s *System[X, D], sigma map[X]D, init func(X) D) (X, bool) {
+	get := func(y X) D {
+		if v, ok := sigma[y]; ok {
+			return v
+		}
+		return init(y)
+	}
+	for _, x := range s.order {
+		if !l.Eq(get(x), combine(get(x), s.rhs[x](get))) {
+			return x, false
+		}
+	}
+	var zero X
+	return zero, true
+}
+
+// IsPartialPostSolution reports whether (dom σ, σ) is a partial
+// post-solution of the pure system: every defined unknown in dom satisfies
+// fₓ(σ) ⊑ σ[x], and evaluation of fₓ touches only unknowns in dom.
+func IsPartialPostSolution[X comparable, D any](l lattice.Lattice[D], sys Pure[X, D], sigma map[X]D) (X, bool) {
+	for x := range sigma {
+		rhs := sys(x)
+		if rhs == nil {
+			continue
+		}
+		escaped := false
+		get := func(y X) D {
+			v, ok := sigma[y]
+			if !ok {
+				escaped = true
+			}
+			return v
+		}
+		v := rhs(get)
+		if escaped || !l.Leq(v, sigma[x]) {
+			return x, false
+		}
+	}
+	var zero X
+	return zero, true
+}

@@ -1,0 +1,130 @@
+package eqn
+
+import (
+	"testing"
+
+	"warrow/internal/lattice"
+)
+
+type iv = lattice.Interval
+
+func ivb(string) iv { return lattice.EmptyInterval }
+
+func two() *System[string, iv] {
+	s := NewSystem[string, iv]()
+	s.Define("a", nil, func(func(string) iv) iv { return lattice.Range(1, 3) })
+	s.Define("b", []string{"a"}, func(get func(string) iv) iv {
+		return get("a").Add(lattice.Singleton(1))
+	})
+	return s
+}
+
+func TestSystemBasics(t *testing.T) {
+	s := two()
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Order(); got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Order = %v", got)
+	}
+	if s.RHS("a") == nil || s.RHS("missing") != nil {
+		t.Fatal("RHS lookup")
+	}
+	if d := s.Deps("b"); len(d) != 1 || d[0] != "a" {
+		t.Fatalf("Deps(b) = %v", d)
+	}
+}
+
+func TestEvalReadsInitForAbsent(t *testing.T) {
+	s := two()
+	v := s.Eval("b", map[string]iv{}, func(string) iv { return lattice.Range(10, 10) })
+	if !lattice.Ints.Eq(v, lattice.Singleton(11)) {
+		t.Fatalf("Eval(b) = %s", v)
+	}
+	v = s.Eval("b", map[string]iv{"a": lattice.Range(0, 1)}, ivb)
+	if !lattice.Ints.Eq(v, lattice.Range(1, 2)) {
+		t.Fatalf("Eval(b) = %s", v)
+	}
+}
+
+func TestInflSets(t *testing.T) {
+	s := two()
+	infl := s.Infl()
+	has := func(y, x string) bool {
+		for _, z := range infl[y] {
+			if z == x {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("a", "a") || !has("a", "b") || !has("b", "b") {
+		t.Fatalf("Infl = %v", infl)
+	}
+	if has("b", "a") {
+		t.Fatalf("a does not depend on b: %v", infl)
+	}
+}
+
+func TestIsPostSolution(t *testing.T) {
+	s := two()
+	good := map[string]iv{"a": lattice.Range(1, 3), "b": lattice.Range(2, 4)}
+	if x, ok := IsPostSolution[string, iv](lattice.Ints, s, good, ivb); !ok {
+		t.Fatalf("good solution rejected at %v", x)
+	}
+	bigger := map[string]iv{"a": lattice.Range(0, 5), "b": lattice.Range(1, 9)}
+	if _, ok := IsPostSolution[string, iv](lattice.Ints, s, bigger, ivb); !ok {
+		t.Fatal("larger post-solution rejected")
+	}
+	bad := map[string]iv{"a": lattice.Range(1, 3), "b": lattice.Range(2, 3)}
+	if x, ok := IsPostSolution[string, iv](lattice.Ints, s, bad, ivb); ok || x != "b" {
+		t.Fatalf("bad solution accepted (x=%v ok=%v)", x, ok)
+	}
+}
+
+func TestIsCombineSolution(t *testing.T) {
+	s := two()
+	l := lattice.Ints
+	exact := map[string]iv{"a": lattice.Range(1, 3), "b": lattice.Range(2, 4)}
+	replace := func(_, new iv) iv { return new }
+	if x, ok := IsCombineSolution[string, iv](l, replace, s, exact, ivb); !ok {
+		t.Fatalf("exact solution rejected for ⊞=replace at %v", x)
+	}
+	slack := map[string]iv{"a": lattice.Range(1, 4), "b": lattice.Range(2, 5)}
+	if _, ok := IsCombineSolution[string, iv](l, replace, s, slack, ivb); ok {
+		t.Fatal("non-fixpoint accepted for ⊞=replace")
+	}
+	if _, ok := IsCombineSolution[string, iv](l, l.Join, s, slack, ivb); !ok {
+		t.Fatal("post-solution rejected for ⊞=⊔")
+	}
+}
+
+func TestIsPartialPostSolution(t *testing.T) {
+	s := two()
+	pure := s.AsPure()
+	full := map[string]iv{"a": lattice.Range(1, 3), "b": lattice.Range(2, 4)}
+	if x, ok := IsPartialPostSolution[string, iv](lattice.Ints, pure, full); !ok {
+		t.Fatalf("full solution rejected at %v", x)
+	}
+	// b's right-hand side reads a, which is outside the domain: rejected.
+	partial := map[string]iv{"b": lattice.Range(2, 4)}
+	if _, ok := IsPartialPostSolution[string, iv](lattice.Ints, pure, partial); ok {
+		t.Fatal("domain escape accepted")
+	}
+	// a alone is self-contained.
+	aOnly := map[string]iv{"a": lattice.Range(1, 3)}
+	if x, ok := IsPartialPostSolution[string, iv](lattice.Ints, pure, aOnly); !ok {
+		t.Fatalf("self-contained partial solution rejected at %v", x)
+	}
+}
+
+func TestInitHelpers(t *testing.T) {
+	cb := ConstBottom[string, iv](lattice.Ints)
+	if !cb("x").IsEmpty() {
+		t.Fatal("ConstBottom")
+	}
+	c := Const[string](lattice.Singleton(5))
+	if !lattice.Ints.Eq(c("y"), lattice.Singleton(5)) {
+		t.Fatal("Const")
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"warrow/internal/analysis"
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/precision"
+	"warrow/internal/solver"
+	"warrow/internal/wcet"
+)
+
+// oscillator is a single-unknown non-monotonic system on which plain ⊟
+// never stabilizes: f(⊥)=[0,0]; f([0,+inf])=[0,5]; f([0,h])=[0,h+1].
+func oscillator() *eqn.System[string, lattice.Interval] {
+	s := eqn.NewSystem[string, lattice.Interval]()
+	s.Define("x", []string{"x"}, func(get func(string) lattice.Interval) lattice.Interval {
+		v := get("x")
+		if v.IsEmpty() {
+			return lattice.Singleton(0)
+		}
+		if v.Hi.IsPosInf() {
+			return lattice.Range(0, 5)
+		}
+		return lattice.NewInterval(lattice.Fin(0), v.Hi.Add(lattice.Fin(1)))
+	})
+	return s
+}
+
+// AblationDegrading demonstrates the ⊟ₖ operator of Sec. 4: on a
+// non-monotonic oscillator, plain ⊟ diverges while every finite threshold k
+// enforces termination, trading precision for the guarantee.
+func AblationDegrading() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: ⊟ₖ degradation thresholds on a non-monotonic oscillator\n")
+	sb.WriteString("(f(⊥)=[0,0]; f([0,∞])=[0,5]; f([0,h])=[0,h+1])\n\n")
+	l := lattice.Ints
+	init := func(string) lattice.Interval { return lattice.EmptyInterval }
+	sys := oscillator()
+	_, st, err := solver.SRR(sys, l, solver.Op[string](solver.Warrow[lattice.Interval](l)), init, solver.Config{MaxEvals: 10000})
+	fmt.Fprintf(&sb, "  plain ⊟ : diverges=%v after %d evaluations\n", err != nil, st.Evals)
+	for k := 0; k <= 3; k++ {
+		deg := solver.NewDegrading[string, lattice.Interval](l, k)
+		sigma, st, err := solver.SRR(sys, l, deg, init, solver.Config{MaxEvals: 10000})
+		if err != nil {
+			fmt.Fprintf(&sb, "  ⊟_%d     : diverged (%d evals)\n", k, st.Evals)
+			continue
+		}
+		fmt.Fprintf(&sb, "  ⊟_%d     : x = %-12s (%d evals, %d narrow→widen switches)\n",
+			k, sigma["x"], st.Evals, deg.Switches("x"))
+	}
+	return sb.String()
+}
+
+// AblationSWvsW compares the work of the four global solvers under plain
+// join on random monotonic systems — the cost model behind Theorems 1–2:
+// the structured solvers pay at most a modest overhead over their classical
+// counterparts while gaining the ⊟ termination guarantee.
+func AblationSWvsW() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: right-hand-side evaluations of RR/W/SRR/SW (⊞ = ⊔, monotone systems)\n\n")
+	sb.WriteString("  vars      RR        W      SRR       SW\n")
+	r := rand.New(rand.NewSource(1))
+	l := lattice.NatInf
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		sys := eqn.NewSystem[int, lattice.Nat]()
+		const h = 16
+		for i := 0; i < n; i++ {
+			d := r.Intn(n)
+			sys.Define(i, []int{d}, func(get func(int) lattice.Nat) lattice.Nat {
+				v := get(d)
+				if v.IsInf() || v.Val() >= h {
+					return lattice.NatOf(h)
+				}
+				return lattice.NatOf(v.Val() + 1)
+			})
+		}
+		init := func(int) lattice.Nat { return lattice.NatOf(0) }
+		op := solver.Op[int](solver.Join[lattice.Nat](l))
+		_, stRR, _ := solver.RR(sys, l, op, init, solver.Config{})
+		_, stW, _ := solver.W(sys, l, op, init, solver.Config{})
+		_, stSRR, _ := solver.SRR(sys, l, op, init, solver.Config{})
+		_, stSW, _ := solver.SW(sys, l, op, init, solver.Config{})
+		fmt.Fprintf(&sb, "  %4d %8d %8d %8d %8d\n", n, stRR.Evals, stW.Evals, stSRR.Evals, stSW.Evals)
+	}
+	return sb.String()
+}
+
+// AblationThresholds measures how threshold widening (a complementary
+// technique the paper's related work cites) interacts with ⊟: improved
+// points of threshold-∇ two-phase vs plain-∇ ⊟ on the WCET suite.
+func AblationThresholds() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: ⊟ with plain widening vs two-phase with threshold widening\n\n")
+	thresholds := lattice.NewIntervalLattice(0, 1, 8, 16, 64, 100, 256, 1024)
+	totalA, totalB, points := 0, 0, 0
+	for _, b := range wcet.All() {
+		ast, err := cint.Parse(b.Src)
+		if err != nil {
+			continue
+		}
+		g := cfg.Build(ast)
+		warrowPlain, err1 := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, MaxEvals: 20_000_000})
+		baseThresh, err2 := analysis.Run(g, analysis.Options{Op: analysis.OpTwoPhase, Widening: thresholds, MaxEvals: 20_000_000})
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(&sb, "  %-16s solver error (%v / %v)\n", b.Name, err1, err2)
+			continue
+		}
+		c := precision.Compare(warrowPlain, baseThresh)
+		fmt.Fprintf(&sb, "  %-16s ⊟ better at %2d, threshold-baseline better at %2d of %3d points\n",
+			b.Name, c.Improved, c.Worse, c.Total)
+		totalA += c.Improved
+		totalB += c.Worse
+		points += c.Total
+	}
+	fmt.Fprintf(&sb, "\n  totals: ⊟ better at %d, threshold two-phase better at %d of %d points\n",
+		totalA, totalB, points)
+	sb.WriteString("  (thresholds recover some precision for the baseline, but cannot replace narrowing)\n")
+	return sb.String()
+}
+
+// AblationLocalized compares full ⊟ against localized ⊟₂ (acceleration only
+// at widening points, plain updates elsewhere — the Bourdoncle discipline)
+// on the WCET suite: solver work and per-point precision.
+func AblationLocalized() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: full ⊟ vs localized ⊟₂ (accelerate only at loop heads)\n\n")
+	var evalsFull, evalsLoc, better, worse, points int
+	for _, b := range wcet.All() {
+		ast, err := cint.Parse(b.Src)
+		if err != nil {
+			continue
+		}
+		g := cfg.Build(ast)
+		full, err1 := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, MaxEvals: 20_000_000})
+		loc, err2 := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, Localized: true, MaxEvals: 20_000_000})
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(&sb, "  %-16s solver error (%v / %v)\n", b.Name, err1, err2)
+			continue
+		}
+		evalsFull += full.Stats.Evals
+		evalsLoc += loc.Stats.Evals
+		for _, fn := range g.Order {
+			for _, n := range g.Graphs[fn].Nodes {
+				points++
+				ef := full.PointEnv(fn, n.ID)
+				el := loc.PointEnv(fn, n.ID)
+				switch {
+				case full.EnvL.Eq(el, ef):
+				case full.EnvL.Leq(el, ef):
+					better++
+				default:
+					worse++
+				}
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "  evaluations: full ⊟ %d, localized ⊟₂ %d\n", evalsFull, evalsLoc)
+	fmt.Fprintf(&sb, "  precision:   localized better at %d, worse at %d of %d points\n",
+		better, worse, points)
+	sb.WriteString("  (plain updates at joins skip the widen-then-narrow detour; the ⊟₂\n")
+	sb.WriteString("   backstop at loop heads occasionally gives up a narrowing step)\n")
+	return sb.String()
+}

@@ -1,0 +1,200 @@
+// Package experiments regenerates the tables and figures of the paper's
+// evaluation (Sec. 7): Fig. 7 (precision of ⊟ vs. two-phase
+// widening/narrowing on the WCET suite) and Table 1 (runtime and unknown
+// counts of the ∇- and ⊟-solvers on SpecCPU-scale programs, with and
+// without context sensitivity), plus the divergence traces of Examples 1–2
+// and two ablations. The cmd/bench tool prints them; bench_test.go wraps
+// them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"warrow/internal/analysis"
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/precision"
+	"warrow/internal/synth"
+	"warrow/internal/wcet"
+)
+
+func init() {
+	// SLR explores fresh unknowns by recursion, so the stack grows with the
+	// longest discovery chain. Context-sensitive analysis of the Table 1
+	// programs discovers hundreds of thousands of unknowns along deep call
+	// chains; raise the limit well beyond Go's 1 GB default (stacks are
+	// committed lazily, so this costs nothing unless used).
+	debug.SetMaxStack(6 << 30)
+}
+
+// Fig7Row is one bar of Fig. 7.
+type Fig7Row struct {
+	Name        string
+	LOC         int
+	Points      int     // compared program points
+	Improved    int     // points strictly improved by ⊟
+	ImprovedPct float64 // percentage
+}
+
+// Fig7Result is the regenerated figure.
+type Fig7Result struct {
+	Rows []Fig7Row
+	// WeightedAvg is the improvement percentage weighted by program
+	// points, the paper's headline 39%.
+	WeightedAvg float64
+}
+
+// Fig7 analyzes every WCET benchmark with the ⊟-solver and the two-phase
+// baseline (context-insensitive locals, flow-insensitive globals — the
+// paper's Fig. 7 configuration) and compares precision per program point.
+func Fig7() (Fig7Result, error) {
+	var out Fig7Result
+	totalPoints, totalImproved := 0, 0
+	for _, b := range wcet.All() {
+		ast, err := cint.Parse(b.Src)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		g := cfg.Build(ast)
+		warrow, err := analysis.Run(g, analysis.Options{
+			Context: analysis.NoContext, Op: analysis.OpWarrow, MaxEvals: 20_000_000,
+		})
+		if err != nil {
+			return out, fmt.Errorf("%s (⊟): %w", b.Name, err)
+		}
+		base, err := analysis.Run(g, analysis.Options{
+			Context: analysis.NoContext, Op: analysis.OpTwoPhase, MaxEvals: 20_000_000,
+		})
+		if err != nil {
+			return out, fmt.Errorf("%s (two-phase): %w", b.Name, err)
+		}
+		c := precision.Compare(warrow, base)
+		out.Rows = append(out.Rows, Fig7Row{
+			Name:        b.Name,
+			LOC:         b.LOC(),
+			Points:      c.Total,
+			Improved:    c.Improved,
+			ImprovedPct: c.ImprovedPct(),
+		})
+		totalPoints += c.Total
+		totalImproved += c.Improved
+	}
+	if totalPoints > 0 {
+		out.WeightedAvg = 100 * float64(totalImproved) / float64(totalPoints)
+	}
+	return out, nil
+}
+
+// FormatFig7 renders the figure as an ASCII bar chart, benchmarks sorted by
+// program size as in the paper.
+func FormatFig7(r Fig7Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: percentage of program points improved by the ⊟-solver\n")
+	sb.WriteString("over two-phase widening/narrowing (sorted by program size)\n\n")
+	for _, row := range r.Rows {
+		bar := strings.Repeat("█", int(row.ImprovedPct/2+0.5))
+		fmt.Fprintf(&sb, "%-16s %4d loc  %5.1f%%  %-50s (%d/%d points)\n",
+			row.Name, row.LOC, row.ImprovedPct, bar, row.Improved, row.Points)
+	}
+	fmt.Fprintf(&sb, "\nweighted average improvement: %.1f%% (paper: 39%%)\n", r.WeightedAvg)
+	return sb.String()
+}
+
+// Table1Cell is one measurement of Table 1.
+type Table1Cell struct {
+	Time     time.Duration
+	Unknowns int
+	Evals    int
+}
+
+// Table1Row is one program of Table 1: ∇- and ⊟-solver, context-insensitive
+// and context-sensitive.
+type Table1Row struct {
+	Name        string
+	LOC         int
+	WidenNoCtx  Table1Cell
+	WarrowNoCtx Table1Cell
+	WidenCtx    Table1Cell
+	WarrowCtx   Table1Cell
+}
+
+// Table1 runs the four configurations of the paper's Table 1 on the
+// SpecCPU-scale synthetic suite. The optional progress callback receives
+// each completed row.
+func Table1(progress func(Table1Row)) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, p := range synth.SpecSuite() {
+		row, err := Table1Program(p)
+		if err != nil {
+			return rows, err
+		}
+		if progress != nil {
+			progress(row)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1Program measures one program in the four Table 1 configurations.
+func Table1Program(p synth.Program) (Table1Row, error) {
+	row := Table1Row{Name: p.Name, LOC: p.LOC()}
+	ast, err := cint.Parse(p.Src)
+	if err != nil {
+		return row, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	g := cfg.Build(ast)
+	configs := []struct {
+		cell    *Table1Cell
+		ctx     analysis.ContextPolicy
+		op      analysis.OpKind
+		degrade int
+	}{
+		{&row.WidenNoCtx, analysis.NoContext, analysis.OpWiden, 0},
+		{&row.WarrowNoCtx, analysis.NoContext, analysis.OpWarrow, 0},
+		{&row.WidenCtx, analysis.BucketContext, analysis.OpWiden, 0},
+		// Context-sensitive systems are non-monotonic: plain ⊟ can
+		// oscillate forever (widened arguments select different callee
+		// contexts whose exits flip between ⊥ and live). The paper's
+		// Sec. 4 remedy is the self-terminating ⊟ₖ; k = 2 narrow→widen
+		// switches per unknown.
+		{&row.WarrowCtx, analysis.BucketContext, analysis.OpWarrow, 2},
+	}
+	for _, c := range configs {
+		startT := time.Now()
+		res, err := analysis.Run(g, analysis.Options{
+			Context: c.ctx, Op: c.op, DegradeAfter: c.degrade, MaxEvals: 100_000_000,
+		})
+		if err != nil {
+			return row, fmt.Errorf("%s (%v/%v): %w", p.Name, c.op, c.ctx, err)
+		}
+		*c.cell = Table1Cell{
+			Time:     time.Since(startT),
+			Unknowns: res.NumUnknowns(),
+			Evals:    res.Stats.Evals,
+		}
+	}
+	return row, nil
+}
+
+// FormatTable1 renders the table in the paper's layout: the ∇-solver and
+// the ⊟-solver side by side, without and with context.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: interval analysis of SpecCPU-scale programs (synthetic stand-ins)\n\n")
+	sb.WriteString("                         ------ without context ------   ------- with context --------\n")
+	sb.WriteString("                         ∇-solver        ⊟-solver        ∇-solver        ⊟-solver\n")
+	sb.WriteString("Program         LOC      Time(s) Unkn    Time(s) Unkn    Time(s) Unkn    Time(s) Unkn\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-15s %-8d %7.3f %-7d %7.3f %-7d %7.3f %-7d %7.3f %-7d\n",
+			r.Name, r.LOC,
+			r.WidenNoCtx.Time.Seconds(), r.WidenNoCtx.Unknowns,
+			r.WarrowNoCtx.Time.Seconds(), r.WarrowNoCtx.Unknowns,
+			r.WidenCtx.Time.Seconds(), r.WidenCtx.Unknowns,
+			r.WarrowCtx.Time.Seconds(), r.WarrowCtx.Unknowns)
+	}
+	return sb.String()
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// Example1System is the monotonic system of the paper's Example 1 over
+// ℕ ∪ {∞}: x1 = x2, x2 = x3 + 1, x3 = x1.
+func Example1System() *eqn.System[string, lattice.Nat] {
+	inc := func(n lattice.Nat) lattice.Nat {
+		if n.IsInf() {
+			return n
+		}
+		return lattice.NatOf(n.Val() + 1)
+	}
+	s := eqn.NewSystem[string, lattice.Nat]()
+	s.Define("x1", []string{"x2"}, func(get func(string) lattice.Nat) lattice.Nat { return get("x2") })
+	s.Define("x2", []string{"x3"}, func(get func(string) lattice.Nat) lattice.Nat { return inc(get("x3")) })
+	s.Define("x3", []string{"x1"}, func(get func(string) lattice.Nat) lattice.Nat { return get("x1") })
+	return s
+}
+
+// Example2System is the monotonic system of the paper's Example 2:
+// x1 = (x1+1) ⊓ (x2+1), x2 = (x2+1) ⊓ (x1+1).
+func Example2System() *eqn.System[string, lattice.Nat] {
+	inc := func(n lattice.Nat) lattice.Nat {
+		if n.IsInf() {
+			return n
+		}
+		return lattice.NatOf(n.Val() + 1)
+	}
+	rhs := func(self, other string) eqn.RHS[string, lattice.Nat] {
+		return func(get func(string) lattice.Nat) lattice.Nat {
+			return lattice.NatInf.Meet(inc(get(self)), inc(get(other)))
+		}
+	}
+	s := eqn.NewSystem[string, lattice.Nat]()
+	s.Define("x1", []string{"x1", "x2"}, rhs("x1", "x2"))
+	s.Define("x2", []string{"x1", "x2"}, rhs("x2", "x1"))
+	return s
+}
+
+// traceOp wraps ⊟ and logs every changed update.
+type traceOp struct {
+	l     lattice.NatInfLattice
+	inner solver.Combine[lattice.Nat]
+	sb    *strings.Builder
+	steps int
+	limit int
+}
+
+func (o *traceOp) Apply(x string, old, new lattice.Nat) lattice.Nat {
+	res := o.inner(old, new)
+	if res != old && o.steps < o.limit {
+		o.steps++
+		fmt.Fprintf(o.sb, "  %-3s: %s -> %s\n", x, old, res)
+	}
+	return res
+}
+
+// TraceExamples renders the divergence of RR and W with ⊟ on Examples 1–2
+// and the terminating runs of SRR and SW (Examples 3–4).
+func TraceExamples() string {
+	var sb strings.Builder
+	l := lattice.NatInf
+	zero := func(string) lattice.Nat { return lattice.NatOf(0) }
+	run := func(title string, f func(op solver.Operator[string, lattice.Nat]) (map[string]lattice.Nat, solver.Stats, error)) {
+		fmt.Fprintf(&sb, "%s\n", title)
+		op := &traceOp{inner: solver.Warrow[lattice.Nat](l), sb: &sb, limit: 12}
+		sigma, st, err := f(op)
+		if err != nil {
+			fmt.Fprintf(&sb, "  ... diverges (stopped after %d evaluations)\n\n", st.Evals)
+			return
+		}
+		var parts []string
+		for _, x := range []string{"x1", "x2", "x3"} {
+			if v, ok := sigma[x]; ok {
+				parts = append(parts, fmt.Sprintf("%s=%s", x, v))
+			}
+		}
+		fmt.Fprintf(&sb, "  terminated after %d evaluations: %s\n\n", st.Evals, strings.Join(parts, " "))
+	}
+	cfgSmall := solver.Config{MaxEvals: 2000}
+	run("Example 1: round-robin RR with ⊟ (diverges)", func(op solver.Operator[string, lattice.Nat]) (map[string]lattice.Nat, solver.Stats, error) {
+		return solver.RR(Example1System(), l, op, zero, cfgSmall)
+	})
+	run("Example 3: structured round-robin SRR with ⊟ (terminates)", func(op solver.Operator[string, lattice.Nat]) (map[string]lattice.Nat, solver.Stats, error) {
+		return solver.SRR(Example1System(), l, op, zero, cfgSmall)
+	})
+	run("Example 2: worklist W with ⊟ (diverges)", func(op solver.Operator[string, lattice.Nat]) (map[string]lattice.Nat, solver.Stats, error) {
+		return solver.W(Example2System(), l, op, zero, cfgSmall)
+	})
+	run("Example 4: structured worklist SW with ⊟ (terminates)", func(op solver.Operator[string, lattice.Nat]) (map[string]lattice.Nat, solver.Stats, error) {
+		return solver.SW(Example2System(), l, op, zero, cfgSmall)
+	})
+	return sb.String()
+}

@@ -1,0 +1,563 @@
+// Package interp is a concrete interpreter for mini-C. Its purpose is
+// validation: executing a program concretely and checking that every value
+// a variable actually takes lies inside the interval the abstract
+// interpreter computed for it — the soundness property tests in
+// internal/analysis build on this.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"warrow/internal/cint"
+)
+
+// ErrFuel is returned when execution exceeds its step budget.
+var ErrFuel = errors.New("interp: out of fuel")
+
+// Observer is invoked after every store with the variable declaration, its
+// new value, and the source position of the statement performing the store
+// (function entry for parameter binding); arrays report element writes with
+// the array declaration.
+type Observer func(v *cint.VarDecl, value int64, pos cint.Pos)
+
+// Interp executes mini-C programs.
+type Interp struct {
+	prog *cint.Program
+	// Fuel bounds executed statements; 0 means a default of one million.
+	Fuel int
+	// Observe, if set, sees every store.
+	Observe Observer
+
+	globals map[string]*cell
+	steps   int
+}
+
+// cell is a storage location: a scalar, a pointer, or an array.
+type cell struct {
+	decl *cint.VarDecl
+	v    int64
+	arr  []int64
+	box  *ptrBox // pointer-typed cells store their target here
+}
+
+// ptrBox is the value of a pointer-typed cell.
+type ptrBox struct {
+	target *cell
+	idx    int
+}
+
+// value is a runtime value: an integer or a pointer to a cell (with an
+// optional element index for pointers into arrays).
+type value struct {
+	i   int64
+	ptr *cell
+	idx int
+}
+
+type frame struct {
+	locals map[string]*cell
+}
+
+// New returns an interpreter for a checked program.
+func New(prog *cint.Program) *Interp {
+	return &Interp{prog: prog, Fuel: 1_000_000}
+}
+
+// Run executes main() and returns its result.
+func (ip *Interp) Run() (ret int64, err error) {
+	main, ok := ip.prog.FuncByName["main"]
+	if !ok {
+		return 0, errors.New("interp: no main function")
+	}
+	ip.steps = 0
+	ip.globals = make(map[string]*cell)
+	for _, g := range ip.prog.Globals {
+		c := ip.newCell(g)
+		if g.Init != nil {
+			// Global initializers are checked constant expressions.
+			v, e := ip.eval(&frame{}, g.Init)
+			if e != nil {
+				return 0, e
+			}
+			c.v = v.i
+			ip.observe(g, v.i, g.Pos)
+		}
+		ip.globals[g.ID] = c
+	}
+	v, err := ip.call(main, nil)
+	if err != nil {
+		return 0, err
+	}
+	return v.i, nil
+}
+
+func (ip *Interp) newCell(d *cint.VarDecl) *cell {
+	c := &cell{decl: d}
+	if d.Type.Kind == cint.TypeArray {
+		c.arr = make([]int64, d.Type.Len)
+	}
+	return c
+}
+
+func (ip *Interp) observe(d *cint.VarDecl, v int64, pos cint.Pos) {
+	if ip.Observe != nil {
+		ip.Observe(d, v, pos)
+	}
+}
+
+func (ip *Interp) fuel() error {
+	ip.steps++
+	limit := ip.Fuel
+	if limit == 0 {
+		limit = 1_000_000
+	}
+	if ip.steps > limit {
+		return ErrFuel
+	}
+	return nil
+}
+
+// call runs fn with the given argument values and returns its result.
+func (ip *Interp) call(fn *cint.FuncDecl, args []value) (value, error) {
+	fr := &frame{locals: make(map[string]*cell)}
+	for i, p := range fn.Params {
+		c := ip.newCell(p)
+		fr.locals[p.ID] = c
+		ip.storeCell(c, args[i])
+		if p.Type.Kind == cint.TypeInt {
+			ip.observe(p, args[i].i, fn.Pos)
+		}
+	}
+	err := ip.execBlock(fr, fn.Body)
+	if err != nil {
+		var rs *retErr
+		if errors.As(err, &rs) {
+			return rs.v, nil
+		}
+		return value{}, err
+	}
+	return value{}, nil // fell off the end
+}
+
+// retErr carries a return value as an error for clean unwinding.
+type retErr struct{ v value }
+
+func (*retErr) Error() string { return "return" }
+
+// storeCell writes a value into a cell; pointer-typed cells keep their
+// target in box, everything else in v.
+func (ip *Interp) storeCell(c *cell, v value) {
+	if c.decl != nil && c.decl.Type.Kind == cint.TypePtr {
+		c.box = &ptrBox{target: v.ptr, idx: v.idx}
+		return
+	}
+	c.v = v.i
+}
+
+func (ip *Interp) execBlock(fr *frame, blk *cint.BlockStmt) error {
+	for _, s := range blk.Stmts {
+		if err := ip.exec(fr, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ip *Interp) exec(fr *frame, s cint.Stmt) error {
+	if err := ip.fuel(); err != nil {
+		return err
+	}
+	switch s := s.(type) {
+	case *cint.BlockStmt:
+		return ip.execBlock(fr, s)
+	case *cint.EmptyStmt:
+		return nil
+	case *cint.DeclStmt:
+		c := ip.newCell(s.Decl)
+		fr.locals[s.Decl.ID] = c
+		if s.Decl.Init != nil {
+			v, err := ip.eval(fr, s.Decl.Init)
+			if err != nil {
+				return err
+			}
+			ip.storeCell(c, v)
+			ip.observe(s.Decl, v.i, s.Position())
+		}
+		return nil
+	case *cint.AssignStmt:
+		var v value
+		var err error
+		if s.Call != nil {
+			v, err = ip.evalCall(fr, s.Call)
+		} else {
+			v, err = ip.eval(fr, s.Rhs)
+		}
+		if err != nil {
+			return err
+		}
+		return ip.assign(fr, s.Lhs, v, s.Position())
+	case *cint.ExprStmt:
+		_, err := ip.evalCall(fr, s.Call)
+		return err
+	case *cint.IfStmt:
+		c, err := ip.eval(fr, s.Cond)
+		if err != nil {
+			return err
+		}
+		if truthy(c) {
+			return ip.exec(fr, s.Then)
+		}
+		if s.Else != nil {
+			return ip.exec(fr, s.Else)
+		}
+		return nil
+	case *cint.WhileStmt:
+		for {
+			c, err := ip.eval(fr, s.Cond)
+			if err != nil {
+				return err
+			}
+			if !truthy(c) {
+				return nil
+			}
+			if err := ip.loopBody(fr, s.Body); err != nil {
+				if errors.Is(err, errBreak) {
+					return nil
+				}
+				return err
+			}
+		}
+	case *cint.DoWhileStmt:
+		for {
+			if err := ip.loopBody(fr, s.Body); err != nil {
+				if errors.Is(err, errBreak) {
+					return nil
+				}
+				return err
+			}
+			c, err := ip.eval(fr, s.Cond)
+			if err != nil {
+				return err
+			}
+			if !truthy(c) {
+				return nil
+			}
+		}
+	case *cint.ForStmt:
+		if s.Init != nil {
+			if err := ip.exec(fr, s.Init); err != nil {
+				return err
+			}
+		}
+		for {
+			if s.Cond != nil {
+				c, err := ip.eval(fr, s.Cond)
+				if err != nil {
+					return err
+				}
+				if !truthy(c) {
+					return nil
+				}
+			}
+			if err := ip.loopBody(fr, s.Body); err != nil {
+				if errors.Is(err, errBreak) {
+					return nil
+				}
+				return err
+			}
+			if s.Post != nil {
+				if err := ip.exec(fr, s.Post); err != nil {
+					return err
+				}
+			}
+		}
+	case *cint.AssertStmt:
+		c, err := ip.eval(fr, s.Cond)
+		if err != nil {
+			return err
+		}
+		if !truthy(c) {
+			return fmt.Errorf("interp: assertion failed at %s: %s", s.Position(), s.Cond)
+		}
+		return nil
+	case *cint.ReturnStmt:
+		var v value
+		if s.Value != nil {
+			var err error
+			v, err = ip.eval(fr, s.Value)
+			if err != nil {
+				return err
+			}
+		}
+		return &retErr{v: v}
+	case *cint.BreakStmt:
+		return errBreak
+	case *cint.ContinueStmt:
+		return errContinue
+	default:
+		return fmt.Errorf("interp: unhandled statement %T", s)
+	}
+}
+
+var (
+	errBreak    = errors.New("break")
+	errContinue = errors.New("continue")
+)
+
+// loopBody executes a loop body, absorbing continue.
+func (ip *Interp) loopBody(fr *frame, body cint.Stmt) error {
+	err := ip.exec(fr, body)
+	if errors.Is(err, errContinue) {
+		return nil
+	}
+	return err
+}
+
+func truthy(v value) bool {
+	if v.ptr != nil {
+		return true
+	}
+	return v.i != 0
+}
+
+// lookup resolves a declaration to its cell.
+func (ip *Interp) lookup(fr *frame, d *cint.VarDecl) (*cell, error) {
+	if c, ok := fr.locals[d.ID]; ok {
+		return c, nil
+	}
+	if c, ok := ip.globals[d.ID]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("interp: unbound variable %s (use before declaration?)", d.ID)
+}
+
+// assign stores v into an lvalue.
+func (ip *Interp) assign(fr *frame, lhs cint.Expr, v value, pos cint.Pos) error {
+	switch l := lhs.(type) {
+	case *cint.Ident:
+		c, err := ip.lookup(fr, l.Obj)
+		if err != nil {
+			return err
+		}
+		ip.storeCell(c, v)
+		ip.observe(l.Obj, v.i, pos)
+		return nil
+	case *cint.UnaryExpr: // *p = v
+		pv, err := ip.eval(fr, l.X)
+		if err != nil {
+			return err
+		}
+		if pv.ptr == nil {
+			return fmt.Errorf("interp: nil pointer dereference at %s", l.Position())
+		}
+		return ip.storeInto(pv.ptr, pv.idx, v, pos)
+	case *cint.IndexExpr: // a[i] = v
+		base, idx, err := ip.evalIndex(fr, l)
+		if err != nil {
+			return err
+		}
+		return ip.storeInto(base, idx, v, pos)
+	default:
+		return fmt.Errorf("interp: bad lvalue %T", lhs)
+	}
+}
+
+// storeInto writes v at an element (or the scalar) of target.
+func (ip *Interp) storeInto(target *cell, idx int, v value, pos cint.Pos) error {
+	if target.arr != nil {
+		if idx < 0 || idx >= len(target.arr) {
+			return fmt.Errorf("interp: index %d out of range [0,%d) of %s",
+				idx, len(target.arr), target.decl.ID)
+		}
+		target.arr[idx] = v.i
+		ip.observe(target.decl, v.i, pos)
+		return nil
+	}
+	ip.storeCell(target, v)
+	ip.observe(target.decl, v.i, pos)
+	return nil
+}
+
+// evalIndex resolves a[i] to (cell, index).
+func (ip *Interp) evalIndex(fr *frame, e *cint.IndexExpr) (*cell, int, error) {
+	base, err := ip.eval(fr, e.X)
+	if err != nil {
+		return nil, 0, err
+	}
+	idx, err := ip.eval(fr, e.Idx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if base.ptr == nil {
+		return nil, 0, fmt.Errorf("interp: indexing nil pointer at %s", e.Position())
+	}
+	return base.ptr, base.idx + int(idx.i), nil
+}
+
+func (ip *Interp) evalCall(fr *frame, call *cint.CallExpr) (value, error) {
+	args := make([]value, len(call.Args))
+	for i, a := range call.Args {
+		v, err := ip.eval(fr, a)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	return ip.call(call.Fn, args)
+}
+
+func (ip *Interp) eval(fr *frame, e cint.Expr) (value, error) {
+	switch x := e.(type) {
+	case *cint.IntLit:
+		return value{i: x.Value}, nil
+	case *cint.Ident:
+		c, err := ip.lookup(fr, x.Obj)
+		if err != nil {
+			return value{}, err
+		}
+		switch x.Obj.Type.Kind {
+		case cint.TypeArray:
+			return value{ptr: c}, nil // decay
+		case cint.TypePtr:
+			if c.box == nil {
+				return value{}, nil // null pointer
+			}
+			return value{ptr: c.box.target, idx: c.box.idx}, nil
+		default:
+			return value{i: c.v}, nil
+		}
+	case *cint.UnaryExpr:
+		switch x.Op {
+		case cint.TokAmp:
+			id := x.X.(*cint.Ident)
+			c, err := ip.lookup(fr, id.Obj)
+			if err != nil {
+				return value{}, err
+			}
+			return value{ptr: c}, nil
+		case cint.TokStar:
+			pv, err := ip.eval(fr, x.X)
+			if err != nil {
+				return value{}, err
+			}
+			if pv.ptr == nil {
+				return value{}, fmt.Errorf("interp: nil pointer dereference at %s", x.Position())
+			}
+			return ip.loadFrom(pv.ptr, pv.idx, x.Position())
+		case cint.TokMinus:
+			v, err := ip.eval(fr, x.X)
+			if err != nil {
+				return value{}, err
+			}
+			return value{i: -v.i}, nil
+		case cint.TokNot:
+			v, err := ip.eval(fr, x.X)
+			if err != nil {
+				return value{}, err
+			}
+			if truthy(v) {
+				return value{i: 0}, nil
+			}
+			return value{i: 1}, nil
+		}
+	case *cint.BinaryExpr:
+		l, err := ip.eval(fr, x.X)
+		if err != nil {
+			return value{}, err
+		}
+		// Short-circuit evaluation.
+		switch x.Op {
+		case cint.TokAndAnd:
+			if !truthy(l) {
+				return value{i: 0}, nil
+			}
+			r, err := ip.eval(fr, x.Y)
+			if err != nil {
+				return value{}, err
+			}
+			return boolVal(truthy(r)), nil
+		case cint.TokOrOr:
+			if truthy(l) {
+				return value{i: 1}, nil
+			}
+			r, err := ip.eval(fr, x.Y)
+			if err != nil {
+				return value{}, err
+			}
+			return boolVal(truthy(r)), nil
+		}
+		r, err := ip.eval(fr, x.Y)
+		if err != nil {
+			return value{}, err
+		}
+		switch x.Op {
+		case cint.TokPlus:
+			return value{i: l.i + r.i}, nil
+		case cint.TokMinus:
+			return value{i: l.i - r.i}, nil
+		case cint.TokStar:
+			return value{i: l.i * r.i}, nil
+		case cint.TokSlash:
+			if r.i == 0 {
+				return value{}, fmt.Errorf("interp: division by zero at %s", x.Position())
+			}
+			return value{i: l.i / r.i}, nil
+		case cint.TokPercent:
+			if r.i == 0 {
+				return value{}, fmt.Errorf("interp: modulo by zero at %s", x.Position())
+			}
+			return value{i: l.i % r.i}, nil
+		case cint.TokLt:
+			return boolVal(l.i < r.i), nil
+		case cint.TokLe:
+			return boolVal(l.i <= r.i), nil
+		case cint.TokGt:
+			return boolVal(l.i > r.i), nil
+		case cint.TokGe:
+			return boolVal(l.i >= r.i), nil
+		case cint.TokEq:
+			if x.X.Type().Kind == cint.TypePtr || x.X.Type().Kind == cint.TypeArray {
+				return boolVal(l.ptr == r.ptr && l.idx == r.idx), nil
+			}
+			return boolVal(l.i == r.i), nil
+		case cint.TokNe:
+			if x.X.Type().Kind == cint.TypePtr || x.X.Type().Kind == cint.TypeArray {
+				return boolVal(l.ptr != r.ptr || l.idx != r.idx), nil
+			}
+			return boolVal(l.i != r.i), nil
+		}
+	case *cint.IndexExpr:
+		base, idx, err := ip.evalIndex(fr, x)
+		if err != nil {
+			return value{}, err
+		}
+		return ip.loadFrom(base, idx, x.Position())
+	}
+	return value{}, fmt.Errorf("interp: unhandled expression %T", e)
+}
+
+// loadFrom reads an element (or the scalar) of a cell.
+func (ip *Interp) loadFrom(c *cell, idx int, pos cint.Pos) (value, error) {
+	if c.arr != nil {
+		if idx < 0 || idx >= len(c.arr) {
+			return value{}, fmt.Errorf("interp: index %d out of range [0,%d) of %s at %s",
+				idx, len(c.arr), c.decl.ID, pos)
+		}
+		return value{i: c.arr[idx]}, nil
+	}
+	if c.decl != nil && c.decl.Type.Kind == cint.TypePtr {
+		if c.box == nil {
+			return value{}, nil
+		}
+		return value{ptr: c.box.target, idx: c.box.idx}, nil
+	}
+	return value{i: c.v}, nil
+}
+
+func boolVal(b bool) value {
+	if b {
+		return value{i: 1}
+	}
+	return value{i: 0}
+}

@@ -1,0 +1,268 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"warrow/internal/cint"
+)
+
+func runProgram(t *testing.T, src string) int64 {
+	t.Helper()
+	ip := New(cint.MustParse(src))
+	v, err := ip.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func TestArithmeticAndLoops(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{`int main() { return 2 + 3 * 4; }`, 14},
+		{`int main() { return (2 + 3) * 4; }`, 20},
+		{`int main() { return 17 / 5; }`, 3},
+		{`int main() { return 17 % 5; }`, 2},
+		{`int main() { return -17 % 5; }`, -2},
+		{`int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }`, 45},
+		{`int main() { int i; i = 0; while (i < 7) { i = i + 2; } return i; }`, 8},
+		{`int main() { int i; i = 10; do { i = i - 3; } while (i > 0); return i; }`, -2},
+		{`int main() { if (1 < 2 && 3 != 4) { return 1; } return 0; }`, 1},
+		{`int main() { if (0 || !1) { return 1; } return 2; }`, 2},
+		{`int main() { int i; i = 0; while (1) { i = i + 1; if (i == 5) { break; } } return i; }`, 5},
+		{`int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { continue; } s = s + 1; } return s; }`, 5},
+	}
+	for _, c := range cases {
+		if got := runProgram(t, c.src); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+int fac(int n) {
+    int r;
+    if (n <= 1) { return 1; }
+    r = fac(n - 1);
+    return n * r;
+}
+int main() { int x; x = fac(6); return x; }`
+	if got := runProgram(t, src); got != 720 {
+		t.Errorf("fac(6) = %d", got)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	src := `
+int g = 5;
+int a[4];
+int main() {
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        a[i] = i * i;
+    }
+    g = g + a[3];
+    return g;
+}`
+	if got := runProgram(t, src); got != 14 {
+		t.Errorf("got %d, want 14", got)
+	}
+}
+
+func TestPointers(t *testing.T) {
+	src := `
+void set(int *p, int v) { *p = v; }
+int main() {
+    int x; int y;
+    int *q;
+    x = 1; y = 2;
+    q = &x;
+    set(q, 10);
+    q = &y;
+    set(q, 20);
+    return x + y;
+}`
+	if got := runProgram(t, src); got != 30 {
+		t.Errorf("got %d, want 30", got)
+	}
+}
+
+func TestPointerIntoArray(t *testing.T) {
+	src := `
+int buf[8];
+int main() {
+    int *p;
+    p = buf;
+    *p = 7;
+    p[3] = 9;
+    return buf[0] + buf[3];
+}`
+	if got := runProgram(t, src); got != 16 {
+		t.Errorf("got %d, want 16", got)
+	}
+}
+
+func TestPointerToPointer(t *testing.T) {
+	src := `
+int main() {
+    int x;
+    int *p;
+    int **pp;
+    x = 3;
+    p = &x;
+    pp = &p;
+    **pp = 42;
+    return x;
+}`
+	if got := runProgram(t, src); got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"div by zero", `int main() { int z; z = 0; return 1 / z; }`},
+		{"mod by zero", `int main() { int z; z = 0; return 1 % z; }`},
+		{"nil deref", `int main() { int *p; return *p; }`},
+		{"index out of range", `int a[2]; int main() { return a[5]; }`},
+	}
+	for _, c := range cases {
+		ip := New(cint.MustParse(c.src))
+		if _, err := ip.Run(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestFuel(t *testing.T) {
+	ip := New(cint.MustParse(`int main() { int i; i = 0; while (1) { i = i + 1; } return i; }`))
+	ip.Fuel = 1000
+	_, err := ip.Run()
+	if !errors.Is(err, ErrFuel) {
+		t.Fatalf("err = %v, want ErrFuel", err)
+	}
+}
+
+func TestObserver(t *testing.T) {
+	var stores []int64
+	ip := New(cint.MustParse(`int main() { int i; for (i = 0; i < 3; i = i + 1) { ; } return i; }`))
+	ip.Observe = func(v *cint.VarDecl, val int64, _ cint.Pos) {
+		if v.Name == "i" {
+			stores = append(stores, val)
+		}
+	}
+	if _, err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 2, 3}
+	if len(stores) != len(want) {
+		t.Fatalf("stores = %v, want %v", stores, want)
+	}
+	for i := range want {
+		if stores[i] != want[i] {
+			t.Fatalf("stores = %v, want %v", stores, want)
+		}
+	}
+}
+
+func TestShortCircuitSkipsSideConditions(t *testing.T) {
+	// && must not evaluate the second operand when the first is false:
+	// here the second operand would divide by zero.
+	src := `int main() { int z; z = 0; if (0 != 0 && 1 / z > 0) { return 1; } return 2; }`
+	if got := runProgram(t, src); got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+}
+
+func TestPointerGlobalsAndChaining(t *testing.T) {
+	src := `
+int x;
+int *gp;
+int main() {
+    int v;
+    gp = &x;
+    *gp = 11;
+    v = *gp;
+    return v + x;
+}`
+	if got := runProgram(t, src); got != 22 {
+		t.Errorf("got %d, want 22", got)
+	}
+}
+
+func TestPointerComparisonRuntime(t *testing.T) {
+	src := `
+int main() {
+    int a; int b;
+    int *p; int *q;
+    p = &a;
+    q = &a;
+    if (p == q) { b = 1; } else { b = 2; }
+    q = &b;
+    if (p != q) { b = b + 10; }
+    return b;
+}`
+	if got := runProgram(t, src); got != 11 {
+		t.Errorf("got %d, want 11", got)
+	}
+}
+
+func TestArrayElementPointerWrite(t *testing.T) {
+	src := `
+int buf[4];
+int main() {
+    int *p;
+    int i;
+    p = buf;
+    for (i = 0; i < 4; i = i + 1) {
+        p[i] = i * i;
+    }
+    return buf[3];
+}`
+	if got := runProgram(t, src); got != 9 {
+		t.Errorf("got %d, want 9", got)
+	}
+}
+
+func TestVoidFunctionAndFallOffEnd(t *testing.T) {
+	src := `
+int g = 0;
+void bump() { g = g + 1; }
+int noret(int x) { if (x > 0) { return x; } }
+int main() {
+    int r;
+    bump();
+    bump();
+    r = noret(0); // falls off the end: result is unspecified (0 here)
+    return g + r;
+}`
+	if got := runProgram(t, src); got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+}
+
+func TestNegativeIndexError(t *testing.T) {
+	ip := New(cint.MustParse(`int a[3]; int main() { int i; i = -1; return a[i]; }`))
+	if _, err := ip.Run(); err == nil {
+		t.Fatal("negative index should error")
+	}
+}
+
+func TestGlobalInitializerExpression(t *testing.T) {
+	if got := runProgram(t, `int g = 3 * 5 - 1; int main() { return g; }`); got != 14 {
+		t.Errorf("got %d, want 14", got)
+	}
+}
+
+func TestNoMainError(t *testing.T) {
+	ip := New(cint.MustParse(`int f() { return 1; }`))
+	if _, err := ip.Run(); err == nil {
+		t.Fatal("missing main should error")
+	}
+}

@@ -1,0 +1,289 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pair is an element of the product lattice A × B.
+type Pair[A, B any] struct {
+	Fst A
+	Snd B
+}
+
+// PairLattice is the product of two lattices with componentwise order and
+// operators.
+type PairLattice[A, B any] struct {
+	A Lattice[A]
+	B Lattice[B]
+}
+
+// NewPairLattice returns the product lattice of a and b.
+func NewPairLattice[A, B any](a Lattice[A], b Lattice[B]) *PairLattice[A, B] {
+	return &PairLattice[A, B]{A: a, B: b}
+}
+
+// Bottom returns (⊥, ⊥).
+func (l *PairLattice[A, B]) Bottom() Pair[A, B] {
+	return Pair[A, B]{l.A.Bottom(), l.B.Bottom()}
+}
+
+// Top returns (⊤, ⊤).
+func (l *PairLattice[A, B]) Top() Pair[A, B] {
+	return Pair[A, B]{l.A.Top(), l.B.Top()}
+}
+
+// Leq reports componentwise order.
+func (l *PairLattice[A, B]) Leq(a, b Pair[A, B]) bool {
+	return l.A.Leq(a.Fst, b.Fst) && l.B.Leq(a.Snd, b.Snd)
+}
+
+// Eq reports componentwise equality.
+func (l *PairLattice[A, B]) Eq(a, b Pair[A, B]) bool {
+	return l.A.Eq(a.Fst, b.Fst) && l.B.Eq(a.Snd, b.Snd)
+}
+
+// Join joins componentwise.
+func (l *PairLattice[A, B]) Join(a, b Pair[A, B]) Pair[A, B] {
+	return Pair[A, B]{l.A.Join(a.Fst, b.Fst), l.B.Join(a.Snd, b.Snd)}
+}
+
+// Meet meets componentwise.
+func (l *PairLattice[A, B]) Meet(a, b Pair[A, B]) Pair[A, B] {
+	return Pair[A, B]{l.A.Meet(a.Fst, b.Fst), l.B.Meet(a.Snd, b.Snd)}
+}
+
+// Widen widens componentwise.
+func (l *PairLattice[A, B]) Widen(a, b Pair[A, B]) Pair[A, B] {
+	return Pair[A, B]{l.A.Widen(a.Fst, b.Fst), l.B.Widen(a.Snd, b.Snd)}
+}
+
+// Narrow narrows componentwise.
+func (l *PairLattice[A, B]) Narrow(a, b Pair[A, B]) Pair[A, B] {
+	return Pair[A, B]{l.A.Narrow(a.Fst, b.Fst), l.B.Narrow(a.Snd, b.Snd)}
+}
+
+// Format renders a pair.
+func (l *PairLattice[A, B]) Format(a Pair[A, B]) string {
+	return "(" + l.A.Format(a.Fst) + ", " + l.B.Format(a.Snd) + ")"
+}
+
+// Lifted adds a fresh bottom element beneath a lattice; useful to
+// distinguish "unreachable" from the inner lattice's own least element.
+type Lifted[D any] struct {
+	// Bot marks the added bottom; if false, V is the inner element.
+	Bot bool
+	V   D
+}
+
+// LiftOf wraps an inner element.
+func LiftOf[D any](v D) Lifted[D] { return Lifted[D]{V: v} }
+
+// LiftLattice lifts an inner lattice with a new bottom.
+type LiftLattice[D any] struct {
+	Inner Lattice[D]
+}
+
+// NewLiftLattice returns the lift of inner.
+func NewLiftLattice[D any](inner Lattice[D]) *LiftLattice[D] {
+	return &LiftLattice[D]{Inner: inner}
+}
+
+// Bottom returns the added bottom.
+func (*LiftLattice[D]) Bottom() Lifted[D] { return Lifted[D]{Bot: true} }
+
+// Top returns the inner top.
+func (l *LiftLattice[D]) Top() Lifted[D] { return LiftOf(l.Inner.Top()) }
+
+// Leq reports the lifted order.
+func (l *LiftLattice[D]) Leq(a, b Lifted[D]) bool {
+	if a.Bot {
+		return true
+	}
+	if b.Bot {
+		return false
+	}
+	return l.Inner.Leq(a.V, b.V)
+}
+
+// Eq reports lifted equality.
+func (l *LiftLattice[D]) Eq(a, b Lifted[D]) bool {
+	if a.Bot || b.Bot {
+		return a.Bot == b.Bot
+	}
+	return l.Inner.Eq(a.V, b.V)
+}
+
+// Join joins, treating the added bottom as neutral.
+func (l *LiftLattice[D]) Join(a, b Lifted[D]) Lifted[D] {
+	if a.Bot {
+		return b
+	}
+	if b.Bot {
+		return a
+	}
+	return LiftOf(l.Inner.Join(a.V, b.V))
+}
+
+// Meet meets; the added bottom absorbs.
+func (l *LiftLattice[D]) Meet(a, b Lifted[D]) Lifted[D] {
+	if a.Bot || b.Bot {
+		return Lifted[D]{Bot: true}
+	}
+	return LiftOf(l.Inner.Meet(a.V, b.V))
+}
+
+// Widen widens, treating the added bottom as neutral.
+func (l *LiftLattice[D]) Widen(a, b Lifted[D]) Lifted[D] {
+	if a.Bot {
+		return b
+	}
+	if b.Bot {
+		return a
+	}
+	return LiftOf(l.Inner.Widen(a.V, b.V))
+}
+
+// Narrow narrows; requires b ⊑ a.
+func (l *LiftLattice[D]) Narrow(a, b Lifted[D]) Lifted[D] {
+	if a.Bot || b.Bot {
+		return b
+	}
+	return LiftOf(l.Inner.Narrow(a.V, b.V))
+}
+
+// Format renders a lifted element.
+func (l *LiftLattice[D]) Format(a Lifted[D]) string {
+	if a.Bot {
+		return "⊥⊥"
+	}
+	return l.Inner.Format(a.V)
+}
+
+// MapLattice lifts a value lattice pointwise to finite-support maps from K:
+// a map element assigns the Default (normally the inner bottom) to every key
+// it does not mention. Top is representable only if top equals the default,
+// otherwise Top panics.
+type MapLattice[K comparable, D any] struct {
+	Inner   Lattice[D]
+	Default D
+}
+
+// NewMapLattice returns the pointwise lift of inner with inner.Bottom() as
+// the default.
+func NewMapLattice[K comparable, D any](inner Lattice[D]) *MapLattice[K, D] {
+	return &MapLattice[K, D]{Inner: inner, Default: inner.Bottom()}
+}
+
+// Get returns the binding of k, or the default.
+func (l *MapLattice[K, D]) Get(m map[K]D, k K) D {
+	if v, ok := m[k]; ok {
+		return v
+	}
+	return l.Default
+}
+
+// Set returns a copy of m with k bound to v. Bindings equal to the default
+// are kept explicit only if already present; fresh default bindings are
+// dropped to keep maps small.
+func (l *MapLattice[K, D]) Set(m map[K]D, k K, v D) map[K]D {
+	out := make(map[K]D, len(m)+1)
+	for key, val := range m {
+		out[key] = val
+	}
+	if _, present := out[k]; !present && l.Inner.Eq(v, l.Default) {
+		return out
+	}
+	out[k] = v
+	return out
+}
+
+// Bottom returns the empty map (everything default).
+func (*MapLattice[K, D]) Bottom() map[K]D { return nil }
+
+// Top panics unless the inner top equals the default.
+func (l *MapLattice[K, D]) Top() map[K]D {
+	if l.Inner.Eq(l.Inner.Top(), l.Default) {
+		return nil
+	}
+	panic("lattice: MapLattice.Top is not representable")
+}
+
+// Leq reports pointwise order.
+func (l *MapLattice[K, D]) Leq(a, b map[K]D) bool {
+	for k, av := range a {
+		if !l.Inner.Leq(av, l.Get(b, k)) {
+			return false
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			if !l.Inner.Leq(l.Default, bv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Eq reports pointwise equality.
+func (l *MapLattice[K, D]) Eq(a, b map[K]D) bool {
+	for k, av := range a {
+		if !l.Inner.Eq(av, l.Get(b, k)) {
+			return false
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			if !l.Inner.Eq(l.Default, bv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// combine merges a and b pointwise with op.
+func (l *MapLattice[K, D]) combine(a, b map[K]D, op func(x, y D) D) map[K]D {
+	out := make(map[K]D, len(a)+len(b))
+	for k, av := range a {
+		out[k] = op(av, l.Get(b, k))
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = op(l.Default, bv)
+		}
+	}
+	return out
+}
+
+// Join joins pointwise.
+func (l *MapLattice[K, D]) Join(a, b map[K]D) map[K]D {
+	return l.combine(a, b, l.Inner.Join)
+}
+
+// Meet meets pointwise.
+func (l *MapLattice[K, D]) Meet(a, b map[K]D) map[K]D {
+	return l.combine(a, b, l.Inner.Meet)
+}
+
+// Widen widens pointwise.
+func (l *MapLattice[K, D]) Widen(a, b map[K]D) map[K]D {
+	return l.combine(a, b, l.Inner.Widen)
+}
+
+// Narrow narrows pointwise; requires b ⊑ a.
+func (l *MapLattice[K, D]) Narrow(a, b map[K]D) map[K]D {
+	return l.combine(a, b, l.Inner.Narrow)
+}
+
+// Format renders a map with sorted keys.
+func (l *MapLattice[K, D]) Format(a map[K]D) string {
+	parts := make([]string, 0, len(a))
+	for k, v := range a {
+		parts = append(parts, fmt.Sprintf("%v↦%s", k, l.Inner.Format(v)))
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}

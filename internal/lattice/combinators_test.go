@@ -1,0 +1,122 @@
+package lattice
+
+import "testing"
+
+func TestPairLatticeLaws(t *testing.T) {
+	l := NewPairLattice[Interval, Nat](Ints, NatInf)
+	samples := []Pair[Interval, Nat]{
+		l.Bottom(), l.Top(),
+		{Range(0, 5), NatOf(2)},
+		{AtLeast(1), NatInfElem},
+		{EmptyInterval, NatOf(7)},
+	}
+	if err := CheckLaws[Pair[Interval, Nat]](l, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairComponentwise(t *testing.T) {
+	l := NewPairLattice[Interval, Interval](Ints, Ints)
+	a := Pair[Interval, Interval]{Range(0, 1), Range(5, 9)}
+	b := Pair[Interval, Interval]{Range(1, 2), Range(6, 7)}
+	j := l.Join(a, b)
+	if !Ints.Eq(j.Fst, Range(0, 2)) || !Ints.Eq(j.Snd, Range(5, 9)) {
+		t.Errorf("join: %s", l.Format(j))
+	}
+	w := l.Widen(a, b)
+	if !Ints.Eq(w.Fst, NewInterval(Fin(0), PosInf)) {
+		t.Errorf("widen fst: %s", Ints.Format(w.Fst))
+	}
+}
+
+func TestLiftLatticeLaws(t *testing.T) {
+	l := NewLiftLattice[Interval](Ints)
+	samples := []Lifted[Interval]{
+		l.Bottom(),
+		LiftOf(EmptyInterval),
+		LiftOf(Range(0, 3)),
+		LiftOf(FullInterval),
+	}
+	if err := CheckLaws[Lifted[Interval]](l, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiftDistinguishesUnreachable(t *testing.T) {
+	l := NewLiftLattice[Interval](Ints)
+	if l.Eq(l.Bottom(), LiftOf(EmptyInterval)) {
+		t.Fatal("lifted bottom must differ from inner bottom")
+	}
+	if !l.Leq(l.Bottom(), LiftOf(EmptyInterval)) {
+		t.Fatal("lifted bottom must be below inner bottom")
+	}
+	if got := l.Join(l.Bottom(), LiftOf(Range(1, 2))); got.Bot || !Ints.Eq(got.V, Range(1, 2)) {
+		t.Fatalf("join with lifted bottom: %s", l.Format(got))
+	}
+}
+
+func TestMapLatticeLaws(t *testing.T) {
+	l := NewMapLattice[string, Interval](Ints)
+	samples := []map[string]Interval{
+		nil,
+		{"x": Range(0, 1)},
+		{"x": Range(0, 5), "y": Singleton(3)},
+		{"y": AtLeast(0)},
+		{"x": FullInterval},
+	}
+	if err := CheckLaws[map[string]Interval](l, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapLatticeGetSet(t *testing.T) {
+	l := NewMapLattice[string, Interval](Ints)
+	m := l.Set(nil, "x", Range(1, 2))
+	if !Ints.Eq(l.Get(m, "x"), Range(1, 2)) {
+		t.Fatal("Set/Get")
+	}
+	if !Ints.Eq(l.Get(m, "missing"), EmptyInterval) {
+		t.Fatal("default for missing key")
+	}
+	// Setting a default value on a fresh key keeps maps small.
+	m2 := l.Set(nil, "z", EmptyInterval)
+	if len(m2) != 0 {
+		t.Fatalf("fresh default binding should be dropped, got %v", m2)
+	}
+	// Set must not mutate its argument.
+	_ = l.Set(m, "x", Singleton(9))
+	if !Ints.Eq(l.Get(m, "x"), Range(1, 2)) {
+		t.Fatal("Set mutated input map")
+	}
+}
+
+func TestMapLatticePointwise(t *testing.T) {
+	l := NewMapLattice[string, Interval](Ints)
+	a := map[string]Interval{"x": Range(0, 1)}
+	b := map[string]Interval{"x": Range(2, 3), "y": Singleton(7)}
+	j := l.Join(a, b)
+	if !Ints.Eq(l.Get(j, "x"), Range(0, 3)) || !Ints.Eq(l.Get(j, "y"), Singleton(7)) {
+		t.Errorf("join: %s", l.Format(j))
+	}
+	w := l.Widen(a, b)
+	if !Ints.Eq(l.Get(w, "x"), NewInterval(Fin(0), PosInf)) {
+		t.Errorf("widen: %s", l.Format(w))
+	}
+	if !l.Leq(a, j) || !l.Leq(b, j) {
+		t.Error("join not an upper bound")
+	}
+}
+
+func TestJoinWidenAdapter(t *testing.T) {
+	l := JoinWiden[Flat[int]]{Inner: FlatLattice[int]{}}
+	a, b := FlatOf(1), FlatOf(2)
+	if got := l.Widen(a, b); got.Kind != FlatTop {
+		t.Errorf("JoinWiden.Widen should join: %s", l.Format(got))
+	}
+	if got := l.Narrow(l.Top(), a); !l.Eq(got, a) {
+		t.Errorf("JoinWiden.Narrow should return b: %s", l.Format(got))
+	}
+	if err := CheckLaws[Flat[int]](l, []Flat[int]{l.Bottom(), l.Top(), a, b}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package lattice_test
+
+import (
+	"fmt"
+
+	"warrow/internal/lattice"
+)
+
+// ExampleIntervalLattice_Widen shows the standard interval acceleration:
+// the unstable upper bound jumps to +inf, and narrowing recovers it once a
+// smaller value is available.
+func ExampleIntervalLattice_Widen() {
+	l := lattice.Ints
+	a := lattice.Range(0, 10)
+	b := lattice.Range(0, 11)
+	w := l.Widen(a, b)
+	n := l.Narrow(w, lattice.Range(0, 42))
+	fmt.Println("widen :", w)
+	fmt.Println("narrow:", n)
+	// Output:
+	// widen : [0,+inf]
+	// narrow: [0,42]
+}
+
+// ExampleNewIntervalLattice demonstrates threshold widening: unstable
+// bounds jump to the nearest threshold before giving up to infinity.
+func ExampleNewIntervalLattice() {
+	l := lattice.NewIntervalLattice(16, 64)
+	a := lattice.Range(0, 10)
+	fmt.Println(l.Widen(a, lattice.Range(0, 11)))
+	fmt.Println(l.Widen(lattice.Range(0, 16), lattice.Range(0, 17)))
+	fmt.Println(l.Widen(lattice.Range(0, 64), lattice.Range(0, 65)))
+	// Output:
+	// [0,16]
+	// [0,64]
+	// [0,+inf]
+}
+
+// ExampleInterval_Div shows that interval division screens zero from the
+// divisor and joins the negative and positive parts.
+func ExampleInterval_Div() {
+	num := lattice.Range(10, 20)
+	den := lattice.Range(-2, 5)
+	fmt.Println(num.Div(den))
+	// Output:
+	// [-20,20]
+}
+
+// ExampleReduceIntervalParity shows the reduced product of intervals and
+// parities sharpening each component with the other.
+func ExampleReduceIntervalParity() {
+	iv, p := lattice.ReduceIntervalParity(lattice.Range(0, 7), lattice.ParityEven)
+	fmt.Println(iv, p)
+	iv, p = lattice.ReduceIntervalParity(lattice.Singleton(4), lattice.ParityTop)
+	fmt.Println(iv, p)
+	// Output:
+	// [0,6] even
+	// [4,4] even
+}
+
+// ExampleCheckLaws validates a custom lattice against the algebraic laws.
+func ExampleCheckLaws() {
+	err := lattice.CheckLaws[lattice.Sign](lattice.Signs,
+		[]lattice.Sign{lattice.SignBot, lattice.SignNeg, lattice.SignGe0, lattice.SignTop})
+	fmt.Println(err)
+	// Output:
+	// <nil>
+}

@@ -1,0 +1,201 @@
+package lattice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ext is an integer extended with -∞ and +∞, the bound type of Interval.
+// The zero value is the finite integer 0. Arithmetic saturates: finite
+// results that overflow int64 become the corresponding infinity.
+type Ext struct {
+	class int8 // -1: -∞, 0: finite, +1: +∞
+	v     int64
+}
+
+// Canonical extended integers.
+var (
+	NegInf = Ext{class: -1}
+	PosInf = Ext{class: +1}
+)
+
+// Fin returns the finite extended integer v.
+func Fin(v int64) Ext { return Ext{v: v} }
+
+// IsFinite reports whether e is a finite integer.
+func (e Ext) IsFinite() bool { return e.class == 0 }
+
+// IsNegInf reports whether e is -∞.
+func (e Ext) IsNegInf() bool { return e.class < 0 }
+
+// IsPosInf reports whether e is +∞.
+func (e Ext) IsPosInf() bool { return e.class > 0 }
+
+// Int returns the finite value of e. It panics if e is infinite.
+func (e Ext) Int() int64 {
+	if e.class != 0 {
+		panic("lattice: Int on infinite Ext")
+	}
+	return e.v
+}
+
+// Cmp compares a and b, returning -1, 0 or +1.
+func (a Ext) Cmp(b Ext) int {
+	switch {
+	case a.class != b.class:
+		if a.class < b.class {
+			return -1
+		}
+		return 1
+	case a.class != 0:
+		return 0
+	case a.v < b.v:
+		return -1
+	case a.v > b.v:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports a < b.
+func (a Ext) Less(b Ext) bool { return a.Cmp(b) < 0 }
+
+// Leq reports a ≤ b.
+func (a Ext) Leq(b Ext) bool { return a.Cmp(b) <= 0 }
+
+// MinExt returns the smaller of a and b.
+func MinExt(a, b Ext) Ext {
+	if a.Cmp(b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// MaxExt returns the larger of a and b.
+func MaxExt(a, b Ext) Ext {
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// sign returns -1, 0 or +1 for the sign of e.
+func (e Ext) sign() int {
+	switch {
+	case e.class != 0:
+		return int(e.class)
+	case e.v < 0:
+		return -1
+	case e.v > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Neg returns -e.
+func (e Ext) Neg() Ext {
+	switch {
+	case e.class != 0:
+		return Ext{class: -e.class}
+	case e.v == math.MinInt64:
+		return PosInf // -MinInt64 overflows; saturate
+	default:
+		return Fin(-e.v)
+	}
+}
+
+// Add returns a + b with saturation. Adding opposite infinities panics: it
+// indicates a bug in interval arithmetic (bottom intervals must be handled
+// before operating on bounds).
+func (a Ext) Add(b Ext) Ext {
+	switch {
+	case a.class != 0 && b.class != 0:
+		if a.class != b.class {
+			panic("lattice: Ext addition of opposite infinities")
+		}
+		return a
+	case a.class != 0:
+		return a
+	case b.class != 0:
+		return b
+	}
+	s := a.v + b.v
+	switch {
+	case a.v > 0 && b.v > 0 && s < 0:
+		return PosInf
+	case a.v < 0 && b.v < 0 && s >= 0:
+		return NegInf
+	default:
+		return Fin(s)
+	}
+}
+
+// Sub returns a - b with saturation.
+func (a Ext) Sub(b Ext) Ext { return a.Add(b.Neg()) }
+
+// Mul returns a * b with saturation; 0 times an infinity is 0, the correct
+// convention for interval bound arithmetic.
+func (a Ext) Mul(b Ext) Ext {
+	sa, sb := a.sign(), b.sign()
+	if sa == 0 || sb == 0 {
+		return Fin(0)
+	}
+	if a.class != 0 || b.class != 0 {
+		if sa*sb > 0 {
+			return PosInf
+		}
+		return NegInf
+	}
+	r := a.v * b.v
+	if (a.v == -1 && b.v == math.MinInt64) || (b.v == -1 && a.v == math.MinInt64) || r/a.v != b.v {
+		if sa*sb > 0 {
+			return PosInf
+		}
+		return NegInf
+	}
+	return Fin(r)
+}
+
+// Div returns a / b (truncated division) with saturation. b must be a
+// nonzero finite value or an infinity; division by the finite value 0
+// panics (interval division screens zero denominators first).
+func (a Ext) Div(b Ext) Ext {
+	if b.class != 0 {
+		// finite / ∞ = 0; ∞ / ∞ is screened by interval division, but
+		// answer with a sound sign anyway.
+		if a.class == 0 {
+			return Fin(0)
+		}
+		if a.sign()*b.sign() > 0 {
+			return PosInf
+		}
+		return NegInf
+	}
+	if b.v == 0 {
+		panic("lattice: Ext division by zero")
+	}
+	if a.class != 0 {
+		if a.sign()*b.sign() > 0 {
+			return PosInf
+		}
+		return NegInf
+	}
+	if a.v == math.MinInt64 && b.v == -1 {
+		return PosInf
+	}
+	return Fin(a.v / b.v)
+}
+
+// String renders e as a decimal, "-inf" or "+inf".
+func (e Ext) String() string {
+	switch e.class {
+	case -1:
+		return "-inf"
+	case +1:
+		return "+inf"
+	default:
+		return fmt.Sprintf("%d", e.v)
+	}
+}

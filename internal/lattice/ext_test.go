@@ -1,0 +1,176 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtBasics(t *testing.T) {
+	if !Fin(3).IsFinite() || Fin(3).Int() != 3 {
+		t.Fatalf("Fin(3) broken: %v", Fin(3))
+	}
+	if !NegInf.IsNegInf() || !PosInf.IsPosInf() {
+		t.Fatal("infinity predicates broken")
+	}
+	if NegInf.String() != "-inf" || PosInf.String() != "+inf" || Fin(-7).String() != "-7" {
+		t.Fatalf("String: %s %s %s", NegInf, PosInf, Fin(-7))
+	}
+}
+
+func TestExtCmpTotalOrder(t *testing.T) {
+	vals := []Ext{NegInf, Fin(math.MinInt64), Fin(-1), Fin(0), Fin(1), Fin(math.MaxInt64), PosInf}
+	for i, a := range vals {
+		for j, b := range vals {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := a.Cmp(b); got != want {
+				t.Errorf("Cmp(%s, %s) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestExtMinMax(t *testing.T) {
+	if MinExt(Fin(2), PosInf) != Fin(2) {
+		t.Error("MinExt(2, +inf)")
+	}
+	if MaxExt(NegInf, Fin(-5)) != Fin(-5) {
+		t.Error("MaxExt(-inf, -5)")
+	}
+	if MinExt(NegInf, PosInf) != NegInf {
+		t.Error("MinExt(-inf, +inf)")
+	}
+}
+
+func TestExtAddSaturates(t *testing.T) {
+	if got := Fin(math.MaxInt64).Add(Fin(1)); !got.IsPosInf() {
+		t.Errorf("MaxInt64+1 = %s, want +inf", got)
+	}
+	if got := Fin(math.MinInt64).Add(Fin(-1)); !got.IsNegInf() {
+		t.Errorf("MinInt64-1 = %s, want -inf", got)
+	}
+	if got := PosInf.Add(Fin(-100)); !got.IsPosInf() {
+		t.Errorf("+inf + -100 = %s", got)
+	}
+	if got := Fin(7).Add(NegInf); !got.IsNegInf() {
+		t.Errorf("7 + -inf = %s", got)
+	}
+}
+
+func TestExtAddOppositeInfinitiesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on -inf + +inf")
+		}
+	}()
+	_ = NegInf.Add(PosInf)
+}
+
+func TestExtNeg(t *testing.T) {
+	if NegInf.Neg() != PosInf || PosInf.Neg() != NegInf {
+		t.Error("Neg on infinities")
+	}
+	if Fin(5).Neg() != Fin(-5) {
+		t.Error("Neg(5)")
+	}
+	if got := Fin(math.MinInt64).Neg(); !got.IsPosInf() {
+		t.Errorf("Neg(MinInt64) = %s, want +inf (saturated)", got)
+	}
+}
+
+func TestExtMul(t *testing.T) {
+	cases := []struct {
+		a, b, want Ext
+	}{
+		{Fin(3), Fin(4), Fin(12)},
+		{Fin(-3), Fin(4), Fin(-12)},
+		{Fin(0), PosInf, Fin(0)},
+		{PosInf, Fin(0), Fin(0)},
+		{PosInf, Fin(-2), NegInf},
+		{NegInf, NegInf, PosInf},
+		{Fin(math.MaxInt64), Fin(2), PosInf},
+		{Fin(math.MinInt64), Fin(-1), PosInf},
+		{Fin(-1), Fin(math.MinInt64), PosInf},
+	}
+	for _, c := range cases {
+		if got := c.a.Mul(c.b); got != c.want {
+			t.Errorf("%s * %s = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExtDiv(t *testing.T) {
+	cases := []struct {
+		a, b, want Ext
+	}{
+		{Fin(7), Fin(2), Fin(3)},
+		{Fin(-7), Fin(2), Fin(-3)},
+		{Fin(7), PosInf, Fin(0)},
+		{PosInf, Fin(3), PosInf},
+		{PosInf, Fin(-3), NegInf},
+		{Fin(math.MinInt64), Fin(-1), PosInf},
+	}
+	for _, c := range cases {
+		if got := c.a.Div(c.b); got != c.want {
+			t.Errorf("%s / %s = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExtDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on division by zero")
+		}
+	}()
+	_ = Fin(1).Div(Fin(0))
+}
+
+// Property: on small finite operands, Ext arithmetic agrees with int64
+// arithmetic.
+func TestExtArithAgreesWithInt64(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := Fin(int64(a)), Fin(int64(b))
+		if x.Add(y) != Fin(int64(a)+int64(b)) {
+			return false
+		}
+		if x.Sub(y) != Fin(int64(a)-int64(b)) {
+			return false
+		}
+		if x.Mul(y) != Fin(int64(a)*int64(b)) {
+			return false
+		}
+		if b != 0 && x.Div(y) != Fin(int64(a)/int64(b)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cmp is antisymmetric and consistent with Leq/Less.
+func TestExtOrderProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Fin(a), Fin(b)
+		if x.Cmp(y) != -y.Cmp(x) {
+			return false
+		}
+		if x.Leq(y) != (x.Cmp(y) <= 0) {
+			return false
+		}
+		if x.Less(y) != (x.Cmp(y) < 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

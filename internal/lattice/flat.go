@@ -1,0 +1,99 @@
+package lattice
+
+import "fmt"
+
+// FlatKind distinguishes the three layers of a flat lattice.
+type FlatKind int8
+
+// Layers of Flat.
+const (
+	FlatBot FlatKind = iota // no information computed yet
+	FlatVal                 // exactly the wrapped value
+	FlatTop                 // conflicting values
+)
+
+// Flat is an element of the flat lattice over T: ⊥ below all values of T,
+// which are pairwise incomparable, below ⊤. The classic constant-propagation
+// domain.
+type Flat[T comparable] struct {
+	Kind FlatKind
+	V    T
+}
+
+// FlatOf returns the middle-layer element for v.
+func FlatOf[T comparable](v T) Flat[T] { return Flat[T]{Kind: FlatVal, V: v} }
+
+// FlatLattice is the flat lattice over a comparable value type.
+type FlatLattice[T comparable] struct{}
+
+// Bottom returns ⊥.
+func (FlatLattice[T]) Bottom() Flat[T] { return Flat[T]{Kind: FlatBot} }
+
+// Top returns ⊤.
+func (FlatLattice[T]) Top() Flat[T] { return Flat[T]{Kind: FlatTop} }
+
+// Leq reports the flat order.
+func (FlatLattice[T]) Leq(a, b Flat[T]) bool {
+	switch {
+	case a.Kind == FlatBot || b.Kind == FlatTop:
+		return true
+	case a.Kind == FlatTop || b.Kind == FlatBot:
+		return false
+	default:
+		return a.V == b.V
+	}
+}
+
+// Eq reports equality.
+func (FlatLattice[T]) Eq(a, b Flat[T]) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	return a.Kind != FlatVal || a.V == b.V
+}
+
+// Join returns the least upper bound.
+func (l FlatLattice[T]) Join(a, b Flat[T]) Flat[T] {
+	switch {
+	case a.Kind == FlatBot:
+		return b
+	case b.Kind == FlatBot:
+		return a
+	case a.Kind == FlatVal && b.Kind == FlatVal && a.V == b.V:
+		return a
+	default:
+		return l.Top()
+	}
+}
+
+// Meet returns the greatest lower bound.
+func (l FlatLattice[T]) Meet(a, b Flat[T]) Flat[T] {
+	switch {
+	case a.Kind == FlatTop:
+		return b
+	case b.Kind == FlatTop:
+		return a
+	case a.Kind == FlatVal && b.Kind == FlatVal && a.V == b.V:
+		return a
+	default:
+		return l.Bottom()
+	}
+}
+
+// Widen joins; the flat lattice has height 2, so no acceleration is needed.
+func (l FlatLattice[T]) Widen(a, b Flat[T]) Flat[T] { return l.Join(a, b) }
+
+// Narrow returns b, the most precise legal narrowing.
+func (FlatLattice[T]) Narrow(a, b Flat[T]) Flat[T] { return b }
+
+// Format renders an element.
+func (FlatLattice[T]) Format(a Flat[T]) string {
+	switch a.Kind {
+	case FlatBot:
+		return "⊥"
+	case FlatTop:
+		return "⊤"
+	default:
+		return fmt.Sprintf("%v", a.V)
+	}
+}

@@ -1,0 +1,37 @@
+package lattice
+
+import "testing"
+
+func TestFlatLaws(t *testing.T) {
+	l := FlatLattice[int]{}
+	samples := []Flat[int]{
+		l.Bottom(), l.Top(), FlatOf(0), FlatOf(1), FlatOf(-5), FlatOf(42),
+	}
+	if err := CheckLaws[Flat[int]](l, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlatJoinMeet(t *testing.T) {
+	l := FlatLattice[string]{}
+	a, b := FlatOf("x"), FlatOf("y")
+	if got := l.Join(a, b); got.Kind != FlatTop {
+		t.Errorf("join of distinct values should be ⊤, got %s", l.Format(got))
+	}
+	if got := l.Join(a, a); !l.Eq(got, a) {
+		t.Errorf("join of equal values should be idempotent, got %s", l.Format(got))
+	}
+	if got := l.Meet(a, b); got.Kind != FlatBot {
+		t.Errorf("meet of distinct values should be ⊥, got %s", l.Format(got))
+	}
+	if got := l.Meet(l.Top(), a); !l.Eq(got, a) {
+		t.Errorf("⊤ meet a = %s", l.Format(got))
+	}
+}
+
+func TestFlatFormat(t *testing.T) {
+	l := FlatLattice[int]{}
+	if l.Format(l.Bottom()) != "⊥" || l.Format(l.Top()) != "⊤" || l.Format(FlatOf(3)) != "3" {
+		t.Fatal("Format")
+	}
+}

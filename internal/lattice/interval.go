@@ -1,0 +1,406 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is an element of the integer interval lattice: either the empty
+// interval (bottom) or the set of integers between Lo and Hi inclusive,
+// where the bounds may be infinite. The zero value is the empty interval.
+type Interval struct {
+	// Lo and Hi are the bounds; a non-empty interval satisfies Lo ≤ Hi.
+	Lo, Hi Ext
+	// nonEmpty distinguishes the empty interval from [0,0] so that the
+	// zero value of Interval is bottom.
+	nonEmpty bool
+}
+
+// EmptyInterval is the bottom element of the interval lattice.
+var EmptyInterval = Interval{}
+
+// FullInterval is the top element [-∞, +∞].
+var FullInterval = Interval{Lo: NegInf, Hi: PosInf, nonEmpty: true}
+
+// NewInterval returns the interval [lo, hi], or the empty interval if
+// lo > hi.
+func NewInterval(lo, hi Ext) Interval {
+	if lo.Cmp(hi) > 0 {
+		return EmptyInterval
+	}
+	return Interval{Lo: lo, Hi: hi, nonEmpty: true}
+}
+
+// Singleton returns the interval [v, v].
+func Singleton(v int64) Interval { return NewInterval(Fin(v), Fin(v)) }
+
+// Range returns the interval [lo, hi] for finite bounds.
+func Range(lo, hi int64) Interval { return NewInterval(Fin(lo), Fin(hi)) }
+
+// AtLeast returns [lo, +∞].
+func AtLeast(lo int64) Interval { return NewInterval(Fin(lo), PosInf) }
+
+// AtMost returns [-∞, hi].
+func AtMost(hi int64) Interval { return NewInterval(NegInf, Fin(hi)) }
+
+// IsEmpty reports whether i is the empty interval.
+func (i Interval) IsEmpty() bool { return !i.nonEmpty }
+
+// IsConst reports whether i is a singleton [v, v] and returns v.
+func (i Interval) IsConst() (int64, bool) {
+	if i.nonEmpty && i.Lo.IsFinite() && i.Lo.Cmp(i.Hi) == 0 {
+		return i.Lo.Int(), true
+	}
+	return 0, false
+}
+
+// Contains reports whether the integer v lies in i.
+func (i Interval) Contains(v int64) bool {
+	return i.nonEmpty && i.Lo.Leq(Fin(v)) && Fin(v).Leq(i.Hi)
+}
+
+// String renders the interval.
+func (i Interval) String() string {
+	if i.IsEmpty() {
+		return "⊥"
+	}
+	return fmt.Sprintf("[%s,%s]", i.Lo, i.Hi)
+}
+
+// IntervalLattice is the complete lattice of integer intervals. Thresholds,
+// if set, refine widening: an unstable bound is widened to the nearest
+// enclosing threshold before jumping to infinity (Sec. 1 of the paper cites
+// such refined operators as complementary; we include them for ablations).
+type IntervalLattice struct {
+	thresholds []int64 // sorted ascending
+}
+
+// Ints is the interval lattice with plain widening (no thresholds).
+var Ints = &IntervalLattice{}
+
+// NewIntervalLattice returns an interval lattice whose widening respects
+// the given thresholds.
+func NewIntervalLattice(thresholds ...int64) *IntervalLattice {
+	ts := append([]int64(nil), thresholds...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	// Deduplicate.
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != ts[i-1] {
+			out = append(out, t)
+		}
+	}
+	return &IntervalLattice{thresholds: out}
+}
+
+// Bottom returns the empty interval.
+func (*IntervalLattice) Bottom() Interval { return EmptyInterval }
+
+// Top returns [-∞, +∞].
+func (*IntervalLattice) Top() Interval { return FullInterval }
+
+// Leq reports interval inclusion.
+func (*IntervalLattice) Leq(a, b Interval) bool {
+	if a.IsEmpty() {
+		return true
+	}
+	if b.IsEmpty() {
+		return false
+	}
+	return b.Lo.Leq(a.Lo) && a.Hi.Leq(b.Hi)
+}
+
+// Eq reports interval equality.
+func (*IntervalLattice) Eq(a, b Interval) bool {
+	if a.IsEmpty() || b.IsEmpty() {
+		return a.IsEmpty() == b.IsEmpty()
+	}
+	return a.Lo.Cmp(b.Lo) == 0 && a.Hi.Cmp(b.Hi) == 0
+}
+
+// Join returns the smallest interval containing both a and b.
+func (*IntervalLattice) Join(a, b Interval) Interval {
+	if a.IsEmpty() {
+		return b
+	}
+	if b.IsEmpty() {
+		return a
+	}
+	return NewInterval(MinExt(a.Lo, b.Lo), MaxExt(a.Hi, b.Hi))
+}
+
+// Meet returns the intersection of a and b.
+func (*IntervalLattice) Meet(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return EmptyInterval
+	}
+	return NewInterval(MaxExt(a.Lo, b.Lo), MinExt(a.Hi, b.Hi))
+}
+
+// widenLo returns the widened lower bound when b's is below a's.
+func (l *IntervalLattice) widenLo(b Ext) Ext {
+	// Largest threshold ≤ b, else -∞.
+	if b.IsFinite() {
+		for i := len(l.thresholds) - 1; i >= 0; i-- {
+			if Fin(l.thresholds[i]).Leq(b) {
+				return Fin(l.thresholds[i])
+			}
+		}
+	}
+	return NegInf
+}
+
+// widenHi returns the widened upper bound when b's is above a's.
+func (l *IntervalLattice) widenHi(b Ext) Ext {
+	// Smallest threshold ≥ b, else +∞.
+	if b.IsFinite() {
+		for _, t := range l.thresholds {
+			if b.Leq(Fin(t)) {
+				return Fin(t)
+			}
+		}
+	}
+	return PosInf
+}
+
+// Widen implements standard interval widening: bounds that are unstable in
+// the join jump to the nearest threshold or to infinity.
+func (l *IntervalLattice) Widen(a, b Interval) Interval {
+	if a.IsEmpty() {
+		return b
+	}
+	if b.IsEmpty() {
+		return a
+	}
+	lo := a.Lo
+	if b.Lo.Less(a.Lo) {
+		lo = l.widenLo(b.Lo)
+	}
+	hi := a.Hi
+	if a.Hi.Less(b.Hi) {
+		hi = l.widenHi(b.Hi)
+	}
+	return NewInterval(lo, hi)
+}
+
+// Narrow implements standard interval narrowing: only infinite bounds of a
+// are improved to the corresponding bound of b. It requires b ⊑ a.
+func (*IntervalLattice) Narrow(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return b
+	}
+	lo := a.Lo
+	if lo.IsNegInf() {
+		lo = b.Lo
+	}
+	hi := a.Hi
+	if hi.IsPosInf() {
+		hi = b.Hi
+	}
+	return NewInterval(lo, hi)
+}
+
+// Format renders an interval.
+func (*IntervalLattice) Format(a Interval) string { return a.String() }
+
+// Interval arithmetic, used by the abstract interpreter in internal/analysis.
+
+// Add returns the abstract sum of a and b.
+func (i Interval) Add(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return EmptyInterval
+	}
+	return NewInterval(i.Lo.Add(o.Lo), i.Hi.Add(o.Hi))
+}
+
+// Sub returns the abstract difference of a and b.
+func (i Interval) Sub(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return EmptyInterval
+	}
+	return NewInterval(i.Lo.Sub(o.Hi), i.Hi.Sub(o.Lo))
+}
+
+// Neg returns the abstract negation of i.
+func (i Interval) Neg() Interval {
+	if i.IsEmpty() {
+		return EmptyInterval
+	}
+	return NewInterval(i.Hi.Neg(), i.Lo.Neg())
+}
+
+// Mul returns the abstract product of a and b.
+func (i Interval) Mul(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return EmptyInterval
+	}
+	p1 := i.Lo.Mul(o.Lo)
+	p2 := i.Lo.Mul(o.Hi)
+	p3 := i.Hi.Mul(o.Lo)
+	p4 := i.Hi.Mul(o.Hi)
+	return NewInterval(MinExt(MinExt(p1, p2), MinExt(p3, p4)),
+		MaxExt(MaxExt(p1, p2), MaxExt(p3, p4)))
+}
+
+// Div returns the abstract truncated quotient of a by b. Division by an
+// interval containing only zero yields the empty interval; an interval
+// straddling zero is split so the result stays sound.
+func (i Interval) Div(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return EmptyInterval
+	}
+	// Split o into strictly negative and strictly positive parts.
+	neg := Ints.Meet(o, NewInterval(NegInf, Fin(-1)))
+	pos := Ints.Meet(o, NewInterval(Fin(1), PosInf))
+	res := EmptyInterval
+	for _, part := range []Interval{neg, pos} {
+		if part.IsEmpty() {
+			continue
+		}
+		q1 := i.Lo.Div(part.Lo)
+		q2 := i.Lo.Div(part.Hi)
+		q3 := i.Hi.Div(part.Lo)
+		q4 := i.Hi.Div(part.Hi)
+		r := NewInterval(MinExt(MinExt(q1, q2), MinExt(q3, q4)),
+			MaxExt(MaxExt(q1, q2), MaxExt(q3, q4)))
+		res = Ints.Join(res, r)
+	}
+	return res
+}
+
+// Rem returns a sound abstraction of the remainder i % o (Go semantics:
+// result has the sign of the dividend).
+func (i Interval) Rem(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return EmptyInterval
+	}
+	// |result| < max(|o.Lo|, |o.Hi|); result sign follows dividend.
+	bound := MaxExt(o.Lo.Neg(), o.Hi)
+	if !bound.IsFinite() {
+		bound = PosInf
+	} else if bound.Int() <= 0 {
+		return EmptyInterval // divisor can only be zero
+	} else {
+		bound = Fin(bound.Int() - 1)
+	}
+	lo, hi := bound.Neg(), bound
+	if i.Lo.sign() >= 0 {
+		lo = Fin(0)
+	}
+	if i.Hi.sign() <= 0 {
+		hi = Fin(0)
+	}
+	return NewInterval(lo, hi)
+}
+
+// Tri is a three-valued truth value for abstract comparisons.
+type Tri int8
+
+// Truth values of Tri.
+const (
+	TriUnknown Tri = iota // may be either
+	TriTrue               // definitely true
+	TriFalse              // definitely false
+)
+
+// CmpLt abstractly evaluates i < o.
+func (i Interval) CmpLt(o Interval) Tri {
+	if i.IsEmpty() || o.IsEmpty() {
+		return TriUnknown
+	}
+	if i.Hi.Less(o.Lo) {
+		return TriTrue
+	}
+	if o.Hi.Leq(i.Lo) {
+		return TriFalse
+	}
+	return TriUnknown
+}
+
+// CmpLe abstractly evaluates i ≤ o.
+func (i Interval) CmpLe(o Interval) Tri {
+	if i.IsEmpty() || o.IsEmpty() {
+		return TriUnknown
+	}
+	if i.Hi.Leq(o.Lo) {
+		return TriTrue
+	}
+	if o.Hi.Less(i.Lo) {
+		return TriFalse
+	}
+	return TriUnknown
+}
+
+// CmpEq abstractly evaluates i == o.
+func (i Interval) CmpEq(o Interval) Tri {
+	if i.IsEmpty() || o.IsEmpty() {
+		return TriUnknown
+	}
+	if c, ok := i.IsConst(); ok {
+		if d, ok2 := o.IsConst(); ok2 && c == d {
+			return TriTrue
+		}
+	}
+	if Ints.Meet(i, o).IsEmpty() {
+		return TriFalse
+	}
+	return TriUnknown
+}
+
+// RestrictLt returns the largest sub-interval of i whose elements can be
+// strictly below some element admitted by o (refinement for "x < e").
+func (i Interval) RestrictLt(o Interval) Interval {
+	if o.IsEmpty() {
+		return EmptyInterval
+	}
+	return Ints.Meet(i, NewInterval(NegInf, o.Hi.Sub(Fin(1))))
+}
+
+// RestrictLe refines i under "x ≤ e" where e evaluates to o.
+func (i Interval) RestrictLe(o Interval) Interval {
+	if o.IsEmpty() {
+		return EmptyInterval
+	}
+	return Ints.Meet(i, NewInterval(NegInf, o.Hi))
+}
+
+// RestrictGt refines i under "x > e" where e evaluates to o.
+func (i Interval) RestrictGt(o Interval) Interval {
+	if o.IsEmpty() {
+		return EmptyInterval
+	}
+	return Ints.Meet(i, NewInterval(o.Lo.Add(Fin(1)), PosInf))
+}
+
+// RestrictGe refines i under "x ≥ e" where e evaluates to o.
+func (i Interval) RestrictGe(o Interval) Interval {
+	if o.IsEmpty() {
+		return EmptyInterval
+	}
+	return Ints.Meet(i, NewInterval(o.Lo, PosInf))
+}
+
+// RestrictEq refines i under "x == e" where e evaluates to o.
+func (i Interval) RestrictEq(o Interval) Interval { return Ints.Meet(i, o) }
+
+// RestrictNe refines i under "x != e" where e evaluates to o: only singleton
+// o at one of i's finite bounds can shave the bound.
+func (i Interval) RestrictNe(o Interval) Interval {
+	if i.IsEmpty() {
+		return EmptyInterval
+	}
+	c, ok := o.IsConst()
+	if !ok {
+		return i
+	}
+	if v, ok := i.IsConst(); ok && v == c {
+		return EmptyInterval
+	}
+	if i.Lo.IsFinite() && i.Lo.Int() == c {
+		return NewInterval(Fin(c+1), i.Hi)
+	}
+	if i.Hi.IsFinite() && i.Hi.Int() == c {
+		return NewInterval(i.Lo, Fin(c-1))
+	}
+	return i
+}

@@ -1,0 +1,335 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genInterval draws a random interval, including empty and unbounded ones.
+func genInterval(r *rand.Rand) Interval {
+	switch r.Intn(10) {
+	case 0:
+		return EmptyInterval
+	case 1:
+		return FullInterval
+	case 2:
+		return AtLeast(int64(r.Intn(41) - 20))
+	case 3:
+		return AtMost(int64(r.Intn(41) - 20))
+	default:
+		a := int64(r.Intn(41) - 20)
+		b := int64(r.Intn(41) - 20)
+		if a > b {
+			a, b = b, a
+		}
+		return Range(a, b)
+	}
+}
+
+func sampleIntervals() []Interval {
+	return []Interval{
+		EmptyInterval, FullInterval,
+		Singleton(0), Singleton(5), Singleton(-3),
+		Range(0, 10), Range(-5, 5), Range(3, 4),
+		AtLeast(0), AtLeast(7), AtMost(0), AtMost(-2),
+	}
+}
+
+func TestIntervalLatticeLaws(t *testing.T) {
+	if err := CheckLaws[Interval](Ints, sampleIntervals()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalThresholdLatticeLaws(t *testing.T) {
+	l := NewIntervalLattice(-10, -1, 0, 1, 10, 100)
+	if err := CheckLaws[Interval](l, sampleIntervals()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	if !EmptyInterval.IsEmpty() {
+		t.Fatal("zero value should be empty")
+	}
+	if NewInterval(Fin(3), Fin(1)) != EmptyInterval {
+		t.Fatal("inverted bounds should normalize to empty")
+	}
+	if v, ok := Singleton(42).IsConst(); !ok || v != 42 {
+		t.Fatal("IsConst on singleton")
+	}
+	if _, ok := Range(1, 2).IsConst(); ok {
+		t.Fatal("IsConst on non-singleton")
+	}
+	if !Range(0, 9).Contains(0) || !Range(0, 9).Contains(9) || Range(0, 9).Contains(10) {
+		t.Fatal("Contains")
+	}
+	if EmptyInterval.String() != "⊥" || Range(1, 2).String() != "[1,2]" {
+		t.Fatalf("String: %s %s", EmptyInterval, Range(1, 2))
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	// Stable bounds stay; unstable bounds jump to infinity.
+	got := Ints.Widen(Range(0, 10), Range(0, 11))
+	if !Ints.Eq(got, NewInterval(Fin(0), PosInf)) {
+		t.Errorf("widen up: %s", got)
+	}
+	got = Ints.Widen(Range(0, 10), Range(-1, 10))
+	if !Ints.Eq(got, NewInterval(NegInf, Fin(10))) {
+		t.Errorf("widen down: %s", got)
+	}
+	got = Ints.Widen(Range(0, 10), Range(2, 8))
+	if !Ints.Eq(got, Range(0, 10)) {
+		t.Errorf("widen stable: %s", got)
+	}
+	if !Ints.Eq(Ints.Widen(EmptyInterval, Range(1, 2)), Range(1, 2)) {
+		t.Error("widen from bottom")
+	}
+}
+
+func TestIntervalThresholdWiden(t *testing.T) {
+	l := NewIntervalLattice(0, 16, 64)
+	got := l.Widen(Range(0, 10), Range(0, 11))
+	if !l.Eq(got, Range(0, 16)) {
+		t.Errorf("threshold widen to 16: %s", got)
+	}
+	got = l.Widen(Range(0, 16), Range(0, 17))
+	if !l.Eq(got, Range(0, 64)) {
+		t.Errorf("threshold widen to 64: %s", got)
+	}
+	got = l.Widen(Range(0, 64), Range(0, 65))
+	if !l.Eq(got, NewInterval(Fin(0), PosInf)) {
+		t.Errorf("threshold widen to +inf: %s", got)
+	}
+	got = l.Widen(Range(5, 10), Range(-3, 10))
+	if !l.Eq(got, Range(0, 10)) { // nearest threshold below -3... none below except 0? 0 > -3, so -inf
+		// threshold below -3: none of {0,16,64} is ≤ -3, so lower bound widens to -inf.
+		if !l.Eq(got, NewInterval(NegInf, Fin(10))) {
+			t.Errorf("threshold widen low: %s", got)
+		}
+	}
+}
+
+func TestIntervalNarrow(t *testing.T) {
+	// Only infinite bounds are refined.
+	a := NewInterval(Fin(0), PosInf)
+	b := Range(0, 10)
+	if got := Ints.Narrow(a, b); !Ints.Eq(got, Range(0, 10)) {
+		t.Errorf("narrow hi: %s", got)
+	}
+	a = Range(0, 100)
+	b = Range(5, 50)
+	if got := Ints.Narrow(a, b); !Ints.Eq(got, Range(0, 100)) {
+		t.Errorf("narrow must not refine finite bounds: %s", got)
+	}
+	if got := Ints.Narrow(FullInterval, EmptyInterval); !got.IsEmpty() {
+		t.Errorf("narrow to bottom: %s", got)
+	}
+}
+
+func TestIntervalWideningChainsStabilize(t *testing.T) {
+	// f(x) = x join (x+[1,1]) join [0,0]: the canonical counting loop.
+	f := func(x Interval) Interval {
+		return Ints.Join(Singleton(0), x.Add(Singleton(1)))
+	}
+	if err := CheckWideningStabilizes[Interval](Ints, f, 10); err != nil {
+		t.Error(err)
+	}
+	l := NewIntervalLattice(1, 2, 4, 8, 16, 32)
+	if err := CheckWideningStabilizes[Interval](l, f, 20); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalNarrowingChainsStabilize(t *testing.T) {
+	f := func(x Interval) Interval {
+		return Ints.Join(Singleton(0), Ints.Meet(x.Add(Singleton(1)), AtMost(100)))
+	}
+	if err := CheckNarrowingStabilizes[Interval](Ints, f, FullInterval, 10); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: abstract arithmetic is sound — for concrete values inside the
+// operand intervals, the concrete result lies inside the abstract result.
+func TestIntervalArithSound(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pick := func(i Interval) (int64, bool) {
+		if i.IsEmpty() {
+			return 0, false
+		}
+		lo, hi := int64(-100), int64(100)
+		if i.Lo.IsFinite() {
+			lo = i.Lo.Int()
+		}
+		if i.Hi.IsFinite() {
+			hi = i.Hi.Int()
+		}
+		if lo > hi {
+			return lo, true
+		}
+		return lo + r.Int63n(hi-lo+1), true
+	}
+	for trial := 0; trial < 5000; trial++ {
+		a, b := genInterval(r), genInterval(r)
+		x, okx := pick(a)
+		y, oky := pick(b)
+		if !okx || !oky {
+			continue
+		}
+		if got := a.Add(b); !got.Contains(x + y) {
+			t.Fatalf("Add unsound: %d ∈ %s, %d ∈ %s, but %d ∉ %s", x, a, y, b, x+y, got)
+		}
+		if got := a.Sub(b); !got.Contains(x - y) {
+			t.Fatalf("Sub unsound: %d - %d ∉ %s (a=%s b=%s)", x, y, got, a, b)
+		}
+		if got := a.Mul(b); !got.Contains(x * y) {
+			t.Fatalf("Mul unsound: %d * %d ∉ %s (a=%s b=%s)", x, y, got, a, b)
+		}
+		if y != 0 {
+			if got := a.Div(b); !got.Contains(x / y) {
+				t.Fatalf("Div unsound: %d / %d = %d ∉ %s (a=%s b=%s)", x, y, x/y, got, a, b)
+			}
+			if got := a.Rem(b); !got.Contains(x % y) {
+				t.Fatalf("Rem unsound: %d %% %d = %d ∉ %s (a=%s b=%s)", x, y, x%y, got, a, b)
+			}
+		}
+		if got := a.Neg(); !got.Contains(-x) {
+			t.Fatalf("Neg unsound: -%d ∉ %s", x, got)
+		}
+	}
+}
+
+// Property: comparisons are sound three-valued answers.
+func TestIntervalCmpSound(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		a, b := genInterval(r), genInterval(r)
+		if a.IsEmpty() || b.IsEmpty() {
+			continue
+		}
+		loA, hiA := a.Lo, a.Hi
+		loB, hiB := b.Lo, b.Hi
+		_ = loA
+		_ = loB
+		_ = hiA
+		_ = hiB
+		check := func(name string, tri Tri, holdsForAll, holdsForNone bool) {
+			switch tri {
+			case TriTrue:
+				if !holdsForAll {
+					t.Fatalf("%s claimed true but not universal: a=%s b=%s", name, a, b)
+				}
+			case TriFalse:
+				if !holdsForNone {
+					t.Fatalf("%s claimed false but possible: a=%s b=%s", name, a, b)
+				}
+			}
+		}
+		// Exhaustively check small finite intervals only.
+		if a.Lo.IsFinite() && a.Hi.IsFinite() && b.Lo.IsFinite() && b.Hi.IsFinite() &&
+			a.Hi.Int()-a.Lo.Int() < 50 && b.Hi.Int()-b.Lo.Int() < 50 {
+			allLt, noneLt := true, true
+			allLe, noneLe := true, true
+			allEq, noneEq := true, true
+			for x := a.Lo.Int(); x <= a.Hi.Int(); x++ {
+				for y := b.Lo.Int(); y <= b.Hi.Int(); y++ {
+					if x < y {
+						noneLt = false
+					} else {
+						allLt = false
+					}
+					if x <= y {
+						noneLe = false
+					} else {
+						allLe = false
+					}
+					if x == y {
+						noneEq = false
+					} else {
+						allEq = false
+					}
+				}
+			}
+			check("CmpLt", a.CmpLt(b), allLt, noneLt)
+			check("CmpLe", a.CmpLe(b), allLe, noneLe)
+			check("CmpEq", a.CmpEq(b), allEq, noneEq)
+		}
+	}
+}
+
+// Property: branch refinement keeps every concrete value that satisfies the
+// guard.
+func TestIntervalRestrictSound(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5000; trial++ {
+		a, b := genInterval(r), genInterval(r)
+		if a.IsEmpty() || b.IsEmpty() {
+			continue
+		}
+		if !a.Lo.IsFinite() || !a.Hi.IsFinite() || !b.Lo.IsFinite() || !b.Hi.IsFinite() {
+			continue
+		}
+		if a.Hi.Int()-a.Lo.Int() > 40 || b.Hi.Int()-b.Lo.Int() > 40 {
+			continue
+		}
+		for x := a.Lo.Int(); x <= a.Hi.Int(); x++ {
+			for y := b.Lo.Int(); y <= b.Hi.Int(); y++ {
+				if x < y && !a.RestrictLt(b).Contains(x) {
+					t.Fatalf("RestrictLt dropped %d (a=%s b=%s)", x, a, b)
+				}
+				if x <= y && !a.RestrictLe(b).Contains(x) {
+					t.Fatalf("RestrictLe dropped %d (a=%s b=%s)", x, a, b)
+				}
+				if x > y && !a.RestrictGt(b).Contains(x) {
+					t.Fatalf("RestrictGt dropped %d (a=%s b=%s)", x, a, b)
+				}
+				if x >= y && !a.RestrictGe(b).Contains(x) {
+					t.Fatalf("RestrictGe dropped %d (a=%s b=%s)", x, a, b)
+				}
+				if x == y && !a.RestrictEq(b).Contains(x) {
+					t.Fatalf("RestrictEq dropped %d (a=%s b=%s)", x, a, b)
+				}
+				if x != y && !a.RestrictNe(b).Contains(x) {
+					t.Fatalf("RestrictNe dropped %d (a=%s b=%s)", x, a, b)
+				}
+			}
+		}
+	}
+}
+
+// Property: Join/Meet/Widen/Narrow of random intervals obey the interface
+// contracts (via quick with a custom generator realized by seeding).
+func TestIntervalRandomLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	samples := make([]Interval, 0, 24)
+	for i := 0; i < 24; i++ {
+		samples = append(samples, genInterval(r))
+	}
+	if err := CheckLaws[Interval](Ints, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quick.Check on the relation between Leq and Join for random finite ranges.
+func TestIntervalLeqJoinQuick(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		lo1, hi1 := int64(a1), int64(a2)
+		if lo1 > hi1 {
+			lo1, hi1 = hi1, lo1
+		}
+		lo2, hi2 := int64(b1), int64(b2)
+		if lo2 > hi2 {
+			lo2, hi2 = hi2, lo2
+		}
+		a, b := Range(lo1, hi1), Range(lo2, hi2)
+		j := Ints.Join(a, b)
+		return Ints.Leq(a, j) && Ints.Leq(b, j) &&
+			(Ints.Leq(a, b) == Ints.Eq(j, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package lattice provides complete lattices with widening and narrowing
+// operators, the value domains over which the solvers in internal/solver
+// iterate.
+//
+// A lattice is described by the Lattice interface, which bundles the order
+// (Leq), the lattice operations (Join, Meet), the extremal elements (Bottom,
+// Top), and a pair of acceleration operators (Widen, Narrow) as required by
+// Cousot and Cousot's widening/narrowing framework and by the combined
+// operator ⊟ of Apinis, Seidl and Vojdani (PLDI 2013).
+//
+// Elements are plain Go values of the type parameter D; all structure lives
+// in the Lattice implementation. Implementations must treat elements as
+// immutable: operations return fresh values and never mutate arguments.
+//
+// The package provides the domains used by the paper and its evaluation:
+//
+//   - Interval: integer intervals with standard and threshold widening,
+//   - NatInf: the lattice ℕ ∪ {∞} of the paper's Examples 1–4,
+//   - Flat: flat (constant-propagation style) lattices,
+//   - Set: finite powersets,
+//   - Pair, Map, Lift: product, pointwise map, and bottom-lifting
+//     combinators.
+package lattice
+
+// Lattice describes a complete lattice over elements of type D together with
+// widening and narrowing operators.
+//
+// The operators must satisfy, for all a, b:
+//
+//	Join(a, b) is the least upper bound, Meet(a, b) the greatest lower bound;
+//	Leq(a, Widen(a, b)) and Leq(b, Widen(a, b)): widening over-approximates
+//	the join, and every chain a0, a1 = Widen(a0, b0), ... eventually
+//	stabilizes;
+//	if Leq(b, a) then Leq(b, Narrow(a, b)) and Leq(Narrow(a, b), a): narrowing
+//	interpolates, and every chain a0, a1 = Narrow(a0, b0), ... eventually
+//	stabilizes.
+//
+// Top may panic for lattices whose top element is not representable (for
+// example a pointwise map lattice over an unbounded key universe); such
+// implementations document this. No solver in this module calls Top.
+type Lattice[D any] interface {
+	// Bottom returns the least element.
+	Bottom() D
+	// Top returns the greatest element. It may panic if top is not
+	// representable; see the type's documentation.
+	Top() D
+	// Leq reports whether a is less than or equal to b in the lattice order.
+	Leq(a, b D) bool
+	// Eq reports whether a and b denote the same lattice element.
+	// Implementations may use a structural shortcut but must agree with
+	// Leq(a, b) && Leq(b, a).
+	Eq(a, b D) bool
+	// Join returns the least upper bound of a and b.
+	Join(a, b D) D
+	// Meet returns the greatest lower bound of a and b.
+	Meet(a, b D) D
+	// Widen returns the widening a ∇ b. It is an upper bound of a and b and
+	// guarantees stabilization of ascending chains.
+	Widen(a, b D) D
+	// Narrow returns the narrowing a Δ b. It requires b ⊑ a and returns a
+	// value between b and a; it guarantees stabilization of descending
+	// chains.
+	Narrow(a, b D) D
+	// Format renders an element for diagnostics and invariant reports.
+	Format(a D) string
+}
+
+// JoinWiden equips a lattice that has finite ascending chains with trivial
+// acceleration operators: Widen = Join and Narrow(a, b) = b. Use it to adapt
+// a plain lattice for solvers that demand widening/narrowing.
+type JoinWiden[D any] struct {
+	Inner interface {
+		Bottom() D
+		Top() D
+		Leq(a, b D) bool
+		Eq(a, b D) bool
+		Join(a, b D) D
+		Meet(a, b D) D
+		Format(a D) string
+	}
+}
+
+// Bottom returns the least element of the inner lattice.
+func (l JoinWiden[D]) Bottom() D { return l.Inner.Bottom() }
+
+// Top returns the greatest element of the inner lattice.
+func (l JoinWiden[D]) Top() D { return l.Inner.Top() }
+
+// Leq reports the inner lattice order.
+func (l JoinWiden[D]) Leq(a, b D) bool { return l.Inner.Leq(a, b) }
+
+// Eq reports inner lattice element equality.
+func (l JoinWiden[D]) Eq(a, b D) bool { return l.Inner.Eq(a, b) }
+
+// Join returns the inner least upper bound.
+func (l JoinWiden[D]) Join(a, b D) D { return l.Inner.Join(a, b) }
+
+// Meet returns the inner greatest lower bound.
+func (l JoinWiden[D]) Meet(a, b D) D { return l.Inner.Meet(a, b) }
+
+// Widen joins; sound as widening only when ascending chains are finite.
+func (l JoinWiden[D]) Widen(a, b D) D { return l.Inner.Join(a, b) }
+
+// Narrow returns b, the most precise legal narrowing.
+func (l JoinWiden[D]) Narrow(a, b D) D { return b }
+
+// Format renders an element using the inner lattice.
+func (l JoinWiden[D]) Format(a D) string { return l.Inner.Format(a) }

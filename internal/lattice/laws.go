@@ -1,0 +1,120 @@
+package lattice
+
+import "fmt"
+
+// CheckLaws verifies the lattice and widening/narrowing laws on the given
+// sample elements, returning the first violation found. It is intended for
+// tests (including property-based tests that feed generated samples), but
+// lives in the package so examples and tools can sanity-check custom
+// lattices too.
+func CheckLaws[D any](l Lattice[D], samples []D) error {
+	for _, a := range samples {
+		if !l.Leq(l.Bottom(), a) {
+			return fmt.Errorf("bottom not ⊑ %s", l.Format(a))
+		}
+		if !l.Leq(a, a) {
+			return fmt.Errorf("Leq not reflexive on %s", l.Format(a))
+		}
+		if !l.Eq(a, a) {
+			return fmt.Errorf("Eq not reflexive on %s", l.Format(a))
+		}
+		if !l.Eq(l.Join(a, a), a) {
+			return fmt.Errorf("Join not idempotent on %s", l.Format(a))
+		}
+		if !l.Eq(l.Meet(a, a), a) {
+			return fmt.Errorf("Meet not idempotent on %s", l.Format(a))
+		}
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			j := l.Join(a, b)
+			if !l.Leq(a, j) || !l.Leq(b, j) {
+				return fmt.Errorf("Join(%s, %s) = %s is not an upper bound",
+					l.Format(a), l.Format(b), l.Format(j))
+			}
+			m := l.Meet(a, b)
+			if !l.Leq(m, a) || !l.Leq(m, b) {
+				return fmt.Errorf("Meet(%s, %s) = %s is not a lower bound",
+					l.Format(a), l.Format(b), l.Format(m))
+			}
+			if !l.Eq(j, l.Join(b, a)) {
+				return fmt.Errorf("Join not commutative on %s, %s", l.Format(a), l.Format(b))
+			}
+			if !l.Eq(m, l.Meet(b, a)) {
+				return fmt.Errorf("Meet not commutative on %s, %s", l.Format(a), l.Format(b))
+			}
+			if l.Leq(a, b) != (l.Eq(l.Join(a, b), b)) {
+				return fmt.Errorf("Leq(%s, %s) inconsistent with Join", l.Format(a), l.Format(b))
+			}
+			if l.Eq(a, b) != (l.Leq(a, b) && l.Leq(b, a)) {
+				return fmt.Errorf("Eq(%s, %s) inconsistent with Leq", l.Format(a), l.Format(b))
+			}
+			w := l.Widen(a, b)
+			if !l.Leq(a, w) || !l.Leq(b, w) {
+				return fmt.Errorf("Widen(%s, %s) = %s is not an upper bound",
+					l.Format(a), l.Format(b), l.Format(w))
+			}
+			if l.Leq(b, a) {
+				n := l.Narrow(a, b)
+				if !l.Leq(b, n) || !l.Leq(n, a) {
+					return fmt.Errorf("Narrow(%s, %s) = %s not between arguments",
+						l.Format(a), l.Format(b), l.Format(n))
+				}
+			}
+		}
+	}
+	// Least-upper-bound property against the sample set: Join(a,b) must be
+	// ⊑ every sampled upper bound of a and b (and dually for Meet).
+	for _, a := range samples {
+		for _, b := range samples {
+			j := l.Join(a, b)
+			m := l.Meet(a, b)
+			for _, c := range samples {
+				if l.Leq(a, c) && l.Leq(b, c) && !l.Leq(j, c) {
+					return fmt.Errorf("Join(%s, %s) not least: %s is a smaller upper bound",
+						l.Format(a), l.Format(b), l.Format(c))
+				}
+				if l.Leq(c, a) && l.Leq(c, b) && !l.Leq(c, m) {
+					return fmt.Errorf("Meet(%s, %s) not greatest: %s is a larger lower bound",
+						l.Format(a), l.Format(b), l.Format(c))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWideningStabilizes iterates a_{k+1} = Widen(a_k, f(a_k)) from bottom
+// and reports an error if the chain fails to stabilize within maxSteps. It
+// exercises the termination property that the ⊟-based solvers rely on.
+func CheckWideningStabilizes[D any](l Lattice[D], f func(D) D, maxSteps int) error {
+	a := l.Bottom()
+	for k := 0; k < maxSteps; k++ {
+		next := l.Widen(a, f(a))
+		if l.Eq(next, a) {
+			return nil
+		}
+		a = next
+	}
+	return fmt.Errorf("widening chain did not stabilize within %d steps (at %s)", maxSteps, l.Format(a))
+}
+
+// CheckNarrowingStabilizes iterates a_{k+1} = Narrow(a_k, f(a_k)) from the
+// given post-fixpoint of monotone f and reports an error if the chain fails
+// to stabilize within maxSteps.
+func CheckNarrowingStabilizes[D any](l Lattice[D], f func(D) D, start D, maxSteps int) error {
+	a := start
+	for k := 0; k < maxSteps; k++ {
+		fa := f(a)
+		if !l.Leq(fa, a) {
+			return fmt.Errorf("start is not a post-fixpoint at step %d: f(%s) = %s",
+				k, l.Format(a), l.Format(fa))
+		}
+		next := l.Narrow(a, fa)
+		if l.Eq(next, a) {
+			return nil
+		}
+		a = next
+	}
+	return fmt.Errorf("narrowing chain did not stabilize within %d steps (at %s)", maxSteps, l.Format(a))
+}

@@ -1,0 +1,101 @@
+package lattice
+
+import "fmt"
+
+// Nat is an element of the lattice ℕ ∪ {∞} used in the paper's Examples 1–4:
+// non-negative integers under their natural order, extended with a greatest
+// element ∞.
+type Nat struct {
+	inf bool
+	v   uint64
+}
+
+// NatOf returns the finite element v.
+func NatOf(v uint64) Nat { return Nat{v: v} }
+
+// NatInfElem is the greatest element ∞.
+var NatInfElem = Nat{inf: true}
+
+// IsInf reports whether n is ∞.
+func (n Nat) IsInf() bool { return n.inf }
+
+// Val returns the finite value; it panics on ∞.
+func (n Nat) Val() uint64 {
+	if n.inf {
+		panic("lattice: Val on ∞")
+	}
+	return n.v
+}
+
+// String renders n.
+func (n Nat) String() string {
+	if n.inf {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", n.v)
+}
+
+// NatInfLattice is the lattice D = ℕ ∪ {∞} of the paper's Examples 1–4,
+// with the widening a ∇ b = a if b ≤ a and ∞ otherwise, and the narrowing
+// (for b ≤ a) a Δ b = b if a = ∞ and a otherwise.
+type NatInfLattice struct{}
+
+// NatInf is the lattice instance.
+var NatInf = NatInfLattice{}
+
+// Bottom returns 0.
+func (NatInfLattice) Bottom() Nat { return Nat{} }
+
+// Top returns ∞.
+func (NatInfLattice) Top() Nat { return NatInfElem }
+
+// Leq reports the natural order extended with ∞ on top.
+func (NatInfLattice) Leq(a, b Nat) bool {
+	if b.inf {
+		return true
+	}
+	if a.inf {
+		return false
+	}
+	return a.v <= b.v
+}
+
+// Eq reports equality.
+func (NatInfLattice) Eq(a, b Nat) bool { return a == b }
+
+// Join returns the maximum.
+func (l NatInfLattice) Join(a, b Nat) Nat {
+	if l.Leq(a, b) {
+		return b
+	}
+	return a
+}
+
+// Meet returns the minimum.
+func (l NatInfLattice) Meet(a, b Nat) Nat {
+	if l.Leq(a, b) {
+		return a
+	}
+	return b
+}
+
+// Widen returns a if b ≤ a, and ∞ otherwise — exactly the operator of
+// Example 1.
+func (l NatInfLattice) Widen(a, b Nat) Nat {
+	if l.Leq(b, a) {
+		return a
+	}
+	return NatInfElem
+}
+
+// Narrow, for b ≤ a, returns b if a = ∞ and a otherwise — exactly the
+// operator of Example 1.
+func (NatInfLattice) Narrow(a, b Nat) Nat {
+	if a.inf {
+		return b
+	}
+	return a
+}
+
+// Format renders an element.
+func (NatInfLattice) Format(a Nat) string { return a.String() }

@@ -1,0 +1,63 @@
+package lattice
+
+import "testing"
+
+func TestNatInfLaws(t *testing.T) {
+	samples := []Nat{NatOf(0), NatOf(1), NatOf(2), NatOf(7), NatOf(100), NatInfElem}
+	if err := CheckLaws[Nat](NatInf, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNatInfOperators(t *testing.T) {
+	// The exact operators of paper Example 1.
+	if got := NatInf.Widen(NatOf(3), NatOf(3)); got != NatOf(3) {
+		t.Errorf("3 ∇ 3 = %s, want 3", got)
+	}
+	if got := NatInf.Widen(NatOf(3), NatOf(2)); got != NatOf(3) {
+		t.Errorf("3 ∇ 2 = %s, want 3", got)
+	}
+	if got := NatInf.Widen(NatOf(3), NatOf(4)); got != NatInfElem {
+		t.Errorf("3 ∇ 4 = %s, want ∞", got)
+	}
+	if got := NatInf.Narrow(NatInfElem, NatOf(5)); got != NatOf(5) {
+		t.Errorf("∞ Δ 5 = %s, want 5", got)
+	}
+	if got := NatInf.Narrow(NatOf(7), NatOf(5)); got != NatOf(7) {
+		t.Errorf("7 Δ 5 = %s, want 7", got)
+	}
+}
+
+func TestNatInfBasics(t *testing.T) {
+	if NatInf.Bottom() != NatOf(0) || NatInf.Top() != NatInfElem {
+		t.Fatal("extremal elements")
+	}
+	if NatOf(3).String() != "3" || NatInfElem.String() != "∞" {
+		t.Fatal("String")
+	}
+	if !NatInfElem.IsInf() || NatOf(1).IsInf() {
+		t.Fatal("IsInf")
+	}
+	if NatOf(9).Val() != 9 {
+		t.Fatal("Val")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Val on ∞ should panic")
+		}
+	}()
+	_ = NatInfElem.Val()
+}
+
+func TestNatInfWideningStabilizes(t *testing.T) {
+	// f(x) = x + 1 (monotone, unbounded): widening must stabilize at ∞.
+	f := func(x Nat) Nat {
+		if x.IsInf() {
+			return x
+		}
+		return NatOf(x.Val() + 1)
+	}
+	if err := CheckWideningStabilizes[Nat](NatInf, f, 5); err != nil {
+		t.Error(err)
+	}
+}

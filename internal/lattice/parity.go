@@ -1,0 +1,151 @@
+package lattice
+
+// Parity is an element of the parity (congruence mod 2) lattice:
+// ⊥ < {Even, Odd} < ⊤. A classic finite-height domain, used in tests and
+// as the second component of reduced products with intervals.
+type Parity uint8
+
+// Parity elements are bitsets over {even, odd}.
+const (
+	ParityBot  Parity = 0
+	ParityEven Parity = 1
+	ParityOdd  Parity = 2
+	ParityTop  Parity = 3
+)
+
+// ParityOf abstracts a concrete integer.
+func ParityOf(v int64) Parity {
+	if v%2 == 0 {
+		return ParityEven
+	}
+	return ParityOdd
+}
+
+// Contains reports whether v is described by p.
+func (p Parity) Contains(v int64) bool { return ParityOf(v)&p != 0 }
+
+// String renders the parity.
+func (p Parity) String() string {
+	switch p {
+	case ParityBot:
+		return "⊥"
+	case ParityEven:
+		return "even"
+	case ParityOdd:
+		return "odd"
+	default:
+		return "⊤"
+	}
+}
+
+// ParityLattice is the parity lattice.
+type ParityLattice struct{}
+
+// Parities is the lattice instance.
+var Parities = ParityLattice{}
+
+// Bottom returns ⊥.
+func (ParityLattice) Bottom() Parity { return ParityBot }
+
+// Top returns ⊤.
+func (ParityLattice) Top() Parity { return ParityTop }
+
+// Leq is bitset inclusion.
+func (ParityLattice) Leq(a, b Parity) bool { return a&^b == 0 }
+
+// Eq is equality.
+func (ParityLattice) Eq(a, b Parity) bool { return a == b }
+
+// Join is union.
+func (ParityLattice) Join(a, b Parity) Parity { return a | b }
+
+// Meet is intersection.
+func (ParityLattice) Meet(a, b Parity) Parity { return a & b }
+
+// Widen joins (finite height).
+func (ParityLattice) Widen(a, b Parity) Parity { return a | b }
+
+// Narrow returns b.
+func (ParityLattice) Narrow(a, b Parity) Parity { return b }
+
+// Format renders an element.
+func (ParityLattice) Format(a Parity) string { return a.String() }
+
+// Add is the abstract sum.
+func (p Parity) Add(o Parity) Parity {
+	if p == ParityBot || o == ParityBot {
+		return ParityBot
+	}
+	var out Parity
+	if p&ParityEven != 0 && o&ParityEven != 0 {
+		out |= ParityEven
+	}
+	if p&ParityOdd != 0 && o&ParityOdd != 0 {
+		out |= ParityEven
+	}
+	if p&ParityEven != 0 && o&ParityOdd != 0 {
+		out |= ParityOdd
+	}
+	if p&ParityOdd != 0 && o&ParityEven != 0 {
+		out |= ParityOdd
+	}
+	return out
+}
+
+// Mul is the abstract product.
+func (p Parity) Mul(o Parity) Parity {
+	if p == ParityBot || o == ParityBot {
+		return ParityBot
+	}
+	var out Parity
+	if p&ParityEven != 0 || o&ParityEven != 0 {
+		out |= ParityEven
+	}
+	if p&ParityOdd != 0 && o&ParityOdd != 0 {
+		out |= ParityOdd
+	}
+	return out
+}
+
+// ReduceIntervalParity is the reduction operator of the reduced product
+// interval × parity: it tightens finite interval bounds to the nearest
+// value of the right parity, and refines parity from singleton intervals.
+// The classic example: ([0,7], even) reduces to ([0,6], even).
+func ReduceIntervalParity(iv Interval, p Parity) (Interval, Parity) {
+	if iv.IsEmpty() || p == ParityBot {
+		return EmptyInterval, ParityBot
+	}
+	if p == ParityEven || p == ParityOdd {
+		want := int64(0)
+		if p == ParityOdd {
+			want = 1
+		}
+		lo, hi := iv.Lo, iv.Hi
+		if lo.IsFinite() && mod2(lo.Int()) != want {
+			lo = Fin(lo.Int() + 1)
+		}
+		if hi.IsFinite() && mod2(hi.Int()) != want {
+			hi = Fin(hi.Int() - 1)
+		}
+		iv = NewInterval(lo, hi)
+		if iv.IsEmpty() {
+			return EmptyInterval, ParityBot
+		}
+	}
+	if c, ok := iv.IsConst(); ok {
+		p = p & ParityOf(c)
+		if p == ParityBot {
+			return EmptyInterval, ParityBot
+		}
+	}
+	return iv, p
+}
+
+// mod2 is the non-negative remainder mod 2.
+func mod2(v int64) int64 {
+	m := v % 2
+	if m < 0 {
+		m += 2
+	}
+	return m
+}

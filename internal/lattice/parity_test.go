@@ -1,0 +1,101 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParityLatticeLaws(t *testing.T) {
+	all := []Parity{ParityBot, ParityEven, ParityOdd, ParityTop}
+	if err := CheckLaws[Parity](Parities, all); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parity arithmetic is sound.
+func TestParityArithSound(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := int64(a), int64(b)
+		px, py := ParityOf(x), ParityOf(y)
+		return px.Add(py).Contains(x+y) && px.Mul(py).Contains(x*y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityOfNegatives(t *testing.T) {
+	if ParityOf(-4) != ParityEven || ParityOf(-3) != ParityOdd {
+		t.Fatal("ParityOf on negatives")
+	}
+}
+
+func TestReduceIntervalParity(t *testing.T) {
+	iv, p := ReduceIntervalParity(Range(0, 7), ParityEven)
+	if !Ints.Eq(iv, Range(0, 6)) || p != ParityEven {
+		t.Errorf("reduce([0,7], even) = (%s, %s)", iv, p)
+	}
+	iv, p = ReduceIntervalParity(Range(1, 8), ParityOdd)
+	if !Ints.Eq(iv, Range(1, 7)) || p != ParityOdd {
+		t.Errorf("reduce([1,8], odd) = (%s, %s)", iv, p)
+	}
+	// Singleton refines parity.
+	iv, p = ReduceIntervalParity(Singleton(4), ParityTop)
+	if !Ints.Eq(iv, Singleton(4)) || p != ParityEven {
+		t.Errorf("reduce([4,4], ⊤) = (%s, %s)", iv, p)
+	}
+	// Contradiction collapses to ⊥.
+	iv, p = ReduceIntervalParity(Singleton(3), ParityEven)
+	if !iv.IsEmpty() || p != ParityBot {
+		t.Errorf("reduce([3,3], even) = (%s, %s)", iv, p)
+	}
+	// Empty window collapses.
+	iv, p = ReduceIntervalParity(Range(3, 3), ParityEven)
+	if !iv.IsEmpty() {
+		t.Errorf("reduce empty = %s", iv)
+	}
+	// Infinite bounds untouched.
+	iv, p = ReduceIntervalParity(AtLeast(1), ParityEven)
+	if !Ints.Eq(iv, AtLeast(2)) {
+		t.Errorf("reduce([1,+inf], even) = %s", iv)
+	}
+	_ = p
+}
+
+// Property: reduction is sound — concrete values satisfying both components
+// survive.
+func TestReduceSound(t *testing.T) {
+	f := func(lo8, width uint8, v8 int8, odd bool) bool {
+		lo := int64(lo8) - 128
+		hi := lo + int64(width)
+		iv := Range(lo, hi)
+		p := ParityEven
+		if odd {
+			p = ParityOdd
+		}
+		v := int64(v8)
+		if !iv.Contains(v) || !p.Contains(v) {
+			return true // vacuous
+		}
+		riv, rp := ReduceIntervalParity(iv, p)
+		return riv.Contains(v) && rp.Contains(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The reduced product as a pair lattice still satisfies the laws.
+func TestIntervalParityProductLaws(t *testing.T) {
+	l := NewPairLattice[Interval, Parity](Ints, Parities)
+	samples := []Pair[Interval, Parity]{
+		l.Bottom(),
+		{Range(0, 6), ParityEven},
+		{Range(1, 7), ParityOdd},
+		{FullInterval, ParityTop},
+		{Singleton(4), ParityEven},
+	}
+	if err := CheckLaws[Pair[Interval, Parity]](l, samples); err != nil {
+		t.Fatal(err)
+	}
+}

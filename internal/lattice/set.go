@@ -1,0 +1,149 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is an immutable finite set of comparable elements, an element of the
+// powerset lattice ordered by inclusion. The zero value is the empty set.
+// Sets are used by the points-to analysis and as context components.
+type Set[T comparable] struct {
+	m map[T]struct{}
+}
+
+// NewSet returns the set containing the given elements.
+func NewSet[T comparable](elems ...T) Set[T] {
+	if len(elems) == 0 {
+		return Set[T]{}
+	}
+	m := make(map[T]struct{}, len(elems))
+	for _, e := range elems {
+		m[e] = struct{}{}
+	}
+	return Set[T]{m: m}
+}
+
+// Len returns the number of elements.
+func (s Set[T]) Len() int { return len(s.m) }
+
+// Has reports membership of e.
+func (s Set[T]) Has(e T) bool {
+	_, ok := s.m[e]
+	return ok
+}
+
+// Elems returns the elements in unspecified order.
+func (s Set[T]) Elems() []T {
+	out := make([]T, 0, len(s.m))
+	for e := range s.m {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Union returns s ∪ o.
+func (s Set[T]) Union(o Set[T]) Set[T] {
+	if len(s.m) == 0 {
+		return o
+	}
+	if len(o.m) == 0 {
+		return s
+	}
+	m := make(map[T]struct{}, len(s.m)+len(o.m))
+	for e := range s.m {
+		m[e] = struct{}{}
+	}
+	for e := range o.m {
+		m[e] = struct{}{}
+	}
+	return Set[T]{m: m}
+}
+
+// Intersect returns s ∩ o.
+func (s Set[T]) Intersect(o Set[T]) Set[T] {
+	m := make(map[T]struct{})
+	small, big := s.m, o.m
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for e := range small {
+		if _, ok := big[e]; ok {
+			m[e] = struct{}{}
+		}
+	}
+	if len(m) == 0 {
+		return Set[T]{}
+	}
+	return Set[T]{m: m}
+}
+
+// Subset reports s ⊆ o.
+func (s Set[T]) Subset(o Set[T]) bool {
+	if len(s.m) > len(o.m) {
+		return false
+	}
+	for e := range s.m {
+		if _, ok := o.m[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a deterministic string identifying the set's contents, usable
+// as a comparable context component.
+func (s Set[T]) Key() string {
+	parts := make([]string, 0, len(s.m))
+	for e := range s.m {
+		parts = append(parts, fmt.Sprintf("%v", e))
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SetLattice is the powerset lattice over T ordered by inclusion. Top is
+// not representable for an unbounded universe; Top panics unless the
+// lattice was built with a universe via NewSetLattice.
+type SetLattice[T comparable] struct {
+	universe []T
+}
+
+// NewSetLattice returns a powerset lattice whose Top is the given universe.
+func NewSetLattice[T comparable](universe ...T) *SetLattice[T] {
+	return &SetLattice[T]{universe: append([]T(nil), universe...)}
+}
+
+// Bottom returns the empty set.
+func (*SetLattice[T]) Bottom() Set[T] { return Set[T]{} }
+
+// Top returns the universe; it panics if none was supplied.
+func (l *SetLattice[T]) Top() Set[T] {
+	if l == nil || l.universe == nil {
+		panic("lattice: SetLattice.Top without a universe")
+	}
+	return NewSet(l.universe...)
+}
+
+// Leq reports inclusion.
+func (*SetLattice[T]) Leq(a, b Set[T]) bool { return a.Subset(b) }
+
+// Eq reports set equality.
+func (*SetLattice[T]) Eq(a, b Set[T]) bool { return a.Len() == b.Len() && a.Subset(b) }
+
+// Join returns the union.
+func (*SetLattice[T]) Join(a, b Set[T]) Set[T] { return a.Union(b) }
+
+// Meet returns the intersection.
+func (*SetLattice[T]) Meet(a, b Set[T]) Set[T] { return a.Intersect(b) }
+
+// Widen joins; sound as widening only for finite universes (finite
+// ascending chains). Points-to universes are finite per program.
+func (*SetLattice[T]) Widen(a, b Set[T]) Set[T] { return a.Union(b) }
+
+// Narrow returns b.
+func (*SetLattice[T]) Narrow(a, b Set[T]) Set[T] { return b }
+
+// Format renders a set with sorted element strings.
+func (*SetLattice[T]) Format(a Set[T]) string { return a.Key() }

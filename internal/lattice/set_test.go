@@ -1,0 +1,74 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetLaws(t *testing.T) {
+	l := NewSetLattice("a", "b", "c")
+	samples := []Set[string]{
+		NewSet[string](), NewSet("a"), NewSet("b"), NewSet("a", "b"),
+		NewSet("a", "b", "c"), NewSet("c"),
+	}
+	if err := CheckLaws[Set[string]](l, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(3, 4)
+	if u := a.Union(b); u.Len() != 4 || !u.Has(4) || !u.Has(1) {
+		t.Errorf("union: %v", u.Elems())
+	}
+	if i := a.Intersect(b); i.Len() != 1 || !i.Has(3) {
+		t.Errorf("intersect: %v", i.Elems())
+	}
+	if !NewSet(1).Subset(a) || a.Subset(b) {
+		t.Error("subset")
+	}
+	if NewSet[int]().Len() != 0 {
+		t.Error("empty set")
+	}
+}
+
+func TestSetKeyDeterministic(t *testing.T) {
+	a := NewSet("x", "y", "z")
+	b := NewSet("z", "y", "x")
+	if a.Key() != b.Key() {
+		t.Errorf("Key not order-independent: %s vs %s", a.Key(), b.Key())
+	}
+	if a.Key() != "{x,y,z}" {
+		t.Errorf("Key = %s", a.Key())
+	}
+}
+
+func TestSetTopPanicsWithoutUniverse(t *testing.T) {
+	var l *SetLattice[int]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Top()
+}
+
+// Property: union is commutative, associative, and absorbs subsets.
+func TestSetUnionProperties(t *testing.T) {
+	mk := func(xs []uint8) Set[uint8] { return NewSet(xs...) }
+	f := func(xs, ys, zs []uint8) bool {
+		a, b, c := mk(xs), mk(ys), mk(zs)
+		l := &SetLattice[uint8]{}
+		if !l.Eq(a.Union(b), b.Union(a)) {
+			return false
+		}
+		if !l.Eq(a.Union(b).Union(c), a.Union(b.Union(c))) {
+			return false
+		}
+		return a.Subset(a.Union(b)) && l.Eq(a.Union(a), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

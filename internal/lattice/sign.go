@@ -1,0 +1,190 @@
+package lattice
+
+// Sign is an element of the sign domain: the classic five-point lattice
+//
+//	    ⊤
+//	  / | \
+//	Neg Zero Pos
+//	  \ | /
+//	    ⊥
+//
+// extended with the convex unions Neg∪Zero (≤0) and Zero∪Pos (≥0), making
+// it the eight-element lattice of sign sets closed under convexity. It is
+// used by tests and examples as a second numeric domain alongside
+// intervals, and by the bucket context policy.
+type Sign uint8
+
+// Sign elements are bitsets over {neg, zero, pos}.
+const (
+	SignBot  Sign = 0
+	SignNeg  Sign = 1
+	SignZero Sign = 2
+	SignPos  Sign = 4
+	SignLe0  Sign = SignNeg | SignZero
+	SignGe0  Sign = SignZero | SignPos
+	SignNe0  Sign = SignNeg | SignPos
+	SignTop  Sign = SignNeg | SignZero | SignPos
+)
+
+// SignOf abstracts a concrete integer.
+func SignOf(v int64) Sign {
+	switch {
+	case v < 0:
+		return SignNeg
+	case v == 0:
+		return SignZero
+	default:
+		return SignPos
+	}
+}
+
+// SignOfInterval abstracts an interval.
+func SignOfInterval(iv Interval) Sign {
+	if iv.IsEmpty() {
+		return SignBot
+	}
+	var s Sign
+	if iv.Lo.Less(Fin(0)) {
+		s |= SignNeg
+	}
+	if iv.Contains(0) {
+		s |= SignZero
+	}
+	if Fin(0).Less(iv.Hi) {
+		s |= SignPos
+	}
+	return s
+}
+
+// String renders the sign set.
+func (s Sign) String() string {
+	switch s {
+	case SignBot:
+		return "⊥"
+	case SignNeg:
+		return "-"
+	case SignZero:
+		return "0"
+	case SignPos:
+		return "+"
+	case SignLe0:
+		return "≤0"
+	case SignGe0:
+		return "≥0"
+	case SignNe0:
+		return "≠0"
+	case SignTop:
+		return "⊤"
+	default:
+		return "?"
+	}
+}
+
+// Contains reports whether the concrete value v is described by s.
+func (s Sign) Contains(v int64) bool { return SignOf(v)&s != 0 }
+
+// SignLattice is the sign lattice; its height is 3, so Widen = Join.
+type SignLattice struct{}
+
+// Signs is the lattice instance.
+var Signs = SignLattice{}
+
+// Bottom returns ⊥.
+func (SignLattice) Bottom() Sign { return SignBot }
+
+// Top returns ⊤.
+func (SignLattice) Top() Sign { return SignTop }
+
+// Leq is bitset inclusion.
+func (SignLattice) Leq(a, b Sign) bool { return a&^b == 0 }
+
+// Eq is equality.
+func (SignLattice) Eq(a, b Sign) bool { return a == b }
+
+// Join is bitset union.
+func (SignLattice) Join(a, b Sign) Sign { return a | b }
+
+// Meet is bitset intersection.
+func (SignLattice) Meet(a, b Sign) Sign { return a & b }
+
+// Widen joins (finite height).
+func (SignLattice) Widen(a, b Sign) Sign { return a | b }
+
+// Narrow returns b.
+func (SignLattice) Narrow(a, b Sign) Sign { return b }
+
+// Format renders an element.
+func (SignLattice) Format(a Sign) string { return a.String() }
+
+// Arithmetic transfer functions on signs.
+
+// Neg flips the sign.
+func (s Sign) Neg() Sign {
+	var out Sign
+	if s&SignNeg != 0 {
+		out |= SignPos
+	}
+	if s&SignZero != 0 {
+		out |= SignZero
+	}
+	if s&SignPos != 0 {
+		out |= SignNeg
+	}
+	return out
+}
+
+// Add is the abstract sum.
+func (s Sign) Add(o Sign) Sign {
+	if s == SignBot || o == SignBot {
+		return SignBot
+	}
+	var out Sign
+	for _, a := range [3]Sign{SignNeg, SignZero, SignPos} {
+		if s&a == 0 {
+			continue
+		}
+		for _, b := range [3]Sign{SignNeg, SignZero, SignPos} {
+			if o&b == 0 {
+				continue
+			}
+			switch {
+			case a == SignZero:
+				out |= b
+			case b == SignZero:
+				out |= a
+			case a == b:
+				out |= a
+			default:
+				out |= SignTop // pos + neg: any sign
+			}
+		}
+	}
+	return out
+}
+
+// Mul is the abstract product.
+func (s Sign) Mul(o Sign) Sign {
+	if s == SignBot || o == SignBot {
+		return SignBot
+	}
+	var out Sign
+	for _, a := range [3]Sign{SignNeg, SignZero, SignPos} {
+		if s&a == 0 {
+			continue
+		}
+		for _, b := range [3]Sign{SignNeg, SignZero, SignPos} {
+			if o&b == 0 {
+				continue
+			}
+			switch {
+			case a == SignZero || b == SignZero:
+				out |= SignZero
+			case a == b:
+				out |= SignPos
+			default:
+				out |= SignNeg
+			}
+		}
+	}
+	return out
+}

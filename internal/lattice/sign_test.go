@@ -1,0 +1,97 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allSigns() []Sign {
+	return []Sign{SignBot, SignNeg, SignZero, SignPos, SignLe0, SignGe0, SignNe0, SignTop}
+}
+
+func TestSignLatticeLaws(t *testing.T) {
+	if err := CheckLaws[Sign](Signs, allSigns()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignOf(t *testing.T) {
+	if SignOf(-3) != SignNeg || SignOf(0) != SignZero || SignOf(7) != SignPos {
+		t.Fatal("SignOf")
+	}
+}
+
+func TestSignOfInterval(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want Sign
+	}{
+		{EmptyInterval, SignBot},
+		{Singleton(0), SignZero},
+		{Range(1, 5), SignPos},
+		{Range(-5, -1), SignNeg},
+		{Range(-2, 3), SignTop},
+		{Range(0, 3), SignGe0},
+		{Range(-3, 0), SignLe0},
+		{FullInterval, SignTop},
+		{AtLeast(1), SignPos},
+	}
+	for _, c := range cases {
+		if got := SignOfInterval(c.iv); got != c.want {
+			t.Errorf("SignOfInterval(%s) = %s, want %s", c.iv, got, c.want)
+		}
+	}
+}
+
+// Property: sign arithmetic is sound w.r.t. concrete arithmetic.
+func TestSignArithSound(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := int64(a), int64(b)
+		sx, sy := SignOf(x), SignOf(y)
+		if !sx.Add(sy).Contains(x + y) {
+			return false
+		}
+		if !sx.Mul(sy).Contains(x * y) {
+			return false
+		}
+		return sx.Neg().Contains(-x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer functions are monotone on the 8-element lattice
+// (exhaustive check).
+func TestSignArithMonotone(t *testing.T) {
+	for _, a := range allSigns() {
+		for _, a2 := range allSigns() {
+			if !Signs.Leq(a, a2) {
+				continue
+			}
+			for _, b := range allSigns() {
+				if !Signs.Leq(a.Add(b), a2.Add(b)) {
+					t.Fatalf("Add not monotone: %s⊑%s but %s⋢%s", a, a2, a.Add(b), a2.Add(b))
+				}
+				if !Signs.Leq(a.Mul(b), a2.Mul(b)) {
+					t.Fatalf("Mul not monotone at %s⊑%s, b=%s", a, a2, b)
+				}
+			}
+			if !Signs.Leq(a.Neg(), a2.Neg()) {
+				t.Fatalf("Neg not monotone at %s⊑%s", a, a2)
+			}
+		}
+	}
+}
+
+func TestSignStrings(t *testing.T) {
+	want := map[Sign]string{
+		SignBot: "⊥", SignNeg: "-", SignZero: "0", SignPos: "+",
+		SignLe0: "≤0", SignGe0: "≥0", SignNe0: "≠0", SignTop: "⊤",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %s, want %s", s, s, w)
+		}
+	}
+}

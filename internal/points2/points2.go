@@ -1,0 +1,234 @@
+// Package points2 implements a flow-insensitive, field-insensitive
+// Andersen-style points-to analysis for mini-C — the "standard analyses of
+// pointers" the paper's evaluation runs beneath the interval analysis.
+//
+// Every variable declaration is one abstract cell; arrays are summarized by
+// a single cell. The subset constraints are expressed as a pure equation
+// system over powerset lattices and solved with the local solver SLR from
+// internal/solver: the dynamic dependences arising from dereferences
+// (pt(*p) depends on the current value of pt(p)) are exactly what SLR's
+// on-the-fly dependence tracking handles.
+package points2
+
+import (
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// Result maps each pointer-holding cell ID to the set of cell IDs it may
+// point to.
+type Result struct {
+	pt map[string]lattice.Set[string]
+}
+
+// PointsTo returns the points-to set of the cell id (empty if unknown).
+func (r *Result) PointsTo(id string) lattice.Set[string] { return r.pt[id] }
+
+// retCell is the pseudo-cell collecting pointer return values of fn.
+func retCell(fn *cint.FuncDecl) string { return fn.Name + "::@ret" }
+
+// rootCell drives the demand-driven solver over all cells.
+const rootCell = "@points2-root"
+
+// flow is one inflow into a cell: either the pointees of an expression, or
+// (for call-result routing) the points-to set of another cell.
+type flow struct {
+	expr cint.Expr // nil when cell is set
+	cell string    // direct cell-to-cell subset constraint
+}
+
+// Analyze computes points-to sets for the whole program.
+func Analyze(p *cfg.Program) *Result {
+	b := &ptBuilder{flows: make(map[string][]flow)}
+	for _, name := range p.Order {
+		g := p.Graphs[name]
+		for _, n := range g.Nodes {
+			for _, e := range n.Out {
+				b.edge(g.Fn, e)
+			}
+		}
+	}
+	return b.solve()
+}
+
+type ptBuilder struct {
+	flows     map[string][]flow // cell -> direct inflows
+	cells     []string          // all cells with inflows, in discovery order
+	indirects []indirect        // *p = rhs store constraints
+}
+
+func (b *ptBuilder) addFlow(cell string, e cint.Expr) {
+	if _, seen := b.flows[cell]; !seen {
+		b.cells = append(b.cells, cell)
+	}
+	b.flows[cell] = append(b.flows[cell], flow{expr: e})
+}
+
+// isPtrValued reports whether an expression produces a pointer.
+func isPtrValued(e cint.Expr) bool {
+	t := e.Type()
+	return t != nil && (t.Kind == cint.TypePtr || t.Kind == cint.TypeArray)
+}
+
+// edge records constraints for one CFG edge.
+func (b *ptBuilder) edge(fn *cint.FuncDecl, e *cfg.Edge) {
+	switch e.Kind {
+	case cfg.Decl:
+		if e.Rhs != nil && isPtrValued(e.Rhs) {
+			b.addFlow(e.Var.ID, e.Rhs)
+		}
+	case cfg.Assign:
+		if isPtrValued(e.Rhs) {
+			b.assignTo(e.Lhs, e.Rhs)
+		}
+	case cfg.Call:
+		callee := e.Call.Fn
+		for i, arg := range e.Call.Args {
+			if isPtrValued(arg) {
+				b.addFlow(callee.Params[i].ID, arg)
+			}
+		}
+		if e.Lhs != nil && callee.Ret.Kind == cint.TypePtr {
+			if id, ok := baseIdent(e.Lhs); ok {
+				b.addCellFlow(id.Obj.ID, retCell(callee))
+			}
+		}
+	case cfg.Ret:
+		if e.Rhs != nil && isPtrValued(e.Rhs) {
+			b.addFlow(retCell(fn), e.Rhs)
+		}
+	}
+}
+
+// addCellFlow records the subset constraint dst ⊇ pt(src).
+func (b *ptBuilder) addCellFlow(dst, src string) {
+	if _, seen := b.flows[dst]; !seen {
+		b.cells = append(b.cells, dst)
+	}
+	b.flows[dst] = append(b.flows[dst], flow{cell: src})
+}
+
+// assignTo records lhs ⊇ pointees(rhs) where lhs may be an identifier, a
+// dereference, or an index expression.
+func (b *ptBuilder) assignTo(lhs cint.Expr, rhs cint.Expr) {
+	switch l := lhs.(type) {
+	case *cint.Ident:
+		b.addFlow(l.Obj.ID, rhs)
+	case *cint.UnaryExpr:
+		if l.Op == cint.TokStar {
+			// *p = rhs: every current target of p receives rhs. Encoded as
+			// an indirect flow resolved during solving.
+			b.addIndirect(l.X, rhs)
+		}
+	case *cint.IndexExpr:
+		if id, ok := baseIdent(l.X); ok {
+			b.addFlow(id.Obj.ID, rhs)
+		} else {
+			b.addIndirect(l.X, rhs)
+		}
+	}
+}
+
+// indirect captures "*target-expr receives pointees(rhs)".
+type indirect struct {
+	target cint.Expr
+	rhs    cint.Expr
+}
+
+func (b *ptBuilder) addIndirect(target, rhs cint.Expr) {
+	b.indirects = append(b.indirects, indirect{target: target, rhs: rhs})
+}
+
+// baseIdent unwraps an identifier.
+func baseIdent(e cint.Expr) (*cint.Ident, bool) {
+	id, ok := e.(*cint.Ident)
+	return id, ok
+}
+
+func (b *ptBuilder) solve() *Result {
+	l := &lattice.SetLattice[string]{}
+	// pointees evaluates the points-to set of an expression under get.
+	var pointees func(e cint.Expr, get func(string) lattice.Set[string]) lattice.Set[string]
+	pointees = func(e cint.Expr, get func(string) lattice.Set[string]) lattice.Set[string] {
+		switch x := e.(type) {
+		case *cint.Ident:
+			if x.Obj.Type.Kind == cint.TypeArray {
+				return lattice.NewSet(x.Obj.ID) // array decays to its own cell
+			}
+			return get(x.Obj.ID)
+		case *cint.UnaryExpr:
+			switch x.Op {
+			case cint.TokAmp:
+				id := x.X.(*cint.Ident)
+				return lattice.NewSet(id.Obj.ID)
+			case cint.TokStar:
+				// **q etc.: union of pt(t) over t in pointees(q).
+				out := lattice.Set[string]{}
+				for _, t := range pointees(x.X, get).Elems() {
+					out = out.Union(get(t))
+				}
+				return out
+			}
+		case *cint.IndexExpr:
+			// Elements of a cell: pt of the base cells.
+			out := lattice.Set[string]{}
+			for _, t := range pointees(x.X, get).Elems() {
+				out = out.Union(get(t))
+			}
+			return out
+		}
+		return lattice.Set[string]{} // integers, null, arithmetic
+	}
+
+	sys := func(cell string) eqn.RHS[string, lattice.Set[string]] {
+		if cell == rootCell {
+			cells := b.cells
+			ind := b.indirects
+			return func(get func(string) lattice.Set[string]) lattice.Set[string] {
+				for _, c := range cells {
+					get(c)
+				}
+				// Touch indirect targets so their flows are installed below.
+				for _, i := range ind {
+					for _, t := range pointees(i.target, get).Elems() {
+						get(t)
+					}
+				}
+				return lattice.Set[string]{}
+			}
+		}
+		inflows := b.flows[cell]
+		ind := b.indirects
+		return func(get func(string) lattice.Set[string]) lattice.Set[string] {
+			out := lattice.Set[string]{}
+			for _, f := range inflows {
+				if f.expr == nil {
+					out = out.Union(get(f.cell))
+					continue
+				}
+				out = out.Union(pointees(f.expr, get))
+			}
+			// Indirect stores whose target set contains this cell.
+			for _, i := range ind {
+				if pointees(i.target, get).Has(cell) {
+					out = out.Union(pointees(i.rhs, get))
+				}
+			}
+			return out
+		}
+	}
+
+	init := func(string) lattice.Set[string] { return lattice.Set[string]{} }
+	op := solver.Op[string](solver.Join[lattice.Set[string]](l))
+	res, err := solver.SLR(sys, l, op, init, rootCell, solver.Config{})
+	if err != nil {
+		// The system is monotone over a finite powerset; SLR cannot
+		// diverge. A budget error would indicate an internal bug.
+		panic("points2: solver failed: " + err.Error())
+	}
+	delete(res.Values, rootCell)
+	return &Result{pt: res.Values}
+}

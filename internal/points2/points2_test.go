@@ -1,0 +1,168 @@
+package points2
+
+import (
+	"testing"
+
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+)
+
+func analyze(t *testing.T, src string) (*cfg.Program, *Result) {
+	t.Helper()
+	ast, err := cint.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.Build(ast)
+	return p, Analyze(p)
+}
+
+// localID finds the unique ID of a local variable by name.
+func localID(t *testing.T, p *cfg.Program, fn, name string) string {
+	t.Helper()
+	for _, l := range p.AST.FuncByName[fn].Locals {
+		if l.Name == name {
+			return l.ID
+		}
+	}
+	t.Fatalf("no local %s in %s", name, fn)
+	return ""
+}
+
+func TestBasicAddressOf(t *testing.T) {
+	p, r := analyze(t, `
+int main() {
+    int i; int j;
+    int *p; int *q;
+    p = &i;
+    q = p;
+    p = &j;
+    return 0;
+}`)
+	pID := localID(t, p, "main", "p")
+	qID := localID(t, p, "main", "q")
+	iID := localID(t, p, "main", "i")
+	jID := localID(t, p, "main", "j")
+	pt := r.PointsTo(pID)
+	if !pt.Has(iID) || !pt.Has(jID) || pt.Len() != 2 {
+		t.Errorf("pt(p) = %s", pt.Key())
+	}
+	qt := r.PointsTo(qID)
+	if !qt.Has(iID) || !qt.Has(jID) {
+		t.Errorf("pt(q) = %s (flow-insensitive: must include both)", qt.Key())
+	}
+}
+
+func TestArrayDecay(t *testing.T) {
+	p, r := analyze(t, `
+int buf[8];
+int main() {
+    int *p;
+    p = buf;
+    return 0;
+}`)
+	pID := localID(t, p, "main", "p")
+	if pt := r.PointsTo(pID); !pt.Has("buf") || pt.Len() != 1 {
+		t.Errorf("pt(p) = %s, want {buf}", pt.Key())
+	}
+}
+
+func TestParameterBinding(t *testing.T) {
+	p, r := analyze(t, `
+void store(int *dst, int v) { *dst = v; }
+int main() {
+    int x; int y;
+    store(&x, 1);
+    store(&y, 2);
+    return 0;
+}`)
+	dstID := localID(t, p, "store", "dst")
+	xID := localID(t, p, "main", "x")
+	yID := localID(t, p, "main", "y")
+	pt := r.PointsTo(dstID)
+	if !pt.Has(xID) || !pt.Has(yID) {
+		t.Errorf("pt(dst) = %s, want {x, y}", pt.Key())
+	}
+}
+
+func TestReturnedPointer(t *testing.T) {
+	p, r := analyze(t, `
+int g;
+int *addr() { return &g; }
+int main() {
+    int *p;
+    p = addr();
+    return 0;
+}`)
+	pID := localID(t, p, "main", "p")
+	if pt := r.PointsTo(pID); !pt.Has("g") {
+		t.Errorf("pt(p) = %s, want {g}", pt.Key())
+	}
+}
+
+func TestPointerToPointer(t *testing.T) {
+	p, r := analyze(t, `
+int main() {
+    int i; int j;
+    int *p;
+    int **pp;
+    p = &i;
+    pp = &p;
+    *pp = &j;
+    return 0;
+}`)
+	pID := localID(t, p, "main", "p")
+	ppID := localID(t, p, "main", "pp")
+	iID := localID(t, p, "main", "i")
+	jID := localID(t, p, "main", "j")
+	if pt := r.PointsTo(ppID); !pt.Has(pID) {
+		t.Errorf("pt(pp) = %s, want {p}", pt.Key())
+	}
+	pt := r.PointsTo(pID)
+	if !pt.Has(iID) || !pt.Has(jID) {
+		t.Errorf("pt(p) = %s, want {i, j} (indirect store via pp)", pt.Key())
+	}
+}
+
+func TestDerefLoad(t *testing.T) {
+	p, r := analyze(t, `
+int main() {
+    int i;
+    int *p; int *q;
+    int **pp;
+    p = &i;
+    pp = &p;
+    q = *pp;
+    return 0;
+}`)
+	qID := localID(t, p, "main", "q")
+	iID := localID(t, p, "main", "i")
+	if pt := r.PointsTo(qID); !pt.Has(iID) {
+		t.Errorf("pt(q) = %s, want {i}", pt.Key())
+	}
+}
+
+func TestNoPointersNoCrash(t *testing.T) {
+	_, r := analyze(t, `int main() { int i; i = 3; return i; }`)
+	if pt := r.PointsTo("main::i#0"); pt.Len() != 0 {
+		t.Errorf("pt(i) = %s, want empty", pt.Key())
+	}
+}
+
+func TestConditionalTargets(t *testing.T) {
+	p, r := analyze(t, `
+int main() {
+    int a; int b;
+    int *p;
+    if (a > 0) { p = &a; } else { p = &b; }
+    *p = 5;
+    return 0;
+}`)
+	pID := localID(t, p, "main", "p")
+	aID := localID(t, p, "main", "a")
+	bID := localID(t, p, "main", "b")
+	pt := r.PointsTo(pID)
+	if !pt.Has(aID) || !pt.Has(bID) || pt.Len() != 2 {
+		t.Errorf("pt(p) = %s, want {a, b}", pt.Key())
+	}
+}

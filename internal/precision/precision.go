@@ -1,0 +1,107 @@
+// Package precision compares analysis results per program point — the
+// metric of the paper's Fig. 7, which reports for each benchmark the
+// percentage of program points at which the ⊟-solver computes strictly
+// more precise invariants than the two-phase widening/narrowing baseline.
+package precision
+
+import (
+	"fmt"
+	"sort"
+
+	"warrow/internal/analysis"
+	"warrow/internal/lattice"
+)
+
+// Comparison summarizes a per-point comparison of result A against
+// result B.
+type Comparison struct {
+	// Total counts compared program points (reachable in at least one of
+	// the two results).
+	Total int
+	// Improved counts points where A is strictly more precise than B.
+	Improved int
+	// Worse counts points where A is strictly less precise than B.
+	Worse int
+	// Incomparable counts points where neither ordering holds.
+	Incomparable int
+	// Equal counts points with identical invariants.
+	Equal int
+	// GlobalsImproved / GlobalsWorse compare the flow-insensitive
+	// variables the same way.
+	GlobalsImproved, GlobalsWorse, GlobalsTotal int
+}
+
+// ImprovedPct returns the percentage of points at which A improves on B.
+func (c Comparison) ImprovedPct() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Improved) / float64(c.Total)
+}
+
+// String renders the comparison compactly.
+func (c Comparison) String() string {
+	return fmt.Sprintf("points: %d/%d improved (%.1f%%), %d worse, %d incomparable; globals: %d/%d improved",
+		c.Improved, c.Total, c.ImprovedPct(), c.Worse, c.Incomparable,
+		c.GlobalsImproved, c.GlobalsTotal)
+}
+
+// Compare evaluates result a against result b point by point. Both results
+// must come from analyzing the same CFG program.
+func Compare(a, b *analysis.Result) Comparison {
+	var c Comparison
+	l := a.EnvL
+	for _, fn := range a.CFG.Order {
+		g := a.CFG.Graphs[fn]
+		for _, n := range g.Nodes {
+			ea := a.PointEnv(fn, n.ID)
+			eb := b.PointEnv(fn, n.ID)
+			if ea.IsBot() && eb.IsBot() {
+				continue // unreachable in both: not a program point that counts
+			}
+			c.Total++
+			switch {
+			case l.Eq(ea, eb):
+				c.Equal++
+			case l.Leq(ea, eb):
+				c.Improved++
+			case l.Leq(eb, ea):
+				c.Worse++
+			default:
+				c.Incomparable++
+			}
+		}
+	}
+	for _, id := range globalIDs(a) {
+		va, vb := a.Global(id), b.Global(id)
+		if va.IsEmpty() && vb.IsEmpty() {
+			continue
+		}
+		c.GlobalsTotal++
+		switch {
+		case lattice.Ints.Eq(va, vb):
+		case lattice.Ints.Leq(va, vb):
+			c.GlobalsImproved++
+		case lattice.Ints.Leq(vb, va):
+			c.GlobalsWorse++
+		}
+	}
+	return c
+}
+
+// globalIDs collects the flow-insensitive unknowns present in either
+// result.
+func globalIDs(a *analysis.Result) []string {
+	seen := map[string]bool{}
+	for k := range a.Values {
+		if k.Kind == analysis.KGlobal {
+			seen[k.Var] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,113 @@
+package precision
+
+import (
+	"testing"
+
+	"warrow/internal/analysis"
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/wcet"
+)
+
+func analyzeBoth(t *testing.T, src string) (*analysis.Result, *analysis.Result) {
+	t.Helper()
+	ast, err := cint.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Build(ast)
+	warrow, err := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, MaxEvals: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := analysis.Run(g, analysis.Options{Op: analysis.OpTwoPhase, MaxEvals: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return warrow, base
+}
+
+// TestWarrowImprovesGlobalDependentPoints: the Example 7 pattern — globals
+// fed from bounded locals — improves under ⊟ versus the two-phase baseline
+// (which cannot soundly narrow flow-insensitive globals).
+func TestWarrowImprovesGlobalDependentPoints(t *testing.T) {
+	warrow, base := analyzeBoth(t, `
+int g = 0;
+int main() {
+    int i;
+    int x;
+    for (i = 0; i < 10; i = i + 1) {
+        g = i + 1;
+    }
+    x = g;
+    return x;
+}`)
+	c := Compare(warrow, base)
+	t.Logf("%s", c)
+	if c.Improved == 0 {
+		t.Error("⊟ should improve at least one point on the global-feeding loop")
+	}
+	if c.Worse > 0 {
+		t.Errorf("⊟ worse at %d points", c.Worse)
+	}
+	if c.GlobalsImproved == 0 {
+		t.Error("⊟ should improve the global g")
+	}
+}
+
+// TestNoImprovementOnPureLocalCode: purely local loop invariants are
+// recovered equally by the baseline's narrowing phase — 0% improvement,
+// like qsort-exam in Fig. 7.
+func TestNoImprovementOnPureLocalCode(t *testing.T) {
+	warrow, base := analyzeBoth(t, `
+int main() {
+    int i;
+    int s;
+    s = 0;
+    for (i = 0; i < 100; i = i + 1) {
+        s = s + 1;
+    }
+    return i + s;
+}`)
+	c := Compare(warrow, base)
+	t.Logf("%s", c)
+	if c.Improved != 0 || c.Worse != 0 {
+		t.Errorf("expected identical results on pure local code: %s", c)
+	}
+}
+
+// TestSelfComparisonIsAllEqual: comparing a result against itself yields
+// only Equal points.
+func TestSelfComparisonIsAllEqual(t *testing.T) {
+	warrow, _ := analyzeBoth(t, `int main() { int i; i = 1; return i; }`)
+	c := Compare(warrow, warrow)
+	if c.Improved != 0 || c.Worse != 0 || c.Incomparable != 0 || c.Equal != c.Total {
+		t.Errorf("self comparison: %s", c)
+	}
+}
+
+// TestFig7ShapeOnSuite: across the WCET suite, ⊟ improves a substantial
+// fraction of benchmarks, is never less precise at any point, and at least
+// one benchmark shows exactly 0% improvement (the qsort-exam analogue).
+func TestFig7ShapeOnSuite(t *testing.T) {
+	improvedBenchmarks, zeroBenchmarks := 0, 0
+	for _, b := range wcet.All() {
+		warrow, base := analyzeBoth(t, b.Src)
+		c := Compare(warrow, base)
+		t.Logf("%-16s %s", b.Name, c)
+		if c.Worse > 0 {
+			t.Errorf("%s: ⊟ less precise at %d points", b.Name, c.Worse)
+		}
+		if c.Improved > 0 {
+			improvedBenchmarks++
+		} else {
+			zeroBenchmarks++
+		}
+	}
+	if improvedBenchmarks < len(wcet.All())/2 {
+		t.Errorf("only %d benchmarks improved; expected a majority", improvedBenchmarks)
+	}
+	if zeroBenchmarks == 0 {
+		t.Error("expected at least one benchmark with 0%% improvement (qsort-exam analogue)")
+	}
+}

@@ -1,0 +1,88 @@
+package solver
+
+import (
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+)
+
+// TwoPhaseLocal is the classical two-phase regime on top of the local
+// solver SLR: a complete widening iteration from init, followed by a
+// separate narrowing iteration started from the widening result. This is
+// the comparison baseline of the paper's Sec. 7 (Fig. 7). The narrowing
+// phase is sound only for monotonic systems; on non-monotonic ones it may
+// lose soundness or diverge — the deficiency ⊟ removes.
+func TwoPhaseLocal[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], init func(X) D, x0 X, cfg Config) (Result[X, D], error) {
+	up, err := SLR(sys, l, Op[X](Widen(l)), init, x0, cfg)
+	if err != nil {
+		return up, err
+	}
+	rest := remaining(cfg, up.Stats.Evals)
+	if rest.MaxEvals < 0 {
+		return up, ErrEvalBudget
+	}
+	fromUp := func(x X) D {
+		if v, ok := up.Values[x]; ok {
+			return v
+		}
+		return init(x)
+	}
+	down, err := SLR(sys, l, Op[X](Narrow(l)), fromUp, x0, rest)
+	down.Stats = addStats(up.Stats, down.Stats)
+	return down, err
+}
+
+// TwoPhaseSides is the two-phase regime on top of SLR⁺ for side-effecting
+// systems, used as the Fig. 7 baseline for analyses with flow-insensitive
+// globals.
+func TwoPhaseSides[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D], init func(X) D, x0 X, cfg Config) (Result[X, D], error) {
+	up := Op[X](Widen(l))
+	down := Op[X](Narrow(l))
+	return TwoPhaseSidesKeyed(sys, l, init, x0, nil, up, down, cfg)
+}
+
+// TwoPhaseSidesKeyed generalizes TwoPhaseSides with a priority-band hook
+// (see SLRPlusKeyed) and explicit phase operators, so callers can model
+// classical baselines precisely — e.g. Goblint's distinct-phase solver, in
+// which flow-insensitive globals only accumulate and are never narrowed.
+func TwoPhaseSidesKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D], init func(X) D, x0 X, band func(X) int, upOp, downOp Operator[X, D], cfg Config) (Result[X, D], error) {
+	up, err := SLRPlusKeyed(sys, l, upOp, init, x0, band, cfg)
+	if err != nil {
+		return up, err
+	}
+	rest := remaining(cfg, up.Stats.Evals)
+	if rest.MaxEvals < 0 {
+		return up, ErrEvalBudget
+	}
+	fromUp := func(x X) D {
+		if v, ok := up.Values[x]; ok {
+			return v
+		}
+		return init(x)
+	}
+	down, err := SLRPlusKeyed(sys, l, downOp, fromUp, x0, band, rest)
+	down.Stats = addStats(up.Stats, down.Stats)
+	return down, err
+}
+
+// remaining deducts spent evaluations from a budgeted config; a negative
+// MaxEvals signals exhaustion. An unbounded config stays unbounded.
+func remaining(cfg Config, spent int) Config {
+	if cfg.MaxEvals <= 0 {
+		return cfg
+	}
+	cfg.MaxEvals -= spent
+	if cfg.MaxEvals == 0 {
+		cfg.MaxEvals = -1
+	}
+	return cfg
+}
+
+// addStats sums two work records.
+func addStats(a, b Stats) Stats {
+	return Stats{
+		Evals:    a.Evals + b.Evals,
+		Updates:  a.Updates + b.Updates,
+		Rounds:   a.Rounds + b.Rounds,
+		Unknowns: max(a.Unknowns, b.Unknowns),
+	}
+}

@@ -1,0 +1,177 @@
+package solver
+
+import (
+	"errors"
+	"testing"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+)
+
+// sideLoop is a small side-effecting system: a driver evaluates a counted
+// loop and contributes each round's value to a global g.
+func sideLoop() eqn.Sides[string, iv] {
+	l := lattice.Ints
+	return func(x string) eqn.SideRHS[string, iv] {
+		switch x {
+		case "head":
+			return func(get func(string) iv, side func(string, iv)) iv {
+				v := l.Join(lattice.Singleton(0),
+					get("head").RestrictLt(lattice.Singleton(10)).Add(lattice.Singleton(1)))
+				side("g", v)
+				return v
+			}
+		default:
+			return nil // g: contributions only
+		}
+	}
+}
+
+// TestTwoPhaseSides: the uniform two-phase baseline on a side-effecting
+// system reaches the narrowed loop bound.
+func TestTwoPhaseSides(t *testing.T) {
+	l := lattice.Ints
+	res, err := TwoPhaseSides(sideLoop(), l, func(string) iv { return lattice.EmptyInterval },
+		"head", Config{MaxEvals: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Eq(res.Values["head"], lattice.Range(0, 10)) {
+		t.Errorf("head = %s, want [0,10]", res.Values["head"])
+	}
+	if !l.Eq(res.Values["g"], lattice.Range(0, 10)) {
+		t.Errorf("g = %s, want [0,10]", res.Values["g"])
+	}
+}
+
+// TestTwoPhaseSidesKeyedGlobalsJoinOnly: with a down-phase operator that
+// only joins globals (the Goblint-faithful baseline), the global keeps its
+// widened value while the point narrows.
+func TestTwoPhaseSidesKeyedGlobalsJoinOnly(t *testing.T) {
+	l := lattice.Ints
+	up := Op[string](Widen[iv](l))
+	down := Op[string](func(old, new iv) iv {
+		return l.Narrow(old, new)
+	})
+	band := func(x string) int {
+		if x == "g" {
+			return 1
+		}
+		return 0
+	}
+	res, err := TwoPhaseSidesKeyed(sideLoop(), l, func(string) iv { return lattice.EmptyInterval },
+		"head", band, up, down, Config{MaxEvals: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Eq(res.Values["head"], lattice.Range(0, 10)) {
+		t.Errorf("head = %s, want [0,10]", res.Values["head"])
+	}
+}
+
+// TestTwoPhaseBudgetSplitting: the evaluation budget spans both phases and
+// exhausting it in either phase reports ErrEvalBudget.
+func TestTwoPhaseBudgetSplitting(t *testing.T) {
+	sys := loopSystem()
+	l := lattice.Ints
+	// A budget that covers the ∇ phase but not the Δ phase.
+	up, upStats, err := RR(sys, l, Op[string](Widen[iv](l)), ivInit, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = up
+	_, _, err = TwoPhase(sys, l, ivInit, Config{MaxEvals: upStats.Evals})
+	if !errors.Is(err, ErrEvalBudget) {
+		t.Fatalf("want budget error when Δ phase has no budget, got %v", err)
+	}
+	// One less than the ∇ phase needs: fails in phase 1.
+	_, _, err = TwoPhase(sys, l, ivInit, Config{MaxEvals: upStats.Evals - 1})
+	if !errors.Is(err, ErrEvalBudget) {
+		t.Fatalf("want budget error in ∇ phase, got %v", err)
+	}
+}
+
+// TestTwoPhaseLocalBudget: same accounting for the local variant.
+func TestTwoPhaseLocalBudget(t *testing.T) {
+	sys := loopSystem().AsPure()
+	l := lattice.Ints
+	res, err := TwoPhaseLocal(sys, l, ivInit, "e", Config{MaxEvals: 3})
+	if !errors.Is(err, ErrEvalBudget) {
+		t.Fatalf("want budget error, got %v (stats %+v)", err, res.Stats)
+	}
+}
+
+// TestMeetOperator: ⊞ = ⊓ turns a solver into a pre-solution finder.
+func TestMeetOperator(t *testing.T) {
+	l := lattice.Ints
+	sys := eqn.NewSystem[string, iv]()
+	sys.Define("x", nil, func(func(string) iv) iv { return lattice.Range(0, 10) })
+	top := func(string) iv { return lattice.FullInterval }
+	sigma, _, err := RR(sys, l, Op[string](Meet[iv](l)), top, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ[x] = ⊤ ⊓ [0,10] = [0,10]: a pre-solution (σ[x] ⊑ f(σ)).
+	if !l.Eq(sigma["x"], lattice.Range(0, 10)) {
+		t.Errorf("x = %s", sigma["x"])
+	}
+}
+
+// TestRLDBudget: RLD also honors the evaluation budget.
+func TestRLDBudget(t *testing.T) {
+	l := lattice.NatInf
+	sys := eqn.NewSystem[int, lattice.Nat]()
+	const n = 50
+	for i := 0; i < n; i++ {
+		i := i
+		sys.Define(i, []int{(i + 1) % n}, func(get func(int) lattice.Nat) lattice.Nat {
+			v := get((i + 1) % n)
+			if v.IsInf() || v.Val() >= 100 {
+				return lattice.NatOf(100)
+			}
+			return lattice.NatOf(v.Val() + 1)
+		})
+	}
+	init := func(int) lattice.Nat { return lattice.NatOf(0) }
+	_, err := RLD(sys.AsPure(), l, Op[int](Join[lattice.Nat](l)), init, 0, Config{MaxEvals: 5})
+	if !errors.Is(err, ErrEvalBudget) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+	// And solves fully when unconstrained.
+	res, err := RLD(sys.AsPure(), l, Op[int](Join[lattice.Nat](l)), init, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != lattice.NatOf(100) {
+		t.Errorf("x0 = %s, want 100", res.Values[0])
+	}
+}
+
+// TestSRRTheorem1Bound: for ⊞ = ⊔ on a height-h lattice, SRR started from
+// bottom performs at most n + (h/2)·n(n+1) evaluations (Theorem 1).
+func TestSRRTheorem1Bound(t *testing.T) {
+	const h = 12
+	for _, n := range []int{3, 6, 12} {
+		l := lattice.NatInf
+		sys := eqn.NewSystem[int, lattice.Nat]()
+		for i := 0; i < n; i++ {
+			d := (i + 1) % n
+			sys.Define(i, []int{d}, func(get func(int) lattice.Nat) lattice.Nat {
+				v := get(d)
+				if v.IsInf() || v.Val() >= h-1 {
+					return lattice.NatOf(h - 1)
+				}
+				return lattice.NatOf(v.Val() + 1)
+			})
+		}
+		init := func(int) lattice.Nat { return lattice.NatOf(0) }
+		_, st, err := SRR(sys, l, Op[int](Join[lattice.Nat](l)), init, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := n + h/2*n*(n+1)
+		if st.Evals > bound {
+			t.Errorf("n=%d: SRR used %d evals, Theorem 1 bound %d", n, st.Evals, bound)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package solver_test
+
+import (
+	"fmt"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// ExampleWarrow solves the constraint system of a counting loop with the
+// combined operator ⊟: widening accelerates the ascent, narrowing recovers
+// the exact bound the moment growth stops — one pass, no separate phase.
+func ExampleWarrow() {
+	l := lattice.Ints
+	sys := eqn.NewSystem[string, lattice.Interval]()
+	sys.Define("head", []string{"body"}, func(get func(string) lattice.Interval) lattice.Interval {
+		return l.Join(lattice.Singleton(0), get("body").Add(lattice.Singleton(1)))
+	})
+	sys.Define("body", []string{"head"}, func(get func(string) lattice.Interval) lattice.Interval {
+		return get("head").RestrictLt(lattice.Singleton(10))
+	})
+
+	op := solver.Op[string](solver.Warrow[lattice.Interval](l))
+	sigma, _, err := solver.SW(sys, l, op, eqn.ConstBottom[string](l), solver.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("head =", sigma["head"])
+	fmt.Println("body =", sigma["body"])
+	// Output:
+	// head = [0,10]
+	// body = [0,9]
+}
+
+// ExampleSLR queries one unknown of an infinite equation system; the local
+// solver explores only what the answer depends on.
+func ExampleSLR() {
+	l := lattice.NatInf
+	// y_n = y_{2n} for odd n; y_n = n/2 for even n.
+	sys := func(x uint64) eqn.RHS[uint64, lattice.Nat] {
+		if x%2 == 1 {
+			return func(get func(uint64) lattice.Nat) lattice.Nat { return get(2 * x) }
+		}
+		return func(func(uint64) lattice.Nat) lattice.Nat { return lattice.NatOf(x / 2) }
+	}
+	res, err := solver.SLR[uint64, lattice.Nat](sys, l,
+		solver.Op[uint64](solver.Join[lattice.Nat](l)),
+		func(uint64) lattice.Nat { return lattice.NatOf(0) },
+		7, solver.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("y7 =", res.Values[7])
+	fmt.Println("unknowns explored:", res.Stats.Unknowns)
+	// Output:
+	// y7 = 7
+	// unknowns explored: 2
+}
+
+// ExampleSLRPlus reproduces the paper's Example 9: three contexts
+// contribute to a flow-insensitive global; ⊟ widens it to [0,+inf] and
+// immediately narrows it back to the tight [0,3].
+func ExampleSLRPlus() {
+	l := lattice.Ints
+	sys := func(x string) eqn.SideRHS[string, lattice.Interval] {
+		switch x {
+		case "main":
+			return func(get func(string) lattice.Interval, side func(string, lattice.Interval)) lattice.Interval {
+				side("g", lattice.Singleton(0))
+				get("f(1)")
+				get("f(2)")
+				return lattice.EmptyInterval
+			}
+		case "f(1)":
+			return func(_ func(string) lattice.Interval, side func(string, lattice.Interval)) lattice.Interval {
+				side("g", lattice.Singleton(2))
+				return lattice.EmptyInterval
+			}
+		case "f(2)":
+			return func(_ func(string) lattice.Interval, side func(string, lattice.Interval)) lattice.Interval {
+				side("g", lattice.Singleton(3))
+				return lattice.EmptyInterval
+			}
+		default:
+			return nil // g: contributions only
+		}
+	}
+	res, err := solver.SLRPlus[string, lattice.Interval](sys, l,
+		solver.Op[string](solver.Warrow[lattice.Interval](l)),
+		func(string) lattice.Interval { return lattice.EmptyInterval },
+		"main", solver.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("g =", res.Values["g"])
+	// Output:
+	// g = [0,3]
+}
+
+// ExampleNewDegrading shows the ⊟ₖ operator terminating a non-monotonic
+// oscillation that plain ⊟ cannot.
+func ExampleNewDegrading() {
+	l := lattice.Ints
+	sys := eqn.NewSystem[string, lattice.Interval]()
+	sys.Define("x", []string{"x"}, func(get func(string) lattice.Interval) lattice.Interval {
+		v := get("x")
+		switch {
+		case v.IsEmpty():
+			return lattice.Singleton(0)
+		case v.Hi.IsPosInf():
+			return lattice.Range(0, 5)
+		default:
+			return lattice.NewInterval(lattice.Fin(0), v.Hi.Add(lattice.Fin(1)))
+		}
+	})
+	deg := solver.NewDegrading[string, lattice.Interval](l, 1)
+	sigma, _, err := solver.SRR(sys, l, deg, eqn.ConstBottom[string](l), solver.Config{MaxEvals: 1000})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("x =", sigma["x"], "switches =", deg.Switches("x"))
+	// Output:
+	// x = [0,+inf] switches = 1
+}

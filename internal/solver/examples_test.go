@@ -1,0 +1,273 @@
+package solver
+
+import (
+	"errors"
+	"testing"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+)
+
+// example1System builds the monotonic system of paper Example 1 over
+// ℕ ∪ {∞}:
+//
+//	x1 = x2
+//	x2 = x3 + 1
+//	x3 = x1
+func example1System() *eqn.System[string, lattice.Nat] {
+	inc := func(n lattice.Nat) lattice.Nat {
+		if n.IsInf() {
+			return n
+		}
+		return lattice.NatOf(n.Val() + 1)
+	}
+	s := eqn.NewSystem[string, lattice.Nat]()
+	s.Define("x1", []string{"x2"}, func(get func(string) lattice.Nat) lattice.Nat {
+		return get("x2")
+	})
+	s.Define("x2", []string{"x3"}, func(get func(string) lattice.Nat) lattice.Nat {
+		return inc(get("x3"))
+	})
+	s.Define("x3", []string{"x1"}, func(get func(string) lattice.Nat) lattice.Nat {
+		return get("x1")
+	})
+	return s
+}
+
+// example2System builds the monotonic system of paper Example 2:
+//
+//	x1 = (x1+1) ⊓ (x2+1)
+//	x2 = (x2+1) ⊓ (x1+1)
+func example2System() *eqn.System[string, lattice.Nat] {
+	inc := func(n lattice.Nat) lattice.Nat {
+		if n.IsInf() {
+			return n
+		}
+		return lattice.NatOf(n.Val() + 1)
+	}
+	rhs := func(self, other string) eqn.RHS[string, lattice.Nat] {
+		return func(get func(string) lattice.Nat) lattice.Nat {
+			return lattice.NatInf.Meet(inc(get(self)), inc(get(other)))
+		}
+	}
+	s := eqn.NewSystem[string, lattice.Nat]()
+	s.Define("x1", []string{"x1", "x2"}, rhs("x1", "x2"))
+	s.Define("x2", []string{"x1", "x2"}, rhs("x2", "x1"))
+	return s
+}
+
+func natWarrow() Operator[string, lattice.Nat] {
+	return Op[string](Warrow[lattice.Nat](lattice.NatInf))
+}
+
+func zeroInit(string) lattice.Nat { return lattice.NatOf(0) }
+
+// TestExample1RRDiverges: round-robin with ⊟ fails to terminate on the
+// monotonic system of Example 1.
+func TestExample1RRDiverges(t *testing.T) {
+	sys := example1System()
+	_, _, err := RR(sys, lattice.NatInf, natWarrow(), zeroInit, Config{MaxEvals: 100000})
+	if !errors.Is(err, ErrEvalBudget) {
+		t.Fatalf("RR with ⊟ should diverge on Example 1, got err=%v", err)
+	}
+}
+
+// TestExample2WDiverges: LIFO worklist iteration with ⊟ fails to terminate
+// on the monotonic system of Example 2.
+func TestExample2WDiverges(t *testing.T) {
+	sys := example2System()
+	_, _, err := W(sys, lattice.NatInf, natWarrow(), zeroInit, Config{MaxEvals: 100000})
+	if !errors.Is(err, ErrEvalBudget) {
+		t.Fatalf("W with ⊟ should diverge on Example 2, got err=%v", err)
+	}
+}
+
+// TestExample3SRRTerminates: structured round-robin with ⊟ terminates on
+// the system of Example 1 and returns the post-solution (∞, ∞, ∞) shown in
+// Example 3.
+func TestExample3SRRTerminates(t *testing.T) {
+	sys := example1System()
+	sigma, st, err := SRR(sys, lattice.NatInf, natWarrow(), zeroInit, Config{MaxEvals: 100000})
+	if err != nil {
+		t.Fatalf("SRR diverged: %v", err)
+	}
+	for _, x := range sys.Order() {
+		if !sigma[x].IsInf() {
+			t.Errorf("σ[%s] = %s, want ∞", x, sigma[x])
+		}
+	}
+	if _, ok := eqn.IsPostSolution(lattice.NatInf, sys, sigma, zeroInit); !ok {
+		t.Error("SRR result is not a post-solution")
+	}
+	if st.Evals == 0 || st.Updates == 0 {
+		t.Errorf("implausible stats: %+v", st)
+	}
+}
+
+// TestExample4SWTerminates: structured worklist iteration with ⊟ terminates
+// on the system of Example 2 and returns the post-solution (∞, ∞) shown in
+// Example 4.
+func TestExample4SWTerminates(t *testing.T) {
+	sys := example2System()
+	sigma, _, err := SW(sys, lattice.NatInf, natWarrow(), zeroInit, Config{MaxEvals: 100000})
+	if err != nil {
+		t.Fatalf("SW diverged: %v", err)
+	}
+	for _, x := range sys.Order() {
+		if !sigma[x].IsInf() {
+			t.Errorf("σ[%s] = %s, want ∞", x, sigma[x])
+		}
+	}
+	if _, ok := eqn.IsPostSolution(lattice.NatInf, sys, sigma, zeroInit); !ok {
+		t.Error("SW result is not a post-solution")
+	}
+}
+
+// TestExample1SWAlsoTerminates: SW handles Example 1 as well.
+func TestExample1SWAlsoTerminates(t *testing.T) {
+	sys := example1System()
+	sigma, _, err := SW(sys, lattice.NatInf, natWarrow(), zeroInit, Config{MaxEvals: 100000})
+	if err != nil {
+		t.Fatalf("SW diverged on Example 1: %v", err)
+	}
+	if _, ok := eqn.IsPostSolution(lattice.NatInf, sys, sigma, zeroInit); !ok {
+		t.Error("not a post-solution")
+	}
+}
+
+// TestExample2SRRAlsoTerminates: SRR handles Example 2 as well.
+func TestExample2SRRAlsoTerminates(t *testing.T) {
+	sys := example2System()
+	sigma, _, err := SRR(sys, lattice.NatInf, natWarrow(), zeroInit, Config{MaxEvals: 100000})
+	if err != nil {
+		t.Fatalf("SRR diverged on Example 2: %v", err)
+	}
+	if _, ok := eqn.IsPostSolution(lattice.NatInf, sys, sigma, zeroInit); !ok {
+		t.Error("not a post-solution")
+	}
+}
+
+// TestExample5SLRInfiniteSystem: the infinite system of Example 5,
+//
+//	y_{2n}   = max(y_{y_{2n}}, n)
+//	y_{2n+1} = y_{6n+4}
+//
+// has a finite partial max-solution. SLR, queried for y1, must return the
+// partial solution {y0 ↦ 0, y1 ↦ 2, y2 ↦ 2, y4 ↦ 2} of Example 6.
+func TestExample5SLRInfiniteSystem(t *testing.T) {
+	l := lattice.NatInf
+	sys := func(x uint64) eqn.RHS[uint64, lattice.Nat] {
+		if x%2 == 0 {
+			n := x / 2
+			return func(get func(uint64) lattice.Nat) lattice.Nat {
+				idx := get(x) // y_{y_{2n}}: the index is the current value
+				if idx.IsInf() {
+					return lattice.NatInfElem
+				}
+				return l.Join(get(idx.Val()), lattice.NatOf(n))
+			}
+		}
+		n := (x - 1) / 2
+		return func(get func(uint64) lattice.Nat) lattice.Nat {
+			return get(6*n + 4)
+		}
+	}
+	res, err := SLR[uint64, lattice.Nat](sys, l, Op[uint64](Join[lattice.Nat](l)),
+		func(uint64) lattice.Nat { return lattice.NatOf(0) }, 1, Config{MaxEvals: 10000})
+	if err != nil {
+		t.Fatalf("SLR diverged: %v", err)
+	}
+	want := map[uint64]uint64{0: 0, 1: 2, 2: 2, 4: 2}
+	if len(res.Values) != len(want) {
+		t.Fatalf("dom = %v, want keys %v", res.Values, want)
+	}
+	for x, v := range want {
+		got, ok := res.Values[x]
+		if !ok || got.IsInf() || got.Val() != v {
+			t.Errorf("σ[y%d] = %v, want %d", x, got, v)
+		}
+	}
+	if x, ok := eqn.IsPartialPostSolution[uint64, lattice.Nat](l, sys, res.Values); !ok {
+		t.Errorf("not a partial post-solution at y%d", x)
+	}
+}
+
+// TestExample9SLRPlusGlobal reproduces the side-effecting iteration of
+// Examples 7–9: three contexts contribute 0, 2 and 3 to the global g; with
+// ⊟ the global first widens to [0,∞] and immediately narrows to the final
+// interval [0,3].
+func TestExample9SLRPlusGlobal(t *testing.T) {
+	l := lattice.Ints
+	type v = lattice.Interval
+	sys := func(x string) eqn.SideRHS[string, v] {
+		switch x {
+		case "main":
+			return func(get func(string) v, side func(string, v)) v {
+				side("g", lattice.Singleton(0)) // int g = 0;
+				_ = get("f/1")                  // f(1)
+				_ = get("f/2")                  // f(2)
+				return lattice.Singleton(0)     // return 0
+			}
+		case "f/1":
+			return func(get func(string) v, side func(string, v)) v {
+				side("g", lattice.Singleton(2)) // g = b+1 with b=1
+				return lattice.EmptyInterval
+			}
+		case "f/2":
+			return func(get func(string) v, side func(string, v)) v {
+				side("g", lattice.Singleton(3)) // g = b+1 with b=2
+				return lattice.EmptyInterval
+			}
+		default:
+			return nil // the global g has no equation of its own
+		}
+	}
+	res, err := SLRPlus[string, v](sys, l, Op[string](Warrow[v](l)),
+		func(string) v { return lattice.EmptyInterval }, "main", Config{MaxEvals: 10000})
+	if err != nil {
+		t.Fatalf("SLR⁺ diverged: %v", err)
+	}
+	g := res.Values["g"]
+	if !l.Eq(g, lattice.Range(0, 3)) {
+		t.Errorf("σ[g] = %s, want [0,3]", g)
+	}
+}
+
+// TestSLRPlusWideningOnlyLosesPrecision: the same system solved with plain
+// ∇ (no narrowing) must leave g at [0,∞], demonstrating what ⊟ recovers.
+func TestSLRPlusWideningOnlyLosesPrecision(t *testing.T) {
+	l := lattice.Ints
+	type v = lattice.Interval
+	sys := func(x string) eqn.SideRHS[string, v] {
+		switch x {
+		case "main":
+			return func(get func(string) v, side func(string, v)) v {
+				side("g", lattice.Singleton(0))
+				_ = get("f/1")
+				_ = get("f/2")
+				return lattice.Singleton(0)
+			}
+		case "f/1":
+			return func(_ func(string) v, side func(string, v)) v {
+				side("g", lattice.Singleton(2))
+				return lattice.EmptyInterval
+			}
+		case "f/2":
+			return func(_ func(string) v, side func(string, v)) v {
+				side("g", lattice.Singleton(3))
+				return lattice.EmptyInterval
+			}
+		default:
+			return nil
+		}
+	}
+	res, err := SLRPlus[string, v](sys, l, Op[string](Widen[v](l)),
+		func(string) v { return lattice.EmptyInterval }, "main", Config{MaxEvals: 10000})
+	if err != nil {
+		t.Fatalf("SLR⁺ diverged: %v", err)
+	}
+	g := res.Values["g"]
+	if !l.Eq(g, lattice.NewInterval(lattice.Fin(0), lattice.PosInf)) {
+		t.Errorf("σ[g] = %s, want [0,+inf]", g)
+	}
+}

@@ -1,0 +1,199 @@
+package solver
+
+import (
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+)
+
+// RR is the round-robin solver of Fig. 1: it repeatedly sweeps over all
+// unknowns in order, performing update steps σ[x] ← σ[x] ⊞ fₓ(σ), until a
+// full sweep changes nothing. RR is a generic solver, but with ⊟ it may
+// fail to terminate even on finite monotonic systems (Example 1); the
+// evaluation budget in cfg turns such divergence into ErrEvalBudget.
+func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
+	budget := cfg.budget()
+	var st Stats
+	sigma := make(map[X]D, sys.Len())
+	for _, x := range sys.Order() {
+		sigma[x] = init(x)
+	}
+	st.Unknowns = sys.Len()
+	for {
+		dirty := false
+		for _, x := range sys.Order() {
+			if st.Evals >= budget {
+				return sigma, st, ErrEvalBudget
+			}
+			st.Evals++
+			next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
+			if !l.Eq(sigma[x], next) {
+				sigma[x] = next
+				st.Updates++
+				dirty = true
+			}
+		}
+		st.Rounds++
+		if !dirty {
+			return sigma, st, nil
+		}
+	}
+}
+
+// W is the worklist solver of Fig. 2 with a LIFO discipline: when the value
+// of an unknown changes, all unknowns it influences (including itself, as a
+// precaution for non-idempotent operators) are pushed. W is a generic
+// solver, but with ⊟ it may fail to terminate even on finite monotonic
+// systems (Example 2).
+func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
+	budget := cfg.budget()
+	var st Stats
+	sigma := make(map[X]D, sys.Len())
+	for _, x := range sys.Order() {
+		sigma[x] = init(x)
+	}
+	st.Unknowns = sys.Len()
+	infl := sys.Infl()
+
+	stack := make([]X, 0, sys.Len())
+	present := make(map[X]bool, sys.Len())
+	push := func(x X) {
+		if !present[x] {
+			present[x] = true
+			stack = append(stack, x)
+		}
+	}
+	// Push in reverse so that x₁ is on top initially, matching the paper's
+	// trace W = [x₁, x₂] where x₁ is extracted first.
+	order := sys.Order()
+	for i := len(order) - 1; i >= 0; i-- {
+		push(order[i])
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		present[x] = false
+		if st.Evals >= budget {
+			return sigma, st, ErrEvalBudget
+		}
+		st.Evals++
+		next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
+		if !l.Eq(sigma[x], next) {
+			sigma[x] = next
+			st.Updates++
+			deps := infl[x]
+			for i := len(deps) - 1; i >= 0; i-- {
+				push(deps[i])
+			}
+		}
+	}
+	return sigma, st, nil
+}
+
+// SRR is the structured round-robin solver of Fig. 3: solve(i) first solves
+// all unknowns x₁…xᵢ₋₁ recursively, then iterates on xᵢ until it
+// stabilizes, re-solving the prefix before every update. SRR is a generic
+// solver and, instantiated with ⊟, terminates for every finite monotonic
+// system (Theorem 1) — with bounded lattice height it needs at most
+// n + (h/2)·n·(n+1) evaluations.
+func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
+	budget := cfg.budget()
+	var st Stats
+	order := sys.Order()
+	sigma := make(map[X]D, len(order))
+	for _, x := range order {
+		sigma[x] = init(x)
+	}
+	st.Unknowns = len(order)
+	var solve func(i int) error
+	solve = func(i int) error {
+		if i == 0 {
+			return nil
+		}
+		for {
+			if err := solve(i - 1); err != nil {
+				return err
+			}
+			x := order[i-1]
+			if st.Evals >= budget {
+				return ErrEvalBudget
+			}
+			st.Evals++
+			next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
+			if l.Eq(sigma[x], next) {
+				return nil
+			}
+			sigma[x] = next
+			st.Updates++
+		}
+	}
+	err := solve(len(order))
+	return sigma, st, err
+}
+
+// SW is the structured worklist solver of Fig. 4: unknowns awaiting
+// re-evaluation are kept in a priority queue ordered by their index in the
+// given linear order, and the least unknown is extracted first. SW is a
+// generic solver and, instantiated with ⊟, terminates for every finite
+// monotonic system (Theorem 2).
+func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
+	budget := cfg.budget()
+	var st Stats
+	order := sys.Order()
+	sigma := make(map[X]D, len(order))
+	idx := make(map[X]int, len(order))
+	for i, x := range order {
+		sigma[x] = init(x)
+		idx[x] = i
+	}
+	st.Unknowns = len(order)
+	infl := sys.Infl()
+
+	q := newPQ[X]()
+	for _, x := range order {
+		q.push(x, idx[x])
+	}
+	for !q.empty() {
+		x := q.popMin()
+		if st.Evals >= budget {
+			return sigma, st, ErrEvalBudget
+		}
+		st.Evals++
+		next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
+		if !l.Eq(sigma[x], next) {
+			sigma[x] = next
+			st.Updates++
+			q.push(x, idx[x])
+			for _, y := range infl[x] {
+				q.push(y, idx[y])
+			}
+		}
+	}
+	return sigma, st, nil
+}
+
+// TwoPhase is the classical Cousot–Cousot regime used as the paper's
+// baseline: a complete widening iteration to a post-solution, followed by a
+// separate narrowing iteration. Both phases run as round-robin sweeps. The
+// narrowing phase assumes monotonic right-hand sides; on non-monotonic
+// systems it may fail to terminate (bounded by the evaluation budget) or
+// return a non-post-solution, which is exactly the deficiency the combined
+// operator ⊟ removes.
+func TwoPhase[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
+	sigma, st, err := RR(sys, l, Op[X](Widen(l)), init, cfg)
+	if err != nil {
+		return sigma, st, err
+	}
+	rest := cfg
+	if rest.MaxEvals > 0 {
+		rest.MaxEvals -= st.Evals
+		if rest.MaxEvals <= 0 {
+			return sigma, st, ErrEvalBudget
+		}
+	}
+	asInit := func(x X) D { return sigma[x] }
+	sigma2, st2, err := RR(sys, l, Op[X](Narrow(l)), asInit, rest)
+	st.Evals += st2.Evals
+	st.Updates += st2.Updates
+	st.Rounds += st2.Rounds
+	return sigma2, st, err
+}

@@ -1,0 +1,356 @@
+package solver
+
+import (
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+)
+
+// Result is the outcome of a local solver: a partial assignment over the
+// unknowns encountered while answering the query.
+type Result[X comparable, D any] struct {
+	// Values maps every encountered unknown (the set dom) to its value.
+	Values map[X]D
+	// Stats records the work performed.
+	Stats Stats
+}
+
+// RLD is the local solver of Hofmann, Karbyshev and Seidl (Fig. 5),
+// generalized over the update operator. It is included for reference and
+// comparison: as the paper observes, RLD is *not* a generic solver —
+// because eval recursively solves on every lookup, an evaluation of a
+// right-hand side may mix values from several intermediate assignments, so
+// with a non-trivial ⊞ (such as ⊟) it is not guaranteed to return a
+// ⊞-solution even when it terminates. Use SLR instead.
+func RLD[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, x0 X, cfg Config) (Result[X, D], error) {
+	budget := cfg.budget()
+	var st Stats
+	sigma := make(map[X]D)
+	infl := make(map[X][]X)
+	stable := make(map[X]bool)
+	get := func(y X) D {
+		if v, ok := sigma[y]; ok {
+			return v
+		}
+		return init(y)
+	}
+	var solve func(x X) error
+	solve = func(x X) error {
+		if stable[x] {
+			return nil
+		}
+		stable[x] = true
+		rhs := sys(x)
+		if rhs == nil {
+			if _, ok := sigma[x]; !ok {
+				sigma[x] = init(x)
+			}
+			return nil
+		}
+		if st.Evals >= budget {
+			return ErrEvalBudget
+		}
+		st.Evals++
+		var evalErr error
+		eval := func(y X) D {
+			if evalErr == nil {
+				evalErr = solve(y)
+			}
+			infl[y] = append(infl[y], x)
+			return get(y)
+		}
+		tmp := op.Apply(x, get(x), rhs(eval))
+		if evalErr != nil {
+			return evalErr
+		}
+		if !l.Eq(tmp, get(x)) {
+			w := infl[x]
+			sigma[x] = tmp
+			st.Updates++
+			infl[x] = nil
+			for _, y := range w {
+				delete(stable, y)
+			}
+			for _, y := range w {
+				if err := solve(y); err != nil {
+					return err
+				}
+			}
+		} else {
+			sigma[x] = tmp
+		}
+		return nil
+	}
+	err := solve(x0)
+	st.Unknowns = len(sigma)
+	return Result[X, D]{Values: sigma, Stats: st}, err
+}
+
+// slrState is the shared machinery of SLR and SLR⁺.
+type slrState[X comparable, D any] struct {
+	l      lattice.Lattice[D]
+	op     Operator[X, D]
+	init   func(X) D
+	band   func(X) int
+	budget int
+	st     Stats
+
+	sigma  map[X]D
+	infl   map[X]map[X]bool
+	stable map[X]bool
+	key    map[X]int
+	count  int
+	q      *pq[X]
+}
+
+func newSLRState[X comparable, D any](l lattice.Lattice[D], op Operator[X, D], init func(X) D, band func(X) int, cfg Config) *slrState[X, D] {
+	return &slrState[X, D]{
+		l:      l,
+		op:     op,
+		init:   init,
+		band:   band,
+		budget: cfg.budget(),
+		sigma:  make(map[X]D),
+		infl:   make(map[X]map[X]bool),
+		stable: make(map[X]bool),
+		key:    make(map[X]int),
+		q:      newPQ[X](),
+	}
+}
+
+// inDom reports whether y has been initialized.
+func (s *slrState[X, D]) inDom(y X) bool {
+	_, ok := s.key[y]
+	return ok
+}
+
+// initVar is the paper's init: y joins dom with a key smaller than all
+// previously assigned keys within its priority band, depends on itself,
+// and starts at σ₀[y]. Unknowns in a higher band always carry larger keys
+// than every unknown in a lower band, so they are re-evaluated only after
+// all their lower-band readers have refreshed — the scheduling refinement
+// needed for side-effected unknowns (see SLRPlusKeyed).
+func (s *slrState[X, D]) initVar(y X) {
+	band := 0
+	if s.band != nil {
+		band = s.band(y)
+	}
+	s.key[y] = band<<32 - s.count
+	s.count++
+	s.infl[y] = map[X]bool{y: true}
+	s.sigma[y] = s.init(y)
+}
+
+// destabilize removes the unknowns influenced by x from stable and
+// schedules them, resetting infl[x] to {x}.
+func (s *slrState[X, D]) destabilize(x X) {
+	w := s.infl[x]
+	s.infl[x] = map[X]bool{x: true}
+	for y := range w {
+		delete(s.stable, y)
+		s.q.push(y, s.key[y])
+	}
+}
+
+// drain solves queued unknowns while the least key does not exceed bound.
+//
+// The unknowns it pops are solved with drainAfter=false: a popped unknown's
+// own post-update drain would process exactly the same queue prefix in the
+// same min-first order as this loop, so skipping it preserves the iteration
+// order of the paper's recursive formulation while keeping update chains
+// off the Go stack (the recursion that remains — solving freshly discovered
+// unknowns inside eval — is bounded by the discovery-chain depth, not by
+// the number of updates).
+func (s *slrState[X, D]) drain(bound int, solve func(X, bool) error) error {
+	for !s.q.empty() && s.q.minKey() <= bound {
+		if err := solve(s.q.popMin(), false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SLR is the structured local recursive solver of Fig. 6: a variant of RLD
+// in which right-hand sides are evaluated atomically (solve recurses only
+// into *fresh* unknowns; already-known ones are just read), every unknown
+// depends on itself, and destabilized unknowns are re-solved through a
+// priority queue ordered by discovery time (later-discovered unknowns have
+// smaller keys and are solved first). SLR is a generic local solver: upon
+// termination it returns a partial ⊞-solution whose domain contains x0
+// (Theorem 3.1), and with ⊟ it terminates whenever the system is monotonic
+// and only finitely many unknowns are encountered (Theorem 3.2).
+func SLR[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, x0 X, cfg Config) (Result[X, D], error) {
+	s := newSLRState(l, op, init, nil, cfg)
+	var solve func(x X, drainAfter bool) error
+	solve = func(x X, drainAfter bool) error {
+		if s.stable[x] {
+			return nil
+		}
+		s.stable[x] = true
+		rhs := sys(x)
+		if rhs == nil {
+			return nil // no equation: value stays σ₀[x]
+		}
+		if s.st.Evals >= s.budget {
+			return ErrEvalBudget
+		}
+		s.st.Evals++
+		var evalErr error
+		eval := func(y X) D {
+			if !s.inDom(y) {
+				s.initVar(y)
+				if evalErr == nil {
+					evalErr = solve(y, true)
+				}
+			}
+			s.infl[y][x] = true
+			return s.sigma[y]
+		}
+		tmp := s.op.Apply(x, s.sigma[x], rhs(eval))
+		if evalErr != nil {
+			return evalErr
+		}
+		if !s.l.Eq(tmp, s.sigma[x]) {
+			s.destabilize(x)
+			s.sigma[x] = tmp
+			s.st.Updates++
+			if drainAfter {
+				return s.drain(s.key[x], solve)
+			}
+		}
+		return nil
+	}
+	s.initVar(x0)
+	err := solve(x0, true)
+	if err == nil {
+		// The paper argues Q is empty here since x0 holds the largest key;
+		// drain defensively so the result is a partial solution regardless.
+		err = s.drain(s.key[x0], solve)
+	}
+	s.st.Unknowns = len(s.sigma)
+	return Result[X, D]{Values: s.sigma, Stats: s.st}, err
+}
+
+// sideKey identifies the auxiliary unknown (From, To) that the paper's SLR⁺
+// creates for the side effect of From's right-hand side onto To.
+type sideKey[X comparable] struct{ From, To X }
+
+// SLRPlus is the side-effecting solver of Sec. 6. Right-hand sides receive,
+// besides get, a side callback contributing values to other unknowns — the
+// mechanism by which context-sensitive analyses feed flow-insensitive
+// globals. Each side effect (x → z) is stored in an auxiliary unknown
+// (x, z); the effective right-hand side of z joins z's own equation (if
+// any) with all recorded contributions before applying ⊞. Upon termination
+// SLRPlus returns a partial post-solution (Theorem 4.1); with ⊟ it
+// terminates for monotonic systems whenever finitely many unknowns are
+// encountered (Theorem 4.2).
+func SLRPlus[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, x0 X, cfg Config) (Result[X, D], error) {
+	return SLRPlusKeyed(sys, l, op, init, x0, nil, cfg)
+}
+
+// SLRPlusKeyed is SLRPlus with a priority-band hook: unknowns with a larger
+// band always receive larger keys than unknowns with a smaller band, on top
+// of the discovery-time ordering within a band.
+//
+// The hook addresses a scheduling hazard the paper's uniform key scheme
+// leaves open: an unknown z that is fed by side effects *computed from z's
+// own value* (e.g. a flow-insensitive global accumulated as g = g + k) may
+// be discovered during the evaluation of its own reader, giving z a smaller
+// key than the reader. With ⊟, z is then always re-evaluated before the
+// reader refreshes its contribution, so z narrows against a stale value,
+// the reader bumps it again, and the widen/narrow phases alternate forever.
+// Scheduling side-effected unknowns in a higher band (as Goblint does for
+// globals) restores the invariant the termination proof of Theorem 4 needs:
+// when z is re-evaluated, all of its lower-band readers are stable.
+func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, x0 X, band func(X) int, cfg Config) (Result[X, D], error) {
+	s := newSLRState(l, op, init, band, cfg)
+	contrib := make(map[sideKey[X]]D)
+	contribSet := make(map[X][]X) // set[z]: contributors in first-seen order
+
+	var solve func(x X, drainAfter bool) error
+	side := func(x X) func(z X, d D) {
+		return func(z X, d D) {
+			if z == x {
+				panic("solver: SLRPlus right-hand side side-effects its own unknown")
+			}
+			p := sideKey[X]{From: x, To: z}
+			old, seen := contrib[p]
+			if !seen {
+				old = l.Bottom()
+			}
+			if l.Eq(d, old) {
+				return
+			}
+			contrib[p] = d
+			if !seen {
+				contribSet[z] = append(contribSet[z], x)
+			}
+			if s.inDom(z) {
+				delete(s.stable, z)
+				s.q.push(z, s.key[z])
+			} else {
+				s.initVar(z)
+				// Errors inside this nested solve surface on the caller's
+				// next budget check; record via panic-free best effort.
+				_ = solve(z, true)
+			}
+		}
+	}
+	solve = func(x X, drainAfter bool) error {
+		if s.stable[x] {
+			return nil
+		}
+		s.stable[x] = true
+		rhs := sys(x)
+		if rhs == nil && len(contribSet[x]) == 0 {
+			return nil
+		}
+		if s.st.Evals >= s.budget {
+			return ErrEvalBudget
+		}
+		s.st.Evals++
+		var evalErr error
+		eval := func(y X) D {
+			if !s.inDom(y) {
+				s.initVar(y)
+				if evalErr == nil {
+					evalErr = solve(y, true)
+				}
+			}
+			s.infl[y][x] = true
+			return s.sigma[y]
+		}
+		v := l.Bottom()
+		if rhs != nil {
+			v = rhs(eval, side(x))
+		}
+		if evalErr != nil {
+			return evalErr
+		}
+		for _, z := range contribSet[x] {
+			v = l.Join(v, contrib[sideKey[X]{From: z, To: x}])
+		}
+		tmp := s.op.Apply(x, s.sigma[x], v)
+		if !s.l.Eq(tmp, s.sigma[x]) {
+			s.destabilize(x)
+			s.sigma[x] = tmp
+			s.st.Updates++
+			if drainAfter {
+				return s.drain(s.key[x], solve)
+			}
+		}
+		return nil
+	}
+	s.initVar(x0)
+	err := solve(x0, true)
+	for err == nil && !s.q.empty() {
+		// Side effects may have scheduled unknowns after x0's last update;
+		// keep draining until the queue is empty so the result is a partial
+		// post-solution.
+		err = s.drain(s.key[x0], solve)
+		if err == nil && !s.q.empty() {
+			err = solve(s.q.popMin(), false)
+		}
+	}
+	s.st.Unknowns = len(s.sigma)
+	return Result[X, D]{Values: s.sigma, Stats: s.st}, err
+}

@@ -1,0 +1,166 @@
+// Package solver implements the fixpoint solvers of Apinis, Seidl and
+// Vojdani, "How to Combine Widening and Narrowing for Non-monotonic Systems
+// of Equations" (PLDI 2013):
+//
+//   - the generic global solvers RR (round-robin, Fig. 1) and W (worklist,
+//     Fig. 2), which may fail to terminate with the combined operator ⊟ even
+//     on finite monotonic systems (Examples 1 and 2);
+//   - the structured variants SRR (Fig. 3) and SW (Fig. 4), which are
+//     guaranteed to terminate for monotonic systems;
+//   - the local solvers RLD (Fig. 5, from Hofmann, Karbyshev and Seidl,
+//     included for reference — it is not generic) and SLR (Fig. 6);
+//   - the side-effecting local solver SLR⁺ (Sec. 6);
+//   - the classical two-phase widening/narrowing iteration used as the
+//     paper's baseline.
+//
+// All solvers are generic: they perform update steps
+// σ[x] ← σ[x] ⊞ fₓ(σ) for an arbitrary binary operator ⊞ supplied as an
+// Operator. Instantiating ⊞ with the combined operator ⊟ (Warrow) turns any
+// of them into a solver computing post-solutions of arbitrary — monotonic or
+// not — systems whenever they terminate (Lemma 1).
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"warrow/internal/lattice"
+)
+
+// Combine is a binary update operator ⊞ used in update steps
+// σ[x] ← σ[x] ⊞ fₓ(σ).
+type Combine[D any] func(old, new D) D
+
+// Operator supplies the update operator, possibly specialized per unknown.
+// Stateless operators wrap a Combine via Op; stateful ones (Degrading)
+// track per-unknown iteration history.
+type Operator[X comparable, D any] interface {
+	// Apply combines the old value of x with the new right-hand-side value.
+	Apply(x X, old, new D) D
+}
+
+type opFunc[X comparable, D any] struct{ f Combine[D] }
+
+func (o opFunc[X, D]) Apply(_ X, old, new D) D { return o.f(old, new) }
+
+// Op wraps a stateless Combine as an Operator.
+func Op[X comparable, D any](f Combine[D]) Operator[X, D] {
+	return opFunc[X, D]{f}
+}
+
+// Replace is the operator a ⊞ b = b: a ⊞-solution is an ordinary solution.
+func Replace[D any]() Combine[D] {
+	return func(_, new D) D { return new }
+}
+
+// Join is the operator a ⊞ b = a ⊔ b: a ⊞-solution is a post-solution.
+func Join[D any](l lattice.Lattice[D]) Combine[D] { return l.Join }
+
+// Meet is the operator a ⊞ b = a ⊓ b: a ⊞-solution is a pre-solution.
+func Meet[D any](l lattice.Lattice[D]) Combine[D] { return l.Meet }
+
+// Widen is the operator a ⊞ b = a ∇ b, the pure widening iteration.
+func Widen[D any](l lattice.Lattice[D]) Combine[D] { return l.Widen }
+
+// Narrow is the operator a ⊞ b = a Δ b, the pure narrowing iteration. It is
+// meaningful only on post-solutions of monotonic systems.
+func Narrow[D any](l lattice.Lattice[D]) Combine[D] { return l.Narrow }
+
+// Warrow is the paper's combined operator:
+//
+//	a ⊟ b = a Δ b   if b ⊑ a
+//	        a ∇ b   otherwise.
+//
+// A solver with ⊟ widens as long as values grow and switches to narrowing
+// the moment the right-hand side no longer exceeds the current value, so
+// precision is recovered immediately instead of in a separate phase. Every
+// ⊟-solution is a post-solution (Lemma 1) with no monotonicity assumption.
+func Warrow[D any](l lattice.Lattice[D]) Combine[D] {
+	return func(old, new D) D {
+		if l.Leq(new, old) {
+			return l.Narrow(old, new)
+		}
+		return l.Widen(old, new)
+	}
+}
+
+// Degrading is the ⊟ₖ operator sketched at the end of Sec. 4: each unknown
+// carries a counter of how often iteration has switched from the narrowing
+// phase back to widening. Once the counter reaches the threshold K the
+// operator gives up improving (a ⊞ b = a whenever b ⊑ a), which enforces
+// termination of any ⊟-solver even on non-monotonic systems.
+type Degrading[X comparable, D any] struct {
+	L lattice.Lattice[D]
+	// K is the number of narrow→widen phase switches after which narrowing
+	// is abandoned for an unknown. K = 0 disables narrowing entirely.
+	K int
+
+	phase    map[X]int8 // 0 unseen / 1 widening / 2 narrowing
+	switches map[X]int
+}
+
+// NewDegrading returns a fresh ⊟ₖ operator with threshold k.
+func NewDegrading[X comparable, D any](l lattice.Lattice[D], k int) *Degrading[X, D] {
+	return &Degrading[X, D]{
+		L:        l,
+		K:        k,
+		phase:    make(map[X]int8),
+		switches: make(map[X]int),
+	}
+}
+
+// Apply implements Operator.
+func (d *Degrading[X, D]) Apply(x X, old, new D) D {
+	if d.L.Eq(new, old) {
+		return old // stable: no phase transition
+	}
+	if d.L.Leq(new, old) {
+		if d.switches[x] >= d.K {
+			return old // degraded: no more improvement for x
+		}
+		d.phase[x] = 2
+		return d.L.Narrow(old, new)
+	}
+	// Growth from ⊥ is initialization (an unknown becoming live during
+	// exploration), not evidence of non-monotonicity: do not count it.
+	if d.phase[x] == 2 && !d.L.Eq(old, d.L.Bottom()) {
+		d.switches[x]++
+	}
+	d.phase[x] = 1
+	return d.L.Widen(old, new)
+}
+
+// Switches reports how often iteration on x switched from narrowing back to
+// widening, exposing the non-monotonicity the operator observed.
+func (d *Degrading[X, D]) Switches(x X) int { return d.switches[x] }
+
+// Stats records the work a solver performed.
+type Stats struct {
+	// Evals counts evaluations of right-hand sides.
+	Evals int
+	// Updates counts update steps that changed a value.
+	Updates int
+	// Rounds counts outer iterations (RR) or is zero for other solvers.
+	Rounds int
+	// Unknowns counts distinct unknowns touched (local solvers: |dom|).
+	Unknowns int
+}
+
+// ErrEvalBudget is returned when a solver exceeds its evaluation budget —
+// the mechanism the tests use to detect the divergence of RR and W with ⊟
+// on the paper's Examples 1 and 2.
+var ErrEvalBudget = errors.New("solver: evaluation budget exceeded")
+
+// Config tunes a solver run.
+type Config struct {
+	// MaxEvals bounds the number of right-hand-side evaluations; 0 means
+	// effectively unbounded.
+	MaxEvals int
+}
+
+func (c Config) budget() int {
+	if c.MaxEvals <= 0 {
+		return math.MaxInt
+	}
+	return c.MaxEvals
+}

@@ -1,0 +1,83 @@
+package solver
+
+// pq is a binary min-heap keyed by int priorities with O(1) membership
+// dedup: pushing an element already in the queue is a no-op, matching the
+// add function of the paper's SW and SLR solvers.
+type pq[X comparable] struct {
+	heap []X
+	key  map[X]int
+	pos  map[X]int // position in heap; presence marker
+}
+
+func newPQ[X comparable]() *pq[X] {
+	return &pq[X]{key: make(map[X]int), pos: make(map[X]int)}
+}
+
+func (q *pq[X]) empty() bool { return len(q.heap) == 0 }
+
+func (q *pq[X]) len() int { return len(q.heap) }
+
+// minKey returns the smallest key in the queue; the queue must be nonempty.
+func (q *pq[X]) minKey() int { return q.key[q.heap[0]] }
+
+// push inserts x with the given key unless already present.
+func (q *pq[X]) push(x X, key int) {
+	if _, in := q.pos[x]; in {
+		return
+	}
+	q.key[x] = key
+	q.heap = append(q.heap, x)
+	q.pos[x] = len(q.heap) - 1
+	q.up(len(q.heap) - 1)
+}
+
+// popMin removes and returns the element with the smallest key.
+func (q *pq[X]) popMin() X {
+	x := q.heap[0]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap = q.heap[:last]
+	delete(q.pos, x)
+	if last > 0 {
+		q.down(0)
+	}
+	return x
+}
+
+func (q *pq[X]) less(i, j int) bool { return q.key[q.heap[i]] < q.key[q.heap[j]] }
+
+func (q *pq[X]) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pos[q.heap[i]] = i
+	q.pos[q.heap[j]] = j
+}
+
+func (q *pq[X]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *pq[X]) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,42 @@
+package synth
+
+import (
+	"testing"
+
+	"warrow/internal/analysis"
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+)
+
+// TestSuiteCallGraphCoverage: most generated functions must be reachable
+// from main, so the unknown counts reflect whole-program analysis rather
+// than a handful of roots.
+func TestSuiteCallGraphCoverage(t *testing.T) {
+	for _, p := range SpecSuite() {
+		ast, err := cint.Parse(p.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := cfg.Build(ast)
+		res, err := analysis.Run(g, analysis.Options{
+			Context:  analysis.NoContext,
+			Op:       analysis.OpWarrow,
+			MaxEvals: 20_000_000,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		reach, total := 0, 0
+		for _, fn := range g.Order {
+			total++
+			if res.Reachable(fn) {
+				reach++
+			}
+		}
+		t.Logf("%-12s reachable %d/%d, unknowns %d, loc %d",
+			p.Name, reach, total, res.NumUnknowns(), p.LOC())
+		if reach*10 < total*6 { // at least 60%
+			t.Errorf("%s: only %d/%d functions reachable", p.Name, reach, total)
+		}
+	}
+}

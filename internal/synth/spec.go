@@ -1,0 +1,26 @@
+package synth
+
+// SpecSuite generates the seven benchmark programs standing in for the
+// SpecCPU2006 C programs of Table 1. Sizes are scaled so the relative
+// ordering of constraint-system unknown counts mirrors the paper's
+// context-insensitive column (470.lbm smallest, 458.sjeng largest); see
+// EXPERIMENTS.md for measured counts.
+func SpecSuite() []Program {
+	specs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"401.bzip2", Config{Seed: 401, Funcs: 45, Globals: 24, Arrays: 6, StmtsPerFunc: 55, CallFanout: 4}},
+		{"429.mcf", Config{Seed: 429, Funcs: 10, Globals: 10, Arrays: 3, StmtsPerFunc: 45, CallFanout: 2}},
+		{"433.milc", Config{Seed: 433, Funcs: 55, Globals: 30, Arrays: 8, StmtsPerFunc: 60, CallFanout: 5}},
+		{"456.hmmer", Config{Seed: 456, Funcs: 82, Globals: 40, Arrays: 10, StmtsPerFunc: 66, CallFanout: 6}},
+		{"458.sjeng", Config{Seed: 458, Funcs: 90, Globals: 36, Arrays: 8, StmtsPerFunc: 62, CallFanout: 6, Recursion: true}},
+		{"470.lbm", Config{Seed: 470, Funcs: 6, Globals: 8, Arrays: 4, StmtsPerFunc: 48, CallFanout: 2}},
+		{"482.sphinx", Config{Seed: 482, Funcs: 85, Globals: 38, Arrays: 9, StmtsPerFunc: 58, CallFanout: 6}},
+	}
+	out := make([]Program, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, Generate(s.name, s.cfg))
+	}
+	return out
+}

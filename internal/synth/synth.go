@@ -1,0 +1,383 @@
+// Package synth deterministically generates large mini-C programs that
+// stand in for the SpecCPU2006 C programs of the paper's Table 1 (see
+// DESIGN.md for the substitution argument). The generator controls exactly
+// the properties the Table 1 experiment measures — number of functions,
+// globals, loops, call structure and hence the number of constraint-system
+// unknowns — while the analysis runtime follows from them.
+//
+// Generation is seeded and uses no global state, so every build of the
+// suite produces byte-identical programs.
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a splitmix64 generator: tiny, fast, deterministic across
+// platforms.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangeInt returns a value in [lo, hi].
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// Config sizes a generated program.
+type Config struct {
+	// Seed drives all random choices.
+	Seed uint64
+	// Funcs is the number of generated functions besides main.
+	Funcs int
+	// Globals is the number of scalar int globals.
+	Globals int
+	// Arrays is the number of global int arrays.
+	Arrays int
+	// StmtsPerFunc is the approximate number of statements per function.
+	StmtsPerFunc int
+	// CallFanout is the number of calls each function makes to
+	// later-numbered functions.
+	CallFanout int
+	// Recursion adds self-recursive functions with decreasing arguments.
+	Recursion bool
+}
+
+// Program is a generated benchmark.
+type Program struct {
+	Name string
+	Src  string
+}
+
+// LOC counts non-blank lines.
+func (p Program) LOC() int {
+	n := 0
+	for _, l := range strings.Split(p.Src, "\n") {
+		if strings.TrimSpace(l) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Generate produces one program.
+func Generate(name string, cfg Config) Program {
+	g := &gen{cfg: cfg, r: rng{state: cfg.Seed ^ 0xda7a5eed}}
+	return Program{Name: name, Src: g.program()}
+}
+
+type gen struct {
+	cfg     Config
+	r       rng
+	sb      strings.Builder
+	arities []int // parameter count of each function, decided up front
+
+	// Per-function state.
+	locals   []string
+	params   []string
+	reserved map[string]bool // active loop counters: never assigned in bodies
+	fn       int
+	depth    int
+}
+
+// freeLocal picks a local that is not an active loop counter; ok is false
+// if every local is reserved.
+func (g *gen) freeLocal() (string, bool) {
+	var free []string
+	for _, l := range g.locals {
+		if !g.reserved[l] {
+			free = append(free, l)
+		}
+	}
+	if len(free) == 0 {
+		return "", false
+	}
+	return free[g.r.intn(len(free))], true
+}
+
+func (g *gen) w(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format, args...)
+}
+
+func (g *gen) indent() string { return strings.Repeat("    ", g.depth) }
+
+func (g *gen) program() string {
+	g.arities = make([]int, g.cfg.Funcs)
+	for i := range g.arities {
+		g.arities[i] = g.r.rangeInt(1, 2)
+	}
+	for i := 0; i < g.cfg.Globals; i++ {
+		g.w("int g%d = %d;\n", i, g.r.intn(100))
+	}
+	for i := 0; i < g.cfg.Arrays; i++ {
+		g.w("int arr%d[%d];\n", i, g.r.rangeInt(8, 64))
+	}
+	g.w("\n")
+	for f := 0; f < g.cfg.Funcs; f++ {
+		g.function(f)
+	}
+	g.mainFunc()
+	return g.sb.String()
+}
+
+// function emits int f<i>(int p0, int p1) { ... }.
+func (g *gen) function(f int) {
+	g.fn = f
+	nparams := g.arities[f]
+	g.params = g.params[:0]
+	var decl []string
+	for p := 0; p < nparams; p++ {
+		name := fmt.Sprintf("p%d", p)
+		g.params = append(g.params, name)
+		decl = append(decl, "int "+name)
+	}
+	g.w("int f%d(%s) {\n", f, strings.Join(decl, ", "))
+	g.depth = 1
+	g.reserved = make(map[string]bool)
+	g.locals = g.locals[:0]
+	nlocals := g.r.rangeInt(3, 5)
+	for l := 0; l < nlocals; l++ {
+		name := fmt.Sprintf("l%d", l)
+		g.locals = append(g.locals, name)
+		g.w("%sint %s;\n", g.indent(), name)
+	}
+	for _, l := range g.locals {
+		g.w("%s%s = %d;\n", g.indent(), l, g.r.intn(10))
+	}
+	recursive := g.cfg.Recursion && g.r.intn(4) == 0
+	if recursive {
+		g.w("%sif (p0 <= 0) { return 0; }\n", g.indent())
+	}
+	g.stmts(g.cfg.StmtsPerFunc)
+	if recursive {
+		args := []string{"p0 - 1"}
+		for _, p := range g.params[1:] {
+			args = append(args, p)
+		}
+		g.w("%s%s = f%d(%s);\n", g.indent(), g.locals[0], f, strings.Join(args, ", "))
+	}
+	g.w("%sreturn %s;\n", g.indent(), g.locals[g.r.intn(len(g.locals))])
+	g.depth = 0
+	g.w("}\n\n")
+}
+
+// stmts emits approximately n statements at the current depth.
+func (g *gen) stmts(n int) {
+	for n > 0 {
+		n -= g.stmt(n)
+	}
+}
+
+// stmt emits one construct and returns the statement budget it consumed.
+func (g *gen) stmt(budget int) int {
+	_, haveFree := g.freeLocal()
+	switch k := g.r.intn(10); {
+	case k < 3 && budget >= 4 && g.depth < 4 && haveFree:
+		return g.loop(budget)
+	case k < 5 && budget >= 3:
+		return g.ifStmt(budget)
+	case (k == 5 || k == 6) && g.fn+1 < g.cfg.Funcs:
+		g.call()
+		return 1
+	case k == 7 && g.cfg.Globals > 0:
+		g.globalUpdate()
+		return 1
+	case k == 8 && g.cfg.Arrays > 0:
+		g.arrayWrite()
+		return 1
+	default:
+		g.assign()
+		return 1
+	}
+}
+
+// loop emits a counted for-loop with a body; the counter is reserved so
+// nothing inside can reassign it (generated programs must terminate).
+func (g *gen) loop(budget int) int {
+	v, ok := g.freeLocal()
+	if !ok {
+		g.assign()
+		return 1
+	}
+	bound := g.bound()
+	g.w("%sfor (%s = 0; %s < %s; %s = %s + 1) {\n", g.indent(), v, v, bound, v, v)
+	g.reserved[v] = true
+	g.depth++
+	inner := g.r.rangeInt(2, min(budget-2, 6))
+	g.stmts(inner)
+	g.depth--
+	g.reserved[v] = false
+	g.w("%s}\n", g.indent())
+	return inner + 2
+}
+
+// bound yields a loop bound: a constant, a parameter, or a global.
+func (g *gen) bound() string {
+	switch g.r.intn(4) {
+	case 0:
+		if len(g.params) > 0 {
+			return g.params[g.r.intn(len(g.params))]
+		}
+		fallthrough
+	case 1:
+		if g.cfg.Globals > 0 {
+			return fmt.Sprintf("g%d", g.r.intn(g.cfg.Globals))
+		}
+		fallthrough
+	default:
+		return fmt.Sprintf("%d", g.r.rangeInt(2, 64))
+	}
+}
+
+func (g *gen) ifStmt(budget int) int {
+	c := g.cond()
+	g.w("%sif (%s) {\n", g.indent(), c)
+	g.depth++
+	inner := g.r.rangeInt(1, min(budget-2, 3))
+	g.stmts(inner)
+	g.depth--
+	if g.r.intn(2) == 0 {
+		g.w("%s} else {\n", g.indent())
+		g.depth++
+		g.stmts(1)
+		g.depth--
+		g.w("%s}\n", g.indent())
+		return inner + 3
+	}
+	g.w("%s}\n", g.indent())
+	return inner + 2
+}
+
+func (g *gen) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.operand(), ops[g.r.intn(len(ops))], g.operand())
+}
+
+// operand yields a small expression atom.
+func (g *gen) operand() string {
+	switch g.r.intn(5) {
+	case 0:
+		if g.cfg.Globals > 0 {
+			return fmt.Sprintf("g%d", g.r.intn(g.cfg.Globals))
+		}
+		fallthrough
+	case 1:
+		if len(g.params) > 0 {
+			return g.params[g.r.intn(len(g.params))]
+		}
+		fallthrough
+	case 2:
+		return fmt.Sprintf("%d", g.r.rangeInt(0, 50))
+	default:
+		return g.locals[g.r.intn(len(g.locals))]
+	}
+}
+
+func (g *gen) expr() string {
+	ops := []string{"+", "-", "*", "/", "%"}
+	op := ops[g.r.intn(len(ops))]
+	rhs := g.operand()
+	if op == "/" || op == "%" {
+		rhs = fmt.Sprintf("%d", g.r.rangeInt(1, 16)) // avoid ⊥ from /0
+	}
+	return fmt.Sprintf("%s %s %s", g.operand(), op, rhs)
+}
+
+func (g *gen) assign() {
+	v, ok := g.freeLocal()
+	if !ok {
+		v = g.locals[0] // unreachable by construction: loops need a free local
+	}
+	g.w("%s%s = %s;\n", g.indent(), v, g.expr())
+}
+
+func (g *gen) globalUpdate() {
+	gi := g.r.intn(g.cfg.Globals)
+	switch g.r.intn(3) {
+	case 0:
+		g.w("%sg%d = g%d + %s;\n", g.indent(), gi, gi, g.operand())
+	case 1:
+		g.w("%sg%d = %s;\n", g.indent(), gi, g.expr())
+	default:
+		g.w("%sg%d = %s %% %d;\n", g.indent(), gi, g.operand(), g.r.rangeInt(2, 100))
+	}
+}
+
+func (g *gen) arrayWrite() {
+	ai := g.r.intn(g.cfg.Arrays)
+	g.w("%sarr%d[%s %% 8] = %s;\n", g.indent(), ai, g.locals[0], g.operand())
+}
+
+func (g *gen) call() {
+	callee := g.fn + 1 + g.r.intn(g.cfg.Funcs-g.fn-1)
+	v, ok := g.freeLocal()
+	if !ok {
+		v = g.locals[0]
+	}
+	g.w("%s%s = f%d(%s);\n", g.indent(), v, callee, g.callArgs(callee))
+}
+
+// callArgs yields arguments matching the callee's pre-decided arity: a mix
+// of small constants (driving distinct bucket contexts) and locals.
+func (g *gen) callArgs(callee int) string {
+	args := make([]string, g.arities[callee])
+	for i := range args {
+		if g.r.intn(2) == 0 {
+			args[i] = fmt.Sprintf("%d", g.r.rangeInt(0, 40))
+		} else {
+			args[i] = g.locals[g.r.intn(len(g.locals))]
+		}
+	}
+	return strings.Join(args, ", ")
+}
+
+// mainFunc emits a main that exercises several root functions in loops
+// with varied constant arguments, so context-sensitive analyses see
+// multiple contexts per callee.
+func (g *gen) mainFunc() {
+	g.fn = g.cfg.Funcs // calls may target any generated function
+	g.params = g.params[:0]
+	g.w("int main() {\n")
+	g.depth = 1
+	g.reserved = make(map[string]bool)
+	g.locals = g.locals[:0]
+	for l := 0; l < 4; l++ {
+		name := fmt.Sprintf("m%d", l)
+		g.locals = append(g.locals, name)
+		g.w("%sint %s;\n", g.indent(), name)
+	}
+	for _, l := range g.locals {
+		g.w("%s%s = 0;\n", g.indent(), l)
+	}
+	counter := g.locals[0]
+	results := g.locals[1:]
+	roots := min(g.cfg.Funcs, 1+g.cfg.CallFanout)
+	for r := 0; r < roots; r++ {
+		callee := g.r.intn(g.cfg.Funcs)
+		if r == 0 {
+			callee = 0 // guarantee the call-chain root is reachable
+		}
+		v := results[g.r.intn(len(results))]
+		g.w("%sfor (%s = 0; %s < %d; %s = %s + 1) {\n",
+			g.indent(), counter, counter, g.r.rangeInt(3, 20), counter, counter)
+		g.depth++
+		g.w("%s%s = f%d(%s);\n", g.indent(), v, callee, g.callArgs(callee))
+		if g.cfg.Globals > 0 {
+			gi := g.r.intn(g.cfg.Globals)
+			g.w("%sg%d = g%d + %s;\n", g.indent(), gi, gi, v)
+		}
+		g.depth--
+		g.w("%s}\n", g.indent())
+	}
+	g.w("%sreturn %s;\n", g.indent(), results[0])
+	g.depth = 0
+	g.w("}\n")
+}

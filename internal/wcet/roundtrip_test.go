@@ -1,0 +1,27 @@
+package wcet
+
+import (
+	"testing"
+
+	"warrow/internal/cint"
+)
+
+// TestSuiteRoundTripsThroughPrinter: every benchmark survives
+// parse → print → reparse → print with a stable result — a broad
+// property test of both the parser and the printer.
+func TestSuiteRoundTripsThroughPrinter(t *testing.T) {
+	for _, b := range All() {
+		p1, err := cint.Parse(b.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		out1 := cint.Print(p1)
+		p2, err := cint.Parse(out1)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v", b.Name, err)
+		}
+		if out2 := cint.Print(p2); out1 != out2 {
+			t.Errorf("%s: printing unstable", b.Name)
+		}
+	}
+}

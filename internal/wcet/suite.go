@@ -1,0 +1,1249 @@
+package wcet
+
+// The embedded suite. Each program is a mini-C reimplementation of the
+// like-named Mälardalen WCET kernel: same loop structure and global usage,
+// simplified arithmetic (mini-C has no bitwise operators; shifts appear as
+// *2 and /2, masks as %).
+var suite = []Benchmark{
+	{Name: "fac", Src: `
+// fac: recursive factorial, summed over a small range. The global
+// highest tracks the largest input handled so far.
+int s = 0;
+int highest = 0;
+
+int fac(int n) {
+    int r;
+    if (n == 0) { return 1; }
+    r = fac(n - 1);
+    return n * r;
+}
+
+int main() {
+    int i;
+    int f;
+    int chk;
+    for (i = 0; i <= 5; i = i + 1) {
+        f = fac(i);
+        s = s + f;
+        highest = i;
+    }
+    chk = highest;
+    return s + chk;
+}
+`},
+
+	{Name: "fibcall", Src: `
+// fibcall: iterative Fibonacci over a range of inputs; the globals record
+// the result and the last input processed.
+int fibresult = 0;
+int lastinput = 0;
+
+int fib(int n) {
+    int i;
+    int fnew; int fold; int temp;
+    fnew = 1; fold = 0;
+    for (i = 2; i <= n; i = i + 1) {
+        temp = fnew;
+        fnew = fnew + fold;
+        fold = temp;
+    }
+    return fnew;
+}
+
+int main() {
+    int a;
+    int r;
+    int chk;
+    for (a = 10; a <= 30; a = a + 5) {
+        r = fib(a);
+        fibresult = r;
+        lastinput = a;
+    }
+    chk = lastinput;
+    return fibresult + chk;
+}
+`},
+
+	{Name: "bs", Src: `
+// bs: binary search over a global table of 15 entries.
+int data[15];
+int found = 0;
+
+int binary_search(int x) {
+    int fvalue; int mid; int up; int low;
+    low = 0;
+    up = 14;
+    fvalue = -1;
+    while (low <= up) {
+        mid = (low + up) / 2;
+        if (data[mid] == x) {
+            up = low - 1;
+            fvalue = mid;
+            found = found + 1;
+        } else {
+            if (data[mid] > x) {
+                up = mid - 1;
+            } else {
+                low = mid + 1;
+            }
+        }
+    }
+    return fvalue;
+}
+
+int main() {
+    int i; int r;
+    for (i = 0; i < 15; i = i + 1) {
+        data[i] = i * 10;
+    }
+    r = binary_search(8);
+    return r;
+}
+`},
+
+	{Name: "cnt", Src: `
+// cnt: count and sum positive entries of a 10x10 matrix.
+int array[100];
+int postotal = 0;
+int poscnt = 0;
+
+void initialize() {
+    int i; int j; int seed;
+    seed = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        for (j = 0; j < 10; j = j + 1) {
+            seed = (seed * 133 + 81) % 8095;
+            array[i * 10 + j] = seed % 100;
+        }
+    }
+}
+
+void sum() {
+    int i; int j; int v;
+    for (i = 0; i < 10; i = i + 1) {
+        for (j = 0; j < 10; j = j + 1) {
+            v = array[i * 10 + j];
+            if (v >= 0) {
+                postotal = postotal + v;
+                poscnt = poscnt + 1;
+            }
+        }
+    }
+}
+
+int main() {
+    initialize();
+    sum();
+    return postotal;
+}
+`},
+
+	{Name: "insertsort", Src: `
+// insertsort: insertion sort of an 11-element global array.
+int a[11];
+
+int main() {
+    int i; int j; int key;
+    for (i = 0; i < 11; i = i + 1) {
+        a[i] = 11 - i;
+    }
+    i = 1;
+    while (i < 11) {
+        key = a[i];
+        j = i - 1;
+        while (j >= 0 && a[j] > key) {
+            a[j + 1] = a[j];
+            j = j - 1;
+        }
+        a[j + 1] = key;
+        i = i + 1;
+    }
+    return a[0];
+}
+`},
+
+	{Name: "bsort", Src: `
+// bsort: bubble sort of a 100-element global array.
+int arr[100];
+int sorted = 0;
+
+void init() {
+    int i;
+    for (i = 0; i < 100; i = i + 1) {
+        arr[i] = 100 - i;
+    }
+}
+
+void bubble() {
+    int i; int j; int temp; int swapped;
+    for (i = 0; i < 99; i = i + 1) {
+        swapped = 0;
+        for (j = 0; j < 99 - i; j = j + 1) {
+            if (arr[j] > arr[j + 1]) {
+                temp = arr[j];
+                arr[j] = arr[j + 1];
+                arr[j + 1] = temp;
+                swapped = swapped + 1;
+            }
+        }
+        if (swapped == 0) {
+            sorted = i + 1;
+            i = 99;
+        }
+    }
+}
+
+int main() {
+    init();
+    bubble();
+    return arr[0];
+}
+`},
+
+	{Name: "duff", Src: `
+// duff: copying loop with a remainder prologue (Duff's device flattened).
+int source[100];
+int target[100];
+int copied = 0;
+
+void duffcopy(int len) {
+    int i; int rem;
+    rem = len % 8;
+    i = 0;
+    while (i < rem) {
+        target[i] = source[i];
+        copied = copied + 1;
+        i = i + 1;
+    }
+    while (i < len) {
+        target[i] = source[i];
+        target[i + 1] = source[i + 1];
+        target[i + 2] = source[i + 2];
+        target[i + 3] = source[i + 3];
+        target[i + 4] = source[i + 4];
+        target[i + 5] = source[i + 5];
+        target[i + 6] = source[i + 6];
+        target[i + 7] = source[i + 7];
+        copied = copied + 8;
+        i = i + 8;
+    }
+}
+
+int main() {
+    int k;
+    for (k = 0; k < 100; k = k + 1) {
+        source[k] = k;
+    }
+    duffcopy(43);
+    return target[0];
+}
+`},
+
+	{Name: "expint", Src: `
+// expint: series computation with a triangular loop nest; rounds records
+// the outer iteration reached.
+int result = 0;
+int rounds = 0;
+
+int expint(int n, int x) {
+    int i; int ii; int del;
+    int a; int b; int c; int d; int h;
+    b = x + n;
+    c = 2000000;
+    d = 30000000 / b;
+    h = d;
+    for (i = 1; i <= 100; i = i + 1) {
+        a = -i * (n - 1 + i);
+        b = b + 2;
+        d = 10000000 / (a * d + b);
+        c = b + 10000000 / (a * c);
+        del = c * d;
+        h = h * del / 10000;
+        if (del < 10001 && del > 9999) {
+            return h;
+        }
+        for (ii = 1; ii < i; ii = ii + 1) {
+            result = result + ii;
+        }
+        rounds = i;
+    }
+    return h;
+}
+
+int main() {
+    int r; int chk;
+    r = expint(50, 1);
+    result = r;
+    chk = rounds;
+    return r + chk;
+}
+`},
+
+	{Name: "fir", Src: `
+// fir: finite impulse response filter over a global signal.
+int in[64];
+int out[64];
+int coef[8];
+int acc_hi = 0;
+
+int lastidx = 0;
+
+void fir_filter() {
+    int i; int j; int acc;
+    for (i = 7; i < 64; i = i + 1) {
+        acc = 0;
+        for (j = 0; j < 8; j = j + 1) {
+            acc = acc + coef[j] * in[i - j];
+        }
+        out[i] = acc / 256;
+        if (acc > acc_hi) {
+            acc_hi = acc;
+        }
+        lastidx = i;
+    }
+}
+
+int main() {
+    int k;
+    for (k = 0; k < 64; k = k + 1) {
+        in[k] = k % 16;
+    }
+    for (k = 0; k < 8; k = k + 1) {
+        coef[k] = k + 1;
+    }
+    fir_filter();
+    k = lastidx;
+    return out[63] + k;
+}
+`},
+
+	{Name: "crc", Src: `
+// crc: cyclic redundancy check with bit operations spelled as %2 and /2.
+int icrc = 0;
+
+int crc_byte(int crc, int onech) {
+    int i; int ans; int topbit;
+    ans = crc + onech;
+    for (i = 0; i < 8; i = i + 1) {
+        topbit = ans / 32768;
+        ans = (ans * 2) % 65536;
+        if (topbit % 2 == 1) {
+            ans = ans - 4129;
+            if (ans < 0) { ans = ans + 65536; }
+        }
+    }
+    return ans;
+}
+
+int bytes_done = 0;
+
+int main() {
+    int n; int c; int ch; int chk;
+    c = 0;
+    for (n = 0; n < 40; n = n + 1) {
+        ch = (n * 7) % 256;
+        c = crc_byte(c, ch);
+        bytes_done = n;
+    }
+    icrc = c;
+    chk = bytes_done;
+    return c + chk;
+}
+`},
+
+	{Name: "matmult", Src: `
+// matmult: 20x20 integer matrix multiplication into a global.
+int matA[400];
+int matB[400];
+int matC[400];
+int maxcell = 0;
+
+void initmat() {
+    int i; int j; int seed;
+    seed = 1;
+    for (i = 0; i < 20; i = i + 1) {
+        for (j = 0; j < 20; j = j + 1) {
+            seed = (seed * 3 + 1) % 10;
+            matA[i * 20 + j] = seed;
+            matB[i * 20 + j] = (seed + j) % 10;
+        }
+    }
+}
+
+int rowsdone = 0;
+
+void multiply() {
+    int i; int j; int k; int sum;
+    for (i = 0; i < 20; i = i + 1) {
+        for (j = 0; j < 20; j = j + 1) {
+            sum = 0;
+            for (k = 0; k < 20; k = k + 1) {
+                sum = sum + matA[i * 20 + k] * matB[k * 20 + j];
+            }
+            matC[i * 20 + j] = sum;
+            if (sum > maxcell) {
+                maxcell = sum;
+            }
+        }
+        rowsdone = i;
+    }
+}
+
+int main() {
+    int chk;
+    initmat();
+    multiply();
+    chk = rowsdone;
+    return matC[0] + chk;
+}
+`},
+
+	{Name: "ns", Src: `
+// ns: search in a 4-dimensional array (5x5x5x5), flattened.
+int keys[625];
+int answer[625];
+int hits = 0;
+
+int foo(int x) {
+    int i; int j; int k; int l;
+    for (i = 0; i < 5; i = i + 1) {
+        for (j = 0; j < 5; j = j + 1) {
+            for (k = 0; k < 5; k = k + 1) {
+                for (l = 0; l < 5; l = l + 1) {
+                    if (keys[i * 125 + j * 25 + k * 5 + l] == x) {
+                        hits = hits + 1;
+                        return answer[i * 125 + j * 25 + k * 5 + l];
+                    }
+                }
+            }
+        }
+    }
+    return -1;
+}
+
+int main() {
+    int m; int r;
+    for (m = 0; m < 625; m = m + 1) {
+        keys[m] = m % 400;
+        answer[m] = m;
+    }
+    r = foo(123);
+    return r;
+}
+`},
+
+	{Name: "prime", Src: `
+// prime: trial-division primality testing over a range.
+int primecount = 0;
+int lastprime = 0;
+
+int divides(int n, int m) {
+    int r;
+    r = m % n;
+    if (r == 0) { return 1; }
+    return 0;
+}
+
+int prime(int n) {
+    int i; int d;
+    if (n < 2) { return 0; }
+    if (n % 2 == 0) {
+        if (n == 2) { return 1; }
+        return 0;
+    }
+    i = 3;
+    while (i * i <= n) {
+        d = divides(i, n);
+        if (d == 1) { return 0; }
+        i = i + 2;
+    }
+    return 1;
+}
+
+int main() {
+    int n; int p;
+    for (n = 0; n < 200; n = n + 1) {
+        p = prime(n);
+        if (p == 1) {
+            primecount = primecount + 1;
+            lastprime = n;
+        }
+    }
+    return lastprime;
+}
+`},
+
+	{Name: "sqrt", Src: `
+// sqrt: integer square root by bounded Newton iteration.
+int sqrtresult = 0;
+
+int isqrt(int x) {
+    int guess; int next; int iter;
+    if (x <= 0) { return 0; }
+    guess = x;
+    iter = 0;
+    while (iter < 20) {
+        next = (guess + x / guess) / 2;
+        if (next >= guess) {
+            return guess;
+        }
+        guess = next;
+        iter = iter + 1;
+    }
+    return guess;
+}
+
+int tested = 0;
+
+int main() {
+    int i; int r; int acc; int chk;
+    acc = 0;
+    for (i = 1; i <= 50; i = i + 1) {
+        r = isqrt(i * i);
+        acc = acc + r;
+        sqrtresult = r;
+        tested = i;
+    }
+    chk = tested;
+    return acc + chk;
+}
+`},
+
+	{Name: "janne_complex", Src: `
+// janne_complex: two interlocked loops whose bounds depend on each other —
+// the canonical hard case for loop-bound analysis. The globals record the
+// iteration count and the last outer state.
+int iters = 0;
+int last_a = 0;
+
+int complex(int a, int b) {
+    while (a < 30) {
+        while (b < a) {
+            if (b > 5) {
+                b = b * 3;
+            } else {
+                b = b + 2;
+            }
+            if (b >= 10 && b <= 12) {
+                a = a + 10;
+            } else {
+                a = a + 1;
+            }
+            iters = iters + 1;
+        }
+        last_a = a;
+        a = a + 2;
+        b = b - 10;
+    }
+    return last_a;
+}
+
+int main() {
+    int a; int b; int answer;
+    a = 1;
+    b = 1;
+    answer = complex(a, b);
+    return answer;
+}
+`},
+
+	{Name: "jfdctint", Src: `
+// jfdctint: integer forward DCT over an 8x8 block (row and column passes).
+int block[64];
+int dcmax = 0;
+int colpass = 0;
+
+void jpeg_fdct() {
+    int i; int tmp0; int tmp1; int tmp2; int tmp3;
+    for (i = 0; i < 8; i = i + 1) {
+        tmp0 = block[i * 8 + 0] + block[i * 8 + 7];
+        tmp1 = block[i * 8 + 1] + block[i * 8 + 6];
+        tmp2 = block[i * 8 + 2] + block[i * 8 + 5];
+        tmp3 = block[i * 8 + 3] + block[i * 8 + 4];
+        block[i * 8 + 0] = (tmp0 + tmp3) * 4;
+        block[i * 8 + 2] = (tmp1 - tmp2) * 4;
+        block[i * 8 + 4] = (tmp0 - tmp3) * 4;
+        block[i * 8 + 6] = (tmp1 + tmp2) * 4;
+    }
+    for (i = 0; i < 8; i = i + 1) {
+        tmp0 = block[0 * 8 + i] + block[7 * 8 + i];
+        tmp1 = block[1 * 8 + i] + block[6 * 8 + i];
+        block[0 * 8 + i] = (tmp0 + tmp1) / 8;
+        block[4 * 8 + i] = (tmp0 - tmp1) / 8;
+        if (block[0 * 8 + i] > dcmax) {
+            dcmax = block[0 * 8 + i];
+        }
+        colpass = i;
+    }
+}
+
+int main() {
+    int k;
+    for (k = 0; k < 64; k = k + 1) {
+        block[k] = (k * 3) % 256 - 128;
+    }
+    jpeg_fdct();
+    k = colpass;
+    return block[0] + k;
+}
+`},
+
+	{Name: "fdct", Src: `
+// fdct: fast DCT variant with scaled arithmetic.
+int dct[64];
+int spectral = 0;
+int rowsdone = 0;
+
+void fdct(int shift) {
+    int i; int x0; int x1; int x2; int x3;
+    for (i = 0; i < 8; i = i + 1) {
+        x0 = dct[i * 8] + dct[i * 8 + 7];
+        x1 = dct[i * 8] - dct[i * 8 + 7];
+        x2 = dct[i * 8 + 3] + dct[i * 8 + 4];
+        x3 = dct[i * 8 + 3] - dct[i * 8 + 4];
+        dct[i * 8] = (x0 + x2) / shift;
+        dct[i * 8 + 4] = (x0 - x2) / shift;
+        dct[i * 8 + 2] = (x1 * 181) / 128 / shift;
+        dct[i * 8 + 6] = (x3 * 181) / 128 / shift;
+        spectral = spectral + dct[i * 8];
+        rowsdone = i;
+    }
+}
+
+int main() {
+    int k;
+    for (k = 0; k < 64; k = k + 1) {
+        dct[k] = k % 64;
+    }
+    fdct(2);
+    k = rowsdone;
+    return dct[0] + k;
+}
+`},
+
+	{Name: "lcdnum", Src: `
+// lcdnum: map digits to 7-segment codes via an if-chain in a loop.
+int out = 0;
+
+int num_to_lcd(int a) {
+    if (a == 0) { return 63; }
+    if (a == 1) { return 6; }
+    if (a == 2) { return 91; }
+    if (a == 3) { return 79; }
+    if (a == 4) { return 102; }
+    if (a == 5) { return 109; }
+    if (a == 6) { return 125; }
+    if (a == 7) { return 7; }
+    if (a == 8) { return 127; }
+    if (a == 9) { return 111; }
+    return 0;
+}
+
+int main() {
+    int i; int n; int seg;
+    n = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        seg = num_to_lcd(i);
+        if (i < 5) {
+            n = n + seg % 16;
+        } else {
+            n = n + seg / 16;
+        }
+        out = n;
+    }
+    return out;
+}
+`},
+
+	{Name: "ud", Src: `
+// ud: LU decomposition and back substitution on a 5x5 system.
+int amat[25];
+int bvec[5];
+int xvec[5];
+int pivots = 0;
+int lastrow = 0;
+
+int ludcmp(int n) {
+    int i; int j; int k; int w;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = i + 1; j <= n; j = j + 1) {
+            w = amat[j * 5 + i];
+            if (amat[i * 5 + i] != 0) {
+                w = w / amat[i * 5 + i];
+                pivots = pivots + 1;
+            }
+            for (k = i + 1; k <= n; k = k + 1) {
+                amat[j * 5 + k] = amat[j * 5 + k] - w * amat[i * 5 + k];
+            }
+            amat[j * 5 + i] = w;
+        }
+    }
+    for (i = 1; i <= n; i = i + 1) {
+        w = bvec[i];
+        for (j = 0; j < i; j = j + 1) {
+            w = w - amat[i * 5 + j] * bvec[j];
+        }
+        bvec[i] = w;
+    }
+    for (i = n; i >= 0; i = i - 1) {
+        w = bvec[i];
+        for (j = i + 1; j <= n; j = j + 1) {
+            w = w - amat[i * 5 + j] * xvec[j];
+        }
+        if (amat[i * 5 + i] != 0) {
+            xvec[i] = w / amat[i * 5 + i];
+        }
+        lastrow = i;
+    }
+    return lastrow;
+}
+
+int main() {
+    int i; int j; int r;
+    for (i = 0; i < 5; i = i + 1) {
+        bvec[i] = i + 1;
+        for (j = 0; j < 5; j = j + 1) {
+            amat[i * 5 + j] = 1 + i + j;
+        }
+        amat[i * 5 + i] = amat[i * 5 + i] + 10;
+    }
+    r = ludcmp(4);
+    return xvec[0] + r;
+}
+`},
+
+	{Name: "edn", Src: `
+// edn: a batch of small vector kernels (dot product, saturated add, IIR).
+int va[200];
+int vb[200];
+int vout[200];
+int gsum = 0;
+
+void vec_mpy(int scale) {
+    int i;
+    for (i = 0; i < 150; i = i + 1) {
+        vout[i] = vout[i] + (va[i] * scale) / 32768;
+    }
+}
+
+int mac(int n) {
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) {
+        acc = acc + va[i] * vb[i];
+        if (acc > 1000000) { acc = 1000000; }
+    }
+    gsum = acc;
+    return acc;
+}
+
+void iir(int n) {
+    int i; int state;
+    state = 0;
+    for (i = 0; i < n; i = i + 1) {
+        state = (state * 3) / 4 + va[i];
+        vout[i] = state;
+    }
+}
+
+int main() {
+    int k; int m;
+    for (k = 0; k < 200; k = k + 1) {
+        va[k] = k % 32;
+        vb[k] = (200 - k) % 32;
+    }
+    vec_mpy(4096);
+    m = mac(150);
+    iir(100);
+    return m;
+}
+`},
+
+	{Name: "statemate", Src: `
+// statemate: a generated state machine stepping through modes, with the
+// mode stored in a global.
+int mode = 0;
+int ticks = 0;
+int errors = 0;
+
+void step(int input) {
+    if (mode == 0) {
+        if (input > 0) { mode = 1; }
+    } else {
+        if (mode == 1) {
+            if (input > 10) { mode = 2; } else { if (input < 0) { mode = 0; } }
+        } else {
+            if (mode == 2) {
+                if (input % 2 == 0) { mode = 3; }
+            } else {
+                if (mode == 3) {
+                    if (input < 5) { mode = 0; } else { mode = 2; }
+                } else {
+                    errors = errors + 1;
+                    mode = 0;
+                }
+            }
+        }
+    }
+    ticks = ticks + 1;
+}
+
+int main() {
+    int t; int inp;
+    for (t = 0; t < 1000; t = t + 1) {
+        inp = (t * 13) % 17 - 3;
+        step(inp);
+    }
+    return mode;
+}
+`},
+
+	{Name: "qsort-exam", Src: `
+// qsort-exam: in-place partition sort with explicit index stacks. All
+// invariants are local index arithmetic — the benchmark that shows no
+// improvement in Fig. 7.
+int arr[20];
+
+int main() {
+    int lostack[20];
+    int histack[20];
+    int top; int lo; int hi; int i; int j; int pivot; int tmp;
+    for (i = 0; i < 20; i = i + 1) {
+        arr[i] = (i * 7) % 20;
+    }
+    top = 0;
+    lostack[0] = 0;
+    histack[0] = 19;
+    while (top >= 0) {
+        lo = lostack[top];
+        hi = histack[top];
+        top = top - 1;
+        if (lo < hi) {
+            pivot = arr[hi];
+            i = lo - 1;
+            for (j = lo; j < hi; j = j + 1) {
+                if (arr[j] <= pivot) {
+                    i = i + 1;
+                    tmp = arr[i]; arr[i] = arr[j]; arr[j] = tmp;
+                }
+            }
+            tmp = arr[i + 1]; arr[i + 1] = arr[hi]; arr[hi] = tmp;
+            if (top < 17) {
+                top = top + 1;
+                lostack[top] = lo;
+                histack[top] = i;
+                top = top + 1;
+                lostack[top] = i + 2;
+                histack[top] = hi;
+            }
+        }
+    }
+    return arr[0];
+}
+`},
+
+	{Name: "ndes", Src: `
+// ndes: rounds of a DES-like bit shuffle using modular arithmetic.
+int keybits[64];
+int datum = 0;
+
+int shuffle(int v, int round) {
+    int i; int acc;
+    acc = v;
+    for (i = 0; i < 16; i = i + 1) {
+        acc = (acc * 2 + keybits[(i + round) % 64]) % 65536;
+        if (acc % 2 == 1) {
+            acc = acc + 32768;
+            if (acc >= 65536) { acc = acc - 65536; }
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int r; int v; int k;
+    for (k = 0; k < 64; k = k + 1) {
+        keybits[k] = (k * 11) % 2;
+    }
+    v = 12345;
+    for (r = 0; r < 16; r = r + 1) {
+        v = shuffle(v, r);
+    }
+    datum = v;
+    return v;
+}
+`},
+
+	{Name: "nsichneu-lite", Src: `
+// nsichneu-lite: a Petri-net simulation slice — many guarded global
+// updates per iteration (the original is ~4000 lines of such blocks).
+int P1 = 1; int P2 = 0; int P3 = 0; int P4 = 0;
+int T_count = 0;
+
+void fire() {
+    if (P1 >= 1 && P2 < 3) {
+        P1 = P1 - 1;
+        P2 = P2 + 1;
+        T_count = T_count + 1;
+    }
+    if (P2 >= 2 && P3 < 4) {
+        P2 = P2 - 2;
+        P3 = P3 + 1;
+        T_count = T_count + 1;
+    }
+    if (P3 >= 1 && P4 < 2) {
+        P3 = P3 - 1;
+        P4 = P4 + 1;
+        T_count = T_count + 1;
+    }
+    if (P4 >= 2) {
+        P4 = P4 - 2;
+        P1 = P1 + 1;
+        T_count = T_count + 1;
+    }
+}
+
+int steps = 0;
+
+int main() {
+    int i; int chk;
+    for (i = 0; i < 500; i = i + 1) {
+        fire();
+        steps = i;
+        if (P1 == 0 && P2 == 0 && P3 == 0 && P4 == 0) {
+            i = 500;
+        }
+    }
+    chk = steps;
+    return T_count + chk;
+}
+`},
+
+	{Name: "adpcm-lite", Src: `
+// adpcm-lite: ADPCM encoder inner loop with quantization tables.
+int steptable[16];
+int encoded[128];
+int clip = 0;
+
+int encode(int sample, int state) {
+    int diff; int code; int step;
+    step = steptable[state % 16];
+    diff = sample - state * 4;
+    if (diff < 0) {
+        code = 8;
+        diff = -diff;
+    } else {
+        code = 0;
+    }
+    if (diff >= step) {
+        code = code + 4;
+        diff = diff - step;
+    }
+    if (diff >= step / 2) {
+        code = code + 2;
+        diff = diff - step / 2;
+    }
+    if (diff >= step / 4) {
+        code = code + 1;
+    }
+    if (code > 15) {
+        code = 15;
+        clip = clip + 1;
+    }
+    return code;
+}
+
+int main() {
+    int i; int st; int c;
+    for (i = 0; i < 16; i = i + 1) {
+        steptable[i] = 7 + i * 5;
+    }
+    st = 0;
+    for (i = 0; i < 128; i = i + 1) {
+        c = encode((i * 37) % 256 - 128, st);
+        encoded[i] = c;
+        st = (st + c) % 16;
+    }
+    return encoded[127];
+}
+`},
+	{Name: "select", Src: `
+// select: k-th smallest element by repeated partitioning.
+int arr[20];
+int passes = 0;
+
+int kth(int k) {
+    int lo; int hi; int i; int j; int pivot; int tmp;
+    lo = 0;
+    hi = 19;
+    while (lo < hi) {
+        pivot = arr[k];
+        i = lo;
+        j = hi;
+        while (i <= j) {
+            while (arr[i] < pivot) { i = i + 1; }
+            while (pivot < arr[j]) { j = j - 1; }
+            if (i <= j) {
+                tmp = arr[i]; arr[i] = arr[j]; arr[j] = tmp;
+                i = i + 1;
+                j = j - 1;
+            }
+        }
+        if (j < k) { lo = i; }
+        if (k < i) { hi = j; }
+        passes = passes + 1;
+    }
+    return arr[k];
+}
+
+int main() {
+    int m; int r; int chk;
+    for (m = 0; m < 20; m = m + 1) {
+        arr[m] = (m * 13) % 20;
+    }
+    r = kth(10);
+    chk = passes;
+    return r + chk;
+}
+`},
+
+	{Name: "minver-lite", Src: `
+// minver-lite: 3x3 matrix inversion by Gauss-Jordan (fixed-point scaled).
+int mat[9];
+int inv[9];
+int det = 0;
+int col_done = 0;
+
+int minver() {
+    int i; int j; int k; int pivot; int w;
+    for (i = 0; i < 9; i = i + 1) {
+        inv[i] = 0;
+    }
+    inv[0] = 1000; inv[4] = 1000; inv[8] = 1000;
+    for (k = 0; k < 3; k = k + 1) {
+        pivot = mat[k * 3 + k];
+        if (pivot == 0) { return -1; }
+        for (j = 0; j < 3; j = j + 1) {
+            mat[k * 3 + j] = mat[k * 3 + j] * 1000 / pivot;
+            inv[k * 3 + j] = inv[k * 3 + j] * 1000 / pivot;
+        }
+        for (i = 0; i < 3; i = i + 1) {
+            if (i != k) {
+                w = mat[i * 3 + k];
+                for (j = 0; j < 3; j = j + 1) {
+                    mat[i * 3 + j] = mat[i * 3 + j] - w * mat[k * 3 + j] / 1000;
+                    inv[i * 3 + j] = inv[i * 3 + j] - w * inv[k * 3 + j] / 1000;
+                }
+            }
+        }
+        col_done = k;
+    }
+    return 0;
+}
+
+int main() {
+    int r; int chk;
+    mat[0] = 2000; mat[1] = 300; mat[2] = 500;
+    mat[3] = 100;  mat[4] = 4000; mat[5] = 600;
+    mat[6] = 700;  mat[7] = 800; mat[8] = 5000;
+    r = minver();
+    chk = col_done;
+    return inv[0] + r + chk;
+}
+`},
+
+	{Name: "qurt-lite", Src: `
+// qurt-lite: quadratic root classification with integer discriminants.
+int real_roots = 0;
+int complex_roots = 0;
+int last_d = 0;
+
+int classify(int a, int b, int c) {
+    int d;
+    d = b * b - 4 * a * c;
+    if (d > 0) {
+        real_roots = real_roots + 2;
+        return 2;
+    }
+    if (d == 0) {
+        real_roots = real_roots + 1;
+        return 1;
+    }
+    complex_roots = complex_roots + 2;
+    return 0;
+}
+
+int main() {
+    int a; int b; int n; int v; int chk;
+    n = 0;
+    for (a = 1; a <= 10; a = a + 1) {
+        for (b = -10; b <= 10; b = b + 1) {
+            v = classify2(a, b);
+            n = n + v;
+        }
+    }
+    chk = last_d;
+    return n + chk;
+}
+
+int classify2(int a, int b) {
+    int r;
+    r = classify(a, b, 3);
+    last_d = b;
+    return r;
+}
+`},
+
+	{Name: "cover", Src: `
+// cover: many small switch-like decision chains (branch coverage kernel).
+int hits[10];
+int total = 0;
+
+int swi(int c) {
+    if (c == 0) { return 1; }
+    if (c == 1) { return 3; }
+    if (c == 2) { return 5; }
+    if (c == 3) { return 7; }
+    if (c == 4) { return 9; }
+    if (c == 5) { return 11; }
+    if (c == 6) { return 13; }
+    if (c == 7) { return 15; }
+    if (c == 8) { return 17; }
+    return 19;
+}
+
+int main() {
+    int i; int c; int v; int chk;
+    for (i = 0; i < 120; i = i + 1) {
+        c = i % 10;
+        v = swi(c);
+        hits[c] = hits[c] + 1;
+        total = total + v;
+    }
+    chk = hits[0];
+    return total + chk;
+}
+`},
+
+	{Name: "recursion", Src: `
+// recursion: mutually recursive even/odd with an accumulator global.
+int calls = 0;
+int deepest = 0;
+
+// Mutual recursion needs no prototypes: name resolution is whole-program.
+int isEven(int n) {
+    int r;
+    calls = calls + 1;
+    if (n == 0) { return 1; }
+    r = isOdd(n - 1);
+    return r;
+}
+
+int isOdd(int n) {
+    int r;
+    calls = calls + 1;
+    if (n == 0) { return 0; }
+    r = isEven(n - 1);
+    return r;
+}
+
+int main() {
+    int i; int e; int acc; int chk;
+    acc = 0;
+    for (i = 0; i <= 12; i = i + 1) {
+        e = isEven(i);
+        acc = acc + e;
+        deepest = i;
+    }
+    chk = deepest;
+    return acc + chk;
+}
+`},
+
+	{Name: "compress-lite", Src: `
+// compress-lite: run-length encoding of a generated buffer.
+int input[128];
+int output[256];
+int outlen = 0;
+
+void rle() {
+    int i; int run; int v;
+    i = 0;
+    while (i < 128) {
+        v = input[i];
+        run = 1;
+        while (i + run < 128 && input[i + run] == v && run < 255) {
+            run = run + 1;
+        }
+        output[outlen % 256] = run;
+        outlen = outlen + 1;
+        output[outlen % 256] = v;
+        outlen = outlen + 1;
+        i = i + run;
+    }
+}
+
+int main() {
+    int k; int chk;
+    for (k = 0; k < 128; k = k + 1) {
+        input[k] = (k / 16) % 4;
+    }
+    rle();
+    chk = outlen;
+    return output[0] + chk;
+}
+`},
+	{Name: "st", Src: `
+// st: two-pass statistics (sum, mean, variance, correlation) over global
+// arrays, scaled integer arithmetic.
+int dataA[100];
+int dataB[100];
+int sumA = 0;
+int sumB = 0;
+int meanA = 0;
+int meanB = 0;
+int varA = 0;
+int corr = 0;
+int samples = 0;
+
+void initialize() {
+    int i; int seed;
+    seed = 1;
+    for (i = 0; i < 100; i = i + 1) {
+        seed = (seed * 133 + 81) % 8095;
+        dataA[i] = seed % 100;
+        dataB[i] = (seed / 7) % 100;
+        samples = i;
+    }
+}
+
+void sums() {
+    int i;
+    for (i = 0; i < 100; i = i + 1) {
+        sumA = sumA + dataA[i];
+        sumB = sumB + dataB[i];
+    }
+    meanA = sumA / 100;
+    meanB = sumB / 100;
+}
+
+void variance() {
+    int i; int dA; int dB;
+    for (i = 0; i < 100; i = i + 1) {
+        dA = dataA[i] - meanA;
+        dB = dataB[i] - meanB;
+        varA = varA + dA * dA / 100;
+        corr = corr + dA * dB / 100;
+    }
+}
+
+int main() {
+    int chk;
+    initialize();
+    sums();
+    variance();
+    chk = samples;
+    return corr + chk;
+}
+`},
+}

@@ -1,0 +1,62 @@
+// Package wcet embeds a suite of mini-C benchmark programs modelled on the
+// Mälardalen WCET benchmarks used in the paper's Fig. 7 experiment: small,
+// loop-intensive kernels (binary search, sorting, CRC, filters, matrix
+// multiplication, …) that read and write global state from bounded loops —
+// the pattern on which intertwined ⊟ iteration recovers precision that the
+// classical two-phase regime gives up on flow-insensitive globals.
+//
+// The original benchmarks are real C; these are reimplementations of the
+// same kernels in mini-C (see DESIGN.md for the substitution argument).
+package wcet
+
+import (
+	"sort"
+	"strings"
+
+	"warrow/internal/cint"
+)
+
+// Benchmark is one embedded program.
+type Benchmark struct {
+	// Name matches the Mälardalen kernel the program is modelled on.
+	Name string
+	// Src is the mini-C source.
+	Src string
+}
+
+// LOC counts non-blank source lines.
+func (b Benchmark) LOC() int {
+	n := 0
+	for _, line := range strings.Split(b.Src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Parse parses the benchmark; the suite is tested to always parse.
+func (b Benchmark) Parse() (*cint.Program, error) { return cint.Parse(b.Src) }
+
+// All returns the suite sorted by increasing size (the x-axis of Fig. 7).
+func All() []Benchmark {
+	out := make([]Benchmark, len(suite))
+	copy(out, suite)
+	sort.Slice(out, func(i, j int) bool {
+		if li, lj := out[i].LOC(), out[j].LOC(); li != lj {
+			return li < lj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range suite {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}

@@ -1,0 +1,88 @@
+package wcet
+
+import (
+	"testing"
+
+	"warrow/internal/analysis"
+	"warrow/internal/cfg"
+)
+
+// TestAllBenchmarksParse: every embedded benchmark lexes, parses and
+// type-checks.
+func TestAllBenchmarksParse(t *testing.T) {
+	if len(All()) < 20 {
+		t.Fatalf("suite has %d benchmarks, want >= 20", len(All()))
+	}
+	for _, b := range All() {
+		if _, err := b.Parse(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if b.LOC() < 10 {
+			t.Errorf("%s: suspiciously small (%d LOC)", b.Name, b.LOC())
+		}
+	}
+}
+
+// TestAllBenchmarksAnalyzeWithWarrow: the ⊟-solver terminates on every
+// benchmark under the Fig. 7 configuration (context-insensitive locals,
+// flow-insensitive globals) and reaches main.
+func TestAllBenchmarksAnalyzeWithWarrow(t *testing.T) {
+	for _, b := range All() {
+		ast, err := b.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		res, err := analysis.Run(cfg.Build(ast), analysis.Options{
+			Context:  analysis.NoContext,
+			Op:       analysis.OpWarrow,
+			MaxEvals: 5_000_000,
+		})
+		if err != nil {
+			t.Errorf("%s: ⊟-solver diverged: %v (stats %+v)", b.Name, err, res.Stats)
+			continue
+		}
+		if !res.Reachable("main") {
+			t.Errorf("%s: main unreachable", b.Name)
+		}
+	}
+}
+
+// TestAllBenchmarksAnalyzeTwoPhase: the two-phase baseline also terminates
+// (systems are monotonic without context sensitivity).
+func TestAllBenchmarksAnalyzeTwoPhase(t *testing.T) {
+	for _, b := range All() {
+		ast, err := b.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if _, err := analysis.Run(cfg.Build(ast), analysis.Options{
+			Context:  analysis.NoContext,
+			Op:       analysis.OpTwoPhase,
+			MaxEvals: 5_000_000,
+		}); err != nil {
+			t.Errorf("%s: two-phase diverged: %v", b.Name, err)
+		}
+	}
+}
+
+// TestSortedBySize: All returns the suite ordered by LOC, like the x-axis
+// of Fig. 7.
+func TestSortedBySize(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].LOC() > all[i].LOC() {
+			t.Errorf("suite not sorted: %s (%d) before %s (%d)",
+				all[i-1].Name, all[i-1].LOC(), all[i].Name, all[i].LOC())
+		}
+	}
+}
+
+// TestByName: lookup works and misses are reported.
+func TestByName(t *testing.T) {
+	if _, ok := ByName("bs"); !ok {
+		t.Error("bs should exist")
+	}
+	if _, ok := ByName("no-such-benchmark"); ok {
+		t.Error("lookup of missing benchmark should fail")
+	}
+}
