@@ -1,0 +1,18 @@
+# Tier-1: the build/test gate every change must keep green.
+tier1:
+	go build ./... && go test ./...
+
+# Tier-2: vet + race-checked tests — the concurrency gate for the parallel
+# solver (PSW) and the concurrent experiment harness.
+tier2:
+	go vet ./... && go test -race ./...
+
+# Race-check just the solver package (fast inner loop while touching PSW).
+race-solver:
+	go test -race ./internal/solver/...
+
+# Regenerate the committed machine-readable perf trajectory.
+bench-psw:
+	go run ./cmd/bench -psw -json BENCH_psw.json
+
+.PHONY: tier1 tier2 race-solver bench-psw

@@ -181,6 +181,40 @@ func BenchmarkSolvers(b *testing.B) {
 	}
 }
 
+// BenchmarkPSW compares sequential SW against the parallel SCC-stratified
+// solver PSW at 1/2/4/8 workers on the synthetic wide system (independent
+// loop nests = independent strata). Solutions are bit-identical by
+// construction; the measured quantity is wall clock.
+func BenchmarkPSW(b *testing.B) {
+	l := lattice.Ints
+	sys := experiments.WideSystem(8, 1500, 24)
+	init := func(experiments.WideKey) lattice.Interval { return lattice.EmptyInterval }
+	op := func() solver.Operator[experiments.WideKey, lattice.Interval] {
+		return solver.Op[experiments.WideKey](solver.Warrow[lattice.Interval](l))
+	}
+	b.Run("SW", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := solver.SW(sys, l, op(), init, solver.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("PSW/workers=%d", w), func(b *testing.B) {
+			var st solver.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = solver.PSW(sys, l, op(), init, solver.Config{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Strata), "strata")
+			b.ReportMetric(float64(st.Evals), "evals")
+		})
+	}
+}
+
 // BenchmarkWarrowVsTwoPhaseSolve measures end-to-end solving cost of ⊟ vs
 // the two-phase regime on the loop-heavy WCET programs taken together —
 // the "⊟ costs about the same" claim of Sec. 7.

@@ -4,7 +4,13 @@
 //	bench -table1     Table 1  (runtime/unknowns on SpecCPU-scale programs)
 //	bench -traces     Examples 1–4 (solver divergence and termination)
 //	bench -ablations  ⊟ₖ degradation, solver work, threshold widening
+//	bench -psw        SW vs PSW speedup on the synthetic wide system
 //	bench -all        everything
+//
+// The suites fan out across -workers goroutines (0 = GOMAXPROCS) with
+// deterministic output ordering; -json writes the machine-readable
+// measurements (PSW speedup rows, Table 1 cells) to a BENCH_*.json file so
+// later changes have a perf trajectory to compare against.
 package main
 
 import (
@@ -20,21 +26,25 @@ func main() {
 	table1 := flag.Bool("table1", false, "regenerate Table 1")
 	traces := flag.Bool("traces", false, "print Examples 1-4 solver traces")
 	ablations := flag.Bool("ablations", false, "run the ablation studies")
+	psw := flag.Bool("psw", false, "measure SW vs PSW at several worker counts")
 	all := flag.Bool("all", false, "run everything")
+	workers := flag.Int("workers", 0, "harness worker-pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "write machine-readable perf rows to this file")
 	flag.Parse()
 
-	if !*fig7 && !*table1 && !*traces && !*ablations && !*all {
+	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig7, *table1, *traces, *ablations = true, true, true, true
+		*fig7, *table1, *traces, *ablations, *psw = true, true, true, true, true
 	}
+	var perf []experiments.PerfRow
 	if *traces {
 		fmt.Println(experiments.TraceExamples())
 	}
 	if *fig7 {
-		r, err := experiments.Fig7()
+		r, err := experiments.Fig7Workers(*workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fig7:", err)
 			os.Exit(1)
@@ -42,7 +52,7 @@ func main() {
 		fmt.Println(experiments.FormatFig7(r))
 	}
 	if *table1 {
-		rows, err := experiments.Table1(func(r experiments.Table1Row) {
+		rows, err := experiments.Table1Workers(*workers, func(r experiments.Table1Row) {
 			fmt.Fprintf(os.Stderr, "  done %-12s (noctx %d unknowns, ctx %d unknowns)\n",
 				r.Name, r.WarrowNoCtx.Unknowns, r.WarrowCtx.Unknowns)
 		})
@@ -51,11 +61,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.FormatTable1(rows))
+		perf = append(perf, experiments.Table1PerfRows(rows)...)
 	}
 	if *ablations {
-		fmt.Println(experiments.AblationDegrading())
-		fmt.Println(experiments.AblationSWvsW())
-		fmt.Println(experiments.AblationThresholds())
-		fmt.Println(experiments.AblationLocalized())
+		for _, out := range experiments.Ablations(*workers) {
+			fmt.Println(out)
+		}
+	}
+	if *psw {
+		rows, err := experiments.PSWSpeedup(8, 3000, 24, []int{1, 2, 4, 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psw:", err)
+			os.Exit(1)
+		}
+		fmt.Println("SW vs PSW on the synthetic wide system (8 independent loop nests):")
+		fmt.Println(experiments.FormatPerfRows(rows))
+		perf = append(perf, rows...)
+	}
+	if *jsonOut != "" {
+		if err := experiments.WriteBenchJSON(*jsonOut, perf); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d perf rows to %s\n", len(perf), *jsonOut)
 	}
 }

@@ -20,10 +20,11 @@ import (
 )
 
 func main() {
-	solverFlag := flag.String("solver", "sw", "solver: rr, w, srr, sw, or slr")
+	solverFlag := flag.String("solver", "sw", "solver: rr, w, srr, sw, psw, or slr")
 	opFlag := flag.String("op", "warrow", "operator: join, widen, narrow, warrow, or replace")
 	query := flag.String("query", "", "with -solver slr: the unknown to solve for (default: last defined)")
 	maxEvals := flag.Int("max-evals", 100000, "evaluation budget (0 = unbounded)")
+	workers := flag.Int("workers", 0, "with -solver psw: worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -40,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "eqsolve:", err)
 		os.Exit(1)
 	}
-	cfg := solver.Config{MaxEvals: *maxEvals}
+	cfg := solver.Config{MaxEvals: *maxEvals, Workers: *workers}
 	switch f.Domain {
 	case eqdsl.DomainNatInf:
 		sys, err := f.NatSystem()
@@ -97,6 +98,8 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 		sigma, st, err = solver.SRR(sys, l, op, init, cfg)
 	case "sw":
 		sigma, st, err = solver.SW(sys, l, op, init, cfg)
+	case "psw":
+		sigma, st, err = solver.PSW(sys, l, op, init, cfg)
 	case "slr":
 		if query == "" {
 			query = f.Order[len(f.Order)-1]
@@ -113,6 +116,10 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 	} else {
 		fmt.Printf("%s with %s: solved in %d evaluations, %d updates\n",
 			solverName, opName, st.Evals, st.Updates)
+	}
+	if solverName == "psw" {
+		fmt.Printf("  parallel: %d workers, %d strata over %d SCCs\n",
+			st.Workers, st.Strata, st.SCCs)
 	}
 	for _, x := range f.Order {
 		if v, ok := sigma[x]; ok {

@@ -82,6 +82,32 @@ func (s *System[X, D]) RHS(x X) RHS[X, D] { return s.rhs[x] }
 // Deps returns the declared dependences of x.
 func (s *System[X, D]) Deps(x X) []X { return s.deps[x] }
 
+// Index returns the position of every defined unknown in the linear order.
+func (s *System[X, D]) Index() map[X]int {
+	idx := make(map[X]int, len(s.order))
+	for i, x := range s.order {
+		idx[x] = i
+	}
+	return idx
+}
+
+// DepGraph returns the static dependence graph in index space: adj[i] lists
+// the order indices of the unknowns the right-hand side of the i-th unknown
+// may read. Dependences on undefined unknowns are omitted — they hold their
+// initial value throughout any solve and impose no ordering constraint.
+func (s *System[X, D]) DepGraph() [][]int {
+	idx := s.Index()
+	adj := make([][]int, len(s.order))
+	for i, x := range s.order {
+		for _, y := range s.deps[x] {
+			if j, ok := idx[y]; ok {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}
+
 // Infl returns the influence sets: Infl[y] contains y itself together with
 // every x whose right-hand side depends on y (the sets infl_y of the paper,
 // which include y as a precaution for non-idempotent operators).

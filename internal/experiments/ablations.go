@@ -15,6 +15,21 @@ import (
 	"warrow/internal/wcet"
 )
 
+// Ablations runs all ablation studies on a bounded worker pool and returns
+// their reports in fixed order (0 workers = GOMAXPROCS).
+func Ablations(workers int) []string {
+	studies := []func() string{
+		AblationDegrading,
+		AblationSWvsW,
+		AblationThresholds,
+		AblationLocalized,
+	}
+	out, _ := fanOut(workers, len(studies), func(i int) (string, error) {
+		return studies[i](), nil
+	}, nil)
+	return out
+}
+
 // oscillator is a single-unknown non-monotonic system on which plain ⊟
 // never stabilizes: f(⊥)=[0,0]; f([0,+inf])=[0,5]; f([0,h])=[0,h+1].
 func oscillator() *eqn.System[string, lattice.Interval] {

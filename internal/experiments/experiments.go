@@ -9,8 +9,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"warrow/internal/analysis"
@@ -28,6 +30,61 @@ func init() {
 	// chains; raise the limit well beyond Go's 1 GB default (stacks are
 	// committed lazily, so this costs nothing unless used).
 	debug.SetMaxStack(6 << 30)
+}
+
+// fanOut runs job(0..n-1) on a bounded worker pool and collects results by
+// index, so callers iterate them in deterministic input order no matter
+// which worker finished first. onDone, if non-nil, fires once per completed
+// job in completion order, serialized under a mutex (progress reporting).
+// After the first error, queued jobs are skipped, in-flight ones finish,
+// and the first error is returned.
+func fanOut[T any](workers, n int, job func(int) (T, error), onDone func(T)) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				mu.Lock()
+				skip := firstErr != nil
+				mu.Unlock()
+				if skip {
+					continue
+				}
+				v, err := job(i)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					out[i] = v
+					if onDone != nil {
+						onDone(v)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out, firstErr
 }
 
 // Fig7Row is one bar of Fig. 7.
@@ -49,43 +106,61 @@ type Fig7Result struct {
 
 // Fig7 analyzes every WCET benchmark with the ⊟-solver and the two-phase
 // baseline (context-insensitive locals, flow-insensitive globals — the
-// paper's Fig. 7 configuration) and compares precision per program point.
-func Fig7() (Fig7Result, error) {
+// paper's Fig. 7 configuration) and compares precision per program point,
+// fanning the benchmarks out across GOMAXPROCS workers.
+func Fig7() (Fig7Result, error) { return Fig7Workers(0) }
+
+// Fig7Workers is Fig7 with an explicit harness worker-pool size
+// (0 = GOMAXPROCS). Rows come back in suite order regardless of which
+// benchmark finished first.
+func Fig7Workers(workers int) (Fig7Result, error) {
+	benches := wcet.All()
+	rows, err := fanOut(workers, len(benches), func(i int) (Fig7Row, error) {
+		return fig7Row(benches[i])
+	}, nil)
+	if err != nil {
+		return Fig7Result{}, err
+	}
 	var out Fig7Result
 	totalPoints, totalImproved := 0, 0
-	for _, b := range wcet.All() {
-		ast, err := cint.Parse(b.Src)
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		g := cfg.Build(ast)
-		warrow, err := analysis.Run(g, analysis.Options{
-			Context: analysis.NoContext, Op: analysis.OpWarrow, MaxEvals: 20_000_000,
-		})
-		if err != nil {
-			return out, fmt.Errorf("%s (⊟): %w", b.Name, err)
-		}
-		base, err := analysis.Run(g, analysis.Options{
-			Context: analysis.NoContext, Op: analysis.OpTwoPhase, MaxEvals: 20_000_000,
-		})
-		if err != nil {
-			return out, fmt.Errorf("%s (two-phase): %w", b.Name, err)
-		}
-		c := precision.Compare(warrow, base)
-		out.Rows = append(out.Rows, Fig7Row{
-			Name:        b.Name,
-			LOC:         b.LOC(),
-			Points:      c.Total,
-			Improved:    c.Improved,
-			ImprovedPct: c.ImprovedPct(),
-		})
-		totalPoints += c.Total
-		totalImproved += c.Improved
+	for _, row := range rows {
+		out.Rows = append(out.Rows, row)
+		totalPoints += row.Points
+		totalImproved += row.Improved
 	}
 	if totalPoints > 0 {
 		out.WeightedAvg = 100 * float64(totalImproved) / float64(totalPoints)
 	}
 	return out, nil
+}
+
+// fig7Row measures one WCET benchmark in the Fig. 7 configuration.
+func fig7Row(b wcet.Benchmark) (Fig7Row, error) {
+	ast, err := cint.Parse(b.Src)
+	if err != nil {
+		return Fig7Row{}, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	g := cfg.Build(ast)
+	warrow, err := analysis.Run(g, analysis.Options{
+		Context: analysis.NoContext, Op: analysis.OpWarrow, MaxEvals: 20_000_000,
+	})
+	if err != nil {
+		return Fig7Row{}, fmt.Errorf("%s (⊟): %w", b.Name, err)
+	}
+	base, err := analysis.Run(g, analysis.Options{
+		Context: analysis.NoContext, Op: analysis.OpTwoPhase, MaxEvals: 20_000_000,
+	})
+	if err != nil {
+		return Fig7Row{}, fmt.Errorf("%s (two-phase): %w", b.Name, err)
+	}
+	c := precision.Compare(warrow, base)
+	return Fig7Row{
+		Name:        b.Name,
+		LOC:         b.LOC(),
+		Points:      c.Total,
+		Improved:    c.Improved,
+		ImprovedPct: c.ImprovedPct(),
+	}, nil
 }
 
 // FormatFig7 renders the figure as an ASCII bar chart, benchmarks sorted by
@@ -122,21 +197,21 @@ type Table1Row struct {
 }
 
 // Table1 runs the four configurations of the paper's Table 1 on the
-// SpecCPU-scale synthetic suite. The optional progress callback receives
-// each completed row.
+// SpecCPU-scale synthetic suite, fanning programs out across GOMAXPROCS
+// workers. The optional progress callback receives each completed row in
+// completion order; the returned slice is in suite order.
 func Table1(progress func(Table1Row)) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, p := range synth.SpecSuite() {
-		row, err := Table1Program(p)
-		if err != nil {
-			return rows, err
-		}
-		if progress != nil {
-			progress(row)
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return Table1Workers(0, progress)
+}
+
+// Table1Workers is Table1 with an explicit harness worker-pool size
+// (0 = GOMAXPROCS). Concurrent rows contend for CPU, so per-cell times are
+// only comparable within a run at the same pool size.
+func Table1Workers(workers int, progress func(Table1Row)) ([]Table1Row, error) {
+	suite := synth.SpecSuite()
+	return fanOut(workers, len(suite), func(i int) (Table1Row, error) {
+		return Table1Program(suite[i])
+	}, progress)
 }
 
 // Table1Program measures one program in the four Table 1 configurations.

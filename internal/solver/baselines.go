@@ -5,14 +5,15 @@ import (
 	"warrow/internal/lattice"
 )
 
-// TwoPhaseLocal is the classical two-phase regime on top of the local
-// solver SLR: a complete widening iteration from init, followed by a
-// separate narrowing iteration started from the widening result. This is
-// the comparison baseline of the paper's Sec. 7 (Fig. 7). The narrowing
-// phase is sound only for monotonic systems; on non-monotonic ones it may
-// lose soundness or diverge — the deficiency ⊟ removes.
-func TwoPhaseLocal[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], init func(X) D, x0 X, cfg Config) (Result[X, D], error) {
-	up, err := SLR(sys, l, Op[X](Widen(l)), init, x0, cfg)
+// twoPhases is the shared up/down plumbing of every classical two-phase
+// baseline (TwoPhase, TwoPhaseLocal, TwoPhaseSidesKeyed): run a complete
+// widening phase via run, thread the leftover evaluation budget into a
+// narrowing phase started from the widening result, and sum the work.
+func twoPhases[X comparable, D any](init func(X) D, cfg Config,
+	run func(op Operator[X, D], init func(X) D, cfg Config) (Result[X, D], error),
+	upOp, downOp Operator[X, D]) (Result[X, D], error) {
+
+	up, err := run(upOp, init, cfg)
 	if err != nil {
 		return up, err
 	}
@@ -26,9 +27,23 @@ func TwoPhaseLocal[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D]
 		}
 		return init(x)
 	}
-	down, err := SLR(sys, l, Op[X](Narrow(l)), fromUp, x0, rest)
+	down, err := run(downOp, fromUp, rest)
 	down.Stats = addStats(up.Stats, down.Stats)
 	return down, err
+}
+
+// TwoPhaseLocal is the classical two-phase regime on top of the local
+// solver SLR: a complete widening iteration from init, followed by a
+// separate narrowing iteration started from the widening result. This is
+// the comparison baseline of the paper's Sec. 7 (Fig. 7). The narrowing
+// phase is sound only for monotonic systems; on non-monotonic ones it may
+// lose soundness or diverge — the deficiency ⊟ removes.
+func TwoPhaseLocal[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], init func(X) D, x0 X, cfg Config) (Result[X, D], error) {
+	return twoPhases(init, cfg,
+		func(op Operator[X, D], init func(X) D, cfg Config) (Result[X, D], error) {
+			return SLR(sys, l, op, init, x0, cfg)
+		},
+		Op[X](Widen(l)), Op[X](Narrow(l)))
 }
 
 // TwoPhaseSides is the two-phase regime on top of SLR⁺ for side-effecting
@@ -45,23 +60,11 @@ func TwoPhaseSides[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D
 // classical baselines precisely — e.g. Goblint's distinct-phase solver, in
 // which flow-insensitive globals only accumulate and are never narrowed.
 func TwoPhaseSidesKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D], init func(X) D, x0 X, band func(X) int, upOp, downOp Operator[X, D], cfg Config) (Result[X, D], error) {
-	up, err := SLRPlusKeyed(sys, l, upOp, init, x0, band, cfg)
-	if err != nil {
-		return up, err
-	}
-	rest := remaining(cfg, up.Stats.Evals)
-	if rest.MaxEvals < 0 {
-		return up, ErrEvalBudget
-	}
-	fromUp := func(x X) D {
-		if v, ok := up.Values[x]; ok {
-			return v
-		}
-		return init(x)
-	}
-	down, err := SLRPlusKeyed(sys, l, downOp, fromUp, x0, band, rest)
-	down.Stats = addStats(up.Stats, down.Stats)
-	return down, err
+	return twoPhases(init, cfg,
+		func(op Operator[X, D], init func(X) D, cfg Config) (Result[X, D], error) {
+			return SLRPlusKeyed(sys, l, op, init, x0, band, cfg)
+		},
+		upOp, downOp)
 }
 
 // remaining deducts spent evaluations from a budgeted config; a negative
@@ -77,12 +80,27 @@ func remaining(cfg Config, spent int) Config {
 	return cfg
 }
 
-// addStats sums two work records.
+// addStats combines the work records of two phases over the same system:
+// work counters add up, while capacity-style measurements — distinct
+// unknowns and the queue high-water mark — carry the maximum of the two
+// phases (summing them would double-count the shared system).
 func addStats(a, b Stats) Stats {
-	return Stats{
+	out := Stats{
 		Evals:    a.Evals + b.Evals,
 		Updates:  a.Updates + b.Updates,
 		Rounds:   a.Rounds + b.Rounds,
 		Unknowns: max(a.Unknowns, b.Unknowns),
+		MaxQueue: max(a.MaxQueue, b.MaxQueue),
+		WallNs:   a.WallNs + b.WallNs,
+		Workers:  max(a.Workers, b.Workers),
+		SCCs:     max(a.SCCs, b.SCCs),
+		Strata:   max(a.Strata, b.Strata),
 	}
+	// Both phases see the same dependence graph, so the histograms agree
+	// whenever both are populated; keep whichever phase recorded one.
+	out.SCCSize, out.SCCDepth = a.SCCSize, a.SCCDepth
+	if a.SCCs == 0 {
+		out.SCCSize, out.SCCDepth = b.SCCSize, b.SCCDepth
+	}
+	return out
 }

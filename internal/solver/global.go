@@ -68,6 +68,7 @@ func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Oper
 	for i := len(order) - 1; i >= 0; i-- {
 		push(order[i])
 	}
+	st.MaxQueue = len(stack)
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -83,6 +84,9 @@ func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Oper
 			deps := infl[x]
 			for i := len(deps) - 1; i >= 0; i-- {
 				push(deps[i])
+			}
+			if len(stack) > st.MaxQueue {
+				st.MaxQueue = len(stack)
 			}
 		}
 	}
@@ -152,6 +156,7 @@ func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 	for _, x := range order {
 		q.push(x, idx[x])
 	}
+	st.MaxQueue = q.len()
 	for !q.empty() {
 		x := q.popMin()
 		if st.Evals >= budget {
@@ -166,6 +171,9 @@ func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 			for _, y := range infl[x] {
 				q.push(y, idx[y])
 			}
+			if q.len() > st.MaxQueue {
+				st.MaxQueue = q.len()
+			}
 		}
 	}
 	return sigma, st, nil
@@ -179,21 +187,11 @@ func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 // return a non-post-solution, which is exactly the deficiency the combined
 // operator ⊟ removes.
 func TwoPhase[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	sigma, st, err := RR(sys, l, Op[X](Widen(l)), init, cfg)
-	if err != nil {
-		return sigma, st, err
-	}
-	rest := cfg
-	if rest.MaxEvals > 0 {
-		rest.MaxEvals -= st.Evals
-		if rest.MaxEvals <= 0 {
-			return sigma, st, ErrEvalBudget
-		}
-	}
-	asInit := func(x X) D { return sigma[x] }
-	sigma2, st2, err := RR(sys, l, Op[X](Narrow(l)), asInit, rest)
-	st.Evals += st2.Evals
-	st.Updates += st2.Updates
-	st.Rounds += st2.Rounds
-	return sigma2, st, err
+	res, err := twoPhases(init, cfg,
+		func(op Operator[X, D], init func(X) D, cfg Config) (Result[X, D], error) {
+			sigma, st, err := RR(sys, l, op, init, cfg)
+			return Result[X, D]{Values: sigma, Stats: st}, err
+		},
+		Op[X](Widen(l)), Op[X](Narrow(l)))
+	return res.Values, res.Stats, err
 }

@@ -149,6 +149,9 @@ func (s *slrState[X, D]) destabilize(x X) {
 		delete(s.stable, y)
 		s.q.push(y, s.key[y])
 	}
+	if s.q.len() > s.st.MaxQueue {
+		s.st.MaxQueue = s.q.len()
+	}
 }
 
 // drain solves queued unknowns while the least key does not exceed bound.
@@ -287,6 +290,9 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 			if s.inDom(z) {
 				delete(s.stable, z)
 				s.q.push(z, s.key[z])
+				if s.q.len() > s.st.MaxQueue {
+					s.st.MaxQueue = s.q.len()
+				}
 			} else {
 				s.initVar(z)
 				// Errors inside this nested solve surface on the caller's

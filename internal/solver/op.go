@@ -23,6 +23,7 @@ package solver
 import (
 	"errors"
 	"math"
+	"runtime"
 
 	"warrow/internal/lattice"
 )
@@ -134,6 +135,23 @@ func (d *Degrading[X, D]) Apply(x X, old, new D) D {
 // widening, exposing the non-monotonicity the operator observed.
 func (d *Degrading[X, D]) Switches(x X) int { return d.switches[x] }
 
+// HistBuckets is the number of power-of-two buckets of a Hist.
+const HistBuckets = 24
+
+// Hist is a power-of-two histogram: bucket k counts values v with
+// 2^k ≤ v < 2^(k+1) (bucket 0 additionally counts v ≤ 1).
+type Hist [HistBuckets]int
+
+// Observe adds one value to the histogram.
+func (h *Hist) Observe(v int) {
+	b := 0
+	for v > 1 && b < HistBuckets-1 {
+		v >>= 1
+		b++
+	}
+	h[b]++
+}
+
 // Stats records the work a solver performed.
 type Stats struct {
 	// Evals counts evaluations of right-hand sides.
@@ -144,6 +162,25 @@ type Stats struct {
 	Rounds int
 	// Unknowns counts distinct unknowns touched (local solvers: |dom|).
 	Unknowns int
+	// MaxQueue is the high-water mark of the scheduling queue for worklist
+	// solvers (W, SW, SLR, SLR⁺; for PSW, the largest per-stratum queue).
+	MaxQueue int
+	// WallNs is the wall-clock duration of the solve in nanoseconds
+	// (recorded by PSW; zero for the sequential solvers).
+	WallNs int64
+	// Workers is the size of the worker pool (PSW; zero for sequential
+	// solvers).
+	Workers int
+	// SCCs is the number of strongly connected components of the static
+	// dependence graph, and Strata the number of scheduling units PSW
+	// derived from them (Strata ≤ SCCs; equal when the linear order is
+	// topologically consistent with the condensation).
+	SCCs   int
+	Strata int
+	// SCCSize and SCCDepth are power-of-two histograms of component sizes
+	// and of component depths in the condensation DAG (PSW only).
+	SCCSize  Hist
+	SCCDepth Hist
 }
 
 // ErrEvalBudget is returned when a solver exceeds its evaluation budget —
@@ -156,6 +193,9 @@ type Config struct {
 	// MaxEvals bounds the number of right-hand-side evaluations; 0 means
 	// effectively unbounded.
 	MaxEvals int
+	// Workers bounds the PSW worker pool; 0 means runtime.GOMAXPROCS(0).
+	// Sequential solvers ignore it.
+	Workers int
 }
 
 func (c Config) budget() int {
@@ -163,4 +203,11 @@ func (c Config) budget() int {
 		return math.MaxInt
 	}
 	return c.MaxEvals
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }

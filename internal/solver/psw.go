@@ -1,0 +1,252 @@
+package solver
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+)
+
+// PSW is the parallel structured worklist solver: SW (Fig. 4) stratified
+// over the condensation of the system's static dependence graph and
+// scheduled onto a bounded worker pool (Config.Workers).
+//
+// The decomposition: Tarjan condenses the dependence graph into SCCs, and
+// stratify groups them into contiguous intervals of the linear order such
+// that every dependence either stays inside a stratum or reads a strictly
+// earlier one (for Bourdoncle/WTO orders each stratum is exactly one SCC;
+// for orders that are not topologically consistent with the condensation,
+// forward cross-SCC reads coarsen strata until the property holds). Each
+// stratum is solved to stabilization by a sequential SW run restricted to
+// its members, and a stratum is dispatched only once every stratum it reads
+// has stabilized — so every evaluation sees exactly the values it would see
+// in a sequential SW pass.
+//
+// Why the result is bit-identical to SW: sequential SW pops min-first, so
+// it fully stabilizes each stratum before first popping a member of the
+// next (changes only ever push the changed unknown and its readers, and
+// readers never live in an earlier stratum). Restricted to one stratum,
+// SW's pop sequence is therefore exactly the per-stratum run PSW performs:
+// same initial queue, same priorities, same values read (external reads hit
+// already-final strata), hence the same evaluations, the same updates, and
+// the same solution — per unknown and per Stats.Evals — for any worker
+// count and any update operator, ⊟ included. Incomparable strata share no
+// unknowns and read disjoint, already-stable prefixes, so running them
+// concurrently is safe; the scheduler's channel hand-offs order every write
+// of a stratum before every read by its dependents.
+//
+// Like SW, PSW instantiated with ⊟ terminates for every finite monotonic
+// system (Theorem 2 applies per stratum). The per-SCC stabilization premise
+// is the same localized-iteration invariant exploited by Amato–Scozzari–
+// Seidl–Apinis–Vojdani: all unknowns a component reads are stable when the
+// component iterates.
+//
+// The update operator is shared by all workers and must be safe for
+// concurrent use with Workers > 1: stateless operators (Op) are; the
+// stateful Degrading operator is not and requires Workers == 1.
+//
+// On budget exhaustion every worker stops at its next scheduling point and
+// the first error is returned together with the partial assignment.
+func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
+	start := time.Now()
+	order := sys.Order()
+	n := len(order)
+	adj := sys.DepGraph()
+	comp, ncomp := tarjanSCC(adj)
+	strata := stratify(adj)
+
+	r := &pswRun[X, D]{
+		sys:    sys,
+		l:      l,
+		op:     op,
+		init:   init,
+		order:  order,
+		idx:    sys.Index(),
+		infl:   sys.Infl(),
+		vals:   make([]D, n),
+		budget: int64(cfg.budget()),
+	}
+	for i, x := range order {
+		r.vals[i] = init(x)
+	}
+
+	workers := cfg.workers()
+	if workers > len(strata) && len(strata) > 0 {
+		workers = len(strata)
+	}
+
+	// Stratum DAG: preds counts how many distinct earlier strata a stratum
+	// reads; succs lists the dependents to release on completion.
+	strat := make([]int, n) // stratum index per unknown
+	for si, s := range strata {
+		for i := s.lo; i <= s.hi; i++ {
+			strat[i] = si
+		}
+	}
+	preds := make([]int, len(strata))
+	succs := make([][]int, len(strata))
+	seen := make([]int, len(strata)) // last stratum that recorded an edge from us
+	for i := range seen {
+		seen[i] = -1
+	}
+	for si, s := range strata {
+		for i := s.lo; i <= s.hi; i++ {
+			for _, j := range adj[i] {
+				if sj := strat[j]; sj != si && seen[sj] != si {
+					seen[sj] = si
+					preds[si]++
+					succs[sj] = append(succs[sj], si)
+				}
+			}
+		}
+	}
+
+	var st Stats
+	st.Unknowns = n
+	st.Workers = workers
+	st.SCCs = ncomp
+	st.Strata = len(strata)
+	sizes := make([]int, ncomp)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	for _, sz := range sizes {
+		st.SCCSize.Observe(sz)
+	}
+	for _, d := range sccDepths(adj, comp, ncomp) {
+		st.SCCDepth.Observe(d)
+	}
+
+	if len(strata) == 0 {
+		st.WallNs = time.Since(start).Nanoseconds()
+		return map[X]D{}, st, nil
+	}
+
+	jobs := make(chan int, len(strata))
+	done := make(chan stratumResult, len(strata))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range jobs {
+				err := r.runStratum(strata[si])
+				done <- stratumResult{si, err}
+			}
+		}()
+	}
+	for si, p := range preds {
+		if p == 0 {
+			jobs <- si
+		}
+	}
+	var firstErr error
+	for remaining := len(strata); remaining > 0; remaining-- {
+		res := <-done
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+			r.abort.Store(true)
+		}
+		for _, t := range succs[res.si] {
+			preds[t]--
+			if preds[t] == 0 {
+				// Dispatch even after an error: workers see the abort flag
+				// and return immediately, which keeps the completion
+				// accounting uniform (no stratum is ever lost).
+				jobs <- t
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	st.Evals = int(r.evals.Load())
+	if firstErr != nil && int64(st.Evals) > r.budget {
+		// Several workers can trip the shared budget at once; report the
+		// budget itself, matching SW's "stopped at exactly MaxEvals".
+		st.Evals = int(r.budget)
+	}
+	st.Updates = int(r.updates.Load())
+	st.MaxQueue = int(r.maxQueue.Load())
+	st.WallNs = time.Since(start).Nanoseconds()
+
+	sigma := make(map[X]D, n)
+	for i, x := range order {
+		sigma[x] = r.vals[i]
+	}
+	return sigma, st, firstErr
+}
+
+type stratumResult struct {
+	si  int
+	err error
+}
+
+// pswRun is the shared state of one PSW invocation. vals is indexed by
+// order position; concurrent strata write disjoint index ranges and read
+// only ranges whose strata completed before they were dispatched.
+type pswRun[X comparable, D any] struct {
+	sys   *eqn.System[X, D]
+	l     lattice.Lattice[D]
+	op    Operator[X, D]
+	init  func(X) D
+	order []X
+	idx   map[X]int
+	infl  map[X][]X
+	vals  []D
+
+	budget   int64
+	evals    atomic.Int64
+	updates  atomic.Int64
+	maxQueue atomic.Int64
+	abort    atomic.Bool
+}
+
+// runStratum runs SW restricted to the unknowns of one stratum, with the
+// global order indices as priorities — the exact evaluation sequence
+// sequential SW performs on this index range.
+func (r *pswRun[X, D]) runStratum(s stratum) error {
+	q := newPQ[X]()
+	for i := s.lo; i <= s.hi; i++ {
+		q.push(r.order[i], i)
+	}
+	get := func(y X) D {
+		if j, ok := r.idx[y]; ok {
+			return r.vals[j]
+		}
+		return r.init(y)
+	}
+	localMax := int64(q.len())
+	for !q.empty() {
+		if r.abort.Load() {
+			return nil
+		}
+		x := q.popMin()
+		i := r.idx[x]
+		if r.evals.Add(1) > r.budget {
+			return ErrEvalBudget
+		}
+		next := r.op.Apply(x, r.vals[i], r.sys.RHS(x)(get))
+		if !r.l.Eq(r.vals[i], next) {
+			r.vals[i] = next
+			r.updates.Add(1)
+			q.push(x, i)
+			for _, y := range r.infl[x] {
+				if j := r.idx[y]; j >= s.lo && j <= s.hi {
+					q.push(y, j)
+				}
+			}
+			if int64(q.len()) > localMax {
+				localMax = int64(q.len())
+			}
+		}
+	}
+	for {
+		cur := r.maxQueue.Load()
+		if localMax <= cur || r.maxQueue.CompareAndSwap(cur, localMax) {
+			return nil
+		}
+	}
+}
