@@ -2,10 +2,18 @@
 tier1:
 	go build ./... && go test ./...
 
-# Tier-2: vet + race-checked tests — the concurrency gate for the parallel
-# solver (PSW) and the concurrent experiment harness.
+# Tier-2: vet + race-checked tests + a bounded fuzz pass — the concurrency
+# gate for the parallel solver (PSW) and the differential solver harness.
 tier2:
 	go vet ./... && go test -race ./...
+	$(MAKE) fuzz
+
+# Native fuzzing of the differential harness and the certifier (seed corpora
+# under internal/diffsolve/testdata/fuzz). Each target runs for FUZZTIME.
+FUZZTIME ?= 10s
+fuzz:
+	go test ./internal/diffsolve -run '^$$' -fuzz '^FuzzSolvers$$' -fuzztime $(FUZZTIME)
+	go test ./internal/diffsolve -run '^$$' -fuzz '^FuzzCertify$$' -fuzztime $(FUZZTIME)
 
 # Race-check just the solver package (fast inner loop while touching PSW).
 race-solver:
@@ -15,4 +23,4 @@ race-solver:
 bench-psw:
 	go run ./cmd/bench -psw -json BENCH_psw.json
 
-.PHONY: tier1 tier2 race-solver bench-psw
+.PHONY: tier1 tier2 fuzz race-solver bench-psw

@@ -6,6 +6,7 @@
 //	eqsolve -solver srr -op warrow examples/systems/example1.eq   # terminates
 //	eqsolve -solver sw  -op warrow examples/systems/loop.eq
 //	eqsolve -solver slr -op warrow -query e examples/systems/loop.eq
+//	eqsolve -solver sw  -op warrow -certify examples/systems/loop.eq
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"warrow/internal/certify"
 	"warrow/internal/eqdsl"
 	"warrow/internal/eqn"
 	"warrow/internal/lattice"
@@ -25,6 +27,7 @@ func main() {
 	query := flag.String("query", "", "with -solver slr: the unknown to solve for (default: last defined)")
 	maxEvals := flag.Int("max-evals", 100000, "evaluation budget (0 = unbounded)")
 	workers := flag.Int("workers", 0, "with -solver psw: worker-pool size (0 = GOMAXPROCS)")
+	certifyFlag := flag.Bool("certify", false, "re-check the result as a post-solution (Lemma 1) and fail if it is not")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -49,14 +52,14 @@ func main() {
 			fatal(err)
 		}
 		run(f, sys, lattice.NatInf, *solverFlag, *opFlag, *query,
-			func(string) lattice.Nat { return lattice.NatOf(0) }, cfg)
+			func(string) lattice.Nat { return lattice.NatOf(0) }, cfg, *certifyFlag)
 	case eqdsl.DomainInterval:
 		sys, err := f.IntervalSystem()
 		if err != nil {
 			fatal(err)
 		}
 		run(f, sys, lattice.Ints, *solverFlag, *opFlag, *query,
-			func(string) lattice.Interval { return lattice.EmptyInterval }, cfg)
+			func(string) lattice.Interval { return lattice.EmptyInterval }, cfg, *certifyFlag)
 	}
 }
 
@@ -67,7 +70,7 @@ func fatal(err error) {
 
 // run dispatches on solver and operator names for a concrete domain.
 func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
-	solverName, opName, query string, init func(string) D, cfg solver.Config) {
+	solverName, opName, query string, init func(string) D, cfg solver.Config, check bool) {
 
 	var combine solver.Combine[D]
 	switch opName {
@@ -128,5 +131,19 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 	}
 	if err != nil {
 		os.Exit(1)
+	}
+	if check {
+		// SLR returns a partial assignment closed under dependences; the
+		// global solvers cover the whole system.
+		var rep certify.Report[string, D]
+		if solverName == "slr" {
+			rep = certify.Partial(l, sys.AsPure(), sigma, init)
+		} else {
+			rep = certify.System(l, sys, sigma, init)
+		}
+		fmt.Printf("  certify: %s\n", rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
 	}
 }

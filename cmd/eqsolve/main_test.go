@@ -57,3 +57,35 @@ func TestEqsolveSLRQuery(t *testing.T) {
 		t.Errorf("output:\n%s", out)
 	}
 }
+
+func TestEqsolveCertifyFlag(t *testing.T) {
+	cases := [][]string{
+		{"-solver", "sw", "-op", "warrow", "-certify", "../../examples/systems/loop.eq"},
+		{"-solver", "psw", "-op", "warrow", "-certify", "../../examples/systems/loop.eq"},
+		{"-solver", "slr", "-op", "warrow", "-query", "e", "-certify", "../../examples/systems/loop.eq"},
+		{"-solver", "srr", "-op", "warrow", "-certify", "../../examples/systems/example1.eq"},
+	}
+	for _, args := range cases {
+		out, err := runEqsolve(t, args...)
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+		if !strings.Contains(out, "certify:") || !strings.Contains(out, "certified") {
+			t.Errorf("%v: no certification line:\n%s", args, out)
+		}
+	}
+}
+
+// TestEqsolveCertifyRejectsNonPost: iterating loop.eq with the narrow
+// operator from ⊥ stabilizes below the least solution; -certify must report
+// a counterexample and exit nonzero.
+func TestEqsolveCertifyRejectsNonPost(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "sw", "-op", "narrow", "-certify",
+		"../../examples/systems/loop.eq")
+	if err == nil {
+		t.Fatalf("expected certification failure:\n%s", out)
+	}
+	if !strings.Contains(out, "certify:") || !strings.Contains(out, "⋢") {
+		t.Errorf("no counterexample in output:\n%s", out)
+	}
+}

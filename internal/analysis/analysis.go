@@ -120,7 +120,13 @@ type Result struct {
 	Values map[Key]Env
 	Stats  solver.Stats
 	Opts   Options
+	sys    eqn.Sides[Key, Env]
 }
+
+// System returns the side-effecting constraint system the run solved, so a
+// result can be re-checked independently of the solver that produced it
+// (see internal/certify).
+func (r *Result) System() eqn.Sides[Key, Env] { return r.sys }
 
 // analyzer holds the static program information the right-hand sides read.
 type analyzer struct {
@@ -200,12 +206,13 @@ func RunWithOperator(prog *cfg.Program, opts Options, op solver.Operator[Key, En
 	if err != nil {
 		return nil, err
 	}
-	res, err := solver.SLRPlusKeyed(a.system(), a.envL, op,
+	sys := a.system()
+	res, err := solver.SLRPlusKeyed(sys, a.envL, op,
 		func(Key) Env { return BotEnv }, Key{Kind: KStart}, Band,
 		solver.Config{MaxEvals: opts.MaxEvals})
 	return &Result{
 		CFG: prog, PT: a.pt, EnvL: a.envL,
-		Values: res.Values, Stats: res.Stats, Opts: opts,
+		Values: res.Values, Stats: res.Stats, Opts: opts, sys: sys,
 	}, err
 }
 
@@ -271,6 +278,7 @@ func Run(prog *cfg.Program, opts Options) (*Result, error) {
 		Values: res.Values,
 		Stats:  res.Stats,
 		Opts:   opts,
+		sys:    sys,
 	}
 	return out, err
 }

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"testing"
+
+	"warrow/internal/certify"
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/wcet"
+)
+
+func certifyRun(t *testing.T, name, src string, opts Options) *Result {
+	t.Helper()
+	ast, err := cint.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	res, err := Run(cfg.Build(ast), opts)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	rep := certify.Sides[Key, Env](res.EnvL, res.System(), res.Values,
+		func(Key) Env { return BotEnv })
+	if !rep.OK() {
+		t.Errorf("%s: analysis result does not certify: %s", name, rep)
+	}
+	return res
+}
+
+// TestCertifyWCETSuite re-checks every WCET benchmark's analysis result
+// against the constraint system it was solved from: each reached unknown's
+// right-hand side re-evaluates to something ⊑ its solved value, and every
+// replayed side-effect contribution is covered by its target. This is
+// Lemma 1 as an executable acceptance gate for SLR⁺ — solver-independent,
+// so a scheduling or side-effect-accounting bug in the solver cannot hide
+// behind the solver's own bookkeeping.
+func TestCertifyWCETSuite(t *testing.T) {
+	for _, op := range []OpKind{OpWarrow, OpWiden} {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, b := range wcet.All() {
+				certifyRun(t, b.Name, b.Src, Options{Op: op, Context: NoContext, MaxEvals: 20_000_000})
+			}
+		})
+	}
+}
+
+// TestCertifyRejectsCorruptedAnalysis corrupts one flow-insensitive global
+// of a certified result — the exact shape of bug a broken side-effect
+// accounting would produce — and demands a counterexample naming it.
+func TestCertifyRejectsCorruptedAnalysis(t *testing.T) {
+	const src = `
+int g = 0;
+int main() {
+  int i = 0;
+  while (i < 10) { g = g + i; i = i + 1; }
+  return g;
+}`
+	res := certifyRun(t, "corrupt", src, Options{Op: OpWarrow, Context: NoContext, MaxEvals: 1_000_000})
+	var target Key
+	found := false
+	for k, v := range res.Values {
+		if k.Kind == KGlobal && !v.IsBot() {
+			target, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no reachable flow-insensitive unknown in result")
+	}
+	res.Values[target] = BotEnv
+	rep := certify.Sides[Key, Env](res.EnvL, res.System(), res.Values,
+		func(Key) Env { return BotEnv })
+	if rep.OK() {
+		t.Fatalf("corrupted result (lowered %v) certified", target)
+	}
+	named := false
+	for _, v := range rep.Violations {
+		if v.Unknown == target {
+			named = true
+		}
+	}
+	if !named {
+		t.Fatalf("no counterexample names %v: %s", target, rep)
+	}
+}

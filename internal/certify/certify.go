@@ -1,0 +1,278 @@
+// Package certify checks candidate solutions of equation systems
+// independently of the solver that produced them.
+//
+// Lemma 1 of the paper guarantees that any generic solver instantiated with
+// the combined operator ⊟ returns a post-solution whenever it terminates:
+// fₓ(σ) ⊑ σ(x) for every unknown x. That property mentions neither the
+// iteration order nor the update operator, so it can be re-checked after the
+// fact by a single sweep that re-evaluates every right-hand side under the
+// final assignment — turning every solver run into a self-verifying one and
+// every solver refactor into a machine-checkable change.
+//
+// The package provides one certifier per system flavour of internal/eqn:
+//
+//   - System for finite systems solved by the global solvers (RR, W, SRR,
+//     SW, PSW);
+//   - Partial for partial assignments returned by the local solvers (SLR),
+//     which additionally verifies that evaluation never escapes the domain;
+//   - Sides for side-effecting systems solved by SLR⁺, which replays each
+//     right-hand side with an instrumented side callback and accounts every
+//     contribution against the value of its target.
+//
+// On failure a certifier returns structured counterexamples (unknown, got,
+// want) rather than a bare boolean, so a violated run names exactly the
+// equation it violates.
+package certify
+
+import (
+	"fmt"
+	"strings"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+)
+
+// Kind classifies a certification violation.
+type Kind int
+
+// Violation kinds.
+const (
+	// NotPost: the re-evaluated right-hand side exceeds the candidate value,
+	// fₓ(σ) ⋢ σ(x).
+	NotPost Kind = iota
+	// Escape: while re-evaluating the right-hand side of Unknown, an unknown
+	// outside the candidate's domain was read (partial solutions must be
+	// closed under dependences).
+	Escape
+	// SideExceeds: replaying the right-hand side of From produced a side
+	// effect on Unknown whose contribution is not covered by σ(Unknown).
+	SideExceeds
+	// SideEscape: replaying the right-hand side of From produced a side
+	// effect on Unknown, which is outside the candidate's domain.
+	SideEscape
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case NotPost:
+		return "not-post"
+	case Escape:
+		return "escape"
+	case SideExceeds:
+		return "side-exceeds"
+	case SideEscape:
+		return "side-escape"
+	default:
+		return "?"
+	}
+}
+
+// Violation is one structured counterexample.
+type Violation[X comparable, D any] struct {
+	Kind Kind
+	// Unknown is the unknown whose value is violated (NotPost, SideExceeds,
+	// SideEscape) or whose evaluation escaped (Escape).
+	Unknown X
+	// From is the unknown whose right-hand side produced the evidence: for
+	// Escape the escaped read target is Unknown and From the reader; for
+	// side-effect kinds From is the contributing unknown.
+	From X
+	// Got is the recomputed evidence: fₓ(σ) for NotPost, the contributed
+	// value for side-effect kinds.
+	Got D
+	// Want is the candidate value σ(Unknown) the evidence must not exceed.
+	Want D
+}
+
+// maxViolations bounds how many counterexamples a certifier collects; one
+// is enough to falsify a run, a handful is enough to debug it.
+const maxViolations = 16
+
+// Report is the outcome of a certification sweep.
+type Report[X comparable, D any] struct {
+	// Checked counts re-evaluated right-hand sides.
+	Checked int
+	// Violations holds up to maxViolations structured counterexamples;
+	// empty iff the candidate certified.
+	Violations []Violation[X, D]
+
+	format func(D) string
+}
+
+// OK reports whether the candidate certified as a post-solution.
+func (r Report[X, D]) OK() bool { return len(r.Violations) == 0 }
+
+// String renders the report; violations include formatted lattice values.
+func (r Report[X, D]) String() string {
+	if r.OK() {
+		return fmt.Sprintf("certified: post-solution verified (%d right-hand sides)", r.Checked)
+	}
+	format := r.format
+	if format == nil {
+		format = func(d D) string { return fmt.Sprintf("%v", d) }
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "certification FAILED: %d violation(s) in %d right-hand sides", len(r.Violations), r.Checked)
+	for _, v := range r.Violations {
+		switch v.Kind {
+		case NotPost:
+			fmt.Fprintf(&sb, "\n  %v: f(σ) = %s ⋢ σ = %s", v.Unknown, format(v.Got), format(v.Want))
+		case Escape:
+			fmt.Fprintf(&sb, "\n  %v: evaluation of %v read it outside the solution domain", v.Unknown, v.From)
+		case SideExceeds:
+			fmt.Fprintf(&sb, "\n  %v: side effect from %v contributes %s ⋢ σ = %s", v.Unknown, v.From, format(v.Got), format(v.Want))
+		case SideEscape:
+			fmt.Fprintf(&sb, "\n  %v: side effect from %v targets it outside the solution domain", v.Unknown, v.From)
+		}
+	}
+	return sb.String()
+}
+
+// Err returns nil for a certified candidate and an error carrying the
+// rendered counterexamples otherwise.
+func (r Report[X, D]) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("certify: %s", r.String())
+}
+
+// System certifies a candidate assignment against a finite system: every
+// defined unknown's right-hand side is re-evaluated under σ (absent unknowns
+// read as init) and checked to satisfy fₓ(σ) ⊑ σ(x). The check is
+// solver-independent and, by Lemma 1, must pass for the result of any
+// terminating generic solver instantiated with ⊟.
+func System[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], sigma map[X]D, init func(X) D) Report[X, D] {
+	r := Report[X, D]{format: l.Format}
+	get := func(y X) D {
+		if v, ok := sigma[y]; ok {
+			return v
+		}
+		return init(y)
+	}
+	for _, x := range sys.Order() {
+		got := sys.RHS(x)(get)
+		want := get(x)
+		r.Checked++
+		if !l.Leq(got, want) {
+			r.Violations = append(r.Violations, Violation[X, D]{
+				Kind: NotPost, Unknown: x, Got: got, Want: want,
+			})
+			if len(r.Violations) >= maxViolations {
+				break
+			}
+		}
+	}
+	return r
+}
+
+// Partial certifies a partial assignment against a pure (possibly infinite)
+// system, as returned by the local solvers: every unknown of dom σ with an
+// equation must satisfy fₓ(σ) ⊑ σ(x), and re-evaluation must only read
+// unknowns inside dom σ (reads outside the domain are Escape violations and
+// evaluate to init so the sweep can continue).
+func Partial[X comparable, D any](l lattice.Lattice[D], sys eqn.Pure[X, D], sigma map[X]D, init func(X) D) Report[X, D] {
+	r := Report[X, D]{format: l.Format}
+	for x, want := range sigma {
+		rhs := sys(x)
+		if rhs == nil {
+			continue
+		}
+		x := x
+		escaped := false
+		var escapee X
+		get := func(y X) D {
+			if v, ok := sigma[y]; ok {
+				return v
+			}
+			if !escaped {
+				escaped, escapee = true, y
+			}
+			return init(y)
+		}
+		got := rhs(get)
+		r.Checked++
+		if escaped {
+			r.Violations = append(r.Violations, Violation[X, D]{
+				Kind: Escape, Unknown: escapee, From: x,
+			})
+		}
+		if !l.Leq(got, want) {
+			r.Violations = append(r.Violations, Violation[X, D]{
+				Kind: NotPost, Unknown: x, Got: got, Want: want,
+			})
+		}
+		if len(r.Violations) >= maxViolations {
+			break
+		}
+	}
+	return r
+}
+
+// Sides certifies a partial assignment against a side-effecting system, as
+// returned by SLR⁺. Each right-hand side in dom σ is replayed with an
+// instrumented side callback; the sweep checks that
+//
+//   - the returned value satisfies fₓ(σ) ⊑ σ(x),
+//   - every replayed side effect (x → z, d) is covered, d ⊑ σ(z) — the
+//     side-effect half of the paper's partial post-solution (Theorem 4.1),
+//   - neither reads nor side-effect targets escape dom σ.
+//
+// Because every unknown of dom σ is replayed, the join of all contributions
+// into z is covered exactly when each individual contribution is, so no
+// per-target accumulation is needed.
+func Sides[X comparable, D any](l lattice.Lattice[D], sys eqn.Sides[X, D], sigma map[X]D, init func(X) D) Report[X, D] {
+	r := Report[X, D]{format: l.Format}
+	for x, want := range sigma {
+		rhs := sys(x)
+		if rhs == nil {
+			continue // side-effected only: covered by its contributors' replays
+		}
+		x := x
+		escaped := false
+		var escapee X
+		get := func(y X) D {
+			if v, ok := sigma[y]; ok {
+				return v
+			}
+			if !escaped {
+				escaped, escapee = true, y
+			}
+			return init(y)
+		}
+		side := func(z X, d D) {
+			if len(r.Violations) >= maxViolations {
+				return
+			}
+			zv, ok := sigma[z]
+			if !ok {
+				r.Violations = append(r.Violations, Violation[X, D]{
+					Kind: SideEscape, Unknown: z, From: x,
+				})
+				return
+			}
+			if !l.Leq(d, zv) {
+				r.Violations = append(r.Violations, Violation[X, D]{
+					Kind: SideExceeds, Unknown: z, From: x, Got: d, Want: zv,
+				})
+			}
+		}
+		got := rhs(get, side)
+		r.Checked++
+		if escaped && len(r.Violations) < maxViolations {
+			r.Violations = append(r.Violations, Violation[X, D]{
+				Kind: Escape, Unknown: escapee, From: x,
+			})
+		}
+		if !l.Leq(got, want) && len(r.Violations) < maxViolations {
+			r.Violations = append(r.Violations, Violation[X, D]{
+				Kind: NotPost, Unknown: x, Got: got, Want: want,
+			})
+		}
+		if len(r.Violations) >= maxViolations {
+			break
+		}
+	}
+	return r
+}

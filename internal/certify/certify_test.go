@@ -1,0 +1,240 @@
+package certify
+
+import (
+	"strings"
+	"testing"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// loopSystem is the bounded-loop system of examples/systems/loop.eq:
+//
+//	h = join([0,0], b + [1,1])
+//	b = meet(h, [-inf,99])
+//	e = meet(h, [100,inf])
+func loopSystem() *eqn.System[string, lattice.Interval] {
+	l := lattice.Ints
+	s := eqn.NewSystem[string, lattice.Interval]()
+	s.Define("h", []string{"b"}, func(get func(string) lattice.Interval) lattice.Interval {
+		return l.Join(lattice.Singleton(0), get("b").Add(lattice.Singleton(1)))
+	})
+	s.Define("b", []string{"h"}, func(get func(string) lattice.Interval) lattice.Interval {
+		return l.Meet(get("h"), lattice.NewInterval(lattice.NegInf, lattice.Fin(99)))
+	})
+	s.Define("e", []string{"h"}, func(get func(string) lattice.Interval) lattice.Interval {
+		return l.Meet(get("h"), lattice.NewInterval(lattice.Fin(100), lattice.PosInf))
+	})
+	return s
+}
+
+func botIv(string) lattice.Interval { return lattice.EmptyInterval }
+
+// TestSystemAcceptsSolverOutput: the SW+⊟ solution of the loop system
+// certifies, and the report counts every right-hand side.
+func TestSystemAcceptsSolverOutput(t *testing.T) {
+	l := lattice.Ints
+	sys := loopSystem()
+	sigma, _, err := solver.SW(sys, l, solver.Op[string](solver.Warrow[lattice.Interval](l)), botIv, solver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := System(l, sys, sigma, botIv)
+	if !rep.OK() {
+		t.Fatalf("exact solution rejected: %s", rep)
+	}
+	if rep.Checked != 3 {
+		t.Fatalf("Checked = %d, want 3", rep.Checked)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("Err() = %v on OK report", rep.Err())
+	}
+	if !strings.Contains(rep.String(), "certified") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+// TestSystemRejectsLoweredSolution: lowering one unknown of a certified
+// solution yields a counterexample naming exactly that unknown, with the
+// recomputed value as evidence.
+func TestSystemRejectsLoweredSolution(t *testing.T) {
+	l := lattice.Ints
+	sys := loopSystem()
+	sigma, _, err := solver.SW(sys, l, solver.Op[string](solver.Warrow[lattice.Interval](l)), botIv, solver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := make(map[string]lattice.Interval, len(sigma))
+	for k, v := range sigma {
+		mut[k] = v
+	}
+	mut["h"] = lattice.Range(0, 10) // strictly below the true invariant [0,100]
+	rep := System(l, sys, mut, botIv)
+	if rep.OK() {
+		t.Fatal("lowered solution certified")
+	}
+	v := rep.Violations[0]
+	if v.Kind != NotPost || v.Unknown != "h" {
+		t.Fatalf("counterexample = %+v, want NotPost at h", v)
+	}
+	// Evidence: f_h(σ') = [0,0] ⊔ (σ'(b) + 1) = [0,0] ⊔ [1,100] = [0,100],
+	// since b still holds the unmutated [0,99].
+	if !l.Eq(v.Got, lattice.Range(0, 100)) || !l.Eq(v.Want, lattice.Range(0, 10)) {
+		t.Fatalf("evidence got=%s want=%s", l.Format(v.Got), l.Format(v.Want))
+	}
+	if !strings.Contains(rep.String(), "h:") || !strings.Contains(rep.String(), "⋢") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+// TestPartialDetectsEscape: a partial assignment that is not closed under
+// dependences is flagged with an Escape violation naming the unknown that
+// was read outside the domain.
+func TestPartialDetectsEscape(t *testing.T) {
+	l := lattice.Ints
+	sys := loopSystem()
+	sigma := map[string]lattice.Interval{
+		"h": lattice.Range(0, 100), // reads b, which is absent
+	}
+	rep := Partial(l, sys.AsPure(), sigma, botIv)
+	if rep.OK() {
+		t.Fatal("non-closed partial assignment certified")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == Escape && v.Unknown == "b" && v.From == "h" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no Escape(b from h) violation in %s", rep)
+	}
+}
+
+// TestPartialAcceptsClosedSubset: the SLR result for a query certifies even
+// though its domain may be a strict subset of the system.
+func TestPartialAcceptsClosedSubset(t *testing.T) {
+	l := lattice.Ints
+	sys := loopSystem()
+	res, err := solver.SLR(sys.AsPure(), l, solver.Op[string](solver.Warrow[lattice.Interval](l)), botIv, "e", solver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Partial(l, sys.AsPure(), res.Values, botIv)
+	if !rep.OK() {
+		t.Fatalf("SLR result rejected: %s", rep)
+	}
+}
+
+// sideSystem is a small side-effecting system: two computation unknowns
+// contribute to a flow-insensitive accumulator g that has no equation of
+// its own, the SLR⁺ pattern for globals.
+func sideSystem() eqn.Sides[string, lattice.Interval] {
+	l := lattice.Ints
+	return func(x string) eqn.SideRHS[string, lattice.Interval] {
+		switch x {
+		case "root":
+			return func(get func(string) lattice.Interval, side func(string, lattice.Interval)) lattice.Interval {
+				side("a", lattice.Range(0, 0))
+				return get("a").Add(get("g"))
+			}
+		case "a":
+			return func(get func(string) lattice.Interval, side func(string, lattice.Interval)) lattice.Interval {
+				v := get("a")
+				side("g", l.Join(lattice.Singleton(5), v))
+				return l.Meet(v.Add(lattice.Singleton(1)), lattice.Range(0, 10))
+			}
+		default:
+			return nil // g: contributions only
+		}
+	}
+}
+
+// TestSidesAcceptsSLRPlusOutput: the SLR⁺ result of a side-effecting system
+// certifies, including side-effect accounting.
+func TestSidesAcceptsSLRPlusOutput(t *testing.T) {
+	l := lattice.Ints
+	sys := sideSystem()
+	res, err := solver.SLRPlus(sys, l, solver.Op[string](solver.Warrow[lattice.Interval](l)), botIv, "root", solver.Config{MaxEvals: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Sides(l, sys, res.Values, botIv)
+	if !rep.OK() {
+		t.Fatalf("SLR⁺ result rejected: %s", rep)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("no right-hand sides checked")
+	}
+}
+
+// TestSidesRejectsUncoveredContribution: lowering the side-effected
+// accumulator below a replayed contribution yields a SideExceeds violation
+// naming both the target and the contributing unknown.
+func TestSidesRejectsUncoveredContribution(t *testing.T) {
+	l := lattice.Ints
+	sys := sideSystem()
+	res, err := solver.SLRPlus(sys, l, solver.Op[string](solver.Warrow[lattice.Interval](l)), botIv, "root", solver.Config{MaxEvals: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Values["g"] = lattice.Range(0, 1) // below the [0,10] ⊔ [5,5] contribution
+	rep := Sides(l, sys, res.Values, botIv)
+	if rep.OK() {
+		t.Fatal("uncovered contribution certified")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == SideExceeds && v.Unknown == "g" && v.From == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no SideExceeds(g from a) violation in %s", rep)
+	}
+}
+
+// TestSidesRejectsMissingSideTarget: removing a side-effected unknown from
+// the domain is a SideEscape.
+func TestSidesRejectsMissingSideTarget(t *testing.T) {
+	l := lattice.Ints
+	sys := sideSystem()
+	res, err := solver.SLRPlus(sys, l, solver.Op[string](solver.Warrow[lattice.Interval](l)), botIv, "root", solver.Config{MaxEvals: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(res.Values, "g")
+	rep := Sides(l, sys, res.Values, botIv)
+	if rep.OK() {
+		t.Fatal("missing side target certified")
+	}
+	foundEscape := false
+	for _, v := range rep.Violations {
+		if (v.Kind == SideEscape || v.Kind == Escape) && v.Unknown == "g" {
+			foundEscape = true
+		}
+	}
+	if !foundEscape {
+		t.Fatalf("no escape violation for g in %s", rep)
+	}
+}
+
+// TestViolationCap: a candidate violating every equation reports at most
+// maxViolations counterexamples.
+func TestViolationCap(t *testing.T) {
+	l := lattice.Ints
+	sys := eqn.NewSystem[int, lattice.Interval]()
+	for i := 0; i < 50; i++ {
+		sys.Define(i, nil, func(func(int) lattice.Interval) lattice.Interval {
+			return lattice.Singleton(1)
+		})
+	}
+	rep := System(l, sys, map[int]lattice.Interval{}, func(int) lattice.Interval { return lattice.EmptyInterval })
+	if rep.OK() {
+		t.Fatal("all-bottom candidate certified against constant equations")
+	}
+	if len(rep.Violations) > maxViolations {
+		t.Fatalf("%d violations collected, cap is %d", len(rep.Violations), maxViolations)
+	}
+}

@@ -1,0 +1,208 @@
+// Package diffsolve is the cross-solver differential harness: it runs the
+// full solver matrix — RR, W, SRR, SW, PSW (several worker counts), SLR and
+// SLR⁺ — on one equation system, certifies every terminating result through
+// internal/certify, and cross-checks the solver pairs with exact-agreement
+// claims (PSW is bit-identical to SW for any worker count).
+//
+// The harness is the oracle behind three consumers:
+//
+//   - property tests that sweep seeded systems from internal/eqgen,
+//   - the native fuzz targets FuzzSolvers and FuzzCertify (fuzz_test.go),
+//   - ad-hoc debugging of a single reproduction recipe (eqgen.Config).
+//
+// Divergence is not a failure: RR and W may exhaust their budget with ⊟
+// even on monotonic systems (the paper's Examples 1 and 2), and every
+// solver may on deliberately non-monotonic ones. A budgeted run that does
+// terminate, however, must certify — that is Lemma 1, and it holds per
+// solver with no cross-solver assumption. Distinct structured solvers may
+// legitimately return *different* post-solutions (they agree only up to
+// post-solution ordering), so value equality is asserted only where the
+// implementation claims it: SW vs. PSW.
+package diffsolve
+
+import (
+	"errors"
+	"fmt"
+
+	"warrow/internal/certify"
+	"warrow/internal/eqgen"
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// Options tunes a differential run.
+type Options struct {
+	// MaxEvals is the per-solver evaluation budget (default 100 000).
+	MaxEvals int
+	// Workers lists the PSW worker-pool sizes to cross-check against SW
+	// (default 1, 2, 4).
+	Workers []int
+}
+
+func (o Options) defaults() Options {
+	if o.MaxEvals <= 0 {
+		o.MaxEvals = 100_000
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4}
+	}
+	return o
+}
+
+// Outcome is one solver's result on the system under test.
+type Outcome[X comparable, D any] struct {
+	// Solver names the run: rr, w, srr, sw, psw/w=N, slr, slr+.
+	Solver string
+	// Values is the (possibly partial) assignment the solver returned.
+	Values map[X]D
+	// Stats is the solver's work record.
+	Stats solver.Stats
+	// Err is the solver error; solver.ErrEvalBudget marks divergence.
+	Err error
+	// Report is the certification outcome; zero (OK) for diverged runs,
+	// which return no result to certify.
+	Report certify.Report[X, D]
+}
+
+// RunAll runs the solver matrix with the combined operator ⊟ on a finite
+// system and certifies every terminating result: the global solvers through
+// certify.System, SLR through certify.Partial, and SLR⁺ (the system viewed
+// as side-effecting with no side effects) through certify.Sides. The local
+// solvers are queried for the last unknown of the linear order.
+func RunAll[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], init func(X) D, opt Options) []Outcome[X, D] {
+	opt = opt.defaults()
+	op := solver.Op[X](solver.Warrow[D](l))
+	cfg := solver.Config{MaxEvals: opt.MaxEvals}
+	var out []Outcome[X, D]
+
+	global := func(name string, run func() (map[X]D, solver.Stats, error)) {
+		sigma, st, err := run()
+		o := Outcome[X, D]{Solver: name, Values: sigma, Stats: st, Err: err}
+		if err == nil {
+			o.Report = certify.System(l, sys, sigma, init)
+		}
+		out = append(out, o)
+	}
+	global("rr", func() (map[X]D, solver.Stats, error) { return solver.RR(sys, l, op, init, cfg) })
+	global("w", func() (map[X]D, solver.Stats, error) { return solver.W(sys, l, op, init, cfg) })
+	global("srr", func() (map[X]D, solver.Stats, error) { return solver.SRR(sys, l, op, init, cfg) })
+	global("sw", func() (map[X]D, solver.Stats, error) { return solver.SW(sys, l, op, init, cfg) })
+	for _, w := range opt.Workers {
+		w := w
+		pcfg := cfg
+		pcfg.Workers = w
+		global(fmt.Sprintf("psw/w=%d", w), func() (map[X]D, solver.Stats, error) {
+			return solver.PSW(sys, l, op, init, pcfg)
+		})
+	}
+
+	if n := sys.Len(); n > 0 {
+		query := sys.Order()[n-1]
+		res, err := solver.SLR(sys.AsPure(), l, op, init, query, cfg)
+		o := Outcome[X, D]{Solver: "slr", Values: res.Values, Stats: res.Stats, Err: err}
+		if err == nil {
+			o.Report = certify.Partial(l, sys.AsPure(), res.Values, init)
+		}
+		out = append(out, o)
+
+		sides := asSides(sys)
+		resP, errP := solver.SLRPlus(sides, l, op, init, query, cfg)
+		oP := Outcome[X, D]{Solver: "slr+", Values: resP.Values, Stats: resP.Stats, Err: errP}
+		if errP == nil {
+			oP.Report = certify.Sides(l, sides, resP.Values, init)
+		}
+		out = append(out, oP)
+	}
+	return out
+}
+
+// asSides views a finite pure system as a side-effecting system with no
+// side effects, so SLR⁺ can join the differential matrix.
+func asSides[X comparable, D any](sys *eqn.System[X, D]) eqn.Sides[X, D] {
+	return func(x X) eqn.SideRHS[X, D] {
+		rhs := sys.RHS(x)
+		if rhs == nil {
+			return nil
+		}
+		return func(get func(X) D, _ func(X, D)) D { return rhs(get) }
+	}
+}
+
+// Check runs the matrix and returns the differential verdict:
+//
+//   - every terminating solver's result must certify (Lemma 1);
+//   - PSW must agree with SW bit-for-bit — same termination status, same
+//     values, same Evals and Updates — for every tested worker count;
+//   - on an exhausted budget, PSW must have stopped at the budget exactly
+//     like SW does.
+//
+// A nil error means the system produced no disagreement.
+func Check[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], init func(X) D, opt Options) error {
+	outcomes := RunAll(l, sys, init, opt)
+	var sw *Outcome[X, D]
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Err != nil && !errors.Is(o.Err, solver.ErrEvalBudget) {
+			return fmt.Errorf("%s: unexpected error: %w", o.Solver, o.Err)
+		}
+		if o.Err == nil {
+			if err := o.Report.Err(); err != nil {
+				return fmt.Errorf("%s: %w", o.Solver, err)
+			}
+		}
+		if o.Solver == "sw" {
+			sw = o
+		}
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if len(o.Solver) < 3 || o.Solver[:3] != "psw" {
+			continue
+		}
+		if (o.Err == nil) != (sw.Err == nil) {
+			return fmt.Errorf("%s: termination status (err=%v) differs from sw (err=%v)", o.Solver, o.Err, sw.Err)
+		}
+		if o.Err != nil {
+			if o.Stats.Evals != sw.Stats.Evals {
+				return fmt.Errorf("%s: stopped at %d evals, sw at %d", o.Solver, o.Stats.Evals, sw.Stats.Evals)
+			}
+			continue
+		}
+		if o.Stats.Evals != sw.Stats.Evals || o.Stats.Updates != sw.Stats.Updates {
+			return fmt.Errorf("%s: evals/updates %d/%d differ from sw %d/%d",
+				o.Solver, o.Stats.Evals, o.Stats.Updates, sw.Stats.Evals, sw.Stats.Updates)
+		}
+		for _, x := range sys.Order() {
+			if !l.Eq(o.Values[x], sw.Values[x]) {
+				return fmt.Errorf("%s: value of %v = %s differs from sw = %s",
+					o.Solver, x, l.Format(o.Values[x]), l.Format(sw.Values[x]))
+			}
+		}
+	}
+	return nil
+}
+
+// CheckGenerated generates the system for an eqgen reproduction recipe and
+// runs the differential verdict on it — the shared entry point of the
+// property tests and the FuzzSolvers target. Errors are prefixed with the
+// recipe so every failure is reproducible from its message.
+func CheckGenerated(cfg eqgen.Config, opt Options) error {
+	g := eqgen.New(cfg)
+	var err error
+	switch {
+	case g.Interval != nil:
+		l := lattice.Ints
+		err = Check[int, lattice.Interval](l, g.Interval, eqn.ConstBottom[int, lattice.Interval](l), opt)
+	case g.Flat != nil:
+		l := eqgen.FlatL
+		err = Check[int, lattice.Flat[int64]](l, g.Flat, eqn.ConstBottom[int, lattice.Flat[int64]](l), opt)
+	case g.Powerset != nil:
+		l := eqgen.PowersetL()
+		err = Check[int, lattice.Set[int]](l, g.Powerset, eqn.ConstBottom[int, lattice.Set[int]](l), opt)
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", g.Shape.Cfg, err)
+	}
+	return nil
+}

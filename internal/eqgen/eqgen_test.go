@@ -1,0 +1,199 @@
+package eqgen
+
+import (
+	"reflect"
+	"testing"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// TestShapeDeterminism: the same config yields the same shape, and solving
+// two independently generated instances yields the same solution and work —
+// the property every failing seed relies on to be a reproduction recipe.
+func TestShapeDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, N: 30, NonMonoDensity: 0.3, ForwardDensity: 0.2}
+	a, b := BuildShape(cfg), BuildShape(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("shapes differ for identical config:\n%+v\n%+v", a, b)
+	}
+	l := lattice.Ints
+	init := eqn.ConstBottom[int, lattice.Interval](l)
+	op := solver.Op[int](solver.Warrow[lattice.Interval](l))
+	scfg := solver.Config{MaxEvals: 100_000}
+	s1, st1, err1 := solver.SW(IntervalSystem(a), l, op, init, scfg)
+	s2, st2, err2 := solver.SW(IntervalSystem(b), l, op, init, scfg)
+	if (err1 == nil) != (err2 == nil) || st1 != st2 {
+		t.Fatalf("independent instances solved differently: %v/%+v vs %v/%+v", err1, st1, err2, st2)
+	}
+	for x, v := range s1 {
+		if !l.Eq(v, s2[x]) {
+			t.Fatalf("x%d: %s vs %s", x, l.Format(v), l.Format(s2[x]))
+		}
+	}
+}
+
+// TestShapeStructure: blocks partition [0, N), dependences stay in range and
+// are deduplicated, and declared dependences exactly cover the reads the
+// right-hand sides perform.
+func TestShapeStructure(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		s := BuildShape(Config{Seed: seed, N: 25, ForwardDensity: 0.3, NonMonoDensity: 0.4})
+		n := s.Cfg.N
+		next := 0
+		for _, b := range s.Blocks {
+			if b[0] != next || b[1] < b[0] || b[1] >= n {
+				t.Fatalf("seed %d: bad block %v (expected lo=%d)", seed, b, next)
+			}
+			next = b[1] + 1
+		}
+		if next != n {
+			t.Fatalf("seed %d: blocks cover [0,%d), want [0,%d)", seed, next, n)
+		}
+		for i, ds := range s.Deps {
+			seen := map[int]bool{}
+			for _, d := range ds {
+				if d < 0 || d >= n {
+					t.Fatalf("seed %d: dep x%d -> x%d out of range", seed, i, d)
+				}
+				if seen[d] {
+					t.Fatalf("seed %d: duplicate dep x%d -> x%d", seed, i, d)
+				}
+				seen[d] = true
+			}
+			if s.NonMono[i] >= len(ds) {
+				t.Fatalf("seed %d: NonMono[%d]=%d out of deps range", seed, i, s.NonMono[i])
+			}
+		}
+		// Reads match declared deps: count get calls per unknown.
+		sys := IntervalSystem(s)
+		for _, x := range sys.Order() {
+			reads := map[int]bool{}
+			sys.RHS(x)(func(y int) lattice.Interval {
+				reads[y] = true
+				return lattice.EmptyInterval
+			})
+			for y := range reads {
+				found := false
+				for _, d := range sys.Deps(x) {
+					if d == y {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d: x%d reads undeclared x%d", seed, x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestSCCControllability: full cycle density closes every multi-unknown
+// block into a back edge; zero density leaves the graph acyclic apart from
+// self-loops; full forward density produces forward cross-block edges.
+func TestSCCControllability(t *testing.T) {
+	s := BuildShape(Config{Seed: 7, N: 40, MaxSCC: 5, CycleDensity: 1})
+	multi := 0
+	for _, b := range s.Blocks {
+		if b[1] == b[0] {
+			continue
+		}
+		multi++
+		hasBack := false
+		for _, d := range s.Deps[b[0]] {
+			if d == b[1] {
+				hasBack = true
+			}
+		}
+		if !hasBack {
+			t.Errorf("cycle density 1: block %v not closed", b)
+		}
+	}
+	if multi == 0 {
+		t.Fatal("expected at least one multi-unknown block")
+	}
+
+	// FanIn -1 clamps to 0 so only structural edges remain, isolating the
+	// cycle-density knob (random extra edges may close a block on their own).
+	s = BuildShape(Config{Seed: 7, N: 40, MaxSCC: 5, CycleDensity: 0.000001, FanIn: -1})
+	for _, b := range s.Blocks {
+		for _, d := range s.Deps[b[0]] {
+			if d == b[1] && b[1] > b[0] {
+				t.Errorf("cycle density ~0: block %v closed", b)
+			}
+		}
+	}
+
+	s = BuildShape(Config{Seed: 7, N: 40, MaxSCC: 4, ForwardDensity: 1})
+	forward := 0
+	for i, ds := range s.Deps {
+		for _, d := range ds {
+			if d > i {
+				// Forward within a block is structural; count only
+				// cross-block forwards.
+				sameBlock := false
+				for _, b := range s.Blocks {
+					if i >= b[0] && i <= b[1] && d >= b[0] && d <= b[1] {
+						sameBlock = true
+					}
+				}
+				if !sameBlock {
+					forward++
+				}
+			}
+		}
+	}
+	if forward == 0 {
+		t.Error("forward density 1: no cross-block forward dependences generated")
+	}
+}
+
+// TestDefaultsClampHostileInputs: arbitrary fuzz-supplied configs must be
+// safe to generate from.
+func TestDefaultsClampHostileInputs(t *testing.T) {
+	hostile := Config{
+		Seed: 1, N: -5, FanIn: 1 << 30, MaxSCC: -1,
+		CycleDensity: -3, WidenDensity: 2e9, NonMonoDensity: -0.1, ForwardDensity: 7,
+	}
+	c := hostile.Defaults()
+	if c.N < 1 || c.N > 4096 || c.FanIn < 0 || c.FanIn > 8 || c.MaxSCC < 1 || c.MaxSCC > c.N {
+		t.Fatalf("bad clamp: %+v", c)
+	}
+	for _, p := range []float64{c.CycleDensity, c.WidenDensity, c.NonMonoDensity, c.ForwardDensity} {
+		if p < 0 || p > 1 {
+			t.Fatalf("bad probability clamp: %+v", c)
+		}
+	}
+	// Must generate without panicking.
+	_ = New(Config{Seed: 1, N: -5, FanIn: 1 << 30})
+}
+
+// TestAllDomainsSolvable: a monotonic config terminates under SW+⊟ in every
+// domain (Theorem 2) and the solution stays within the domain's bounds.
+func TestAllDomainsSolvable(t *testing.T) {
+	for dom := Interval; dom <= Powerset; dom++ {
+		for seed := uint64(1); seed <= 5; seed++ {
+			g := New(Config{Seed: seed, Dom: dom, N: 16})
+			cfg := solver.Config{MaxEvals: 200_000}
+			var err error
+			switch dom {
+			case Interval:
+				l := lattice.Ints
+				_, _, err = solver.SW(g.Interval, l, solver.Op[int](solver.Warrow[lattice.Interval](l)),
+					eqn.ConstBottom[int, lattice.Interval](l), cfg)
+			case Flat:
+				l := FlatL
+				_, _, err = solver.SW(g.Flat, l, solver.Op[int](solver.Warrow[lattice.Flat[int64]](l)),
+					eqn.ConstBottom[int, lattice.Flat[int64]](l), cfg)
+			case Powerset:
+				l := PowersetL()
+				_, _, err = solver.SW(g.Powerset, l, solver.Op[int](solver.Warrow[lattice.Set[int]](l)),
+					eqn.ConstBottom[int, lattice.Set[int]](l), cfg)
+			}
+			if err != nil {
+				t.Errorf("dom %s seed %d: monotonic system did not stabilize: %v", dom, seed, err)
+			}
+		}
+	}
+}
