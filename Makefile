@@ -1,6 +1,10 @@
-# Tier-1: the build/test gate every change must keep green.
+# Tier-1: the build/test gate every change must keep green. vet catches
+# dropped-error patterns; the GOARCH=386 cross-build catches 32-bit key
+# arithmetic regressions (the pq/bandKey int64 invariants) mechanically.
 tier1:
 	go build ./... && go test ./...
+	go vet ./...
+	GOARCH=386 go build ./...
 
 # Tier-2: vet + race-checked tests + a bounded fuzz pass — the concurrency
 # gate for the parallel solver (PSW) and the differential solver harness.

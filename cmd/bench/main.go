@@ -10,7 +10,9 @@
 // The suites fan out across -workers goroutines (0 = GOMAXPROCS) with
 // deterministic output ordering; -json writes the machine-readable
 // measurements (PSW speedup rows, Table 1 cells) to a BENCH_*.json file so
-// later changes have a perf trajectory to compare against.
+// later changes have a perf trajectory to compare against. -timeout bounds
+// every individual solve with a wall-clock deadline: a run that trips it
+// fails with a structured deadline abort instead of hanging the suite.
 package main
 
 import (
@@ -30,7 +32,9 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	workers := flag.Int("workers", 0, "harness worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write machine-readable perf rows to this file")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound per individual solve (0 = unbounded)")
 	flag.Parse()
+	experiments.SolveTimeout = *timeout
 
 	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*all {
 		flag.Usage()

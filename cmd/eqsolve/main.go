@@ -7,6 +7,16 @@
 //	eqsolve -solver sw  -op warrow examples/systems/loop.eq
 //	eqsolve -solver slr -op warrow -query e examples/systems/loop.eq
 //	eqsolve -solver sw  -op warrow -certify examples/systems/loop.eq
+//
+// Divergent workloads can be bounded and recovered from:
+//
+//	eqsolve -solver rr -op warrow -timeout 100ms examples/systems/example1.eq  # deadline abort
+//	eqsolve -solver rr -op warrow -max-flips 8   examples/systems/example1.eq  # watchdog abort
+//	eqsolve -solver rr -op warrow -max-flips 8 -escalate examples/systems/example1.eq
+//
+// With -escalate a diverging generic solver (rr, w) reruns its workload on
+// the terminating structured variant (srr, sw) and exits 0 when the rerun
+// succeeds.
 package main
 
 import (
@@ -27,6 +37,9 @@ func main() {
 	query := flag.String("query", "", "with -solver slr: the unknown to solve for (default: last defined)")
 	maxEvals := flag.Int("max-evals", 100000, "evaluation budget (0 = unbounded)")
 	workers := flag.Int("workers", 0, "with -solver psw: worker-pool size (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the solve (0 = unbounded)")
+	maxFlips := flag.Int("max-flips", 0, "abort once any unknown alternates narrow→widen this often (0 = off)")
+	escalateFlag := flag.Bool("escalate", false, "on rr/w divergence, rerun on the structured variant (srr/sw)")
 	certifyFlag := flag.Bool("certify", false, "re-check the result as a post-solution (Lemma 1) and fail if it is not")
 	flag.Parse()
 
@@ -44,7 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "eqsolve:", err)
 		os.Exit(1)
 	}
-	cfg := solver.Config{MaxEvals: *maxEvals, Workers: *workers}
+	cfg := solver.Config{MaxEvals: *maxEvals, Workers: *workers, Timeout: *timeout, MaxFlips: *maxFlips}
 	switch f.Domain {
 	case eqdsl.DomainNatInf:
 		sys, err := f.NatSystem()
@@ -52,16 +65,20 @@ func main() {
 			fatal(err)
 		}
 		run(f, sys, lattice.NatInf, *solverFlag, *opFlag, *query,
-			func(string) lattice.Nat { return lattice.NatOf(0) }, cfg, *certifyFlag)
+			func(string) lattice.Nat { return lattice.NatOf(0) }, cfg, *certifyFlag, *escalateFlag)
 	case eqdsl.DomainInterval:
 		sys, err := f.IntervalSystem()
 		if err != nil {
 			fatal(err)
 		}
 		run(f, sys, lattice.Ints, *solverFlag, *opFlag, *query,
-			func(string) lattice.Interval { return lattice.EmptyInterval }, cfg, *certifyFlag)
+			func(string) lattice.Interval { return lattice.EmptyInterval }, cfg, *certifyFlag, *escalateFlag)
 	}
 }
+
+// escalation maps each generic solver to the structured variant that
+// terminates with ⊟ where the generic one may diverge (paper Thms. 2 and 4).
+var escalation = map[string]string{"rr": "srr", "w": "sw"}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "eqsolve:", err)
@@ -70,7 +87,7 @@ func fatal(err error) {
 
 // run dispatches on solver and operator names for a concrete domain.
 func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
-	solverName, opName, query string, init func(string) D, cfg solver.Config, check bool) {
+	solverName, opName, query string, init func(string) D, cfg solver.Config, check, escalate bool) {
 
 	var combine solver.Combine[D]
 	switch opName {
@@ -89,38 +106,51 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 	}
 	op := solver.Op[string](combine)
 
-	var sigma map[string]D
-	var st solver.Stats
-	var err error
-	switch solverName {
-	case "rr":
-		sigma, st, err = solver.RR(sys, l, op, init, cfg)
-	case "w":
-		sigma, st, err = solver.W(sys, l, op, init, cfg)
-	case "srr":
-		sigma, st, err = solver.SRR(sys, l, op, init, cfg)
-	case "sw":
-		sigma, st, err = solver.SW(sys, l, op, init, cfg)
-	case "psw":
-		sigma, st, err = solver.PSW(sys, l, op, init, cfg)
-	case "slr":
-		if query == "" {
-			query = f.Order[len(f.Order)-1]
+	solveOnce := func(name string) (map[string]D, solver.Stats, error) {
+		switch name {
+		case "rr":
+			return solver.RR(sys, l, op, init, cfg)
+		case "w":
+			return solver.W(sys, l, op, init, cfg)
+		case "srr":
+			return solver.SRR(sys, l, op, init, cfg)
+		case "sw":
+			return solver.SW(sys, l, op, init, cfg)
+		case "psw":
+			return solver.PSW(sys, l, op, init, cfg)
+		case "slr":
+			if query == "" {
+				query = f.Order[len(f.Order)-1]
+			}
+			res, err := solver.SLR(sys.AsPure(), l, op, init, query, cfg)
+			return res.Values, res.Stats, err
+		default:
+			fatal(fmt.Errorf("unknown solver %q", name))
+			panic("unreachable")
 		}
-		var res solver.Result[string, D]
-		res, err = solver.SLR(sys.AsPure(), l, op, init, query, cfg)
-		sigma, st = res.Values, res.Stats
-	default:
-		fatal(fmt.Errorf("unknown solver %q", solverName))
 	}
+
+	used := solverName
+	sigma, st, err := solveOnce(solverName)
 	if err != nil {
 		fmt.Printf("%s with %s: %v after %d evaluations (partial state below)\n",
 			solverName, opName, err, st.Evals)
+		if target := escalation[solverName]; escalate && target != "" {
+			fmt.Printf("  escalating %s → %s (the structured variant terminates where %s may diverge)\n",
+				solverName, target, solverName)
+			if sigma2, st2, err2 := solveOnce(target); err2 == nil {
+				used, sigma, st, err = target, sigma2, st2, nil
+				fmt.Printf("%s with %s: solved in %d evaluations, %d updates (escalated from %s)\n",
+					target, opName, st.Evals, st.Updates, solverName)
+			} else {
+				fmt.Printf("  escalation to %s also aborted: %v\n", target, err2)
+			}
+		}
 	} else {
 		fmt.Printf("%s with %s: solved in %d evaluations, %d updates\n",
 			solverName, opName, st.Evals, st.Updates)
 	}
-	if solverName == "psw" {
+	if used == "psw" {
 		fmt.Printf("  parallel: %d workers, %d strata over %d SCCs\n",
 			st.Workers, st.Strata, st.SCCs)
 	}
@@ -136,7 +166,7 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 		// SLR returns a partial assignment closed under dependences; the
 		// global solvers cover the whole system.
 		var rep certify.Report[string, D]
-		if solverName == "slr" {
+		if used == "slr" {
 			rep = certify.Partial(l, sys.AsPure(), sigma, init)
 		} else {
 			rep = certify.System(l, sys, sigma, init)

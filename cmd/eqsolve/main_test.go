@@ -35,6 +35,38 @@ func TestEqsolveRRDiverges(t *testing.T) {
 	}
 }
 
+// TestEqsolveEscalate: the full degradation story on Example 1 — RR's ⊟
+// divergence is caught by the oscillation watchdog, the workload escalates
+// to SRR, and the certified rerun makes the process exit 0.
+func TestEqsolveEscalate(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "rr", "-op", "warrow", "-max-flips", "8",
+		"-escalate", "-certify", "../../examples/systems/example1.eq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"oscillation", "escalating rr → srr", "escalated from rr", "certified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "∞") != 3 {
+		t.Errorf("escalated solution incomplete:\n%s", out)
+	}
+}
+
+// TestEqsolveTimeout: a wall-clock bound turns an unbounded divergent run
+// into a structured deadline abort with nonzero exit.
+func TestEqsolveTimeout(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "rr", "-op", "warrow", "-max-evals", "0",
+		"-timeout", "200ms", "../../examples/systems/example1.eq")
+	if err == nil {
+		t.Fatalf("expected nonzero exit:\n%s", out)
+	}
+	if !strings.Contains(out, "deadline exceeded") {
+		t.Errorf("no deadline abort in output:\n%s", out)
+	}
+}
+
 func TestEqsolveIntervalLoop(t *testing.T) {
 	out, err := runEqsolve(t, "-solver", "sw", "-op", "warrow", "../../examples/systems/loop.eq")
 	if err != nil {

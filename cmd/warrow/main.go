@@ -44,7 +44,13 @@ func (o *traceOp) Apply(x analysis.Key, old, new analysis.Env) analysis.Env {
 }
 
 func main() {
-	debug.SetMaxStack(6 << 30) // the local solver recurses per unknown
+	// The local solver recurses per unknown; raise the stack limit as far as
+	// the platform's int allows (6 GiB overflows a 32-bit int, so clamp).
+	stack := int64(6) << 30
+	if stack > int64(^uint(0)>>1) {
+		stack = int64(^uint(0) >> 1)
+	}
+	debug.SetMaxStack(int(stack))
 	opFlag := flag.String("op", "warrow", "fixpoint operator: warrow, widen, or twophase")
 	ctxFlag := flag.String("context", "none", "context policy: none, bucket, or full")
 	entry := flag.String("entry", "main", "entry function")

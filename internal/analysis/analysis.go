@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"warrow/internal/cfg"
 	"warrow/internal/cint"
@@ -93,6 +95,16 @@ type Options struct {
 	// MaxEvals bounds right-hand-side evaluations (0 = unbounded); runs
 	// with FullContext on recursive programs need a budget.
 	MaxEvals int
+	// Ctx, when non-nil, cancels the underlying solve: the run returns its
+	// partial result together with a solver.AbortError (see solver.Config).
+	Ctx context.Context
+	// Timeout, when positive, bounds the wall-clock duration of the solve.
+	Timeout time.Duration
+	// MaxFlips, when positive, arms the solver's oscillation watchdog: an
+	// unknown that alternates narrow→widen more than MaxFlips times aborts
+	// the run with a structured divergence diagnosis instead of burning the
+	// whole evaluation budget.
+	MaxFlips int
 	// Widening selects the interval lattice (e.g. with thresholds);
 	// defaults to plain widening.
 	Widening *lattice.IntervalLattice
@@ -209,7 +221,7 @@ func RunWithOperator(prog *cfg.Program, opts Options, op solver.Operator[Key, En
 	sys := a.system()
 	res, err := solver.SLRPlusKeyed(sys, a.envL, op,
 		func(Key) Env { return BotEnv }, Key{Kind: KStart}, Band,
-		solver.Config{MaxEvals: opts.MaxEvals})
+		solverConfig(opts))
 	return &Result{
 		CFG: prog, PT: a.pt, EnvL: a.envL,
 		Values: res.Values, Stats: res.Stats, Opts: opts, sys: sys,
@@ -226,7 +238,7 @@ func Run(prog *cfg.Program, opts Options) (*Result, error) {
 	sys := a.system()
 	init := func(Key) Env { return BotEnv }
 	start := Key{Kind: KStart}
-	cfgS := solver.Config{MaxEvals: opts.MaxEvals}
+	cfgS := solverConfig(opts)
 	// Priority bands: side-effected unknowns — flow-insensitive variables
 	// AND function-entry unknowns — are scheduled above all other program
 	// points, so they are re-evaluated only after the points contributing
@@ -281,6 +293,17 @@ func Run(prog *cfg.Program, opts Options) (*Result, error) {
 		sys:    sys,
 	}
 	return out, err
+}
+
+// solverConfig translates the run options into the solver's robustness
+// bounds.
+func solverConfig(opts Options) solver.Config {
+	return solver.Config{
+		MaxEvals: opts.MaxEvals,
+		Ctx:      opts.Ctx,
+		Timeout:  opts.Timeout,
+		MaxFlips: opts.MaxFlips,
+	}
 }
 
 // phase2Op is the update operator of the baseline's narrowing phase:

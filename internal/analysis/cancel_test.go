@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/solver"
+)
+
+const cancelLoopSrc = `
+int main() {
+    int i;
+    i = 0;
+    while (i < 100) {
+        i = i + 1;
+    }
+    return i;
+}
+`
+
+// TestRunHonorsCancelledContext: a pre-cancelled context aborts the analysis
+// before any fixpoint work, surfacing a structured cancel report.
+func TestRunHonorsCancelledContext(t *testing.T) {
+	ast, err := cint.Parse(cancelLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Run(cfg.Build(ast), Options{Op: OpWarrow, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	rep, ok := solver.ReportOf(err)
+	if !ok || rep.Reason != solver.AbortCancel {
+		t.Fatalf("report = %+v (ok=%v), want reason cancel", rep, ok)
+	}
+}
+
+// TestRunHonorsTimeout: an expired wall-clock bound aborts the analysis with
+// a deadline report; a generous bound leaves the result untouched.
+func TestRunHonorsTimeout(t *testing.T) {
+	ast, err := cint.Parse(cancelLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(cfg.Build(ast), Options{Op: OpWarrow, Timeout: time.Nanosecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline abort", err)
+	}
+
+	res, err := Run(cfg.Build(ast), Options{Op: OpWarrow, Timeout: time.Minute, MaxEvals: 2_000_000})
+	if err != nil {
+		t.Fatalf("generous bound aborted: %v", err)
+	}
+	if res.Stats.Evals == 0 {
+		t.Error("no evaluations recorded")
+	}
+}
+
+// TestRunMaxFlipsThreaded: MaxFlips reaches the solver layer — the
+// self-feeding oscillation of a context-sensitive analysis is caught by the
+// watchdog instead of the eval budget when the threshold is set low.
+func TestRunMaxFlipsThreaded(t *testing.T) {
+	ast, err := cint.Parse(cancelLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop analysis converges in a handful of flips, so MaxFlips far
+	// below that is not tripped, while the option still round-trips through
+	// solverConfig; assert convergence is unaffected.
+	res, err := Run(cfg.Build(ast), Options{Op: OpWarrow, MaxEvals: 2_000_000, MaxFlips: 1000})
+	if err != nil {
+		t.Fatalf("watchdog tripped on a convergent analysis: %v", err)
+	}
+	if res.Stats.Evals == 0 {
+		t.Error("no evaluations recorded")
+	}
+}

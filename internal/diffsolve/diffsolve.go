@@ -23,6 +23,7 @@ package diffsolve
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"warrow/internal/certify"
 	"warrow/internal/eqgen"
@@ -38,6 +39,18 @@ type Options struct {
 	// Workers lists the PSW worker-pool sizes to cross-check against SW
 	// (default 1, 2, 4).
 	Workers []int
+	// Timeout, when positive, is the per-solver wall-clock bound; a solver
+	// that trips it counts as diverged, exactly like a budget abort.
+	Timeout time.Duration
+	// MaxFlips, when positive, arms the per-solver oscillation watchdog, so
+	// ⊟ divergence is caught by its narrow→widen signature instead of by
+	// exhausting the whole budget.
+	MaxFlips int
+	// Escalate reruns the workload of a diverging generic solver (rr, w) on
+	// its terminating structured variant (srr, sw) and appends the rerun as
+	// an extra outcome named "rr→srr" / "w→sw" with EscalatedFrom set —
+	// the graceful-degradation policy of the robustness layer.
+	Escalate bool
 }
 
 func (o Options) defaults() Options {
@@ -58,11 +71,17 @@ type Outcome[X comparable, D any] struct {
 	Values map[X]D
 	// Stats is the solver's work record.
 	Stats solver.Stats
-	// Err is the solver error; solver.ErrEvalBudget marks divergence.
+	// Err is the solver error; an abort matching solver.ErrEvalBudget (or
+	// carrying a solver.AbortReport) marks divergence.
 	Err error
 	// Report is the certification outcome; zero (OK) for diverged runs,
 	// which return no result to certify.
 	Report certify.Report[X, D]
+	// EscalatedFrom names the diverging generic solver whose workload this
+	// outcome reran on a terminating structured variant; empty for
+	// first-class runs. The Stats of an escalated outcome record the work
+	// of the rerun only.
+	EscalatedFrom string
 }
 
 // RunAll runs the solver matrix with the combined operator ⊟ on a finite
@@ -73,19 +92,31 @@ type Outcome[X comparable, D any] struct {
 func RunAll[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], init func(X) D, opt Options) []Outcome[X, D] {
 	opt = opt.defaults()
 	op := solver.Op[X](solver.Warrow[D](l))
-	cfg := solver.Config{MaxEvals: opt.MaxEvals}
+	cfg := solver.Config{MaxEvals: opt.MaxEvals, Timeout: opt.Timeout, MaxFlips: opt.MaxFlips}
 	var out []Outcome[X, D]
 
-	global := func(name string, run func() (map[X]D, solver.Stats, error)) {
+	global := func(name string, run func() (map[X]D, solver.Stats, error)) Outcome[X, D] {
 		sigma, st, err := run()
 		o := Outcome[X, D]{Solver: name, Values: sigma, Stats: st, Err: err}
 		if err == nil {
 			o.Report = certify.System(l, sys, sigma, init)
 		}
 		out = append(out, o)
+		return o
 	}
-	global("rr", func() (map[X]D, solver.Stats, error) { return solver.RR(sys, l, op, init, cfg) })
-	global("w", func() (map[X]D, solver.Stats, error) { return solver.W(sys, l, op, init, cfg) })
+	// escalate reruns a diverged generic solver's workload on its
+	// terminating structured variant and records the escalation.
+	escalate := func(from Outcome[X, D], name string, run func() (map[X]D, solver.Stats, error)) {
+		if !opt.Escalate || from.Err == nil {
+			return
+		}
+		global(from.Solver+"→"+name, run)
+		out[len(out)-1].EscalatedFrom = from.Solver
+	}
+	rr := global("rr", func() (map[X]D, solver.Stats, error) { return solver.RR(sys, l, op, init, cfg) })
+	escalate(rr, "srr", func() (map[X]D, solver.Stats, error) { return solver.SRR(sys, l, op, init, cfg) })
+	w := global("w", func() (map[X]D, solver.Stats, error) { return solver.W(sys, l, op, init, cfg) })
+	escalate(w, "sw", func() (map[X]D, solver.Stats, error) { return solver.SW(sys, l, op, init, cfg) })
 	global("srr", func() (map[X]D, solver.Stats, error) { return solver.SRR(sys, l, op, init, cfg) })
 	global("sw", func() (map[X]D, solver.Stats, error) { return solver.SW(sys, l, op, init, cfg) })
 	for _, w := range opt.Workers {
@@ -143,7 +174,7 @@ func Check[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], ini
 	var sw *Outcome[X, D]
 	for i := range outcomes {
 		o := &outcomes[i]
-		if o.Err != nil && !errors.Is(o.Err, solver.ErrEvalBudget) {
+		if o.Err != nil && !acceptableAbort(o.Err) {
 			return fmt.Errorf("%s: unexpected error: %w", o.Solver, o.Err)
 		}
 		if o.Err == nil {
@@ -154,6 +185,11 @@ func Check[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], ini
 		if o.Solver == "sw" {
 			sw = o
 		}
+	}
+	if opt.Timeout > 0 {
+		// Wall-clock aborts are schedule-dependent, so the PSW ≡ SW
+		// bit-identity claims below only hold for deterministic bounds.
+		return nil
 	}
 	for i := range outcomes {
 		o := &outcomes[i]
@@ -181,6 +217,18 @@ func Check[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], ini
 		}
 	}
 	return nil
+}
+
+// acceptableAbort reports whether a solver error is a controlled watchdog
+// abort (budget, deadline, oscillation, …) rather than a defect: every
+// abort carries a solver.AbortReport, and legacy bare budget sentinels are
+// honored too.
+func acceptableAbort(err error) bool {
+	if errors.Is(err, solver.ErrEvalBudget) {
+		return true
+	}
+	_, ok := solver.ReportOf(err)
+	return ok
 }
 
 // CheckGenerated generates the system for an eqgen reproduction recipe and

@@ -1,0 +1,180 @@
+package diffsolve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// example1 is the paper's Example 1 over ℕ ∪ {∞} — RR with ⊟ diverges on it.
+func example1() *eqn.System[string, lattice.Nat] {
+	inc := func(n lattice.Nat) lattice.Nat {
+		if n.IsInf() {
+			return n
+		}
+		return lattice.NatOf(n.Val() + 1)
+	}
+	s := eqn.NewSystem[string, lattice.Nat]()
+	s.Define("x1", []string{"x2"}, func(get func(string) lattice.Nat) lattice.Nat {
+		return get("x2")
+	})
+	s.Define("x2", []string{"x3"}, func(get func(string) lattice.Nat) lattice.Nat {
+		return inc(get("x3"))
+	})
+	s.Define("x3", []string{"x1"}, func(get func(string) lattice.Nat) lattice.Nat {
+		return get("x1")
+	})
+	return s
+}
+
+// example2 is the paper's Example 2 — W with ⊟ diverges on it.
+func example2() *eqn.System[string, lattice.Nat] {
+	inc := func(n lattice.Nat) lattice.Nat {
+		if n.IsInf() {
+			return n
+		}
+		return lattice.NatOf(n.Val() + 1)
+	}
+	rhs := func(self, other string) eqn.RHS[string, lattice.Nat] {
+		return func(get func(string) lattice.Nat) lattice.Nat {
+			return lattice.NatInf.Meet(inc(get(self)), inc(get(other)))
+		}
+	}
+	s := eqn.NewSystem[string, lattice.Nat]()
+	s.Define("x1", []string{"x1", "x2"}, rhs("x1", "x2"))
+	s.Define("x2", []string{"x1", "x2"}, rhs("x2", "x1"))
+	return s
+}
+
+func natInit(string) lattice.Nat { return lattice.NatOf(0) }
+
+// findOutcome returns the named outcome, failing the test if absent.
+func findOutcome(t *testing.T, outcomes []Outcome[string, lattice.Nat], name string) Outcome[string, lattice.Nat] {
+	t.Helper()
+	for _, o := range outcomes {
+		if o.Solver == name {
+			return o
+		}
+	}
+	t.Fatalf("no outcome named %q in %d outcomes", name, len(outcomes))
+	panic("unreachable")
+}
+
+// TestEscalationExample1: end-to-end on the paper's Example 1 — RR with ⊟
+// diverges, the oscillation watchdog fires with a structured report, and
+// the escalated rerun on SRR terminates with a certified post-solution.
+func TestEscalationExample1(t *testing.T) {
+	outcomes := RunAll(lattice.NatInf, example1(), natInit,
+		Options{MaxEvals: 100000, MaxFlips: 8, Escalate: true})
+
+	rr := findOutcome(t, outcomes, "rr")
+	if rr.Err == nil {
+		t.Fatal("RR with ⊟ should diverge on Example 1")
+	}
+	rep, ok := solver.ReportOf(rr.Err)
+	if !ok || rep.Reason != solver.AbortOscillation {
+		t.Fatalf("rr report = %+v (ok=%v), want the oscillation watchdog", rep, ok)
+	}
+
+	esc := findOutcome(t, outcomes, "rr→srr")
+	if esc.EscalatedFrom != "rr" {
+		t.Errorf("EscalatedFrom = %q, want rr", esc.EscalatedFrom)
+	}
+	if esc.Err != nil {
+		t.Fatalf("escalated SRR run failed: %v", esc.Err)
+	}
+	if err := esc.Report.Err(); err != nil {
+		t.Fatalf("escalated result did not certify: %v", err)
+	}
+	for _, x := range []string{"x1", "x2", "x3"} {
+		if !esc.Values[x].IsInf() {
+			t.Errorf("escalated σ[%s] = %s, want ∞", x, esc.Values[x])
+		}
+	}
+}
+
+// TestEscalationExample2: same flow on Example 2 — W diverges, the workload
+// escalates to SW, and the rerun certifies.
+func TestEscalationExample2(t *testing.T) {
+	outcomes := RunAll(lattice.NatInf, example2(), natInit,
+		Options{MaxEvals: 100000, MaxFlips: 8, Escalate: true})
+
+	w := findOutcome(t, outcomes, "w")
+	if w.Err == nil {
+		t.Fatal("W with ⊟ should diverge on Example 2")
+	}
+	if _, ok := solver.ReportOf(w.Err); !ok {
+		t.Fatalf("w error %v carries no report", w.Err)
+	}
+
+	esc := findOutcome(t, outcomes, "w→sw")
+	if esc.EscalatedFrom != "w" {
+		t.Errorf("EscalatedFrom = %q, want w", esc.EscalatedFrom)
+	}
+	if esc.Err != nil {
+		t.Fatalf("escalated SW run failed: %v", esc.Err)
+	}
+	if err := esc.Report.Err(); err != nil {
+		t.Fatalf("escalated result did not certify: %v", err)
+	}
+	for _, x := range []string{"x1", "x2"} {
+		if !esc.Values[x].IsInf() {
+			t.Errorf("escalated σ[%s] = %s, want ∞", x, esc.Values[x])
+		}
+	}
+}
+
+// TestNoEscalationWithoutOptIn: without Escalate, diverging outcomes stay
+// as they are and no rerun outcomes appear.
+func TestNoEscalationWithoutOptIn(t *testing.T) {
+	outcomes := RunAll(lattice.NatInf, example1(), natInit,
+		Options{MaxEvals: 2000, MaxFlips: 8})
+	for _, o := range outcomes {
+		if o.EscalatedFrom != "" {
+			t.Errorf("unexpected escalated outcome %q", o.Solver)
+		}
+	}
+}
+
+// TestCheckAcceptsWatchdogAborts: Check treats oscillation and escalated
+// outcomes as controlled divergence, not as defects, on both examples.
+func TestCheckAcceptsWatchdogAborts(t *testing.T) {
+	opt := Options{MaxEvals: 100000, MaxFlips: 8, Escalate: true}
+	if err := Check(lattice.NatInf, example1(), natInit, opt); err != nil {
+		t.Errorf("example1: %v", err)
+	}
+	if err := Check(lattice.NatInf, example2(), natInit, opt); err != nil {
+		t.Errorf("example2: %v", err)
+	}
+}
+
+// TestCheckToleratesTimeout: with a wall-clock bound armed, Check must not
+// flag schedule-dependent deadline aborts as disagreements.
+func TestCheckToleratesTimeout(t *testing.T) {
+	opt := Options{MaxEvals: 50_000_000, Timeout: 5 * time.Millisecond}
+	if err := Check(lattice.NatInf, example1(), natInit, opt); err != nil {
+		t.Errorf("example1 under timeout: %v", err)
+	}
+}
+
+// TestDeadlineAbortIsAcceptable: acceptableAbort admits every structured
+// abort and the legacy sentinel, but not arbitrary errors.
+func TestDeadlineAbortIsAcceptable(t *testing.T) {
+	if !acceptableAbort(solver.ErrEvalBudget) {
+		t.Error("legacy sentinel rejected")
+	}
+	if !acceptableAbort(&solver.AbortError{Report: solver.AbortReport{Reason: solver.AbortDeadline}}) {
+		t.Error("deadline abort rejected")
+	}
+	if acceptableAbort(errors.New("boom")) {
+		t.Error("arbitrary error accepted")
+	}
+	if acceptableAbort(context.Canceled) {
+		t.Error("bare context error accepted — cancellation is a caller decision, not divergence")
+	}
+}

@@ -120,8 +120,8 @@ func AblationThresholds() string {
 			continue
 		}
 		g := cfg.Build(ast)
-		warrowPlain, err1 := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, MaxEvals: 20_000_000})
-		baseThresh, err2 := analysis.Run(g, analysis.Options{Op: analysis.OpTwoPhase, Widening: thresholds, MaxEvals: 20_000_000})
+		warrowPlain, err1 := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, MaxEvals: 20_000_000, Timeout: SolveTimeout})
+		baseThresh, err2 := analysis.Run(g, analysis.Options{Op: analysis.OpTwoPhase, Widening: thresholds, MaxEvals: 20_000_000, Timeout: SolveTimeout})
 		if err1 != nil || err2 != nil {
 			fmt.Fprintf(&sb, "  %-16s solver error (%v / %v)\n", b.Name, err1, err2)
 			continue
@@ -152,8 +152,8 @@ func AblationLocalized() string {
 			continue
 		}
 		g := cfg.Build(ast)
-		full, err1 := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, MaxEvals: 20_000_000})
-		loc, err2 := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, Localized: true, MaxEvals: 20_000_000})
+		full, err1 := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, MaxEvals: 20_000_000, Timeout: SolveTimeout})
+		loc, err2 := analysis.Run(g, analysis.Options{Op: analysis.OpWarrow, Localized: true, MaxEvals: 20_000_000, Timeout: SolveTimeout})
 		if err1 != nil || err2 != nil {
 			fmt.Fprintf(&sb, "  %-16s solver error (%v / %v)\n", b.Name, err1, err2)
 			continue

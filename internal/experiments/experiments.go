@@ -23,13 +23,26 @@ import (
 	"warrow/internal/wcet"
 )
 
+// SolveTimeout, when positive, bounds every solver and analysis invocation
+// the experiment suites make with a wall-clock deadline (threaded into
+// analysis.Options.Timeout / solver.Config.Timeout, where the watchdog turns
+// it into a structured deadline abort). cmd/bench sets it from its -timeout
+// flag before launching any suite; it must not be written concurrently with
+// a running suite. The zero value means unbounded.
+var SolveTimeout time.Duration
+
 func init() {
 	// SLR explores fresh unknowns by recursion, so the stack grows with the
 	// longest discovery chain. Context-sensitive analysis of the Table 1
 	// programs discovers hundreds of thousands of unknowns along deep call
 	// chains; raise the limit well beyond Go's 1 GB default (stacks are
-	// committed lazily, so this costs nothing unless used).
-	debug.SetMaxStack(6 << 30)
+	// committed lazily, so this costs nothing unless used). 6 GiB overflows
+	// a 32-bit int, so clamp to the platform maximum.
+	stack := int64(6) << 30
+	if stack > int64(^uint(0)>>1) {
+		stack = int64(^uint(0) >> 1)
+	}
+	debug.SetMaxStack(int(stack))
 }
 
 // fanOut runs job(0..n-1) on a bounded worker pool and collects results by
@@ -143,12 +156,14 @@ func fig7Row(b wcet.Benchmark) (Fig7Row, error) {
 	g := cfg.Build(ast)
 	warrow, err := analysis.Run(g, analysis.Options{
 		Context: analysis.NoContext, Op: analysis.OpWarrow, MaxEvals: 20_000_000,
+		Timeout: SolveTimeout,
 	})
 	if err != nil {
 		return Fig7Row{}, fmt.Errorf("%s (⊟): %w", b.Name, err)
 	}
 	base, err := analysis.Run(g, analysis.Options{
 		Context: analysis.NoContext, Op: analysis.OpTwoPhase, MaxEvals: 20_000_000,
+		Timeout: SolveTimeout,
 	})
 	if err != nil {
 		return Fig7Row{}, fmt.Errorf("%s (two-phase): %w", b.Name, err)
@@ -242,6 +257,7 @@ func Table1Program(p synth.Program) (Table1Row, error) {
 		startT := time.Now()
 		res, err := analysis.Run(g, analysis.Options{
 			Context: c.ctx, Op: c.op, DegradeAfter: c.degrade, MaxEvals: 100_000_000,
+			Timeout: SolveTimeout,
 		})
 		if err != nil {
 			return row, fmt.Errorf("%s (%v/%v): %w", p.Name, c.op, c.ctx, err)

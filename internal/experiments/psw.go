@@ -123,7 +123,7 @@ func PSWSpeedup(comps, size, work int, workerCounts []int) ([]PerfRow, error) {
 	name := fmt.Sprintf("wide(%dx%d,work=%d)", comps, size, work)
 
 	start := time.Now()
-	want, st, err := solver.SW(sys, l, op(), init, solver.Config{})
+	want, st, err := solver.SW(sys, l, op(), init, solver.Config{Timeout: SolveTimeout})
 	if err != nil {
 		return nil, fmt.Errorf("%s: SW: %w", name, err)
 	}
@@ -133,7 +133,7 @@ func PSWSpeedup(comps, size, work int, workerCounts []int) ([]PerfRow, error) {
 		Evals:  st.Evals, Updates: st.Updates, Unknowns: st.Unknowns,
 	}}
 	for _, w := range workerCounts {
-		sigma, pst, err := solver.PSW(sys, l, op(), init, solver.Config{Workers: w})
+		sigma, pst, err := solver.PSW(sys, l, op(), init, solver.Config{Workers: w, Timeout: SolveTimeout})
 		if err != nil {
 			return rows, fmt.Errorf("%s: PSW workers=%d: %w", name, w, err)
 		}

@@ -1,0 +1,320 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"warrow/internal/lattice"
+)
+
+// AbortReason says why the divergence watchdog stopped a solve.
+type AbortReason int8
+
+// Abort reasons.
+const (
+	// AbortBudget: the evaluation budget (Config.MaxEvals) ran out.
+	AbortBudget AbortReason = iota
+	// AbortDeadline: the wall-clock bound (Config.Timeout, or a deadline
+	// carried by Config.Ctx) passed.
+	AbortDeadline
+	// AbortCancel: Config.Ctx was cancelled.
+	AbortCancel
+	// AbortOscillation: a single unknown alternated narrow→widen more than
+	// Config.MaxFlips times — the divergence signature of ⊟ on the
+	// unstructured solvers (Examples 1 and 2) and of self-feeding globals
+	// under SLR⁺.
+	AbortOscillation
+)
+
+// String renders the reason.
+func (r AbortReason) String() string {
+	switch r {
+	case AbortBudget:
+		return "budget"
+	case AbortDeadline:
+		return "deadline"
+	case AbortCancel:
+		return "cancel"
+	case AbortOscillation:
+		return "oscillation"
+	default:
+		return "?"
+	}
+}
+
+// HotUnknown is one row of AbortReport.Hottest: an unknown together with
+// the update traffic the watchdog observed on it.
+type HotUnknown struct {
+	// Unknown is the rendered unknown (fmt.Sprint of the solver's X).
+	Unknown string
+	// Updates counts the non-stable update steps applied to it.
+	Updates int
+	// Flips counts its narrow→widen phase alternations.
+	Flips int
+}
+
+// AbortReport is the structured diagnosis attached to every aborted solve:
+// why the run stopped, how much work it had done, which unknowns were
+// hottest, and how the ∇/Δ phases were distributed — enough to decide
+// whether to escalate the workload to a terminating structured solver
+// (SRR/SW) or to reject it.
+type AbortReport struct {
+	// Reason says which bound tripped.
+	Reason AbortReason
+	// Evals counts right-hand-side evaluations performed before the abort.
+	Evals int
+	// Elapsed is the wall-clock duration of the run up to the abort.
+	Elapsed time.Duration
+	// Widens and Narrows count the update steps per phase across all
+	// unknowns, as classified by the ⊟ hook (PhaseOf).
+	Widens  int
+	Narrows int
+	// Hottest lists the most-updated unknowns, descending; at most
+	// maxHotUnknowns entries.
+	Hottest []HotUnknown
+	// FlipHist is a power-of-two histogram over the per-unknown
+	// narrow→widen flip counts (unknowns that never flipped are omitted).
+	// A heavy tail here is the oscillation fingerprint; an empty histogram
+	// with a huge Evals count points at slow convergence instead.
+	FlipHist Hist
+}
+
+// String renders a one-line summary of the report.
+func (r AbortReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "aborted (%s) after %d evals in %v: %d widens, %d narrows",
+		r.Reason, r.Evals, r.Elapsed.Round(time.Microsecond), r.Widens, r.Narrows)
+	for i, h := range r.Hottest {
+		if i == 0 {
+			b.WriteString("; hottest:")
+		}
+		fmt.Fprintf(&b, " %s(%d updates, %d flips)", h.Unknown, h.Updates, h.Flips)
+	}
+	return b.String()
+}
+
+// AbortError is the error every aborted solve returns alongside its partial
+// assignment. It matches the legacy sentinels through errors.Is — a budget
+// abort matches ErrEvalBudget, a cancellation matches context.Canceled and
+// a deadline abort matches context.DeadlineExceeded — so callers may keep
+// testing with the sentinels while the report carries the diagnosis.
+type AbortError struct {
+	Report AbortReport
+}
+
+// Error implements error. The budget message deliberately contains the
+// legacy "evaluation budget exceeded" phrase so textual matchers survive.
+func (e *AbortError) Error() string {
+	switch e.Report.Reason {
+	case AbortBudget:
+		return "solver: evaluation budget exceeded; " + e.Report.String()
+	case AbortDeadline:
+		return "solver: wall-clock deadline exceeded; " + e.Report.String()
+	case AbortCancel:
+		return "solver: cancelled; " + e.Report.String()
+	case AbortOscillation:
+		return "solver: divergence watchdog tripped; " + e.Report.String()
+	default:
+		return "solver: " + e.Report.String()
+	}
+}
+
+// Is implements the errors.Is protocol (see AbortError). Two AbortErrors
+// match when they aborted for the same reason, so cross-solver comparisons
+// like errors.Is(pswErr, swErr) treat equal-reason aborts as equivalent.
+func (e *AbortError) Is(target error) bool {
+	if other, ok := target.(*AbortError); ok {
+		return other.Report.Reason == e.Report.Reason
+	}
+	switch e.Report.Reason {
+	case AbortBudget:
+		return target == ErrEvalBudget
+	case AbortDeadline:
+		return target == context.DeadlineExceeded
+	case AbortCancel:
+		return target == context.Canceled
+	default:
+		return false
+	}
+}
+
+// ReportOf extracts the AbortReport from a solver error, if it carries one.
+func ReportOf(err error) (AbortReport, bool) {
+	var ae *AbortError
+	if errors.As(err, &ae) {
+		return ae.Report, true
+	}
+	return AbortReport{}, false
+}
+
+// maxHotUnknowns bounds AbortReport.Hottest.
+const maxHotUnknowns = 5
+
+// watchdog is the per-run robustness monitor shared by all solvers. It owns
+// every abort decision — budget, context cancellation, wall-clock deadline
+// and ∇/Δ oscillation — and the per-unknown accounting that turns an abort
+// into an AbortReport. Solvers consult check at every scheduling point and
+// route their operator through instrument, which taps the ⊟ hook (Observe).
+//
+// A nil watchdog is valid and free: newWatchdog returns nil for an entirely
+// unbounded Config, and every method is a no-op on a nil receiver, so
+// benchmark-grade runs pay nothing.
+//
+// All state is guarded by mu because PSW shares one watchdog across its
+// worker pool.
+type watchdog[X comparable] struct {
+	budget   int
+	ctx      context.Context
+	deadline time.Time
+	maxFlips int
+	start    time.Time
+
+	mu      sync.Mutex
+	updates map[X]int
+	last    map[X]Phase
+	flips   map[X]int
+	widens  int
+	narrows int
+	// osc holds the first unknown whose flip count crossed maxFlips; the
+	// abort itself happens at the owner's next check, since an Operator has
+	// no error channel.
+	osc *X
+}
+
+// newWatchdog arms a watchdog for cfg, or returns nil when cfg imposes no
+// bound at all.
+func newWatchdog[X comparable](cfg Config) *watchdog[X] {
+	cfg = cfg.started(time.Now())
+	if cfg.MaxEvals <= 0 && cfg.Ctx == nil && cfg.deadline.IsZero() && cfg.MaxFlips <= 0 {
+		return nil
+	}
+	return &watchdog[X]{
+		budget:   cfg.budget(),
+		ctx:      cfg.Ctx,
+		deadline: cfg.deadline,
+		maxFlips: cfg.MaxFlips,
+		start:    time.Now(),
+		updates:  make(map[X]int),
+		last:     make(map[X]Phase),
+		flips:    make(map[X]int),
+	}
+}
+
+// instrument routes op through the watchdog's ⊟ hook so phases and update
+// counts are recorded; a nil watchdog returns op unchanged.
+func instrument[X comparable, D any](w *watchdog[X], l lattice.Lattice[D], op Operator[X, D]) Operator[X, D] {
+	if w == nil {
+		return op
+	}
+	return Observe(l, op, w.observe)
+}
+
+// observe is the ⊟ hook: it records the phase of one update step.
+func (w *watchdog[X]) observe(x X, p Phase) {
+	if p == PhaseStable {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.updates[x]++
+	if p == PhaseWiden {
+		w.widens++
+		if w.last[x] == PhaseNarrow {
+			w.flips[x]++
+			if w.maxFlips > 0 && w.flips[x] > w.maxFlips && w.osc == nil {
+				x := x
+				w.osc = &x
+			}
+		}
+	} else {
+		w.narrows++
+	}
+	w.last[x] = p
+}
+
+// check is the scheduling-point gate: solvers call it with the number of
+// evaluations performed so far, immediately before performing another one.
+// It returns nil to proceed or an *AbortError to stop; the caller must
+// return its partial assignment together with that error.
+func (w *watchdog[X]) check(evals int) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if evals >= w.budget {
+		return w.abortLocked(AbortBudget, evals)
+	}
+	if w.osc != nil {
+		return w.abortLocked(AbortOscillation, evals)
+	}
+	if w.ctx != nil {
+		if err := w.ctx.Err(); err != nil {
+			reason := AbortCancel
+			if errors.Is(err, context.DeadlineExceeded) {
+				reason = AbortDeadline
+			}
+			return w.abortLocked(reason, evals)
+		}
+	}
+	if !w.deadline.IsZero() && !time.Now().Before(w.deadline) {
+		return w.abortLocked(AbortDeadline, evals)
+	}
+	return nil
+}
+
+// abort builds the abort error from outside the lock (PSW's budget path,
+// which accounts evaluations atomically rather than through check). On a
+// nil watchdog it degrades to the bare sentinel.
+func (w *watchdog[X]) abort(reason AbortReason, evals int) error {
+	if w == nil {
+		return ErrEvalBudget
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.abortLocked(reason, evals)
+}
+
+func (w *watchdog[X]) abortLocked(reason AbortReason, evals int) error {
+	rep := AbortReport{
+		Reason:  reason,
+		Evals:   evals,
+		Elapsed: time.Since(w.start),
+		Widens:  w.widens,
+		Narrows: w.narrows,
+	}
+	for _, n := range w.flips {
+		rep.FlipHist.Observe(n)
+	}
+	type hot struct {
+		x X
+		n int
+	}
+	hottest := make([]hot, 0, len(w.updates))
+	for x, n := range w.updates {
+		hottest = append(hottest, hot{x, n})
+	}
+	sort.Slice(hottest, func(i, j int) bool {
+		if hottest[i].n != hottest[j].n {
+			return hottest[i].n > hottest[j].n
+		}
+		// Tie-break on the rendered unknown for deterministic reports.
+		return fmt.Sprint(hottest[i].x) < fmt.Sprint(hottest[j].x)
+	})
+	if len(hottest) > maxHotUnknowns {
+		hottest = hottest[:maxHotUnknowns]
+	}
+	for _, h := range hottest {
+		rep.Hottest = append(rep.Hottest, HotUnknown{
+			Unknown: fmt.Sprint(h.x),
+			Updates: h.n,
+			Flips:   w.flips[h.x],
+		})
+	}
+	return &AbortError{Report: rep}
+}

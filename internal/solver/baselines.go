@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"time"
+
 	"warrow/internal/eqn"
 	"warrow/internal/lattice"
 )
@@ -13,13 +15,19 @@ func twoPhases[X comparable, D any](init func(X) D, cfg Config,
 	run func(op Operator[X, D], init func(X) D, cfg Config) (Result[X, D], error),
 	upOp, downOp Operator[X, D]) (Result[X, D], error) {
 
+	// Pin the wall-clock deadline before the first phase so both phases
+	// share one bound instead of each restarting the clock.
+	cfg = cfg.started(time.Now())
 	up, err := run(upOp, init, cfg)
 	if err != nil {
 		return up, err
 	}
 	rest := remaining(cfg, up.Stats.Evals)
 	if rest.MaxEvals < 0 {
-		return up, ErrEvalBudget
+		return up, &AbortError{Report: AbortReport{
+			Reason: AbortBudget,
+			Evals:  up.Stats.Evals,
+		}}
 	}
 	fromUp := func(x X) D {
 		if v, ok := up.Values[x]; ok {

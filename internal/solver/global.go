@@ -9,9 +9,16 @@ import (
 // unknowns in order, performing update steps σ[x] ← σ[x] ⊞ fₓ(σ), until a
 // full sweep changes nothing. RR is a generic solver, but with ⊟ it may
 // fail to terminate even on finite monotonic systems (Example 1); the
-// evaluation budget in cfg turns such divergence into ErrEvalBudget.
+// bounds in cfg (budget, deadline, cancellation, oscillation watchdog) turn
+// such divergence into an AbortError alongside the partial assignment.
+//
+// Stats.Rounds counts every sweep that performed at least one evaluation:
+// a sweep cut short by an abort is counted, so Rounds stays consistent with
+// Evals on bounded runs (an abort at an exact sweep boundary, before the
+// first evaluation of the next sweep, does not start a new round).
 func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	budget := cfg.budget()
+	wd := newWatchdog[X](cfg)
+	op = instrument(wd, l, op)
 	var st Stats
 	sigma := make(map[X]D, sys.Len())
 	for _, x := range sys.Order() {
@@ -20,11 +27,16 @@ func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 	st.Unknowns = sys.Len()
 	for {
 		dirty := false
+		evaled := false
 		for _, x := range sys.Order() {
-			if st.Evals >= budget {
-				return sigma, st, ErrEvalBudget
+			if err := wd.check(st.Evals); err != nil {
+				if evaled {
+					st.Rounds++
+				}
+				return sigma, st, err
 			}
 			st.Evals++
+			evaled = true
 			next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
 			if !l.Eq(sigma[x], next) {
 				sigma[x] = next
@@ -45,7 +57,8 @@ func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 // solver, but with ⊟ it may fail to terminate even on finite monotonic
 // systems (Example 2).
 func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	budget := cfg.budget()
+	wd := newWatchdog[X](cfg)
+	op = instrument(wd, l, op)
 	var st Stats
 	sigma := make(map[X]D, sys.Len())
 	for _, x := range sys.Order() {
@@ -73,8 +86,8 @@ func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Oper
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		present[x] = false
-		if st.Evals >= budget {
-			return sigma, st, ErrEvalBudget
+		if err := wd.check(st.Evals); err != nil {
+			return sigma, st, err
 		}
 		st.Evals++
 		next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
@@ -100,7 +113,8 @@ func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Oper
 // system (Theorem 1) — with bounded lattice height it needs at most
 // n + (h/2)·n·(n+1) evaluations.
 func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	budget := cfg.budget()
+	wd := newWatchdog[X](cfg)
+	op = instrument(wd, l, op)
 	var st Stats
 	order := sys.Order()
 	sigma := make(map[X]D, len(order))
@@ -118,8 +132,8 @@ func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 				return err
 			}
 			x := order[i-1]
-			if st.Evals >= budget {
-				return ErrEvalBudget
+			if err := wd.check(st.Evals); err != nil {
+				return err
 			}
 			st.Evals++
 			next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
@@ -140,7 +154,8 @@ func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 // generic solver and, instantiated with ⊟, terminates for every finite
 // monotonic system (Theorem 2).
 func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	budget := cfg.budget()
+	wd := newWatchdog[X](cfg)
+	op = instrument(wd, l, op)
 	var st Stats
 	order := sys.Order()
 	sigma := make(map[X]D, len(order))
@@ -154,22 +169,22 @@ func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 
 	q := newPQ[X]()
 	for _, x := range order {
-		q.push(x, idx[x])
+		q.push(x, int64(idx[x]))
 	}
 	st.MaxQueue = q.len()
 	for !q.empty() {
 		x := q.popMin()
-		if st.Evals >= budget {
-			return sigma, st, ErrEvalBudget
+		if err := wd.check(st.Evals); err != nil {
+			return sigma, st, err
 		}
 		st.Evals++
 		next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
 		if !l.Eq(sigma[x], next) {
 			sigma[x] = next
 			st.Updates++
-			q.push(x, idx[x])
+			q.push(x, int64(idx[x]))
 			for _, y := range infl[x] {
-				q.push(y, idx[y])
+				q.push(y, int64(idx[y]))
 			}
 			if q.len() > st.MaxQueue {
 				st.MaxQueue = q.len()

@@ -22,7 +22,8 @@ type Result[X comparable, D any] struct {
 // with a non-trivial ⊞ (such as ⊟) it is not guaranteed to return a
 // ⊞-solution even when it terminates. Use SLR instead.
 func RLD[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, x0 X, cfg Config) (Result[X, D], error) {
-	budget := cfg.budget()
+	wd := newWatchdog[X](cfg)
+	op = instrument(wd, l, op)
 	var st Stats
 	sigma := make(map[X]D)
 	infl := make(map[X][]X)
@@ -46,8 +47,8 @@ func RLD[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 			}
 			return nil
 		}
-		if st.Evals >= budget {
-			return ErrEvalBudget
+		if err := wd.check(st.Evals); err != nil {
+			return err
 		}
 		st.Evals++
 		var evalErr error
@@ -87,32 +88,33 @@ func RLD[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 
 // slrState is the shared machinery of SLR and SLR⁺.
 type slrState[X comparable, D any] struct {
-	l      lattice.Lattice[D]
-	op     Operator[X, D]
-	init   func(X) D
-	band   func(X) int
-	budget int
-	st     Stats
+	l    lattice.Lattice[D]
+	op   Operator[X, D]
+	init func(X) D
+	band func(X) int
+	wd   *watchdog[X]
+	st   Stats
 
 	sigma  map[X]D
 	infl   map[X]map[X]bool
 	stable map[X]bool
-	key    map[X]int
+	key    map[X]int64
 	count  int
 	q      *pq[X]
 }
 
 func newSLRState[X comparable, D any](l lattice.Lattice[D], op Operator[X, D], init func(X) D, band func(X) int, cfg Config) *slrState[X, D] {
+	wd := newWatchdog[X](cfg)
 	return &slrState[X, D]{
 		l:      l,
-		op:     op,
+		op:     instrument(wd, l, op),
 		init:   init,
 		band:   band,
-		budget: cfg.budget(),
+		wd:     wd,
 		sigma:  make(map[X]D),
 		infl:   make(map[X]map[X]bool),
 		stable: make(map[X]bool),
-		key:    make(map[X]int),
+		key:    make(map[X]int64),
 		q:      newPQ[X](),
 	}
 }
@@ -134,10 +136,19 @@ func (s *slrState[X, D]) initVar(y X) {
 	if s.band != nil {
 		band = s.band(y)
 	}
-	s.key[y] = band<<32 - s.count
+	s.key[y] = bandKey(band, s.count)
 	s.count++
 	s.infl[y] = map[X]bool{y: true}
 	s.sigma[y] = s.init(y)
+}
+
+// bandKey computes the priority key for the count-th discovered unknown of
+// a band. The band occupies bits 32 and up, so it must be widened to int64
+// before the shift: computed in int, band<<32 is zero on 32-bit platforms,
+// which silently collapses every band to 0 and disables the scheduling
+// refinement SLRPlusKeyed's termination argument relies on.
+func bandKey(band, count int) int64 {
+	return int64(band)<<32 - int64(count)
 }
 
 // destabilize removes the unknowns influenced by x from stable and
@@ -163,7 +174,7 @@ func (s *slrState[X, D]) destabilize(x X) {
 // off the Go stack (the recursion that remains — solving freshly discovered
 // unknowns inside eval — is bounded by the discovery-chain depth, not by
 // the number of updates).
-func (s *slrState[X, D]) drain(bound int, solve func(X, bool) error) error {
+func (s *slrState[X, D]) drain(bound int64, solve func(X, bool) error) error {
 	for !s.q.empty() && s.q.minKey() <= bound {
 		if err := solve(s.q.popMin(), false); err != nil {
 			return err
@@ -193,8 +204,8 @@ func SLR[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 		if rhs == nil {
 			return nil // no equation: value stays σ₀[x]
 		}
-		if s.st.Evals >= s.budget {
-			return ErrEvalBudget
+		if err := s.wd.check(s.st.Evals); err != nil {
+			return err
 		}
 		s.st.Evals++
 		var evalErr error
@@ -269,6 +280,12 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 	contrib := make(map[sideKey[X]]D)
 	contribSet := make(map[X][]X) // set[z]: contributors in first-seen order
 
+	// sideErr is the shared error slot for the side callback: solving a
+	// freshly discovered side-effected unknown has no error channel of its
+	// own, and an abort raised there must not be dropped — if the caller
+	// finishes without performing another evaluation, the solver would
+	// otherwise report success on a truncated run.
+	var sideErr error
 	var solve func(x X, drainAfter bool) error
 	side := func(x X) func(z X, d D) {
 		return func(z X, d D) {
@@ -295,9 +312,9 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 				}
 			} else {
 				s.initVar(z)
-				// Errors inside this nested solve surface on the caller's
-				// next budget check; record via panic-free best effort.
-				_ = solve(z, true)
+				if err := solve(z, true); err != nil && sideErr == nil {
+					sideErr = err
+				}
 			}
 		}
 	}
@@ -310,8 +327,8 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 		if rhs == nil && len(contribSet[x]) == 0 {
 			return nil
 		}
-		if s.st.Evals >= s.budget {
-			return ErrEvalBudget
+		if err := s.wd.check(s.st.Evals); err != nil {
+			return err
 		}
 		s.st.Evals++
 		var evalErr error
@@ -331,6 +348,9 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 		}
 		if evalErr != nil {
 			return evalErr
+		}
+		if sideErr != nil {
+			return sideErr
 		}
 		for _, z := range contribSet[x] {
 			v = l.Join(v, contrib[sideKey[X]{From: z, To: x}])
@@ -356,6 +376,12 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 		if err == nil && !s.q.empty() {
 			err = solve(s.q.popMin(), false)
 		}
+	}
+	if err == nil {
+		// A side-callback abort can be raised on a path where the caller
+		// returns without another evaluation; surface it instead of
+		// reporting success on a truncated run.
+		err = sideErr
 	}
 	s.st.Unknowns = len(s.sigma)
 	return Result[X, D]{Values: s.sigma, Stats: s.st}, err

@@ -21,9 +21,11 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
+	"time"
 
 	"warrow/internal/lattice"
 )
@@ -135,6 +137,68 @@ func (d *Degrading[X, D]) Apply(x X, old, new D) D {
 // widening, exposing the non-monotonicity the operator observed.
 func (d *Degrading[X, D]) Switches(x X) int { return d.switches[x] }
 
+// Phase classifies one update step of a ⊟-style operator, mirroring the
+// branch ⊟ takes on its arguments: the step narrows when the freshly
+// evaluated right-hand side is below the current value, widens when it is
+// not, and is stable when the two are equal.
+type Phase int8
+
+// Phases.
+const (
+	PhaseStable Phase = iota
+	PhaseWiden
+	PhaseNarrow
+)
+
+// String renders the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseStable:
+		return "stable"
+	case PhaseWiden:
+		return "widen"
+	case PhaseNarrow:
+		return "narrow"
+	default:
+		return "?"
+	}
+}
+
+// PhaseOf classifies the update step from old to the right-hand-side value
+// new: PhaseNarrow when new ⊑ old (the branch where ⊟ applies Δ),
+// PhaseWiden otherwise (the branch where ⊟ applies ∇), PhaseStable when the
+// values are equal.
+func PhaseOf[D any](l lattice.Lattice[D], old, new D) Phase {
+	if l.Eq(new, old) {
+		return PhaseStable
+	}
+	if l.Leq(new, old) {
+		return PhaseNarrow
+	}
+	return PhaseWiden
+}
+
+// Observe wraps op so that every Apply first reports (x, PhaseOf(old, new))
+// to fn. This is the ⊟ hook the divergence watchdog attaches to: it sees
+// every update step's phase without the solvers' update logic changing, so
+// ∇/Δ oscillation (the divergence signature of Examples 1 and 2) can be
+// detected for any operator, stateful ones included.
+func Observe[X comparable, D any](l lattice.Lattice[D], op Operator[X, D], fn func(X, Phase)) Operator[X, D] {
+	return observedOp[X, D]{l: l, inner: op, fn: fn}
+}
+
+type observedOp[X comparable, D any] struct {
+	l     lattice.Lattice[D]
+	inner Operator[X, D]
+	fn    func(X, Phase)
+}
+
+// Apply implements Operator.
+func (o observedOp[X, D]) Apply(x X, old, new D) D {
+	o.fn(x, PhaseOf(o.l, old, new))
+	return o.inner.Apply(x, old, new)
+}
+
 // HistBuckets is the number of power-of-two buckets of a Hist.
 const HistBuckets = 24
 
@@ -183,12 +247,18 @@ type Stats struct {
 	SCCDepth Hist
 }
 
-// ErrEvalBudget is returned when a solver exceeds its evaluation budget —
-// the mechanism the tests use to detect the divergence of RR and W with ⊟
-// on the paper's Examples 1 and 2.
+// ErrEvalBudget is the sentinel for budget exhaustion — the mechanism the
+// tests use to detect the divergence of RR and W with ⊟ on the paper's
+// Examples 1 and 2. Solvers no longer return it bare: a budget abort is an
+// *AbortError with Reason AbortBudget, which errors.Is-matches this
+// sentinel, so existing errors.Is(err, ErrEvalBudget) checks keep working
+// while the error now carries the full divergence diagnosis.
 var ErrEvalBudget = errors.New("solver: evaluation budget exceeded")
 
-// Config tunes a solver run.
+// Config tunes a solver run. The zero value imposes no bound of any kind;
+// setting any of MaxEvals, Ctx, Timeout or MaxFlips arms the divergence
+// watchdog, and an armed run that trips a bound aborts with an *AbortError
+// carrying a structured AbortReport instead of completing.
 type Config struct {
 	// MaxEvals bounds the number of right-hand-side evaluations; 0 means
 	// effectively unbounded.
@@ -196,6 +266,25 @@ type Config struct {
 	// Workers bounds the PSW worker pool; 0 means runtime.GOMAXPROCS(0).
 	// Sequential solvers ignore it.
 	Workers int
+	// Ctx, when non-nil, is polled at every scheduling point: once it is
+	// cancelled the solver stops at its next evaluation and returns the
+	// partial assignment with reason AbortCancel (or AbortDeadline if the
+	// context expired through its own deadline).
+	Ctx context.Context
+	// Timeout, when positive, bounds the wall-clock duration of the solve;
+	// exceeding it aborts with reason AbortDeadline. Two-phase baselines
+	// share one deadline across both phases.
+	Timeout time.Duration
+	// MaxFlips, when positive, bounds how many narrow→widen phase
+	// alternations the watchdog tolerates on any single unknown before
+	// aborting with reason AbortOscillation — the cheap early diagnosis of
+	// the ⊟ divergence pattern of Examples 1 and 2, which burns through an
+	// evaluation budget orders of magnitude more slowly.
+	MaxFlips int
+
+	// deadline pins the absolute wall-clock bound once the first phase of a
+	// chained run has started, so later phases do not restart the clock.
+	deadline time.Time
 }
 
 func (c Config) budget() int {
@@ -203,6 +292,14 @@ func (c Config) budget() int {
 		return math.MaxInt
 	}
 	return c.MaxEvals
+}
+
+// started resolves Timeout into an absolute deadline exactly once.
+func (c Config) started(now time.Time) Config {
+	if c.Timeout > 0 && c.deadline.IsZero() {
+		c.deadline = now.Add(c.Timeout)
+	}
+	return c
 }
 
 func (c Config) workers() int {

@@ -1,16 +1,18 @@
 package solver
 
-// pq is a binary min-heap keyed by int priorities with O(1) membership
+// pq is a binary min-heap keyed by int64 priorities with O(1) membership
 // dedup: pushing an element already in the queue is a no-op, matching the
-// add function of the paper's SW and SLR solvers.
+// add function of the paper's SW and SLR solvers. Keys are int64, not int:
+// the SLR⁺ priority bands live in bits 32 and up (see slrState.initVar), so
+// an int key would collapse every band to zero on 32-bit platforms.
 type pq[X comparable] struct {
 	heap []X
-	key  map[X]int
+	key  map[X]int64
 	pos  map[X]int // position in heap; presence marker
 }
 
 func newPQ[X comparable]() *pq[X] {
-	return &pq[X]{key: make(map[X]int), pos: make(map[X]int)}
+	return &pq[X]{key: make(map[X]int64), pos: make(map[X]int)}
 }
 
 func (q *pq[X]) empty() bool { return len(q.heap) == 0 }
@@ -18,10 +20,10 @@ func (q *pq[X]) empty() bool { return len(q.heap) == 0 }
 func (q *pq[X]) len() int { return len(q.heap) }
 
 // minKey returns the smallest key in the queue; the queue must be nonempty.
-func (q *pq[X]) minKey() int { return q.key[q.heap[0]] }
+func (q *pq[X]) minKey() int64 { return q.key[q.heap[0]] }
 
 // push inserts x with the given key unless already present.
-func (q *pq[X]) push(x X, key int) {
+func (q *pq[X]) push(x X, key int64) {
 	if _, in := q.pos[x]; in {
 		return
 	}

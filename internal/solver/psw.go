@@ -47,8 +47,11 @@ import (
 // concurrent use with Workers > 1: stateless operators (Op) are; the
 // stateful Degrading operator is not and requires Workers == 1.
 //
-// On budget exhaustion every worker stops at its next scheduling point and
-// the first error is returned together with the partial assignment.
+// On any abort — budget exhaustion, context cancellation, wall-clock
+// deadline or the oscillation watchdog — every worker stops at its next
+// scheduling point, the stratum DAG drains without deadlock (completed
+// strata release their successors, which the workers then skip), and the
+// first error is returned together with the partial assignment.
 func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
 	start := time.Now()
 	order := sys.Order()
@@ -57,16 +60,18 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 	comp, ncomp := tarjanSCC(adj)
 	strata := stratify(adj)
 
+	wd := newWatchdog[X](cfg)
 	r := &pswRun[X, D]{
 		sys:    sys,
 		l:      l,
-		op:     op,
+		op:     instrument(wd, l, op),
 		init:   init,
 		order:  order,
 		idx:    sys.Index(),
 		infl:   sys.Infl(),
 		vals:   make([]D, n),
 		budget: int64(cfg.budget()),
+		wd:     wd,
 	}
 	for i, x := range order {
 		r.vals[i] = init(x)
@@ -198,6 +203,7 @@ type pswRun[X comparable, D any] struct {
 	vals  []D
 
 	budget   int64
+	wd       *watchdog[X]
 	evals    atomic.Int64
 	updates  atomic.Int64
 	maxQueue atomic.Int64
@@ -210,7 +216,7 @@ type pswRun[X comparable, D any] struct {
 func (r *pswRun[X, D]) runStratum(s stratum) error {
 	q := newPQ[X]()
 	for i := s.lo; i <= s.hi; i++ {
-		q.push(r.order[i], i)
+		q.push(r.order[i], int64(i))
 	}
 	get := func(y X) D {
 		if j, ok := r.idx[y]; ok {
@@ -225,17 +231,27 @@ func (r *pswRun[X, D]) runStratum(s stratum) error {
 		}
 		x := q.popMin()
 		i := r.idx[x]
-		if r.evals.Add(1) > r.budget {
-			return ErrEvalBudget
+		n := r.evals.Add(1)
+		if n > r.budget {
+			// A bounded budget implies an armed watchdog; report the budget
+			// value itself, matching SW's "stopped at exactly MaxEvals" even
+			// when several workers trip the shared counter at once.
+			return r.wd.abort(AbortBudget, int(r.budget))
+		}
+		if err := r.wd.check(int(n - 1)); err != nil {
+			// The reserved slot was never used — undo it so Stats.Evals
+			// counts performed evaluations only.
+			r.evals.Add(-1)
+			return err
 		}
 		next := r.op.Apply(x, r.vals[i], r.sys.RHS(x)(get))
 		if !r.l.Eq(r.vals[i], next) {
 			r.vals[i] = next
 			r.updates.Add(1)
-			q.push(x, i)
+			q.push(x, int64(i))
 			for _, y := range r.infl[x] {
 				if j := r.idx[y]; j >= s.lo && j <= s.hi {
-					q.push(y, j)
+					q.push(y, int64(j))
 				}
 			}
 			if int64(q.len()) > localMax {

@@ -1,0 +1,134 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+)
+
+// gatedSystem builds a system whose "gate" unknown calls block() on every
+// evaluation: a handful of terminating counting loops plus a gate self-loop
+// that stabilizes at [0,0] after two evaluations. With a blocking hook the
+// gate holds its stratum open deterministically, so a test can cancel the
+// solve mid-stratum from outside; with a no-op hook the system terminates
+// and its solution certifies.
+func gatedSystem(block func()) *eqn.System[string, iv] {
+	l := lattice.Ints
+	sys := eqn.NewSystem[string, iv]()
+	for c := 0; c < 3; c++ {
+		h, b := fmt.Sprintf("h%d", c), fmt.Sprintf("b%d", c)
+		sys.Define(h, []string{b}, func(get func(string) iv) iv {
+			return l.Join(lattice.Singleton(0), get(b).Add(lattice.Singleton(1)))
+		})
+		sys.Define(b, []string{h}, func(get func(string) iv) iv {
+			return get(h).RestrictLt(lattice.Singleton(100))
+		})
+	}
+	sys.Define("gate", []string{"gate"}, func(get func(string) iv) iv {
+		block()
+		if get("gate").IsEmpty() {
+			return lattice.Singleton(0)
+		}
+		return get("gate")
+	})
+	return sys
+}
+
+// TestPSWCancellationMidStratum cancels a PSW solve from an external
+// goroutine while a worker is provably inside a stratum (blocked in the
+// gate's right-hand side), for every tier-1 worker count. The solve must
+// return an AbortCancel report with its partial assignment, the worker pool
+// must shut down without leaking goroutines, and rerunning the identical
+// workload without cancellation must produce a certified post-solution.
+func TestPSWCancellationMidStratum(t *testing.T) {
+	l := lattice.Ints
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			entered := make(chan struct{})
+			firstEntry := true
+			sys := gatedSystem(func() {
+				// The gate is confined to one stratum worker, so no lock is
+				// needed; signal the first entry, then hold the stratum open
+				// until the external cancel arrives.
+				if firstEntry {
+					firstEntry = false
+					close(entered)
+				}
+				<-ctx.Done()
+			})
+			go func() {
+				<-entered
+				cancel()
+			}()
+			sigma, _, err := PSW(sys, l, Op[string](Warrow[iv](l)), ivInit,
+				Config{Workers: workers, Ctx: ctx})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want cancellation", err)
+			}
+			rep, ok := ReportOf(err)
+			if !ok || rep.Reason != AbortCancel {
+				t.Fatalf("report = %+v (ok=%v), want reason cancel", rep, ok)
+			}
+			if sigma == nil {
+				t.Fatal("cancelled solve returned nil assignment, want the partial state")
+			}
+
+			// The pool must wind down: poll until the goroutine count returns
+			// to the pre-solve level (the canceller goroutine exits with us).
+			deadline := time.Now().Add(5 * time.Second)
+			for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if n := runtime.NumGoroutine(); n > before {
+				t.Fatalf("goroutine leak after cancellation: %d running, %d before the solve", n, before)
+			}
+
+			// The identical workload without cancellation terminates and
+			// certifies — graceful degradation is recoverable.
+			clean := gatedSystem(func() {})
+			full, _, err := PSW(clean, l, Op[string](Warrow[iv](l)), ivInit, Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("rerun without cancellation failed: %v", err)
+			}
+			if _, ok := eqn.IsPostSolution(l, clean, full, ivInit); !ok {
+				t.Fatal("rerun result is not a post-solution")
+			}
+		})
+	}
+}
+
+// TestPSWDeadlineMidStratum: the wall-clock bound takes the same controlled
+// shutdown path as cancellation — workers drain, the report says deadline,
+// and the error matches context.DeadlineExceeded.
+func TestPSWDeadlineMidStratum(t *testing.T) {
+	l := lattice.Ints
+	sys := oscillatorFarm(4)
+	for _, workers := range []int{1, 4} {
+		_, st, err := PSW(sys, l, Op[string](Warrow[iv](l)), ivInit,
+			Config{Workers: workers, Timeout: 5 * time.Millisecond})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("workers=%d: err = %v, want deadline abort", workers, err)
+		}
+		rep, ok := ReportOf(err)
+		if !ok || rep.Reason != AbortDeadline {
+			t.Fatalf("workers=%d: report = %+v (ok=%v), want reason deadline", workers, rep, ok)
+		}
+		// The report snapshots the counter at the abort; concurrent workers
+		// may legitimately finish evaluations after it, never fewer.
+		if rep.Evals > st.Evals {
+			t.Errorf("workers=%d: report Evals = %d exceeds stats %d", workers, rep.Evals, st.Evals)
+		}
+		if workers == 1 && rep.Evals != st.Evals {
+			t.Errorf("workers=1: report Evals = %d, stats %d, want exact agreement", rep.Evals, st.Evals)
+		}
+	}
+}

@@ -496,7 +496,7 @@ func TestPQRandom(t *testing.T) {
 		k := r.Intn(1000)
 		if _, in := keys[x]; !in {
 			keys[x] = k
-			q.push(x, k)
+			q.push(x, int64(k))
 		}
 		if r.Intn(3) == 0 && !q.empty() {
 			x := q.popMin()
