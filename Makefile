@@ -6,18 +6,28 @@ tier1:
 	go vet ./...
 	GOARCH=386 go build ./...
 
-# Tier-2: vet + race-checked tests + a bounded fuzz pass — the concurrency
-# gate for the parallel solver (PSW) and the differential solver harness.
+# Tier-2: vet + race-checked tests + the chaos smoke + a bounded fuzz pass —
+# the concurrency gate for the parallel solver (PSW), the differential
+# harness, and the fault-isolation layer.
 tier2:
 	go vet ./... && go test -race ./...
+	$(MAKE) chaos-smoke
 	$(MAKE) fuzz
 
-# Native fuzzing of the differential harness and the certifier (seed corpora
-# under internal/diffsolve/testdata/fuzz). Each target runs for FUZZTIME.
+# Chaos smoke: the seeded fault-injection property tests (every solver
+# completes certified or aborts with a resumable checkpoint; PSW pool
+# hygiene at workers 1/2/4/8) under the race detector.
+chaos-smoke:
+	go test -race -count=1 ./internal/chaos
+
+# Native fuzzing of the differential harness, the certifier, and the chaos
+# property (seed corpora under internal/*/testdata/fuzz). Each target runs
+# for FUZZTIME.
 FUZZTIME ?= 10s
 fuzz:
 	go test ./internal/diffsolve -run '^$$' -fuzz '^FuzzSolvers$$' -fuzztime $(FUZZTIME)
 	go test ./internal/diffsolve -run '^$$' -fuzz '^FuzzCertify$$' -fuzztime $(FUZZTIME)
+	go test ./internal/chaos -run '^$$' -fuzz '^FuzzChaos$$' -fuzztime $(FUZZTIME)
 
 # Race-check just the solver package (fast inner loop while touching PSW).
 race-solver:
@@ -27,4 +37,4 @@ race-solver:
 bench-psw:
 	go run ./cmd/bench -psw -json BENCH_psw.json
 
-.PHONY: tier1 tier2 fuzz race-solver bench-psw
+.PHONY: tier1 tier2 chaos-smoke fuzz race-solver bench-psw

@@ -29,6 +29,7 @@ func main() {
 	traces := flag.Bool("traces", false, "print Examples 1-4 solver traces")
 	ablations := flag.Bool("ablations", false, "run the ablation studies")
 	psw := flag.Bool("psw", false, "measure SW vs PSW at several worker counts")
+	faults := flag.Bool("faults", false, "measure the fault-isolation layer: checkpoint and retry overhead")
 	all := flag.Bool("all", false, "run everything")
 	workers := flag.Int("workers", 0, "harness worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write machine-readable perf rows to this file")
@@ -36,12 +37,12 @@ func main() {
 	flag.Parse()
 	experiments.SolveTimeout = *timeout
 
-	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*all {
+	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*faults && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig7, *table1, *traces, *ablations, *psw = true, true, true, true, true
+		*fig7, *table1, *traces, *ablations, *psw, *faults = true, true, true, true, true, true
 	}
 	var perf []experiments.PerfRow
 	if *traces {
@@ -79,6 +80,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("SW vs PSW on the synthetic wide system (8 independent loop nests):")
+		fmt.Println(experiments.FormatPerfRows(rows))
+		perf = append(perf, rows...)
+	}
+	if *faults {
+		rows, err := experiments.FaultOverhead(8, 3000, 24, 10000, 0.002)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faults:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Fault-isolation overhead on the synthetic wide system (SW):")
 		fmt.Println(experiments.FormatPerfRows(rows))
 		perf = append(perf, rows...)
 	}

@@ -17,6 +17,13 @@
 // With -escalate a diverging generic solver (rr, w) reruns its workload on
 // the terminating structured variant (srr, sw) and exits 0 when the rerun
 // succeeds.
+//
+// Aborted solves can checkpoint their state and resume later:
+//
+//	eqsolve -solver sw -op warrow -max-evals 5 -checkpoint /tmp/cp examples/systems/loop.eq
+//	eqsolve -solver sw -op warrow -resume /tmp/cp examples/systems/loop.eq
+//
+// and flaky right-hand sides can be retried with -retry.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 
 	"warrow/internal/certify"
+	"warrow/internal/ckptcodec"
 	"warrow/internal/eqdsl"
 	"warrow/internal/eqn"
 	"warrow/internal/lattice"
@@ -41,6 +49,11 @@ func main() {
 	maxFlips := flag.Int("max-flips", 0, "abort once any unknown alternates narrow→widen this often (0 = off)")
 	escalateFlag := flag.Bool("escalate", false, "on rr/w divergence, rerun on the structured variant (srr/sw)")
 	certifyFlag := flag.Bool("certify", false, "re-check the result as a post-solution (Lemma 1) and fail if it is not")
+	ckptPath := flag.String("checkpoint", "", "write the solver state to this file on abort (and periodically with -checkpoint-every)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "with -checkpoint: also snapshot every N evaluations (0 = on abort only)")
+	resumePath := flag.String("resume", "", "resume the solve from a checkpoint file written by -checkpoint")
+	retry := flag.Int("retry", 0, "attempts per right-hand-side evaluation; >1 retries transient failures")
+	retryBase := flag.Duration("retry-base", 0, "backoff before the second attempt, doubling per retry (0 = immediate)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -57,7 +70,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "eqsolve:", err)
 		os.Exit(1)
 	}
-	cfg := solver.Config{MaxEvals: *maxEvals, Workers: *workers, Timeout: *timeout, MaxFlips: *maxFlips}
+	cfg := solver.Config{
+		MaxEvals: *maxEvals, Workers: *workers, Timeout: *timeout, MaxFlips: *maxFlips,
+		Retry: solver.RetryPolicy{MaxAttempts: *retry, BaseDelay: *retryBase},
+	}
+	persist := persistence{path: *ckptPath, every: *ckptEvery, resume: *resumePath}
 	switch f.Domain {
 	case eqdsl.DomainNatInf:
 		sys, err := f.NatSystem()
@@ -65,14 +82,58 @@ func main() {
 			fatal(err)
 		}
 		run(f, sys, lattice.NatInf, *solverFlag, *opFlag, *query,
-			func(string) lattice.Nat { return lattice.NatOf(0) }, cfg, *certifyFlag, *escalateFlag)
+			func(string) lattice.Nat { return lattice.NatOf(0) }, cfg, *certifyFlag, *escalateFlag,
+			persist, natCodec())
 	case eqdsl.DomainInterval:
 		sys, err := f.IntervalSystem()
 		if err != nil {
 			fatal(err)
 		}
 		run(f, sys, lattice.Ints, *solverFlag, *opFlag, *query,
-			func(string) lattice.Interval { return lattice.EmptyInterval }, cfg, *certifyFlag, *escalateFlag)
+			func(string) lattice.Interval { return lattice.EmptyInterval }, cfg, *certifyFlag, *escalateFlag,
+			persist, intervalCodec())
+	}
+}
+
+// persistence bundles the -checkpoint/-checkpoint-every/-resume flags.
+type persistence struct {
+	path   string
+	every  int
+	resume string
+}
+
+// natCodec renders ℕ ∪ {∞} elements as "inf" or the decimal value.
+func natCodec() solver.Codec[string, lattice.Nat] {
+	return solver.Codec[string, lattice.Nat]{
+		EncodeX: func(x string) string { return x },
+		DecodeX: func(s string) (string, error) { return s, nil },
+		EncodeD: func(v lattice.Nat) string {
+			if v.IsInf() {
+				return "inf"
+			}
+			return fmt.Sprintf("%d", v.Val())
+		},
+		DecodeD: func(s string) (lattice.Nat, error) {
+			if s == "inf" {
+				return lattice.NatInfElem, nil
+			}
+			var v uint64
+			if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+				return lattice.Nat{}, fmt.Errorf("bad nat value %q", s)
+			}
+			return lattice.NatOf(v), nil
+		},
+	}
+}
+
+// intervalCodec renders intervals as "empty" or "lo..hi" with inf bounds,
+// sharing the wire rendering of the generated-system codecs.
+func intervalCodec() solver.Codec[string, lattice.Interval] {
+	return solver.Codec[string, lattice.Interval]{
+		EncodeX: func(x string) string { return x },
+		DecodeX: func(s string) (string, error) { return s, nil },
+		EncodeD: ckptcodec.EncodeInterval,
+		DecodeD: ckptcodec.DecodeInterval,
 	}
 }
 
@@ -87,7 +148,38 @@ func fatal(err error) {
 
 // run dispatches on solver and operator names for a concrete domain.
 func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
-	solverName, opName, query string, init func(string) D, cfg solver.Config, check, escalate bool) {
+	solverName, opName, query string, init func(string) D, cfg solver.Config, check, escalate bool,
+	persist persistence, codec solver.Codec[string, D]) {
+
+	writeCkpt := func(cp *solver.Checkpoint[string, D]) {
+		data, err := solver.MarshalCheckpoint(cp, codec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(persist.path, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if persist.resume != "" {
+		data, err := os.ReadFile(persist.resume)
+		if err != nil {
+			fatal(err)
+		}
+		cp, err := solver.UnmarshalCheckpoint[string, D](data, codec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Resume = cp
+		fmt.Printf("resuming %s from %s (%d evaluations done)\n", cp.Solver, persist.resume, cp.Evals)
+	}
+	if persist.path != "" && persist.every > 0 {
+		cfg.CheckpointEvery = persist.every
+		cfg.CheckpointSink = func(cp any) {
+			if typed, ok := cp.(*solver.Checkpoint[string, D]); ok {
+				writeCkpt(typed)
+			}
+		}
+	}
 
 	var combine solver.Combine[D]
 	switch opName {
@@ -135,6 +227,15 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 	if err != nil {
 		fmt.Printf("%s with %s: %v after %d evaluations (partial state below)\n",
 			solverName, opName, err, st.Evals)
+		if persist.path != "" {
+			if cp, ok := solver.CheckpointOf[string, D](err); ok {
+				writeCkpt(cp)
+				fmt.Printf("  checkpoint written to %s (%d evaluations done)\n", persist.path, cp.Evals)
+			}
+		}
+		// A checkpoint names the solver that wrote it; the structured
+		// variant must start fresh.
+		cfg.Resume = nil
 		if target := escalation[solverName]; escalate && target != "" {
 			fmt.Printf("  escalating %s → %s (the structured variant terminates where %s may diverge)\n",
 				solverName, target, solverName)

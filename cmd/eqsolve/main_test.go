@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"os/exec"
 	"strings"
 	"testing"
@@ -105,6 +106,80 @@ func TestEqsolveCertifyFlag(t *testing.T) {
 		if !strings.Contains(out, "certify:") || !strings.Contains(out, "certified") {
 			t.Errorf("%v: no certification line:\n%s", args, out)
 		}
+	}
+}
+
+// TestEqsolveCheckpointResume: interrupt SW on loop.eq with a tiny budget,
+// writing a checkpoint, then resume it to completion with certification.
+func TestEqsolveCheckpointResume(t *testing.T) {
+	cp := t.TempDir() + "/loop.cp"
+	out, err := runEqsolve(t, "-solver", "sw", "-op", "warrow", "-max-evals", "5",
+		"-checkpoint", cp, "../../examples/systems/loop.eq")
+	if err == nil {
+		t.Fatalf("expected budget abort:\n%s", out)
+	}
+	if !strings.Contains(out, "checkpoint written to "+cp) {
+		t.Fatalf("no checkpoint message:\n%s", out)
+	}
+	out, err = runEqsolve(t, "-solver", "sw", "-op", "warrow", "-certify",
+		"-resume", cp, "../../examples/systems/loop.eq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"resuming sw from " + cp, "solved", "certified", "[0,100]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEqsolveResumeRejectsWrongSolver: a checkpoint names the solver that
+// wrote it; resuming it with another solver must fail cleanly.
+func TestEqsolveResumeRejectsWrongSolver(t *testing.T) {
+	cp := t.TempDir() + "/loop.cp"
+	out, err := runEqsolve(t, "-solver", "sw", "-op", "warrow", "-max-evals", "5",
+		"-checkpoint", cp, "../../examples/systems/loop.eq")
+	if err == nil {
+		t.Fatalf("expected budget abort:\n%s", out)
+	}
+	out, err = runEqsolve(t, "-solver", "srr", "-op", "warrow", "-resume", cp,
+		"../../examples/systems/loop.eq")
+	if err == nil {
+		t.Fatalf("expected resume rejection:\n%s", out)
+	}
+	if !strings.Contains(out, "checkpoint") {
+		t.Errorf("no checkpoint diagnosis:\n%s", out)
+	}
+}
+
+// TestEqsolvePeriodicCheckpoint: -checkpoint-every snapshots mid-flight, so
+// a checkpoint file exists even when the run completes.
+func TestEqsolvePeriodicCheckpoint(t *testing.T) {
+	cp := t.TempDir() + "/loop.cp"
+	out, err := runEqsolve(t, "-solver", "sw", "-op", "warrow",
+		"-checkpoint", cp, "-checkpoint-every", "3", "../../examples/systems/loop.eq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatalf("no periodic checkpoint written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "warrow-checkpoint v1") {
+		t.Errorf("unexpected checkpoint header: %.40s", data)
+	}
+}
+
+// TestEqsolveRetryFlagAccepted: -retry wires a retry policy through the
+// solve; on a healthy system it must not change the outcome.
+func TestEqsolveRetryFlagAccepted(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "sw", "-op", "warrow", "-retry", "3",
+		"-retry-base", "1ms", "-certify", "../../examples/systems/loop.eq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "certified") {
+		t.Errorf("output:\n%s", out)
 	}
 }
 

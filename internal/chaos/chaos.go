@@ -1,0 +1,134 @@
+// Package chaos wraps finite equation systems with a deterministic fault
+// injector, so the solvers' fault-isolation layer can be exercised under
+// test: seeded panics (persistent faults), retryable transient failures
+// (panics wrapping solver.ErrTransient) and latency spikes, decided per
+// right-hand-side evaluation from (seed, unknown, per-unknown eval count)
+// alone. The same seed always injects the same fault schedule for the same
+// evaluation sequence, so single-solver failures reproduce exactly; under
+// PSW the schedule depends on the interleaving, which is precisely the
+// point — the pool must stay clean whichever worker trips the fault.
+//
+// The wrapper never alters values: a wrapped right-hand side either panics
+// before evaluating or returns exactly what the pristine one returns. Any
+// assignment a solver completes on the chaotic system is therefore a result
+// of the pristine system, and any checkpoint captured on abort resumes on
+// the pristine system (the wrapper preserves order and dependences, hence
+// the checkpoint fingerprint).
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"warrow/internal/eqn"
+	"warrow/internal/solver"
+)
+
+// Config tunes the injector. The zero value injects nothing.
+type Config struct {
+	// Seed fixes the fault schedule.
+	Seed uint64
+	// Transient is the per-evaluation probability of a retryable fault: a
+	// panic whose value wraps solver.ErrTransient.
+	Transient float64
+	// Persistent is the per-evaluation probability of a non-retryable fault:
+	// a plain panic that aborts the solve on the first attempt.
+	Persistent float64
+	// Latency is the per-evaluation probability of a latency spike.
+	Latency float64
+	// Delay is the spike duration; 0 means 200µs. Keep it small: spikes
+	// reorder PSW workers, they should not dominate test wall-clock.
+	Delay time.Duration
+	// MaxFaults caps the total number of injected faults (transient and
+	// persistent combined); 0 means unlimited. A cap lets retry-enabled runs
+	// provably drain the schedule and terminate.
+	MaxFaults int
+}
+
+// Injector is the mutable state behind one wrapped system: per-unknown
+// evaluation counters and fault tallies. Safe for concurrent use (PSW).
+type Injector struct {
+	cfg Config
+
+	mu          sync.Mutex
+	count       map[uint64]uint64
+	transients  int
+	persistents int
+	delays      int
+}
+
+// Counts reports how many transient faults, persistent faults and latency
+// spikes have been injected so far.
+func (in *Injector) Counts() (transients, persistents, delays int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.transients, in.persistents, in.delays
+}
+
+// Faults reports the total number of injected faults.
+func (in *Injector) Faults() int {
+	t, p, _ := in.Counts()
+	return t + p
+}
+
+// splitmix64 is the draw behind every injection decision.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit maps a draw to [0, 1).
+func unit(z uint64) float64 { return float64(z>>11) / (1 << 53) }
+
+// visit decides the fate of the n-th evaluation of unknown idx. It returns
+// a positive duration for a latency spike and panics for faults; the panic
+// happens outside the injector lock.
+func (in *Injector) visit(idx uint64, name string) {
+	in.mu.Lock()
+	n := in.count[idx]
+	in.count[idx] = n + 1
+	draw := unit(splitmix64(in.cfg.Seed ^ splitmix64(idx)<<1 ^ splitmix64(n)))
+	budget := in.cfg.MaxFaults == 0 || in.transients+in.persistents < in.cfg.MaxFaults
+	var fault error
+	var delay time.Duration
+	switch {
+	case budget && draw < in.cfg.Transient:
+		in.transients++
+		fault = fmt.Errorf("%w: chaos: injected fault at %s (eval %d)", solver.ErrTransient, name, n)
+	case budget && draw < in.cfg.Transient+in.cfg.Persistent:
+		in.persistents++
+		fault = fmt.Errorf("chaos: injected persistent fault at %s (eval %d)", name, n)
+	case draw < in.cfg.Transient+in.cfg.Persistent+in.cfg.Latency:
+		in.delays++
+		delay = in.cfg.Delay
+		if delay <= 0 {
+			delay = 200 * time.Microsecond
+		}
+	}
+	in.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fault != nil {
+		panic(fault)
+	}
+}
+
+// Wrap returns a chaotic view of sys — same unknowns, same order, same
+// dependences, same values — whose right-hand sides pass through the
+// injector before evaluating, plus the injector itself for inspection.
+func Wrap[X comparable, D any](sys *eqn.System[X, D], cfg Config) (*eqn.System[X, D], *Injector) {
+	in := &Injector{cfg: cfg, count: make(map[uint64]uint64)}
+	out := eqn.NewSystem[X, D]()
+	for i, x := range sys.Order() {
+		idx, name, rhs := uint64(i), fmt.Sprint(x), sys.RHS(x)
+		out.Define(x, sys.Deps(x), func(get func(X) D) D {
+			in.visit(idx, name)
+			return rhs(get)
+		})
+	}
+	return out, in
+}

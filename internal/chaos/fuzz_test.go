@@ -1,0 +1,65 @@
+package chaos_test
+
+import (
+	"testing"
+	"time"
+
+	"warrow/internal/chaos"
+	"warrow/internal/eqgen"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// FuzzChaos fuzzes the chaos property itself: one uint64 drives both the
+// generated system and the fault schedule, and every solver must either
+// complete with a certified post-solution or abort cleanly with a
+// checkpoint that resumes faithfully on the pristine system. Any escaped
+// panic, dirty abort, non-certifying result or failed resume is a finding.
+func FuzzChaos(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 7, 42, 0xdeadbeef, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		gcfg := eqgen.Config{
+			Seed: seed,
+			Dom:  eqgen.Domain(seed % 3),
+			N:    int(8 + seed%12),
+		}
+		if seed%5 == 0 {
+			gcfg.NonMonoDensity = 0.25
+		}
+		g := eqgen.New(gcfg)
+		ccfg := chaos.Config{
+			Seed:       seed ^ 0xc0ffee,
+			Transient:  float64(seed%4) * 0.05,
+			Persistent: float64(seed%3) * 0.01,
+			Latency:    0.02,
+			Delay:      10 * time.Microsecond,
+			MaxFaults:  int(seed % 64),
+		}
+		// Keep the budget small: diverging workloads burn it on every runner
+		// (chaotic run plus pristine resume), and the fuzzer treats a slow
+		// input as a hang.
+		scfg := solver.Config{
+			MaxEvals: 20_000,
+			Retry:    solver.RetryPolicy{MaxAttempts: 1 + int(seed%5), Seed: seed},
+		}
+		workers := []int{1 + int(seed%4)}
+		var err error
+		switch {
+		case g.Interval != nil:
+			_, err = chaos.Check(lattice.Ints, g.Interval,
+				ivInit(), ccfg, scfg, workers)
+		case g.Flat != nil:
+			_, err = chaos.Check(eqgen.FlatL, g.Flat,
+				func(int) lattice.Flat[int64] { return eqgen.FlatL.Bottom() }, ccfg, scfg, workers)
+		case g.Powerset != nil:
+			pl := eqgen.PowersetL()
+			_, err = chaos.Check(pl, g.Powerset,
+				func(int) lattice.Set[int] { return pl.Bottom() }, ccfg, scfg, workers)
+		}
+		if err != nil {
+			t.Fatalf("chaos property violated: %v", err)
+		}
+	})
+}

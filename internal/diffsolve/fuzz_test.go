@@ -34,9 +34,9 @@ func recipeFromWords(seed, knobs uint64) eqgen.Config {
 // be bit-identical to SW. A crash here is a reproduction recipe — the
 // failure message embeds the eqgen.Config that rebuilds the system.
 func FuzzSolvers(f *testing.F) {
-	f.Add(uint64(1), uint64(0))                     // defaults, interval
-	f.Add(uint64(2), uint64(1))                     // flat domain
-	f.Add(uint64(3), uint64(2))                     // powerset domain
+	f.Add(uint64(1), uint64(0))                      // defaults, interval
+	f.Add(uint64(2), uint64(1))                      // flat domain
+	f.Add(uint64(3), uint64(2))                      // powerset domain
 	f.Add(uint64(7), uint64(0x00_40_00_00_00_28_54)) // non-monotonic interval
 	f.Add(uint64(11), uint64(0x09_20_00_32_19_7d))   // forward edges, wide SCCs
 	f.Fuzz(func(t *testing.T, seed, knobs uint64) {
@@ -94,8 +94,8 @@ func certifyOracle[X comparable, D any](t *testing.T, l lattice.Lattice[D], sys 
 // unrelated constant), and demand the certifier agree with the independent
 // post-solution oracle — rejecting with precise, ⊑-violating evidence.
 func FuzzCertify(f *testing.F) {
-	f.Add(uint64(1), uint64(0), uint64(0))            // untouched solution, must accept
-	f.Add(uint64(2), uint64(0), uint64(1)<<32)        // lowered to ⊥
+	f.Add(uint64(1), uint64(0), uint64(0))               // untouched solution, must accept
+	f.Add(uint64(2), uint64(0), uint64(1)<<32)           // lowered to ⊥
 	f.Add(uint64(3), uint64(1), uint64(2)<<32|uint64(4)) // flat, raised high
 	f.Add(uint64(5), uint64(2), uint64(3)<<32|uint64(7)) // powerset, tweaked
 	f.Fuzz(func(t *testing.T, seed, knobs, mut uint64) {

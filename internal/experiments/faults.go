@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"warrow/internal/chaos"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// FaultOverhead measures what the fault-isolation layer costs on a healthy
+// workload and what it buys on a faulty one, all on the synthetic wide
+// system solved by SW:
+//
+//   - "sw": the plain solve — the recover barrier is always armed, so this
+//     row is the floor the isolation layer imposes on everyone;
+//   - "sw+ckpt": the solve snapshotting a checkpoint every ckptEvery
+//     evaluations into a discarding sink — the marginal cost of periodic
+//     durability;
+//   - "sw+chaos": the solve under seeded transient-fault injection healed
+//     by retries — the cost of surviving a faulty fact provider. The row's
+//     Evals must match the plain row (failed attempts never count), which
+//     the function verifies along with value equality across all rows.
+func FaultOverhead(comps, size, work, ckptEvery int, faultRate float64) ([]PerfRow, error) {
+	l := lattice.Ints
+	sys := WideSystem(comps, size, work)
+	init := func(WideKey) lattice.Interval { return lattice.EmptyInterval }
+	op := func() solver.Operator[WideKey, lattice.Interval] {
+		return solver.Op[WideKey](solver.Warrow[lattice.Interval](l))
+	}
+	name := fmt.Sprintf("wide(%dx%d,work=%d)", comps, size, work)
+
+	start := time.Now()
+	want, st, err := solver.SW(sys, l, op(), init, solver.Config{Timeout: SolveTimeout})
+	if err != nil {
+		return nil, fmt.Errorf("%s: SW: %w", name, err)
+	}
+	rows := []PerfRow{{
+		Name: name, Solver: "sw", Workers: 1,
+		WallNs: time.Since(start).Nanoseconds(),
+		Evals:  st.Evals, Updates: st.Updates, Unknowns: st.Unknowns,
+	}}
+	same := func(variant string, sigma map[WideKey]lattice.Interval) error {
+		for _, x := range sys.Order() {
+			if !l.Eq(sigma[x], want[x]) {
+				return fmt.Errorf("%s: %s: σ[%v] = %s, plain SW has %s",
+					name, variant, x, sigma[x], want[x])
+			}
+		}
+		return nil
+	}
+
+	snapshots := 0
+	start = time.Now()
+	sigma, cst, err := solver.SW(sys, l, op(), init, solver.Config{
+		Timeout:         SolveTimeout,
+		CheckpointEvery: ckptEvery,
+		CheckpointSink:  func(any) { snapshots++ },
+	})
+	if err != nil {
+		return rows, fmt.Errorf("%s: SW+ckpt: %w", name, err)
+	}
+	if err := same("sw+ckpt", sigma); err != nil {
+		return rows, err
+	}
+	if snapshots == 0 {
+		return rows, fmt.Errorf("%s: SW+ckpt: no snapshots taken", name)
+	}
+	rows = append(rows, PerfRow{
+		Name: name, Solver: "sw+ckpt", Workers: 1,
+		WallNs: time.Since(start).Nanoseconds(),
+		Evals:  cst.Evals, Updates: cst.Updates, Unknowns: cst.Unknowns,
+	})
+
+	chaotic, inj := chaos.Wrap(sys, chaos.Config{Seed: 1, Transient: faultRate})
+	start = time.Now()
+	sigma, fst, err := solver.SW(chaotic, l, op(), init, solver.Config{
+		Timeout: SolveTimeout,
+		Retry:   solver.RetryPolicy{MaxAttempts: 20, Seed: 1},
+	})
+	if err != nil {
+		return rows, fmt.Errorf("%s: SW+chaos: %w", name, err)
+	}
+	if err := same("sw+chaos", sigma); err != nil {
+		return rows, err
+	}
+	if fst.Evals != st.Evals {
+		return rows, fmt.Errorf("%s: SW+chaos: %d evals, plain SW has %d (failed attempts must not count)",
+			name, fst.Evals, st.Evals)
+	}
+	if fst.Retries == 0 || inj.Faults() == 0 {
+		return rows, fmt.Errorf("%s: SW+chaos: no faults healed (retries=%d, injected=%d)",
+			name, fst.Retries, inj.Faults())
+	}
+	rows = append(rows, PerfRow{
+		Name: name, Solver: "sw+chaos", Workers: 1,
+		WallNs: time.Since(start).Nanoseconds(),
+		Evals:  fst.Evals, Updates: fst.Updates, Unknowns: fst.Unknowns,
+	})
+	return rows, nil
+}

@@ -29,6 +29,10 @@ const (
 	// unstructured solvers (Examples 1 and 2) and of self-feeding globals
 	// under SLR⁺.
 	AbortOscillation
+	// AbortEvalFailure: a right-hand-side evaluation panicked or failed and
+	// was not healed by the retry policy; the failing unknown is pinned in
+	// AbortReport.Failure.
+	AbortEvalFailure
 )
 
 // String renders the reason.
@@ -42,6 +46,8 @@ func (r AbortReason) String() string {
 		return "cancel"
 	case AbortOscillation:
 		return "oscillation"
+	case AbortEvalFailure:
+		return "eval-failure"
 	default:
 		return "?"
 	}
@@ -82,6 +88,13 @@ type AbortReport struct {
 	// A heavy tail here is the oscillation fingerprint; an empty histogram
 	// with a huge Evals count points at slow convergence instead.
 	FlipHist Hist
+	// Failure pins the failing evaluation on AbortEvalFailure aborts: the
+	// unknown, the attempt count, and the recovered cause.
+	Failure *EvalError
+	// Checkpoint, when non-nil, is the *Checkpoint[X, D] captured at the
+	// abort's scheduling point; extract it with CheckpointOf. It is typed
+	// any because reports are element-type-agnostic.
+	Checkpoint any
 }
 
 // String renders a one-line summary of the report.
@@ -89,6 +102,9 @@ func (r AbortReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "aborted (%s) after %d evals in %v: %d widens, %d narrows",
 		r.Reason, r.Evals, r.Elapsed.Round(time.Microsecond), r.Widens, r.Narrows)
+	if r.Failure != nil {
+		fmt.Fprintf(&b, "; failed unknown %s (attempt %d): %v", r.Failure.Unknown, r.Failure.Attempt, r.Failure.Cause)
+	}
 	for i, h := range r.Hottest {
 		if i == 0 {
 			b.WriteString("; hottest:")
@@ -119,9 +135,21 @@ func (e *AbortError) Error() string {
 		return "solver: cancelled; " + e.Report.String()
 	case AbortOscillation:
 		return "solver: divergence watchdog tripped; " + e.Report.String()
+	case AbortEvalFailure:
+		return "solver: right-hand side failed; " + e.Report.String()
 	default:
 		return "solver: " + e.Report.String()
 	}
+}
+
+// Unwrap exposes the failing evaluation of an AbortEvalFailure abort, so
+// errors.As finds the *EvalError and errors.Is sees its cause chain
+// (ErrTransient for injected faults). Other aborts unwrap to nothing.
+func (e *AbortError) Unwrap() error {
+	if e.Report.Failure != nil {
+		return e.Report.Failure
+	}
+	return nil
 }
 
 // Is implements the errors.Is protocol (see AbortError). Two AbortErrors
@@ -174,6 +202,11 @@ type watchdog[X comparable] struct {
 	maxFlips int
 	start    time.Time
 
+	// idx maps unknowns to their linear-order index for deterministic
+	// tie-breaking in AbortReport.Hottest; nil for local solvers, which
+	// fall back to the rendered unknown.
+	idx map[X]int
+
 	mu      sync.Mutex
 	updates map[X]int
 	last    map[X]Phase
@@ -187,11 +220,22 @@ type watchdog[X comparable] struct {
 }
 
 // newWatchdog arms a watchdog for cfg, or returns nil when cfg imposes no
-// bound at all.
-func newWatchdog[X comparable](cfg Config) *watchdog[X] {
+// bound at all. order, when non-nil, is the solver's linear order; the
+// watchdog uses it to break hottest-unknown ties by index, so reports are
+// stable even when concurrent schedules (PSW) observe updates in different
+// interleavings. Local solvers pass nil and tie-break on the rendered
+// unknown.
+func newWatchdog[X comparable](cfg Config, order []X) *watchdog[X] {
 	cfg = cfg.started(time.Now())
 	if cfg.MaxEvals <= 0 && cfg.Ctx == nil && cfg.deadline.IsZero() && cfg.MaxFlips <= 0 {
 		return nil
+	}
+	var idx map[X]int
+	if order != nil {
+		idx = make(map[X]int, len(order))
+		for i, x := range order {
+			idx[x] = i
+		}
 	}
 	return &watchdog[X]{
 		budget:   cfg.budget(),
@@ -199,6 +243,7 @@ func newWatchdog[X comparable](cfg Config) *watchdog[X] {
 		deadline: cfg.deadline,
 		maxFlips: cfg.MaxFlips,
 		start:    time.Now(),
+		idx:      idx,
 		updates:  make(map[X]int),
 		last:     make(map[X]Phase),
 		flips:    make(map[X]int),
@@ -268,6 +313,21 @@ func (w *watchdog[X]) check(evals int) error {
 	return nil
 }
 
+// failEval turns a persistent evaluation failure into an AbortEvalFailure
+// abort with the failing unknown pinned. Unlike every other abort reason,
+// evaluation failures do not require an armed watchdog — panic isolation is
+// unconditional — so a nil receiver builds a minimal report.
+func (w *watchdog[X]) failEval(ee *EvalError, evals int) error {
+	if w == nil {
+		return &AbortError{Report: AbortReport{Reason: AbortEvalFailure, Evals: evals, Failure: ee}}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.abortLocked(AbortEvalFailure, evals)
+	err.(*AbortError).Report.Failure = ee
+	return err
+}
+
 // abort builds the abort error from outside the lock (PSW's budget path,
 // which accounts evaluations atomically rather than through check). On a
 // nil watchdog it degrades to the bare sentinel.
@@ -303,7 +363,12 @@ func (w *watchdog[X]) abortLocked(reason AbortReason, evals int) error {
 		if hottest[i].n != hottest[j].n {
 			return hottest[i].n > hottest[j].n
 		}
-		// Tie-break on the rendered unknown for deterministic reports.
+		// Break ties by linear-order index where the solver supplied one,
+		// so tied update counts render in a stable, index-consistent order;
+		// local solvers fall back to the rendered unknown.
+		if w.idx != nil {
+			return w.idx[hottest[i].x] < w.idx[hottest[j].x]
+		}
 		return fmt.Sprint(hottest[i].x) < fmt.Sprint(hottest[j].x)
 	})
 	if len(hottest) > maxHotUnknowns {

@@ -185,10 +185,10 @@ func TestBudgetAbortCarriesReport(t *testing.T) {
 // TestUnboundedConfigHasNilWatchdog: a Config with no bound at all must not
 // arm the watchdog, so unbounded benchmark runs pay zero instrumentation.
 func TestUnboundedConfigHasNilWatchdog(t *testing.T) {
-	if wd := newWatchdog[string](Config{}); wd != nil {
+	if wd := newWatchdog[string](Config{}, nil); wd != nil {
 		t.Fatal("newWatchdog(Config{}) != nil, unbounded runs would pay for instrumentation")
 	}
-	if wd := newWatchdog[string](Config{MaxFlips: 1}); wd == nil {
+	if wd := newWatchdog[string](Config{MaxFlips: 1}, nil); wd == nil {
 		t.Fatal("newWatchdog with MaxFlips = nil, the oscillation bound is ignored")
 	}
 	var wd *watchdog[string]

@@ -18,6 +18,12 @@ func twoPhases[X comparable, D any](init func(X) D, cfg Config,
 	// Pin the wall-clock deadline before the first phase so both phases
 	// share one bound instead of each restarting the clock.
 	cfg = cfg.started(time.Now())
+	// Checkpoint/resume applies to direct solver entry points only: the
+	// phases are internal runs whose checkpoints would carry the inner
+	// solver's name and confuse a resume of the baseline.
+	cfg.Resume = nil
+	cfg.CheckpointEvery = 0
+	cfg.CheckpointSink = nil
 	up, err := run(upOp, init, cfg)
 	if err != nil {
 		return up, err
@@ -97,6 +103,7 @@ func addStats(a, b Stats) Stats {
 		Evals:    a.Evals + b.Evals,
 		Updates:  a.Updates + b.Updates,
 		Rounds:   a.Rounds + b.Rounds,
+		Retries:  a.Retries + b.Retries,
 		Unknowns: max(a.Unknowns, b.Unknowns),
 		MaxQueue: max(a.MaxQueue, b.MaxQueue),
 		WallNs:   a.WallNs + b.WallNs,

@@ -1,6 +1,9 @@
 package solver
 
 import (
+	"fmt"
+	"sort"
+
 	"warrow/internal/eqn"
 	"warrow/internal/lattice"
 )
@@ -17,19 +20,56 @@ import (
 // Evals on bounded runs (an abort at an exact sweep boundary, before the
 // first evaluation of the next sweep, does not start a new round).
 func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	wd := newWatchdog[X](cfg)
+	order := sys.Order()
+	wd := newWatchdog(cfg, order)
 	op = instrument(wd, l, op)
+	g := newEvalGuard(cfg)
+	ck := newCkptSink(cfg)
 	var st Stats
-	sigma := make(map[X]D, sys.Len())
-	for _, x := range sys.Order() {
+	sigma := make(map[X]D, len(order))
+	for _, x := range order {
 		sigma[x] = init(x)
 	}
-	st.Unknowns = sys.Len()
+	st.Unknowns = len(order)
+	start, dirty := 0, false
+	if cp, err := resumeCheckpoint[X, D](cfg, "rr", Fingerprint(sys)); err != nil {
+		return sigma, st, err
+	} else if cp != nil {
+		for x, v := range cp.sigmaMap() {
+			sigma[x] = v
+		}
+		cp.restoreStats(&st)
+		start, dirty = cp.Cursor, cp.Dirty
+		if start < 0 || start >= len(order) {
+			return sigma, st, fmt.Errorf("%w: rr cursor %d out of range", ErrBadCheckpoint, start)
+		}
+	}
+	// capture snapshots the interrupted sweep: k is the order index of the
+	// next unknown to evaluate, dirty whether the sweep already changed
+	// something. Captured only at scheduling points, never mid-evaluation.
+	capture := func(k int, dirty bool) *Checkpoint[X, D] {
+		c := snapshotGlobal("rr", sys, sigma, st)
+		c.Cursor, c.Dirty = k, dirty
+		return c
+	}
 	for {
-		dirty := false
 		evaled := false
-		for _, x := range sys.Order() {
+		for k := start; k < len(order); k++ {
+			x := order[k]
 			if err := wd.check(st.Evals); err != nil {
+				err = attachCheckpoint(err, capture(k, dirty))
+				if evaled {
+					st.Rounds++
+				}
+				return sigma, st, err
+			}
+			if ck.due(st.Evals) {
+				ck.emit(st.Evals, capture(k, dirty))
+			}
+			rhsVal, attempts, ee := guardedEval(g, x, func() D { return sys.Eval(x, sigma, init) })
+			st.Retries += attempts - 1
+			if ee != nil {
+				err := attachCheckpoint(wd.failEval(ee, st.Evals), capture(k, dirty))
 				if evaled {
 					st.Rounds++
 				}
@@ -37,17 +77,19 @@ func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 			}
 			st.Evals++
 			evaled = true
-			next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
+			next := op.Apply(x, sigma[x], rhsVal)
 			if !l.Eq(sigma[x], next) {
 				sigma[x] = next
 				st.Updates++
 				dirty = true
 			}
 		}
+		start = 0
 		st.Rounds++
 		if !dirty {
 			return sigma, st, nil
 		}
+		dirty = false
 	}
 }
 
@@ -57,40 +99,72 @@ func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 // solver, but with ⊟ it may fail to terminate even on finite monotonic
 // systems (Example 2).
 func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	wd := newWatchdog[X](cfg)
+	order := sys.Order()
+	wd := newWatchdog(cfg, order)
 	op = instrument(wd, l, op)
+	g := newEvalGuard(cfg)
+	ck := newCkptSink(cfg)
 	var st Stats
-	sigma := make(map[X]D, sys.Len())
-	for _, x := range sys.Order() {
+	sigma := make(map[X]D, len(order))
+	for _, x := range order {
 		sigma[x] = init(x)
 	}
-	st.Unknowns = sys.Len()
+	st.Unknowns = len(order)
 	infl := sys.Infl()
 
-	stack := make([]X, 0, sys.Len())
-	present := make(map[X]bool, sys.Len())
+	stack := make([]X, 0, len(order))
+	present := make(map[X]bool, len(order))
 	push := func(x X) {
 		if !present[x] {
 			present[x] = true
 			stack = append(stack, x)
 		}
 	}
-	// Push in reverse so that x₁ is on top initially, matching the paper's
-	// trace W = [x₁, x₂] where x₁ is extracted first.
-	order := sys.Order()
-	for i := len(order) - 1; i >= 0; i-- {
-		push(order[i])
+	if cp, err := resumeCheckpoint[X, D](cfg, "w", Fingerprint(sys)); err != nil {
+		return sigma, st, err
+	} else if cp != nil {
+		for x, v := range cp.sigmaMap() {
+			sigma[x] = v
+		}
+		cp.restoreStats(&st)
+		// cp.Queue holds the stack bottom-to-top; pushing in order restores
+		// the exact LIFO state.
+		for _, x := range cp.Queue {
+			push(x)
+		}
+	} else {
+		// Push in reverse so that x₁ is on top initially, matching the
+		// paper's trace W = [x₁, x₂] where x₁ is extracted first.
+		for i := len(order) - 1; i >= 0; i-- {
+			push(order[i])
+		}
+		st.MaxQueue = len(stack)
 	}
-	st.MaxQueue = len(stack)
+	capture := func() *Checkpoint[X, D] {
+		c := snapshotGlobal("w", sys, sigma, st)
+		c.Queue = append([]X(nil), stack...)
+		return c
+	}
 	for len(stack) > 0 {
+		if err := wd.check(st.Evals); err != nil {
+			return sigma, st, attachCheckpoint(err, capture())
+		}
+		if ck.due(st.Evals) {
+			ck.emit(st.Evals, capture())
+		}
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		present[x] = false
-		if err := wd.check(st.Evals); err != nil {
-			return sigma, st, err
+		rhsVal, attempts, ee := guardedEval(g, x, func() D { return sys.Eval(x, sigma, init) })
+		st.Retries += attempts - 1
+		if ee != nil {
+			// The failed evaluation never happened: keep x scheduled so the
+			// checkpoint resumes by re-evaluating it.
+			push(x)
+			return sigma, st, attachCheckpoint(wd.failEval(ee, st.Evals), capture())
 		}
 		st.Evals++
-		next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
+		next := op.Apply(x, sigma[x], rhsVal)
 		if !l.Eq(sigma[x], next) {
 			sigma[x] = next
 			st.Updates++
@@ -112,31 +186,73 @@ func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Oper
 // solver and, instantiated with ⊟, terminates for every finite monotonic
 // system (Theorem 1) — with bounded lattice height it needs at most
 // n + (h/2)·n·(n+1) evaluations.
+//
+// SRR's whole scheduling state at an abort is the innermost recursion frame
+// (every outer frame is parked at its recursive call), so a checkpoint is
+// just the assignment plus that frame index; resume re-enters the stack
+// frames from the outside in and continues the interrupted iteration
+// exactly — the resumed run is bit-identical to an uninterrupted one.
 func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	wd := newWatchdog[X](cfg)
-	op = instrument(wd, l, op)
-	var st Stats
 	order := sys.Order()
+	wd := newWatchdog(cfg, order)
+	op = instrument(wd, l, op)
+	g := newEvalGuard(cfg)
+	ck := newCkptSink(cfg)
+	var st Stats
 	sigma := make(map[X]D, len(order))
 	for _, x := range order {
 		sigma[x] = init(x)
 	}
 	st.Unknowns = len(order)
-	var solve func(i int) error
-	solve = func(i int) error {
+	resumeLevel := 0
+	if cp, err := resumeCheckpoint[X, D](cfg, "srr", Fingerprint(sys)); err != nil {
+		return sigma, st, err
+	} else if cp != nil {
+		for x, v := range cp.sigmaMap() {
+			sigma[x] = v
+		}
+		cp.restoreStats(&st)
+		resumeLevel = cp.Cursor
+		if resumeLevel < 1 || resumeLevel > len(order) {
+			return sigma, st, fmt.Errorf("%w: srr cursor %d out of range", ErrBadCheckpoint, resumeLevel)
+		}
+	}
+	capture := func(i int) *Checkpoint[X, D] {
+		c := snapshotGlobal("srr", sys, sigma, st)
+		c.Cursor = i
+		return c
+	}
+	var solve func(i int, resumed bool) error
+	solve = func(i int, resumed bool) error {
 		if i == 0 {
 			return nil
 		}
+		first := resumed
 		for {
-			if err := solve(i - 1); err != nil {
-				return err
+			// On the first iteration of a resumed frame, the recursive call
+			// is the one that was in flight at the checkpoint: re-enter it
+			// resumed too, except at the innermost frame, which had already
+			// completed it and was parked at the evaluation.
+			if !(first && i == resumeLevel) {
+				if err := solve(i-1, first && i > resumeLevel); err != nil {
+					return err
+				}
 			}
+			first = false
 			x := order[i-1]
 			if err := wd.check(st.Evals); err != nil {
-				return err
+				return attachCheckpoint(err, capture(i))
+			}
+			if ck.due(st.Evals) {
+				ck.emit(st.Evals, capture(i))
+			}
+			rhsVal, attempts, ee := guardedEval(g, x, func() D { return sys.Eval(x, sigma, init) })
+			st.Retries += attempts - 1
+			if ee != nil {
+				return attachCheckpoint(wd.failEval(ee, st.Evals), capture(i))
 			}
 			st.Evals++
-			next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
+			next := op.Apply(x, sigma[x], rhsVal)
 			if l.Eq(sigma[x], next) {
 				return nil
 			}
@@ -144,7 +260,7 @@ func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 			st.Updates++
 		}
 	}
-	err := solve(len(order))
+	err := solve(len(order), resumeLevel > 0)
 	return sigma, st, err
 }
 
@@ -154,10 +270,12 @@ func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 // generic solver and, instantiated with ⊟, terminates for every finite
 // monotonic system (Theorem 2).
 func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	wd := newWatchdog[X](cfg)
-	op = instrument(wd, l, op)
-	var st Stats
 	order := sys.Order()
+	wd := newWatchdog(cfg, order)
+	op = instrument(wd, l, op)
+	g := newEvalGuard(cfg)
+	ck := newCkptSink(cfg)
+	var st Stats
 	sigma := make(map[X]D, len(order))
 	idx := make(map[X]int, len(order))
 	for i, x := range order {
@@ -168,17 +286,47 @@ func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 	infl := sys.Infl()
 
 	q := newPQ[X]()
-	for _, x := range order {
-		q.push(x, int64(idx[x]))
+	if cp, err := resumeCheckpoint[X, D](cfg, "sw", Fingerprint(sys)); err != nil {
+		return sigma, st, err
+	} else if cp != nil {
+		for x, v := range cp.sigmaMap() {
+			sigma[x] = v
+		}
+		cp.restoreStats(&st)
+		for _, x := range cp.Queue {
+			q.push(x, int64(idx[x]))
+		}
+	} else {
+		for _, x := range order {
+			q.push(x, int64(idx[x]))
+		}
+		st.MaxQueue = q.len()
 	}
-	st.MaxQueue = q.len()
+	capture := func() *Checkpoint[X, D] {
+		c := snapshotGlobal("sw", sys, sigma, st)
+		queued := append([]X(nil), q.heap...)
+		sort.Slice(queued, func(i, j int) bool { return idx[queued[i]] < idx[queued[j]] })
+		c.Queue = queued
+		return c
+	}
 	for !q.empty() {
-		x := q.popMin()
 		if err := wd.check(st.Evals); err != nil {
-			return sigma, st, err
+			return sigma, st, attachCheckpoint(err, capture())
+		}
+		if ck.due(st.Evals) {
+			ck.emit(st.Evals, capture())
+		}
+		x := q.popMin()
+		rhsVal, attempts, ee := guardedEval(g, x, func() D { return sys.Eval(x, sigma, init) })
+		st.Retries += attempts - 1
+		if ee != nil {
+			// The failed evaluation never happened: keep x scheduled so the
+			// checkpoint resumes by re-evaluating it.
+			q.push(x, int64(idx[x]))
+			return sigma, st, attachCheckpoint(wd.failEval(ee, st.Evals), capture())
 		}
 		st.Evals++
-		next := op.Apply(x, sigma[x], sys.Eval(x, sigma, init))
+		next := op.Apply(x, sigma[x], rhsVal)
 		if !l.Eq(sigma[x], next) {
 			sigma[x] = next
 			st.Updates++

@@ -21,11 +21,32 @@ type Result[X comparable, D any] struct {
 // right-hand side may mix values from several intermediate assignments, so
 // with a non-trivial ⊞ (such as ⊟) it is not guaranteed to return a
 // ⊞-solution even when it terminates. Use SLR instead.
+//
+// Aborts attach a warm-restart checkpoint (the assignment in discovery
+// order); Config.Resume seeds σ₀ from it, restarting iteration from the
+// checkpointed values — the localized-restart argument of Amato et al.
+// makes the restarted run's result as sound as an uninterrupted one, but
+// its eval counts are its own.
 func RLD[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, x0 X, cfg Config) (Result[X, D], error) {
-	wd := newWatchdog[X](cfg)
+	if cp, err := resumeCheckpoint[X, D](cfg, "rld", 0); err != nil {
+		return Result[X, D]{Values: map[X]D{}}, err
+	} else if cp != nil {
+		init = cp.overlayInit(init)
+	}
+	wd := newWatchdog[X](cfg, nil)
 	op = instrument(wd, l, op)
+	g := newEvalGuard(cfg)
+	ck := newCkptSink(cfg)
 	var st Stats
 	sigma := make(map[X]D)
+	var dom []X // discovery order of sigma's keys, for deterministic snapshots
+	set := func(x X, v D) {
+		if _, ok := sigma[x]; !ok {
+			dom = append(dom, x)
+		}
+		sigma[x] = v
+	}
+	capture := func() *Checkpoint[X, D] { return snapshotLocal("rld", dom, sigma, st) }
 	infl := make(map[X][]X)
 	stable := make(map[X]bool)
 	get := func(y X) D {
@@ -43,12 +64,15 @@ func RLD[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 		rhs := sys(x)
 		if rhs == nil {
 			if _, ok := sigma[x]; !ok {
-				sigma[x] = init(x)
+				set(x, init(x))
 			}
 			return nil
 		}
 		if err := wd.check(st.Evals); err != nil {
 			return err
+		}
+		if ck.due(st.Evals) {
+			ck.emit(st.Evals, capture())
 		}
 		st.Evals++
 		var evalErr error
@@ -59,13 +83,22 @@ func RLD[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 			infl[y] = append(infl[y], x)
 			return get(y)
 		}
-		tmp := op.Apply(x, get(x), rhs(eval))
+		rhsVal, attempts, ee := guardedEval(g, x, func() D { return rhs(eval) })
+		st.Retries += attempts - 1
+		if ee != nil {
+			// The failed evaluation never happened; roll its count back.
+			// Evaluations of unknowns discovered during failed attempts did
+			// happen and stand.
+			st.Evals--
+			return wd.failEval(ee, st.Evals)
+		}
+		tmp := op.Apply(x, get(x), rhsVal)
 		if evalErr != nil {
 			return evalErr
 		}
 		if !l.Eq(tmp, get(x)) {
 			w := infl[x]
-			sigma[x] = tmp
+			set(x, tmp)
 			st.Updates++
 			infl[x] = nil
 			for _, y := range w {
@@ -77,25 +110,32 @@ func RLD[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 				}
 			}
 		} else {
-			sigma[x] = tmp
+			set(x, tmp)
 		}
 		return nil
 	}
 	err := solve(x0)
+	if err != nil {
+		err = attachCheckpoint(err, capture())
+	}
 	st.Unknowns = len(sigma)
 	return Result[X, D]{Values: sigma, Stats: st}, err
 }
 
 // slrState is the shared machinery of SLR and SLR⁺.
 type slrState[X comparable, D any] struct {
+	name string
 	l    lattice.Lattice[D]
 	op   Operator[X, D]
 	init func(X) D
 	band func(X) int
 	wd   *watchdog[X]
+	g    *evalGuard
+	ck   *ckptSink
 	st   Stats
 
 	sigma  map[X]D
+	dom    []X // discovery order, for deterministic snapshots
 	infl   map[X]map[X]bool
 	stable map[X]bool
 	key    map[X]int64
@@ -103,20 +143,28 @@ type slrState[X comparable, D any] struct {
 	q      *pq[X]
 }
 
-func newSLRState[X comparable, D any](l lattice.Lattice[D], op Operator[X, D], init func(X) D, band func(X) int, cfg Config) *slrState[X, D] {
-	wd := newWatchdog[X](cfg)
+func newSLRState[X comparable, D any](name string, l lattice.Lattice[D], op Operator[X, D], init func(X) D, band func(X) int, cfg Config) *slrState[X, D] {
+	wd := newWatchdog[X](cfg, nil)
 	return &slrState[X, D]{
+		name:   name,
 		l:      l,
 		op:     instrument(wd, l, op),
 		init:   init,
 		band:   band,
 		wd:     wd,
+		g:      newEvalGuard(cfg),
+		ck:     newCkptSink(cfg),
 		sigma:  make(map[X]D),
 		infl:   make(map[X]map[X]bool),
 		stable: make(map[X]bool),
 		key:    make(map[X]int64),
 		q:      newPQ[X](),
 	}
+}
+
+// capture snapshots the current partial assignment for a warm restart.
+func (s *slrState[X, D]) capture() *Checkpoint[X, D] {
+	return snapshotLocal(s.name, s.dom, s.sigma, s.st)
 }
 
 // inDom reports whether y has been initialized.
@@ -140,6 +188,7 @@ func (s *slrState[X, D]) initVar(y X) {
 	s.count++
 	s.infl[y] = map[X]bool{y: true}
 	s.sigma[y] = s.init(y)
+	s.dom = append(s.dom, y)
 }
 
 // bandKey computes the priority key for the count-th discovered unknown of
@@ -192,8 +241,15 @@ func (s *slrState[X, D]) drain(bound int64, solve func(X, bool) error) error {
 // termination it returns a partial ⊞-solution whose domain contains x0
 // (Theorem 3.1), and with ⊟ it terminates whenever the system is monotonic
 // and only finitely many unknowns are encountered (Theorem 3.2).
+//
+// Aborts attach a warm-restart checkpoint; see RLD for the resume contract.
 func SLR[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, x0 X, cfg Config) (Result[X, D], error) {
-	s := newSLRState(l, op, init, nil, cfg)
+	if cp, err := resumeCheckpoint[X, D](cfg, "slr", 0); err != nil {
+		return Result[X, D]{Values: map[X]D{}}, err
+	} else if cp != nil {
+		init = cp.overlayInit(init)
+	}
+	s := newSLRState("slr", l, op, init, nil, cfg)
 	var solve func(x X, drainAfter bool) error
 	solve = func(x X, drainAfter bool) error {
 		if s.stable[x] {
@@ -207,6 +263,9 @@ func SLR[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 		if err := s.wd.check(s.st.Evals); err != nil {
 			return err
 		}
+		if s.ck.due(s.st.Evals) {
+			s.ck.emit(s.st.Evals, s.capture())
+		}
 		s.st.Evals++
 		var evalErr error
 		eval := func(y X) D {
@@ -219,7 +278,16 @@ func SLR[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 			s.infl[y][x] = true
 			return s.sigma[y]
 		}
-		tmp := s.op.Apply(x, s.sigma[x], rhs(eval))
+		rhsVal, attempts, ee := guardedEval(s.g, x, func() D { return rhs(eval) })
+		s.st.Retries += attempts - 1
+		if ee != nil {
+			// The failed evaluation never happened; roll its count back.
+			// Evaluations of unknowns discovered during failed attempts did
+			// happen and stand.
+			s.st.Evals--
+			return s.wd.failEval(ee, s.st.Evals)
+		}
+		tmp := s.op.Apply(x, s.sigma[x], rhsVal)
 		if evalErr != nil {
 			return evalErr
 		}
@@ -239,6 +307,9 @@ func SLR[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 		// The paper argues Q is empty here since x0 holds the largest key;
 		// drain defensively so the result is a partial solution regardless.
 		err = s.drain(s.key[x0], solve)
+	}
+	if err != nil {
+		err = attachCheckpoint(err, s.capture())
 	}
 	s.st.Unknowns = len(s.sigma)
 	return Result[X, D]{Values: s.sigma, Stats: s.st}, err
@@ -276,7 +347,12 @@ func SLRPlus[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D], op 
 // globals) restores the invariant the termination proof of Theorem 4 needs:
 // when z is re-evaluated, all of its lower-band readers are stable.
 func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, x0 X, band func(X) int, cfg Config) (Result[X, D], error) {
-	s := newSLRState(l, op, init, band, cfg)
+	if cp, err := resumeCheckpoint[X, D](cfg, "slr+", 0); err != nil {
+		return Result[X, D]{Values: map[X]D{}}, err
+	} else if cp != nil {
+		init = cp.overlayInit(init)
+	}
+	s := newSLRState("slr+", l, op, init, band, cfg)
 	contrib := make(map[sideKey[X]]D)
 	contribSet := make(map[X][]X) // set[z]: contributors in first-seen order
 
@@ -290,7 +366,9 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 	side := func(x X) func(z X, d D) {
 		return func(z X, d D) {
 			if z == x {
-				panic("solver: SLRPlus right-hand side side-effects its own unknown")
+				// A contract violation, not an evaluation fault: the typed
+				// panic passes through the recover barrier unchanged.
+				panic(contractViolation{msg: "solver: SLRPlus right-hand side side-effects its own unknown"})
 			}
 			p := sideKey[X]{From: x, To: z}
 			old, seen := contrib[p]
@@ -330,6 +408,9 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 		if err := s.wd.check(s.st.Evals); err != nil {
 			return err
 		}
+		if s.ck.due(s.st.Evals) {
+			s.ck.emit(s.st.Evals, s.capture())
+		}
 		s.st.Evals++
 		var evalErr error
 		eval := func(y X) D {
@@ -344,7 +425,17 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 		}
 		v := l.Bottom()
 		if rhs != nil {
-			v = rhs(eval, side(x))
+			rhsVal, attempts, ee := guardedEval(s.g, x, func() D { return rhs(eval, side(x)) })
+			s.st.Retries += attempts - 1
+			if ee != nil {
+				// The failed evaluation never happened; roll its count back.
+				// Side effects and evaluations of unknowns discovered during
+				// failed attempts did happen and stand — re-running the
+				// evaluation replays them idempotently.
+				s.st.Evals--
+				return s.wd.failEval(ee, s.st.Evals)
+			}
+			v = rhsVal
 		}
 		if evalErr != nil {
 			return evalErr
@@ -382,6 +473,9 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 		// returns without another evaluation; surface it instead of
 		// reporting success on a truncated run.
 		err = sideErr
+	}
+	if err != nil {
+		err = attachCheckpoint(err, s.capture())
 	}
 	s.st.Unknowns = len(s.sigma)
 	return Result[X, D]{Values: s.sigma, Stats: s.st}, err

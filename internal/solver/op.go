@@ -218,8 +218,14 @@ func (h *Hist) Observe(v int) {
 
 // Stats records the work a solver performed.
 type Stats struct {
-	// Evals counts evaluations of right-hand sides.
+	// Evals counts evaluations of right-hand sides. Failed attempts are not
+	// counted: a panicked or retried evaluation rolls its reservation back,
+	// so Evals always counts performed evaluations only.
 	Evals int
+	// Retries counts failed evaluation attempts that were retried under
+	// Config.Retry (a solve with Retries > 0 healed that many transient
+	// faults on its way to the result).
+	Retries int
 	// Updates counts update steps that changed a value.
 	Updates int
 	// Rounds counts outer iterations (RR) or is zero for other solvers.
@@ -281,6 +287,26 @@ type Config struct {
 	// the ⊟ divergence pattern of Examples 1 and 2, which burns through an
 	// evaluation budget orders of magnitude more slowly.
 	MaxFlips int
+	// Retry tunes per-unknown retries of failed right-hand-side
+	// evaluations; the zero value aborts on the first failure. Panic
+	// isolation itself is unconditional: a panicking right-hand side always
+	// becomes a structured AbortEvalFailure, never a process crash.
+	Retry RetryPolicy
+	// CheckpointEvery, when positive, emits a snapshot through
+	// CheckpointSink every that-many evaluations (in addition to the
+	// snapshot every abort carries in its report). PSW snapshots only on
+	// abort: a consistent cut of a running worker pool would require a
+	// global pause.
+	CheckpointEvery int
+	// CheckpointSink receives periodic snapshots as *Checkpoint[X, D]
+	// values (typed any because Config is element-type-agnostic).
+	CheckpointSink func(cp any)
+	// Resume, when non-nil, must hold a *Checkpoint[X, D] captured by the
+	// same solver on a system with the same shape; the solver continues the
+	// interrupted iteration (exactly for RR, W, SRR, SW, PSW; as a warm
+	// restart for RLD, SLR, SLR⁺) instead of starting fresh. A mismatched
+	// checkpoint fails the solve with ErrBadCheckpoint.
+	Resume any
 
 	// deadline pins the absolute wall-clock bound once the first phase of a
 	// chained run has started, so later phases do not restart the clock.

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,10 +50,15 @@ import (
 // stateful Degrading operator is not and requires Workers == 1.
 //
 // On any abort — budget exhaustion, context cancellation, wall-clock
-// deadline or the oscillation watchdog — every worker stops at its next
-// scheduling point, the stratum DAG drains without deadlock (completed
-// strata release their successors, which the workers then skip), and the
-// first error is returned together with the partial assignment.
+// deadline, the oscillation watchdog or a failed right-hand side — every
+// worker stops at its next scheduling point, the stratum DAG drains without
+// deadlock (completed strata release their successors, which the workers
+// then suspend), and the first error is returned together with the partial
+// assignment and a checkpoint recording, per stratum, whether it completed
+// and which unknowns its suspended queue still held. Resuming skips
+// completed strata entirely and restarts suspended ones from their captured
+// queues, reproducing the uninterrupted run's Evals, Updates and assignment
+// exactly (PSW totals are schedule-independent).
 func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
 	start := time.Now()
 	order := sys.Order()
@@ -60,7 +67,7 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 	comp, ncomp := tarjanSCC(adj)
 	strata := stratify(adj)
 
-	wd := newWatchdog[X](cfg)
+	wd := newWatchdog(cfg, order)
 	r := &pswRun[X, D]{
 		sys:    sys,
 		l:      l,
@@ -72,9 +79,53 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 		vals:   make([]D, n),
 		budget: int64(cfg.budget()),
 		wd:     wd,
+		g:      newEvalGuard(cfg),
 	}
 	for i, x := range order {
 		r.vals[i] = init(x)
+	}
+
+	var st Stats
+	st.Unknowns = n
+
+	// done[si] is true for strata that stabilized — in a previous run (per
+	// the resume checkpoint) or in this one. initQ[si], when non-nil, is the
+	// queue a suspended stratum restarts from instead of its full range.
+	done := make([]bool, len(strata))
+	initQ := make([][]int, len(strata))
+	if cp, err := resumeCheckpoint[X, D](cfg, "psw", Fingerprint(sys)); err != nil {
+		return map[X]D{}, st, err
+	} else if cp != nil {
+		if len(cp.Strata) != len(strata) {
+			return map[X]D{}, st, fmt.Errorf("%w: checkpoint has %d strata, system has %d", ErrBadCheckpoint, len(cp.Strata), len(strata))
+		}
+		for _, e := range cp.Sigma {
+			if j, ok := r.idx[e.X]; ok {
+				r.vals[j] = e.V
+			}
+		}
+		for si, sc := range cp.Strata {
+			switch {
+			case sc.Done:
+				done[si] = true
+			case sc.Started:
+				for _, i := range sc.Queue {
+					if i < strata[si].lo || i > strata[si].hi {
+						return map[X]D{}, st, fmt.Errorf("%w: queued index %d outside stratum %d", ErrBadCheckpoint, i, si)
+					}
+				}
+				if len(sc.Queue) == 0 {
+					done[si] = true
+				} else {
+					initQ[si] = sc.Queue
+				}
+			}
+		}
+		r.evals.Store(int64(cp.Evals))
+		r.updates.Store(int64(cp.Updates))
+		r.maxQueue.Store(int64(cp.MaxQueue))
+		r.retries.Store(int64(cp.Retries))
+		st.Rounds = cp.Rounds
 	}
 
 	workers := cfg.workers()
@@ -83,7 +134,8 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 	}
 
 	// Stratum DAG: preds counts how many distinct earlier strata a stratum
-	// reads; succs lists the dependents to release on completion.
+	// reads; succs lists the dependents to release on completion. Strata
+	// already completed by a resumed run take no part in the DAG.
 	strat := make([]int, n) // stratum index per unknown
 	for si, s := range strata {
 		for i := s.lo; i <= s.hi; i++ {
@@ -96,10 +148,15 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 	for i := range seen {
 		seen[i] = -1
 	}
+	pending := 0
 	for si, s := range strata {
+		if done[si] {
+			continue
+		}
+		pending++
 		for i := s.lo; i <= s.hi; i++ {
 			for _, j := range adj[i] {
-				if sj := strat[j]; sj != si && seen[sj] != si {
+				if sj := strat[j]; sj != si && !done[sj] && seen[sj] != si {
 					seen[sj] = si
 					preds[si]++
 					succs[sj] = append(succs[sj], si)
@@ -108,8 +165,6 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 		}
 	}
 
-	var st Stats
-	st.Unknowns = n
 	st.Workers = workers
 	st.SCCs = ncomp
 	st.Strata = len(strata)
@@ -129,43 +184,51 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 		return map[X]D{}, st, nil
 	}
 
-	jobs := make(chan int, len(strata))
-	done := make(chan stratumResult, len(strata))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for si := range jobs {
-				err := r.runStratum(strata[si])
-				done <- stratumResult{si, err}
-			}
-		}()
-	}
-	for si, p := range preds {
-		if p == 0 {
-			jobs <- si
-		}
-	}
+	susp := make([][]int, len(strata))
 	var firstErr error
-	for remaining := len(strata); remaining > 0; remaining-- {
-		res := <-done
-		if res.err != nil && firstErr == nil {
-			firstErr = res.err
-			r.abort.Store(true)
+	if pending > 0 {
+		jobs := make(chan int, len(strata))
+		doneCh := make(chan stratumResult, len(strata))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for si := range jobs {
+					suspended, err := r.runStratum(strata[si], initQ[si])
+					doneCh <- stratumResult{si, suspended, err}
+				}
+			}()
 		}
-		for _, t := range succs[res.si] {
-			preds[t]--
-			if preds[t] == 0 {
-				// Dispatch even after an error: workers see the abort flag
-				// and return immediately, which keeps the completion
-				// accounting uniform (no stratum is ever lost).
-				jobs <- t
+		for si, p := range preds {
+			if p == 0 && !done[si] {
+				jobs <- si
 			}
 		}
+		for remaining := pending; remaining > 0; remaining-- {
+			res := <-doneCh
+			if res.err != nil && firstErr == nil {
+				firstErr = res.err
+				r.abort.Store(true)
+			}
+			if res.suspended == nil {
+				done[res.si] = true
+			} else {
+				susp[res.si] = res.suspended
+			}
+			for _, t := range succs[res.si] {
+				preds[t]--
+				if preds[t] == 0 {
+					// Dispatch even after an error: workers see the abort flag
+					// and suspend immediately, which keeps the completion
+					// accounting uniform (no stratum is ever lost).
+					jobs <- t
+				}
+			}
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	close(jobs)
-	wg.Wait()
 
 	st.Evals = int(r.evals.Load())
 	if firstErr != nil && int64(st.Evals) > r.budget {
@@ -174,6 +237,7 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 		st.Evals = int(r.budget)
 	}
 	st.Updates = int(r.updates.Load())
+	st.Retries = int(r.retries.Load())
 	st.MaxQueue = int(r.maxQueue.Load())
 	st.WallNs = time.Since(start).Nanoseconds()
 
@@ -181,12 +245,29 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 	for i, x := range order {
 		sigma[x] = r.vals[i]
 	}
+	if firstErr != nil {
+		cp := snapshotGlobal("psw", sys, sigma, st)
+		cp.Strata = make([]StratumCheckpoint, len(strata))
+		for si := range strata {
+			switch {
+			case done[si]:
+				cp.Strata[si] = StratumCheckpoint{Done: true}
+			case susp[si] != nil:
+				cp.Strata[si] = StratumCheckpoint{Started: true, Queue: susp[si]}
+			}
+		}
+		firstErr = attachCheckpoint(firstErr, cp)
+	}
 	return sigma, st, firstErr
 }
 
+// stratumResult reports one dispatched stratum back to the scheduler:
+// suspended is nil when the stratum stabilized, and otherwise holds the
+// order indices still queued when the run was interrupted.
 type stratumResult struct {
-	si  int
-	err error
+	si        int
+	suspended []int
+	err       error
 }
 
 // pswRun is the shared state of one PSW invocation. vals is indexed by
@@ -204,19 +285,30 @@ type pswRun[X comparable, D any] struct {
 
 	budget   int64
 	wd       *watchdog[X]
+	g        *evalGuard
 	evals    atomic.Int64
 	updates  atomic.Int64
+	retries  atomic.Int64
 	maxQueue atomic.Int64
 	abort    atomic.Bool
 }
 
 // runStratum runs SW restricted to the unknowns of one stratum, with the
 // global order indices as priorities — the exact evaluation sequence
-// sequential SW performs on this index range.
-func (r *pswRun[X, D]) runStratum(s stratum) error {
+// sequential SW performs on this index range. initQ, when non-nil, seeds
+// the queue from a resumed checkpoint instead of the full index range.
+// It returns the sorted indices still queued if the run was interrupted
+// (nil when the stratum stabilized) and the abort error, if any.
+func (r *pswRun[X, D]) runStratum(s stratum, initQ []int) ([]int, error) {
 	q := newPQ[X]()
-	for i := s.lo; i <= s.hi; i++ {
-		q.push(r.order[i], int64(i))
+	if initQ == nil {
+		for i := s.lo; i <= s.hi; i++ {
+			q.push(r.order[i], int64(i))
+		}
+	} else {
+		for _, i := range initQ {
+			q.push(r.order[i], int64(i))
+		}
 	}
 	get := func(y X) D {
 		if j, ok := r.idx[y]; ok {
@@ -224,27 +316,49 @@ func (r *pswRun[X, D]) runStratum(s stratum) error {
 		}
 		return r.init(y)
 	}
+	// suspend captures the still-queued indices in ascending order; the
+	// result is never nil, which is how the scheduler tells an interrupted
+	// stratum from a stabilized one.
+	suspend := func() []int {
+		idxs := make([]int, 0, q.len())
+		for _, x := range q.heap {
+			idxs = append(idxs, r.idx[x])
+		}
+		sort.Ints(idxs)
+		return idxs
+	}
 	localMax := int64(q.len())
 	for !q.empty() {
 		if r.abort.Load() {
-			return nil
+			return suspend(), nil
 		}
-		x := q.popMin()
-		i := r.idx[x]
 		n := r.evals.Add(1)
 		if n > r.budget {
 			// A bounded budget implies an armed watchdog; report the budget
 			// value itself, matching SW's "stopped at exactly MaxEvals" even
 			// when several workers trip the shared counter at once.
-			return r.wd.abort(AbortBudget, int(r.budget))
+			return suspend(), r.wd.abort(AbortBudget, int(r.budget))
 		}
 		if err := r.wd.check(int(n - 1)); err != nil {
 			// The reserved slot was never used — undo it so Stats.Evals
 			// counts performed evaluations only.
 			r.evals.Add(-1)
-			return err
+			return suspend(), err
 		}
-		next := r.op.Apply(x, r.vals[i], r.sys.RHS(x)(get))
+		x := q.popMin()
+		i := r.idx[x]
+		rhsVal, attempts, ee := guardedEval(r.g, x, func() D { return r.sys.RHS(x)(get) })
+		if attempts > 1 {
+			r.retries.Add(int64(attempts - 1))
+		}
+		if ee != nil {
+			// The failed evaluation never happened: roll the reservation back
+			// and keep x scheduled so the checkpoint re-evaluates it.
+			r.evals.Add(-1)
+			q.push(x, int64(i))
+			return suspend(), r.wd.failEval(ee, int(n-1))
+		}
+		next := r.op.Apply(x, r.vals[i], rhsVal)
 		if !r.l.Eq(r.vals[i], next) {
 			r.vals[i] = next
 			r.updates.Add(1)
@@ -262,7 +376,7 @@ func (r *pswRun[X, D]) runStratum(s stratum) error {
 	for {
 		cur := r.maxQueue.Load()
 		if localMax <= cur || r.maxQueue.CompareAndSwap(cur, localMax) {
-			return nil
+			return nil, nil
 		}
 	}
 }
