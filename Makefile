@@ -6,12 +6,13 @@ tier1:
 	go vet ./...
 	GOARCH=386 go build ./...
 
-# Tier-2: vet + race-checked tests + the chaos smoke + a bounded fuzz pass —
-# the concurrency gate for the parallel solver (PSW), the differential
-# harness, and the fault-isolation layer.
+# Tier-2: vet + race-checked tests + the chaos smoke + the dense-core bench
+# smoke + a bounded fuzz pass — the concurrency gate for the parallel solver
+# (PSW), the differential harness, and the fault-isolation layer.
 tier2:
 	go vet ./... && go test -race ./...
 	$(MAKE) chaos-smoke
+	$(MAKE) bench-smoke
 	$(MAKE) fuzz
 
 # Chaos smoke: the seeded fault-injection property tests (every solver
@@ -33,8 +34,22 @@ fuzz:
 race-solver:
 	go test -race ./internal/solver/...
 
-# Regenerate the committed machine-readable perf trajectory.
+# Regenerate the committed machine-readable perf trajectory. bench-psw
+# refuses to run on GOMAXPROCS=1 hosts (serial hardware cannot measure
+# parallel speedup); pass -allow-serial manually to record correctness-only
+# rows with a prominent note in the JSON.
 bench-psw:
 	go run ./cmd/bench -psw -json BENCH_psw.json
 
-.PHONY: tier1 tier2 chaos-smoke fuzz race-solver bench-psw
+bench-dense:
+	go run ./cmd/bench -dense -json BENCH_dense.json
+
+# Bench smoke: the reduced map-vs-dense matrix (bit-identity gate + timing
+# sanity, minutes not tens of minutes) plus the -benchmem micro-benchmarks
+# of the solver hot loops. Keeps the dense core's perf claims continuously
+# exercised without regenerating the committed BENCH_*.json artifacts.
+bench-smoke:
+	go run ./cmd/bench -dense -smoke
+	go test ./internal/solver -run '^$$' -bench 'BenchmarkRR|BenchmarkSW|BenchmarkSLRThunk' -benchmem -benchtime 50x
+
+.PHONY: tier1 tier2 chaos-smoke fuzz race-solver bench-psw bench-dense bench-smoke

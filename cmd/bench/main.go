@@ -5,6 +5,7 @@
 //	bench -traces     Examples 1–4 (solver divergence and termination)
 //	bench -ablations  ⊟ₖ degradation, solver work, threshold widening
 //	bench -psw        SW vs PSW speedup on the synthetic wide system
+//	bench -dense      map core vs dense compiled core on eqgen systems
 //	bench -all        everything
 //
 // The suites fan out across -workers goroutines (0 = GOMAXPROCS) with
@@ -13,12 +14,21 @@
 // later changes have a perf trajectory to compare against. -timeout bounds
 // every individual solve with a wall-clock deadline: a run that trips it
 // fails with a structured deadline abort instead of hanging the suite.
+//
+// Worker-scaling rows (-psw) are refused outright on GOMAXPROCS=1 hosts:
+// serial hardware cannot measure parallel speedup, and quietly writing
+// rows that look like measurements would poison the perf trajectory.
+// -allow-serial overrides the refusal for correctness smoke runs; the
+// resulting JSON carries a prominent note. -smoke shrinks the -dense
+// matrix for CI (see make bench-smoke).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"warrow/internal/experiments"
 )
@@ -29,20 +39,34 @@ func main() {
 	traces := flag.Bool("traces", false, "print Examples 1-4 solver traces")
 	ablations := flag.Bool("ablations", false, "run the ablation studies")
 	psw := flag.Bool("psw", false, "measure SW vs PSW at several worker counts")
+	dense := flag.Bool("dense", false, "measure the map core vs the dense compiled core on eqgen systems")
 	faults := flag.Bool("faults", false, "measure the fault-isolation layer: checkpoint and retry overhead")
 	all := flag.Bool("all", false, "run everything")
 	workers := flag.Int("workers", 0, "harness worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write machine-readable perf rows to this file")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound per individual solve (0 = unbounded)")
+	smoke := flag.Bool("smoke", false, "reduced -dense matrix for CI smoke runs")
+	allowSerial := flag.Bool("allow-serial", false, "run worker-scaling suites even on GOMAXPROCS=1 (rows are correctness checks, not speedups)")
 	flag.Parse()
 	experiments.SolveTimeout = *timeout
 
-	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*faults && !*all {
+	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*dense && !*faults && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig7, *table1, *traces, *ablations, *psw, *faults = true, true, true, true, true, true
+		*fig7, *table1, *traces, *ablations, *psw, *dense, *faults = true, true, true, true, true, true, true
+	}
+	var note string
+	var geomean float64
+	if *psw && runtime.GOMAXPROCS(0) == 1 {
+		if !*allowSerial {
+			fmt.Fprintln(os.Stderr, "psw: GOMAXPROCS=1 — worker-scaling rows would be meaningless on serial hardware.")
+			fmt.Fprintln(os.Stderr, "psw: rerun on a multi-core host, or pass -allow-serial to record correctness-only rows.")
+			os.Exit(1)
+		}
+		note = "GOMAXPROCS=1: psw worker-scaling rows are serial correctness checks, not speedup measurements"
+		fmt.Fprintln(os.Stderr, "psw: WARNING:", note)
 	}
 	var perf []experiments.PerfRow
 	if *traces {
@@ -83,6 +107,28 @@ func main() {
 		fmt.Println(experiments.FormatPerfRows(rows))
 		perf = append(perf, rows...)
 	}
+	if *dense {
+		rows, g, notes, err := experiments.DenseVsMap(experiments.DenseCases(*smoke), 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dense:", err)
+			os.Exit(1)
+		}
+		geomean = g
+		fmt.Println("Map core vs dense compiled core on eqgen macro-benchmarks:")
+		fmt.Println(experiments.FormatDenseRows(rows, g))
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "dense: NOTE:", n)
+		}
+		if len(notes) > 0 {
+			joined := strings.Join(notes, "; ")
+			if note != "" {
+				note += "; " + joined
+			} else {
+				note = joined
+			}
+		}
+		perf = append(perf, rows...)
+	}
 	if *faults {
 		rows, err := experiments.FaultOverhead(8, 3000, 24, 10000, 0.002)
 		if err != nil {
@@ -94,7 +140,8 @@ func main() {
 		perf = append(perf, rows...)
 	}
 	if *jsonOut != "" {
-		if err := experiments.WriteBenchJSON(*jsonOut, perf); err != nil {
+		f := experiments.BenchFile{Note: note, GeomeanSpeedup: geomean, Rows: perf}
+		if err := experiments.WriteBenchFile(*jsonOut, f); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
 			os.Exit(1)
 		}

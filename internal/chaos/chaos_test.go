@@ -188,3 +188,61 @@ func TestChaosPSWPoolHygiene(t *testing.T) {
 		})
 	}
 }
+
+// TestChaosDenseCore holds the dense compiled core to the chaos property —
+// faults heal under retry or abort cleanly with a checkpoint that resumes
+// on the pristine system — and then pins cross-core determinism under
+// injection: the injector draws per (seed, unknown, per-unknown eval
+// count), so the bit-identical schedules of the two cores must fire the
+// identical fault sequence and land on the identical outcome.
+func TestChaosDenseCore(t *testing.T) {
+	l := lattice.Ints
+	op := solver.Op[int](solver.Warrow[lattice.Interval](l))
+	for _, seed := range []uint64{1, 2, 3} {
+		sys := genInterval(seed, 24)
+		ccfg := chaos.Config{Seed: seed * 77, Transient: 0.1, Persistent: 0.01, MaxFaults: 30}
+		scfg := solver.Config{
+			Core:     solver.CoreDense,
+			MaxEvals: 300_000,
+			Retry:    solver.RetryPolicy{MaxAttempts: 45, Seed: seed},
+		}
+		verdicts, err := chaos.Check(l, sys, ivInit(), ccfg, scfg, []int{1, 4})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		faults := 0
+		for _, v := range verdicts {
+			faults += v.Faults
+		}
+		if faults == 0 {
+			t.Fatalf("seed %d: no faults injected; the dense-core chaos check is vacuous", seed)
+		}
+
+		run := func(core solver.Core) (faults int, st solver.Stats, err error, sigma map[int]lattice.Interval) {
+			chaotic, inj := chaos.Wrap(sys, ccfg)
+			c := scfg
+			c.Core = core
+			sigma, st, err = solver.SW(chaotic, l, op, ivInit(), c)
+			return inj.Faults(), st, err, sigma
+		}
+		mf, mst, merr, msig := run(solver.CoreMap)
+		df, dst, derr, dsig := run(solver.CoreDense)
+		if mf != df {
+			t.Fatalf("seed %d: fault schedules diverge across cores: map %d, dense %d", seed, mf, df)
+		}
+		if (merr == nil) != (derr == nil) {
+			t.Fatalf("seed %d: chaotic termination differs: map err=%v, dense err=%v", seed, merr, derr)
+		}
+		if mst.Evals != dst.Evals || mst.Updates != dst.Updates {
+			t.Fatalf("seed %d: chaotic schedules diverge: map %d/%d, dense %d/%d",
+				seed, mst.Evals, mst.Updates, dst.Evals, dst.Updates)
+		}
+		if merr == nil {
+			for _, x := range sys.Order() {
+				if !l.Eq(msig[x], dsig[x]) {
+					t.Fatalf("seed %d: chaotic value of %d diverges across cores", seed, x)
+				}
+			}
+		}
+	}
+}

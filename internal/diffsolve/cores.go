@@ -1,0 +1,239 @@
+// Cross-core differential verdicts: the dense compiled execution core must
+// be bit-identical to the map core — same values, same Evals, Updates,
+// Rounds and MaxQueue, same termination status — for every global solver,
+// and checkpoints taken under one core must resume under the other with no
+// observable difference. These are the properties the dense core's
+// correctness argument rests on (see DESIGN.md §10), so they get their own
+// harness entry points next to the solver-vs-solver matrix.
+package diffsolve
+
+import (
+	"fmt"
+
+	"warrow/internal/certify"
+	"warrow/internal/ckptcodec"
+	"warrow/internal/eqgen"
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// coreRunner is one global solver, parameterized over the full Config so the
+// harness can force either execution core.
+type coreRunner[X comparable, D any] struct {
+	name string
+	run  func(solver.Config) (map[X]D, solver.Stats, error)
+}
+
+func coreRunners[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], init func(X) D) []coreRunner[X, D] {
+	op := solver.Op[X](solver.Warrow[D](l))
+	return []coreRunner[X, D]{
+		{"rr", func(c solver.Config) (map[X]D, solver.Stats, error) { return solver.RR(sys, l, op, init, c) }},
+		{"w", func(c solver.Config) (map[X]D, solver.Stats, error) { return solver.W(sys, l, op, init, c) }},
+		{"srr", func(c solver.Config) (map[X]D, solver.Stats, error) { return solver.SRR(sys, l, op, init, c) }},
+		{"sw", func(c solver.Config) (map[X]D, solver.Stats, error) { return solver.SW(sys, l, op, init, c) }},
+	}
+}
+
+// CheckCores runs every global solver once per execution core and demands
+// bit-identity: identical termination status, identical Evals, Updates,
+// Rounds and MaxQueue (on aborts too — the cores run the same schedule, so
+// the work record at the abort point must agree exactly), and identical
+// values on termination. PSW — which always executes on the compiled core —
+// is then compared against the map-core SW outcome for every worker count in
+// opt.Workers, crossing the cores a second way.
+func CheckCores[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], init func(X) D, opt Options) error {
+	opt = opt.defaults()
+	base := solver.Config{MaxEvals: opt.MaxEvals, MaxFlips: opt.MaxFlips}
+
+	var swVals map[X]D
+	var swSt solver.Stats
+	var swErr error
+	for _, r := range coreRunners(l, sys, init) {
+		mc, dc := base, base
+		mc.Core, dc.Core = solver.CoreMap, solver.CoreDense
+		mSigma, mSt, mErr := r.run(mc)
+		dSigma, dSt, dErr := r.run(dc)
+		if mErr != nil && !acceptableAbort(mErr) {
+			return fmt.Errorf("%s map: unexpected error: %w", r.name, mErr)
+		}
+		if dErr != nil && !acceptableAbort(dErr) {
+			return fmt.Errorf("%s dense: unexpected error: %w", r.name, dErr)
+		}
+		if (mErr == nil) != (dErr == nil) {
+			return fmt.Errorf("%s: termination differs: map err=%v, dense err=%v", r.name, mErr, dErr)
+		}
+		if mSt.Evals != dSt.Evals || mSt.Updates != dSt.Updates ||
+			mSt.Rounds != dSt.Rounds || mSt.MaxQueue != dSt.MaxQueue {
+			return fmt.Errorf("%s: schedules diverge: map %+v, dense %+v", r.name, mSt, dSt)
+		}
+		if mErr == nil {
+			for _, x := range sys.Order() {
+				if !l.Eq(mSigma[x], dSigma[x]) {
+					return fmt.Errorf("%s: value of %v: map %s, dense %s",
+						r.name, x, l.Format(mSigma[x]), l.Format(dSigma[x]))
+				}
+			}
+		}
+		if r.name == "sw" {
+			swVals, swSt, swErr = mSigma, mSt, mErr
+		}
+	}
+
+	for _, w := range opt.Workers {
+		cfg := base
+		cfg.Workers = w
+		op := solver.Op[X](solver.Warrow[D](l))
+		sigma, st, err := solver.PSW(sys, l, op, init, cfg)
+		if err != nil && !acceptableAbort(err) {
+			return fmt.Errorf("psw/w=%d: unexpected error: %w", w, err)
+		}
+		if (err == nil) != (swErr == nil) {
+			return fmt.Errorf("psw/w=%d: termination differs from map-core sw: psw err=%v, sw err=%v", w, err, swErr)
+		}
+		if st.Evals != swSt.Evals {
+			return fmt.Errorf("psw/w=%d: %d evals, map-core sw %d", w, st.Evals, swSt.Evals)
+		}
+		if err != nil {
+			continue
+		}
+		if st.Updates != swSt.Updates {
+			return fmt.Errorf("psw/w=%d: %d updates, map-core sw %d", w, st.Updates, swSt.Updates)
+		}
+		for _, x := range sys.Order() {
+			if !l.Eq(sigma[x], swVals[x]) {
+				return fmt.Errorf("psw/w=%d: value of %v = %s, map-core sw %s",
+					w, x, l.Format(sigma[x]), l.Format(swVals[x]))
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCoreResume interrupts every global solver under one core, resumes the
+// checkpoint under the other — both directions, at the usual abort points —
+// and demands the resumed run reproduce the uninterrupted map-core run's
+// Evals, Updates and assignment exactly. Checkpoints store the assignment
+// and queue in X-space precisely so they cross cores; this is the verdict
+// that keeps that claim honest. codec, when non-nil, additionally pushes
+// every checkpoint through the versioned wire format before resuming.
+func CheckCoreResume[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], init func(X) D, opt Options, codec *solver.Codec[X, D]) error {
+	opt = opt.defaults()
+	base := solver.Config{MaxEvals: opt.MaxEvals}
+
+	directions := []struct {
+		name              string
+		interrupt, resume solver.Core
+	}{
+		{"map→dense", solver.CoreMap, solver.CoreDense},
+		{"dense→map", solver.CoreDense, solver.CoreMap},
+	}
+	for _, r := range coreRunners(l, sys, init) {
+		mc := base
+		mc.Core = solver.CoreMap
+		ref, refSt, refErr := r.run(mc)
+		if refErr != nil {
+			if !acceptableAbort(refErr) {
+				return fmt.Errorf("%s: unexpected error: %w", r.name, refErr)
+			}
+			continue // diverged workload: nothing to resume against
+		}
+		if refSt.Evals < 2 {
+			continue
+		}
+		for _, dir := range directions {
+			for _, budget := range abortPoints(refSt.Evals) {
+				c := base
+				c.Core = dir.interrupt
+				c.MaxEvals = budget
+				_, _, err := r.run(c)
+				if err == nil {
+					return fmt.Errorf("%s %s: budget %d of %d did not abort", r.name, dir.name, budget, refSt.Evals)
+				}
+				cp, ok := solver.CheckpointOf[X, D](err)
+				if !ok {
+					return fmt.Errorf("%s %s: abort at budget %d carries no checkpoint: %w", r.name, dir.name, budget, err)
+				}
+				if codec != nil {
+					data, merr := solver.MarshalCheckpoint(cp, *codec)
+					if merr != nil {
+						return fmt.Errorf("%s %s: marshal at budget %d: %w", r.name, dir.name, budget, merr)
+					}
+					cp, merr = solver.UnmarshalCheckpoint[X, D](data, *codec)
+					if merr != nil {
+						return fmt.Errorf("%s %s: unmarshal at budget %d: %w", r.name, dir.name, budget, merr)
+					}
+				}
+				rc := base
+				rc.Core = dir.resume
+				rc.Resume = cp
+				got, gotSt, err := r.run(rc)
+				if err != nil {
+					return fmt.Errorf("%s %s: resume from budget %d failed: %w", r.name, dir.name, budget, err)
+				}
+				if rep := certify.System(l, sys, got, init); rep.Err() != nil {
+					return fmt.Errorf("%s %s: resumed result from budget %d does not certify: %w", r.name, dir.name, budget, rep.Err())
+				}
+				if gotSt.Evals != refSt.Evals || gotSt.Updates != refSt.Updates {
+					return fmt.Errorf("%s %s: resumed from budget %d with evals/updates %d/%d, uninterrupted %d/%d",
+						r.name, dir.name, budget, gotSt.Evals, gotSt.Updates, refSt.Evals, refSt.Updates)
+				}
+				for _, x := range sys.Order() {
+					if !l.Eq(got[x], ref[x]) {
+						return fmt.Errorf("%s %s: resumed from budget %d: value of %v = %s, uninterrupted %s",
+							r.name, dir.name, budget, x, l.Format(got[x]), l.Format(ref[x]))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckGeneratedCores runs the cross-core verdict on a generated system.
+// Errors carry the reproduction recipe.
+func CheckGeneratedCores(cfg eqgen.Config, opt Options) error {
+	g := eqgen.New(cfg)
+	var err error
+	switch {
+	case g.Interval != nil:
+		l := lattice.Ints
+		err = CheckCores[int, lattice.Interval](l, g.Interval, eqn.ConstBottom[int, lattice.Interval](l), opt)
+	case g.Flat != nil:
+		l := eqgen.FlatL
+		err = CheckCores[int, lattice.Flat[int64]](l, g.Flat, eqn.ConstBottom[int, lattice.Flat[int64]](l), opt)
+	case g.Powerset != nil:
+		l := eqgen.PowersetL()
+		err = CheckCores[int, lattice.Set[int]](l, g.Powerset, eqn.ConstBottom[int, lattice.Set[int]](l), opt)
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", g.Shape.Cfg, err)
+	}
+	return nil
+}
+
+// CheckGeneratedCoreResume runs the cross-core checkpoint/resume verdict on
+// a generated system, wiring in the domain's wire-format codec. Errors carry
+// the reproduction recipe.
+func CheckGeneratedCoreResume(cfg eqgen.Config, opt Options) error {
+	g := eqgen.New(cfg)
+	var err error
+	switch {
+	case g.Interval != nil:
+		l := lattice.Ints
+		codec := ckptcodec.IntervalCodec()
+		err = CheckCoreResume[int, lattice.Interval](l, g.Interval, eqn.ConstBottom[int, lattice.Interval](l), opt, &codec)
+	case g.Flat != nil:
+		l := eqgen.FlatL
+		codec := ckptcodec.FlatCodec()
+		err = CheckCoreResume[int, lattice.Flat[int64]](l, g.Flat, eqn.ConstBottom[int, lattice.Flat[int64]](l), opt, &codec)
+	case g.Powerset != nil:
+		l := eqgen.PowersetL()
+		codec := ckptcodec.PowersetCodec()
+		err = CheckCoreResume[int, lattice.Set[int]](l, g.Powerset, eqn.ConstBottom[int, lattice.Set[int]](l), opt, &codec)
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", g.Shape.Cfg, err)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package diffsolve
+
+import (
+	"testing"
+
+	"warrow/internal/eqgen"
+)
+
+// coreRecipes spans both sides of the dense-compilation threshold
+// (denseMinUnknowns = 16): systems from 10 to 39 unknowns, all three
+// domains, monotonic and non-monotonic, order-consistent and not. The cores
+// are forced explicitly, so the small systems exercise the dense core on
+// shapes CoreAuto would leave on the map core.
+func coreRecipes(dom eqgen.Domain, seeds int) []eqgen.Config {
+	out := make([]eqgen.Config, 0, seeds)
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		out = append(out, eqgen.Config{
+			Seed:           seed,
+			Dom:            dom,
+			N:              10 + int(seed%30),
+			FanIn:          int(seed % 4),
+			MaxSCC:         1 + int(seed%6),
+			WidenDensity:   0.3 + 0.1*float64(seed%5),
+			NonMonoDensity: 0.2 * float64(seed%3),
+			ForwardDensity: 0.25 * float64(seed%2),
+		})
+	}
+	return out
+}
+
+// TestDenseCoreMatchesMapCoreGenerated is the cross-core property test:
+// 72 seeded systems (24 per domain, monotonic and non-monotonic) solved by
+// RR, W, SRR and SW on both execution cores must agree on termination
+// status, values and every scheduling counter, and PSW at worker counts
+// 1, 2, 4 and 8 must match the map-core SW outcome. Run under -race by the
+// tier-2 gate.
+func TestDenseCoreMatchesMapCoreGenerated(t *testing.T) {
+	opt := Options{MaxEvals: 30_000, Workers: []int{1, 2, 4, 8}}
+	for _, dom := range []eqgen.Domain{eqgen.Interval, eqgen.Flat, eqgen.Powerset} {
+		dom := dom
+		t.Run(dom.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, cfg := range coreRecipes(dom, 24) {
+				if err := CheckGeneratedCores(cfg, opt); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeCrossesCores interrupts each global solver under one
+// core and resumes under the other, in both directions, through the
+// versioned wire format — the resumed run must be indistinguishable from
+// the uninterrupted one.
+func TestCheckpointResumeCrossesCores(t *testing.T) {
+	opt := Options{MaxEvals: 30_000}
+	for _, dom := range []eqgen.Domain{eqgen.Interval, eqgen.Flat, eqgen.Powerset} {
+		dom := dom
+		t.Run(dom.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, cfg := range coreRecipes(dom, 6) {
+				if err := CheckGeneratedCoreResume(cfg, opt); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}

@@ -18,6 +18,8 @@ package eqn
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sync"
 
 	"warrow/internal/lattice"
 )
@@ -47,6 +49,19 @@ type System[X comparable, D any] struct {
 	order []X
 	rhs   map[X]RHS[X, D]
 	deps  map[X][]X
+
+	// Derived views (Index, Infl, DepGraph) are memoized: solvers request
+	// them once per solve, and recomputing them is O(edges) each time. The
+	// caches are invalidated by Define and built lazily under mu, so several
+	// solver runs may share one System concurrently once it is fully defined.
+	// Callers must treat the returned maps and slices as read-only.
+	mu       sync.Mutex
+	idx      map[X]int
+	infl     map[X][]X
+	depGraph [][]int
+	shapeFP  uint64
+	hasFP    bool
+	memo     map[string]any
 }
 
 // NewSystem returns an empty finite system.
@@ -67,7 +82,36 @@ func (s *System[X, D]) Define(x X, deps []X, rhs RHS[X, D]) *System[X, D] {
 	s.order = append(s.order, x)
 	s.rhs[x] = rhs
 	s.deps[x] = append([]X(nil), deps...)
+	s.mu.Lock()
+	s.idx, s.infl, s.depGraph, s.hasFP, s.memo = nil, nil, nil, false, nil
+	s.mu.Unlock()
 	return s
+}
+
+// ShapeMemo caches an arbitrary value derived from the system shape under
+// key, built by build on the first call and invalidated by Define — the
+// hook solvers use to keep their compiled representations across solves.
+// build runs outside the lock (it may call Index, Infl or DepGraph); if two
+// goroutines race to build, the first stored value wins and the loser's
+// result is discarded, so build must be pure.
+func (s *System[X, D]) ShapeMemo(key string, build func() any) any {
+	s.mu.Lock()
+	if v, ok := s.memo[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	v := build()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w, ok := s.memo[key]; ok {
+		return w
+	}
+	if s.memo == nil {
+		s.memo = make(map[string]any)
+	}
+	s.memo[key] = v
+	return v
 }
 
 // Order returns the unknowns in definition order.
@@ -83,35 +127,56 @@ func (s *System[X, D]) RHS(x X) RHS[X, D] { return s.rhs[x] }
 func (s *System[X, D]) Deps(x X) []X { return s.deps[x] }
 
 // Index returns the position of every defined unknown in the linear order.
+// The map is memoized until the next Define; treat it as read-only.
 func (s *System[X, D]) Index() map[X]int {
-	idx := make(map[X]int, len(s.order))
-	for i, x := range s.order {
-		idx[x] = i
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.idx == nil {
+		s.idx = make(map[X]int, len(s.order))
+		for i, x := range s.order {
+			s.idx[x] = i
+		}
 	}
-	return idx
+	return s.idx
 }
 
 // DepGraph returns the static dependence graph in index space: adj[i] lists
 // the order indices of the unknowns the right-hand side of the i-th unknown
 // may read. Dependences on undefined unknowns are omitted — they hold their
 // initial value throughout any solve and impose no ordering constraint.
+// The graph is memoized until the next Define; treat it as read-only.
 func (s *System[X, D]) DepGraph() [][]int {
 	idx := s.Index()
-	adj := make([][]int, len(s.order))
-	for i, x := range s.order {
-		for _, y := range s.deps[x] {
-			if j, ok := idx[y]; ok {
-				adj[i] = append(adj[i], j)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.depGraph == nil {
+		adj := make([][]int, len(s.order))
+		for i, x := range s.order {
+			for _, y := range s.deps[x] {
+				if j, ok := idx[y]; ok {
+					adj[i] = append(adj[i], j)
+				}
 			}
 		}
+		s.depGraph = adj
 	}
-	return adj
+	return s.depGraph
 }
 
 // Infl returns the influence sets: Infl[y] contains y itself together with
 // every x whose right-hand side depends on y (the sets infl_y of the paper,
 // which include y as a precaution for non-idempotent operators).
+// The map is memoized until the next Define; treat it as read-only.
 func (s *System[X, D]) Infl() map[X][]X {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.infl == nil {
+		s.infl = s.buildInfl()
+	}
+	return s.infl
+}
+
+func (s *System[X, D]) buildInfl() map[X][]X {
 	infl := make(map[X][]X, len(s.order))
 	seen := make(map[X]map[X]bool, len(s.order))
 	add := func(y, x X) {
@@ -132,6 +197,29 @@ func (s *System[X, D]) Infl() map[X][]X {
 		}
 	}
 	return infl
+}
+
+// ShapeHash returns the FNV-64a hash of the system shape — the rendered
+// linear order and every dependence list. Values and right-hand sides are
+// deliberately not hashed: checkpoint warm restarts (solver.Fingerprint
+// persists this hash on the wire) must survive an environment that healed.
+// The hash is memoized until the next Define.
+func (s *System[X, D]) ShapeHash() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasFP {
+		h := fnv.New64a()
+		for _, x := range s.order {
+			fmt.Fprintf(h, "%v;", x)
+			for _, d := range s.deps[x] {
+				fmt.Fprintf(h, "%v,", d)
+			}
+			h.Write([]byte{'\n'})
+		}
+		s.shapeFP = h.Sum64()
+		s.hasFP = true
+	}
+	return s.shapeFP
 }
 
 // Eval evaluates the right-hand side of x under the assignment σ, reading

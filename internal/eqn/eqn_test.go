@@ -1,6 +1,7 @@
 package eqn
 
 import (
+	"reflect"
 	"testing"
 
 	"warrow/internal/lattice"
@@ -115,6 +116,47 @@ func TestIsPartialPostSolution(t *testing.T) {
 	aOnly := map[string]iv{"a": lattice.Range(1, 3)}
 	if x, ok := IsPartialPostSolution[string, iv](lattice.Ints, pure, aOnly); !ok {
 		t.Fatalf("self-contained partial solution rejected at %v", x)
+	}
+}
+
+// TestDerivedViewsMemoized pins the memoization contract: Index, Infl and
+// DepGraph return the cached storage on repeated calls, and Define
+// invalidates all three caches.
+func TestDerivedViewsMemoized(t *testing.T) {
+	s := two()
+	samePtr := func(a, b any) bool {
+		return reflect.ValueOf(a).Pointer() == reflect.ValueOf(b).Pointer()
+	}
+	idx, infl, adj := s.Index(), s.Infl(), s.DepGraph()
+	if !samePtr(idx, s.Index()) {
+		t.Fatal("Index not memoized")
+	}
+	if !samePtr(infl, s.Infl()) {
+		t.Fatal("Infl not memoized")
+	}
+	if !samePtr(adj, s.DepGraph()) {
+		t.Fatal("DepGraph not memoized")
+	}
+
+	s.Define("c", []string{"b"}, func(get func(string) iv) iv { return get("b") })
+	idx2, infl2, adj2 := s.Index(), s.Infl(), s.DepGraph()
+	if samePtr(idx, idx2) || samePtr(infl, infl2) || samePtr(adj, adj2) {
+		t.Fatal("Define did not invalidate the caches")
+	}
+	if idx2["c"] != 2 {
+		t.Fatalf("Index[c] = %d after Define", idx2["c"])
+	}
+	found := false
+	for _, x := range infl2["b"] {
+		if x == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Infl[b] = %v misses the new reader c", infl2["b"])
+	}
+	if len(adj2) != 3 || len(adj2[2]) != 1 || adj2[2][0] != 1 {
+		t.Fatalf("DepGraph = %v after Define", adj2)
 	}
 }
 

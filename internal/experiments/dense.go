@@ -1,0 +1,235 @@
+// Map-core vs dense-core macro benchmark.
+//
+// DenseVsMap drives the four global solvers over seeded eqgen systems —
+// the same generator family the differential fuzzing harness pins
+// bit-identity on — once per execution core, verifies that values and every
+// scheduling counter agree, and reports wall-clock plus allocations per
+// evaluation for both cores. The headline number is the geometric-mean
+// wall-clock speedup of the dense core across all (system, solver) pairs;
+// cmd/bench -dense persists the rows to BENCH_dense.json.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"warrow/internal/eqgen"
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// DenseCase is one macro-benchmark system of the map-vs-dense comparison.
+type DenseCase struct {
+	Name string
+	Gen  eqgen.Config
+}
+
+// DenseCases returns the benchmark matrix. The smoke matrix is a strict
+// subset sized for CI; the full matrix covers all three eqgen domains,
+// systems up to the generator's 4096-unknown cap, and a deliberately
+// non-monotone instance.
+func DenseCases(smoke bool) []DenseCase {
+	if smoke {
+		return []DenseCase{
+			{"interval-1k", eqgen.Config{Seed: 11, Dom: eqgen.Interval, N: 1024, FanIn: 3, MaxSCC: 6}},
+			{"flat-512", eqgen.Config{Seed: 13, Dom: eqgen.Flat, N: 512, FanIn: 3, MaxSCC: 6}},
+		}
+	}
+	return []DenseCase{
+		{"interval-1k", eqgen.Config{Seed: 11, Dom: eqgen.Interval, N: 1024, FanIn: 3, MaxSCC: 6}},
+		{"interval-4k", eqgen.Config{Seed: 12, Dom: eqgen.Interval, N: 4096, FanIn: 4, MaxSCC: 8}},
+		{"interval-nonmono-2k", eqgen.Config{Seed: 21, Dom: eqgen.Interval, N: 2048, FanIn: 3, MaxSCC: 6, NonMonoDensity: 0.25}},
+		{"flat-2k", eqgen.Config{Seed: 13, Dom: eqgen.Flat, N: 2048, FanIn: 3, MaxSCC: 6}},
+		{"powerset-1k", eqgen.Config{Seed: 17, Dom: eqgen.Powerset, N: 1024, FanIn: 3, MaxSCC: 6}},
+	}
+}
+
+// denseBudget bounds every benchmark solve. Plain worklist iteration with
+// ⊟ carries no termination guarantee — that is the paper's motivating
+// observation — so a (system, solver) pair that exhausts the budget is
+// reported as diverged and skipped rather than hanging the suite.
+const denseBudget = 20_000_000
+
+// DenseVsMap runs the matrix with reps timed repetitions per (system,
+// solver, core) — the minimum is reported, the standard way to suppress
+// scheduler noise — and returns the rows together with the geometric-mean
+// dense-over-map wall-clock speedup and notes for any skipped pairs.
+func DenseVsMap(cases []DenseCase, reps int) ([]PerfRow, float64, []string, error) {
+	var rows []PerfRow
+	var logs []float64
+	var notes []string
+	for _, dc := range cases {
+		g := eqgen.New(dc.Gen)
+		var (
+			caseRows  []PerfRow
+			speedups  []float64
+			caseNotes []string
+			err       error
+		)
+		switch {
+		case g.Interval != nil:
+			caseRows, speedups, caseNotes, err = denseCaseRows(dc.Name, lattice.Ints, g.Interval, reps)
+		case g.Flat != nil:
+			caseRows, speedups, caseNotes, err = denseCaseRows(dc.Name, eqgen.FlatL, g.Flat, reps)
+		case g.Powerset != nil:
+			caseRows, speedups, caseNotes, err = denseCaseRows(dc.Name, eqgen.PowersetL(), g.Powerset, reps)
+		}
+		if err != nil {
+			return rows, 0, notes, fmt.Errorf("%s: %w", dc.Name, err)
+		}
+		rows = append(rows, caseRows...)
+		notes = append(notes, caseNotes...)
+		for _, s := range speedups {
+			logs = append(logs, math.Log(s))
+		}
+	}
+	if len(logs) == 0 {
+		return rows, 0, notes, nil
+	}
+	sum := 0.0
+	for _, v := range logs {
+		sum += v
+	}
+	return rows, math.Exp(sum / float64(len(logs))), notes, nil
+}
+
+// denseCaseRows measures one system: every global solver on both cores.
+func denseCaseRows[D any](name string, l lattice.Lattice[D], sys *eqn.System[int, D], reps int) ([]PerfRow, []float64, []string, error) {
+	return denseSolverRows(name, l, sys, eqn.ConstBottom[int, D](l), reps)
+}
+
+type denseRun[D any] struct {
+	name string
+	run  func(solver.Config) (map[int]D, solver.Stats, error)
+}
+
+func denseSolverRows[D any](name string, l lattice.Lattice[D], sys *eqn.System[int, D], init func(int) D, reps int) ([]PerfRow, []float64, []string, error) {
+	op := func() solver.Operator[int, D] { return solver.Op[int](solver.Warrow[D](l)) }
+	runs := []denseRun[D]{
+		{"rr", func(c solver.Config) (map[int]D, solver.Stats, error) { return solver.RR(sys, l, op(), init, c) }},
+		{"w", func(c solver.Config) (map[int]D, solver.Stats, error) { return solver.W(sys, l, op(), init, c) }},
+		{"srr", func(c solver.Config) (map[int]D, solver.Stats, error) { return solver.SRR(sys, l, op(), init, c) }},
+		{"sw", func(c solver.Config) (map[int]D, solver.Stats, error) { return solver.SW(sys, l, op(), init, c) }},
+	}
+	var rows []PerfRow
+	var speedups []float64
+	var notes []string
+	for _, r := range runs {
+		cfg := func(core solver.Core) solver.Config {
+			return solver.Config{Core: core, MaxEvals: denseBudget, Timeout: SolveTimeout}
+		}
+		mapSigma, mapSt, err := r.run(cfg(solver.CoreMap))
+		if err != nil {
+			if rep, ok := solver.ReportOf(err); ok && rep.Reason == solver.AbortBudget {
+				notes = append(notes, fmt.Sprintf(
+					"%s/%s skipped: no fixpoint within %d evals (unstructured iteration with the warrow operator need not terminate)",
+					name, r.name, denseBudget))
+				continue
+			}
+			return rows, speedups, notes, fmt.Errorf("%s map: %w", r.name, err)
+		}
+		denseSigma, denseSt, err := r.run(cfg(solver.CoreDense))
+		if err != nil {
+			return rows, speedups, notes, fmt.Errorf("%s dense: %w", r.name, err)
+		}
+		// Bit-identity gate: a benchmark over diverging cores measures
+		// nothing.
+		if mapSt.Evals != denseSt.Evals || mapSt.Updates != denseSt.Updates ||
+			mapSt.Rounds != denseSt.Rounds || mapSt.MaxQueue != denseSt.MaxQueue {
+			return rows, speedups, notes, fmt.Errorf("%s: cores diverge: map %+v, dense %+v", r.name, mapSt, denseSt)
+		}
+		for x, v := range mapSigma {
+			if !l.Eq(v, denseSigma[x]) {
+				return rows, speedups, notes, fmt.Errorf("%s: cores diverge at σ[%d]", r.name, x)
+			}
+		}
+		mapWall, mapAllocs, mapBytes, err := denseMeasure(r.run, cfg(solver.CoreMap), reps)
+		if err != nil {
+			return rows, speedups, notes, fmt.Errorf("%s map: %w", r.name, err)
+		}
+		denseWall, denseAllocs, denseBytes, err := denseMeasure(r.run, cfg(solver.CoreDense), reps)
+		if err != nil {
+			return rows, speedups, notes, fmt.Errorf("%s dense: %w", r.name, err)
+		}
+		evals := float64(mapSt.Evals)
+		rows = append(rows,
+			PerfRow{
+				Name: name, Solver: r.name, Core: "map", Workers: 1,
+				WallNs: mapWall, Evals: mapSt.Evals, Updates: mapSt.Updates, Unknowns: mapSt.Unknowns,
+				AllocsPerEval: round2(float64(mapAllocs) / evals), BytesPerEval: round2(float64(mapBytes) / evals),
+			},
+			PerfRow{
+				Name: name, Solver: r.name, Core: "dense", Workers: 1,
+				WallNs: denseWall, Evals: denseSt.Evals, Updates: denseSt.Updates, Unknowns: denseSt.Unknowns,
+				AllocsPerEval: round2(float64(denseAllocs) / evals), BytesPerEval: round2(float64(denseBytes) / evals),
+			})
+		speedups = append(speedups, float64(mapWall)/float64(denseWall))
+	}
+	return rows, speedups, notes, nil
+}
+
+// denseMeasure times reps runs and measures the allocation profile of reps
+// further runs via the runtime's monotonic allocation counters, reporting
+// the minimum of each — the standard way to suppress scheduler and GC
+// noise. Each rep starts from a freshly collected heap so GC pacing from
+// earlier runs cannot bleed into the measurement, and runs shorter than
+// 100ms get extra reps (minimums of short runs are noisy).
+func denseMeasure[D any](run func(solver.Config) (map[int]D, solver.Stats, error), cfg solver.Config, reps int) (wallNs int64, allocs, bytes uint64, err error) {
+	wallNs = math.MaxInt64
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		start := time.Now()
+		if _, _, err = run(cfg); err != nil {
+			return 0, 0, 0, err
+		}
+		d := time.Since(start).Nanoseconds()
+		if d < wallNs {
+			wallNs = d
+		}
+		if i == reps-1 && d < (100*time.Millisecond).Nanoseconds() && reps < 10 {
+			reps++
+		}
+	}
+	allocs, bytes = math.MaxUint64, math.MaxUint64
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		if _, _, err = run(cfg); err != nil {
+			return 0, 0, 0, err
+		}
+		runtime.ReadMemStats(&m1)
+		if a := m1.Mallocs - m0.Mallocs; a < allocs {
+			allocs = a
+		}
+		if b := m1.TotalAlloc - m0.TotalAlloc; b < bytes {
+			bytes = b
+		}
+	}
+	return wallNs, allocs, bytes, nil
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// FormatDenseRows renders the map-vs-dense rows as per-pair speedup lines.
+func FormatDenseRows(rows []PerfRow, geomean float64) string {
+	out := fmt.Sprintf("%-22s %-6s %12s %12s %8s %14s %14s\n",
+		"name", "solver", "map", "dense", "speedup", "allocs/eval", "(map)")
+	for i := 0; i+1 < len(rows); i += 2 {
+		m, d := rows[i], rows[i+1]
+		if m.Core != "map" || d.Core != "dense" || m.Solver != d.Solver {
+			continue
+		}
+		out += fmt.Sprintf("%-22s %-6s %12s %12s %7.2fx %14.2f %14.2f\n",
+			m.Name, m.Solver,
+			time.Duration(m.WallNs).Round(time.Microsecond),
+			time.Duration(d.WallNs).Round(time.Microsecond),
+			float64(m.WallNs)/float64(d.WallNs),
+			d.AllocsPerEval, m.AllocsPerEval)
+	}
+	out += fmt.Sprintf("geomean dense-core speedup: %.2fx\n", geomean)
+	return out
+}

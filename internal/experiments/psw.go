@@ -21,34 +21,51 @@ import (
 	"warrow/internal/solver"
 )
 
-// PerfRow is one machine-readable benchmark measurement.
+// PerfRow is one machine-readable benchmark measurement. Core distinguishes
+// the map and dense execution cores in the map-vs-dense rows; the
+// allocation columns are per performed evaluation, measured with
+// runtime.MemStats around a dedicated run.
 type PerfRow struct {
-	Name     string `json:"name"`
-	Solver   string `json:"solver"`
-	Workers  int    `json:"workers"`
-	WallNs   int64  `json:"wall_ns"`
-	Evals    int    `json:"evals"`
-	Updates  int    `json:"updates"`
-	Unknowns int    `json:"unknowns"`
+	Name          string  `json:"name"`
+	Solver        string  `json:"solver"`
+	Core          string  `json:"core,omitempty"`
+	Workers       int     `json:"workers"`
+	WallNs        int64   `json:"wall_ns"`
+	Evals         int     `json:"evals"`
+	Updates       int     `json:"updates"`
+	Unknowns      int     `json:"unknowns"`
+	AllocsPerEval float64 `json:"allocs_per_eval,omitempty"`
+	BytesPerEval  float64 `json:"bytes_per_eval,omitempty"`
 }
 
 // BenchFile is the envelope of a BENCH_*.json artifact. Host facts are
-// recorded because wall-clock rows are only comparable on like hardware —
-// a single-CPU container cannot show parallel speedup, however good the
-// decomposition.
+// recorded prominently because wall-clock rows are only comparable on like
+// hardware — a single-CPU container cannot show parallel speedup, however
+// good the decomposition; Note flags exactly that kind of caveat, and
+// GeomeanSpeedup summarizes map-vs-dense comparisons.
 type BenchFile struct {
-	NumCPU     int       `json:"num_cpu"`
-	GoMaxProcs int       `json:"gomaxprocs"`
-	Rows       []PerfRow `json:"rows"`
+	NumCPU         int       `json:"num_cpu"`
+	GoMaxProcs     int       `json:"gomaxprocs"`
+	GoVersion      string    `json:"go_version"`
+	GOOS           string    `json:"goos"`
+	GOARCH         string    `json:"goarch"`
+	Note           string    `json:"note,omitempty"`
+	GeomeanSpeedup float64   `json:"geomean_speedup,omitempty"`
+	Rows           []PerfRow `json:"rows"`
 }
 
 // WriteBenchJSON writes rows wrapped in a BenchFile to path.
 func WriteBenchJSON(path string, rows []PerfRow) error {
-	f := BenchFile{
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Rows:       rows,
-	}
+	return WriteBenchFile(path, BenchFile{Rows: rows})
+}
+
+// WriteBenchFile writes f to path, stamping the machine facts.
+func WriteBenchFile(path string, f BenchFile) error {
+	f.NumCPU = runtime.NumCPU()
+	f.GoMaxProcs = runtime.GOMAXPROCS(0)
+	f.GoVersion = runtime.Version()
+	f.GOOS = runtime.GOOS
+	f.GOARCH = runtime.GOARCH
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err

@@ -220,22 +220,16 @@ type watchdog[X comparable] struct {
 }
 
 // newWatchdog arms a watchdog for cfg, or returns nil when cfg imposes no
-// bound at all. order, when non-nil, is the solver's linear order; the
-// watchdog uses it to break hottest-unknown ties by index, so reports are
-// stable even when concurrent schedules (PSW) observe updates in different
+// bound at all. idx, when non-nil, maps unknowns to their linear-order
+// positions (the global solvers pass the memoized eqn.Index); the watchdog
+// uses it to break hottest-unknown ties by index, so reports are stable
+// even when concurrent schedules (PSW) observe updates in different
 // interleavings. Local solvers pass nil and tie-break on the rendered
 // unknown.
-func newWatchdog[X comparable](cfg Config, order []X) *watchdog[X] {
+func newWatchdog[X comparable](cfg Config, idx map[X]int) *watchdog[X] {
 	cfg = cfg.started(time.Now())
 	if cfg.MaxEvals <= 0 && cfg.Ctx == nil && cfg.deadline.IsZero() && cfg.MaxFlips <= 0 {
 		return nil
-	}
-	var idx map[X]int
-	if order != nil {
-		idx = make(map[X]int, len(order))
-		for i, x := range order {
-			idx[x] = i
-		}
 	}
 	return &watchdog[X]{
 		budget:   cfg.budget(),

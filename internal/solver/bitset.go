@@ -1,0 +1,32 @@
+package solver
+
+import "math/bits"
+
+// bitset is a fixed-capacity set over the order indices 0..n-1, the dense
+// replacement for the map[X]bool present-sets of the worklist solvers: one
+// cache line covers 512 unknowns, membership is a mask test, and clearing
+// for reuse is a memclr.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)>>6) }
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+func (b bitset) clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// nextSet returns the smallest set index ≥ from, or -1 when none exists.
+func (b bitset) nextSet(from int) int {
+	if w := from >> 6; w < len(b) {
+		if word := b[w] >> uint(from&63); word != 0 {
+			return from + bits.TrailingZeros64(word)
+		}
+		for w++; w < len(b); w++ {
+			if b[w] != 0 {
+				return w<<6 + bits.TrailingZeros64(b[w])
+			}
+		}
+	}
+	return -1
+}

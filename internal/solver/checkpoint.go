@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"strconv"
 	"strings"
 
@@ -99,15 +98,7 @@ type Codec[X comparable, D any] struct {
 // system. Values and right-hand sides are deliberately not hashed: the
 // whole point of warm restarts is resuming after the environment healed.
 func Fingerprint[X comparable, D any](sys *eqn.System[X, D]) uint64 {
-	h := fnv.New64a()
-	for _, x := range sys.Order() {
-		fmt.Fprintf(h, "%v;", x)
-		for _, d := range sys.Deps(x) {
-			fmt.Fprintf(h, "%v,", d)
-		}
-		h.Write([]byte{'\n'})
-	}
-	return h.Sum64()
+	return sys.ShapeHash()
 }
 
 // CheckpointOf extracts the checkpoint attached to a solver abort, if the
@@ -194,6 +185,56 @@ func snapshotGlobal[X comparable, D any](name string, sys *eqn.System[X, D], sig
 		cp.Sigma = append(cp.Sigma, CheckpointEntry[X, D]{X: x, V: sigma[x]})
 	}
 	return cp
+}
+
+// snapshotCompiled captures the shared part of a dense-core checkpoint
+// without materializing a sigma map: the Sigma rows are read straight off
+// the flat assignment in linear order, producing byte-identical wire output
+// to snapshotGlobal on the same state — which is what lets checkpoints
+// captured by one core resume on the other.
+func (c *compiled[X, D]) snapshot(name string, st Stats) *Checkpoint[X, D] {
+	cp := &Checkpoint[X, D]{Solver: name, SysFP: Fingerprint(c.sys)}
+	cp.Evals, cp.Updates, cp.Rounds, cp.MaxQueue, cp.Retries =
+		st.Evals, st.Updates, st.Rounds, st.MaxQueue, st.Retries
+	cp.Sigma = make([]CheckpointEntry[X, D], len(c.order))
+	for i, x := range c.order {
+		cp.Sigma[i] = CheckpointEntry[X, D]{X: x, V: c.vals[i]}
+	}
+	return cp
+}
+
+// restore applies a checkpointed assignment to the dense core. Entries for
+// unknowns outside the system are ignored, exactly as the map core's get
+// would never read them on a fingerprint-matched checkpoint.
+func (c *compiled[X, D]) restore(cp *Checkpoint[X, D]) {
+	for _, e := range cp.Sigma {
+		if j, ok := c.idx[e.X]; ok {
+			c.vals[j] = e.V
+		}
+	}
+}
+
+// queueIndices maps a checkpoint's X-space queue to order positions,
+// rejecting unknowns the system does not define.
+func (c *compiled[X, D]) queueIndices(queue []X) ([]int, error) {
+	out := make([]int, len(queue))
+	for k, x := range queue {
+		j, ok := c.idx[x]
+		if !ok {
+			return nil, fmt.Errorf("%w: queued unknown %v is not in the system", ErrBadCheckpoint, x)
+		}
+		out[k] = j
+	}
+	return out, nil
+}
+
+// queueUnknowns maps order positions back to X-space for a checkpoint.
+func (c *compiled[X, D]) queueUnknowns(idxs []int) []X {
+	out := make([]X, len(idxs))
+	for k, i := range idxs {
+		out[k] = c.order[i]
+	}
+	return out
 }
 
 // snapshotLocal captures a warm-restart checkpoint for a local solver: the

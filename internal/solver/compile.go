@@ -1,0 +1,156 @@
+package solver
+
+import (
+	"warrow/internal/eqn"
+)
+
+// denseMinUnknowns is the system size below which the global solvers skip
+// compilation (Config.Core = CoreAuto): for a handful of unknowns the
+// one-off cost of building the dense representation is comparable to the
+// whole solve, and the map core is already fast at that scale.
+const denseMinUnknowns = 16
+
+// compiled is the dense index-compiled representation of a finite system,
+// built once per solve: unknowns are renumbered to their positions 0..n-1
+// in the linear order, the assignment becomes a flat slice indexed by
+// position, right-hand sides are resolved into a slice, and the influence
+// sets are flattened into CSR form (one []int32 data array plus offsets).
+// Everything a hot loop touches per evaluation is an array access; hashing
+// survives only inside the get callback, which must translate the X-typed
+// reads of a right-hand side back to positions.
+//
+// The compiled core is an execution detail: results, Stats, checkpoints and
+// abort reports are bit-identical to the map core's (see DESIGN.md §10 for
+// the argument), and the wire format still speaks X-space, so checkpoints
+// cross freely between the cores.
+type compiled[X comparable, D any] struct {
+	*denseShape[X, D]
+	sys  *eqn.System[X, D]
+	init func(X) D
+	// vals is the assignment, indexed by order position.
+	vals []D
+}
+
+// denseShape is the shape-derived part of the compiled representation,
+// memoized on the System (eqn.ShapeMemo) so repeated solves of the same
+// system pay for the CSR build exactly once.
+type denseShape[X comparable, D any] struct {
+	order []X
+	idx   map[X]int
+	rhs   []eqn.RHS[X, D]
+	// inflOff/inflDat are the CSR influence sets: the readers of unknown i
+	// (i itself first, per eqn.Infl) are inflDat[inflOff[i]:inflOff[i+1]].
+	inflOff []int32
+	inflDat []int32
+	// identInt marks systems whose unknowns are ints forming the identity
+	// permutation (order[i] == i): there get needs no hash translation at
+	// all — an unknown IS its position (see evaluator).
+	identInt bool
+}
+
+// denseShapeKey is the ShapeMemo slot the compiled shape lives under.
+const denseShapeKey = "solver.denseShape"
+
+// compile builds the dense representation and the initial assignment. The
+// shape part is memoized on the System; only the assignment slice is fresh
+// per solve.
+func compile[X comparable, D any](sys *eqn.System[X, D], init func(X) D) *compiled[X, D] {
+	sh := sys.ShapeMemo(denseShapeKey, func() any { return buildDenseShape(sys) }).(*denseShape[X, D])
+	c := &compiled[X, D]{denseShape: sh, sys: sys, init: init, vals: make([]D, len(sh.order))}
+	for i, x := range sh.order {
+		c.vals[i] = init(x)
+	}
+	return c
+}
+
+func buildDenseShape[X comparable, D any](sys *eqn.System[X, D]) *denseShape[X, D] {
+	order := sys.Order()
+	n := len(order)
+	idx := sys.Index()
+	infl := sys.Infl()
+	sh := &denseShape[X, D]{
+		order:   order,
+		idx:     idx,
+		rhs:     make([]eqn.RHS[X, D], n),
+		inflOff: make([]int32, n+1),
+	}
+	total := 0
+	for _, x := range order {
+		total += len(infl[x])
+	}
+	sh.inflDat = make([]int32, 0, total)
+	for i, x := range order {
+		sh.rhs[i] = sys.RHS(x)
+		for _, y := range infl[x] {
+			sh.inflDat = append(sh.inflDat, int32(idx[y]))
+		}
+		sh.inflOff[i+1] = int32(len(sh.inflDat))
+	}
+	if ints, ok := any(order).([]int); ok {
+		sh.identInt = true
+		for i, x := range ints {
+			if x != i {
+				sh.identInt = false
+				break
+			}
+		}
+	}
+	return sh
+}
+
+// infl returns the CSR row of unknown i: the positions of its readers, in
+// the exact order eqn.Infl lists them.
+func (c *compiled[X, D]) infl(i int) []int32 {
+	return c.inflDat[c.inflOff[i]:c.inflOff[i+1]]
+}
+
+// sigmaMap renders the dense assignment back into the map the public API
+// returns.
+func (c *compiled[X, D]) sigmaMap() map[X]D {
+	sigma := make(map[X]D, len(c.order))
+	for i, x := range c.order {
+		sigma[x] = c.vals[i]
+	}
+	return sigma
+}
+
+// denseEval is the reusable evaluation closure pair of one dense run (or,
+// under PSW, of one stratum): get translates a right-hand side's X-typed
+// reads to slice accesses, and thunk evaluates the unknown cur points at.
+// Both closures are allocated once and reused for every evaluation, where
+// the map core used to allocate a fresh pair per evaluation.
+type denseEval[X comparable, D any] struct {
+	cur   int
+	get   func(X) D
+	thunk func() D
+}
+
+// evaluator builds the closure pair. PSW workers call this per stratum:
+// cur is worker-local while vals may be read concurrently (strata write
+// disjoint ranges; see psw.go for the hand-off argument).
+func (c *compiled[X, D]) evaluator() *denseEval[X, D] {
+	e := &denseEval[X, D]{}
+	if c.identInt {
+		// X is int and order[i] == i, so an unknown is its own position:
+		// get degenerates to a bounds-checked slice load, with the bounds
+		// failure path (an unknown outside the system) falling back to σ₀
+		// exactly like the map lookup miss below. The assertions cannot
+		// fail — identInt is only set when X's dynamic type is int.
+		vals, initInt := c.vals, any(c.init).(func(int) D)
+		e.get = any(func(y int) D {
+			if uint(y) < uint(len(vals)) {
+				return vals[y]
+			}
+			return initInt(y)
+		}).(func(X) D)
+	} else {
+		e.get = func(y X) D {
+			if j, ok := c.idx[y]; ok {
+				return c.vals[j]
+			}
+			return c.init(y)
+		}
+	}
+	e.thunk = func() D { return c.rhs[e.cur](e.get) }
+	return e
+}

@@ -19,9 +19,22 @@ import (
 // a sweep cut short by an abort is counted, so Rounds stays consistent with
 // Evals on bounded runs (an abort at an exact sweep boundary, before the
 // first evaluation of the next sweep, does not start a new round).
+//
+// Like all global solvers, RR runs on the dense index-compiled core for
+// systems of at least denseMinUnknowns unknowns (override with Config.Core);
+// both cores produce bit-identical results, Stats and checkpoints.
 func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
+	if cfg.useDense(sys.Len()) {
+		return rrDense(sys, l, op, init, cfg)
+	}
+	return rrMap(sys, l, op, init, cfg)
+}
+
+// rrMap is RR on the original map-based core, kept both as the tiny-system
+// fast path and as the differential oracle the dense core is pinned against.
+func rrMap[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
 	order := sys.Order()
-	wd := newWatchdog(cfg, order)
+	wd := newWatchdog(cfg, sys.Index())
 	op = instrument(wd, l, op)
 	g := newEvalGuard(cfg)
 	ck := newCkptSink(cfg)
@@ -52,6 +65,7 @@ func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 		c.Cursor, c.Dirty = k, dirty
 		return c
 	}
+	setCur, thunk := mapEvaluator(sys, sigma, init)
 	for {
 		evaled := false
 		for k := start; k < len(order); k++ {
@@ -66,7 +80,8 @@ func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 			if ck.due(st.Evals) {
 				ck.emit(st.Evals, capture(k, dirty))
 			}
-			rhsVal, attempts, ee := guardedEval(g, x, func() D { return sys.Eval(x, sigma, init) })
+			setCur(x)
+			rhsVal, attempts, ee := guardedEval(g, x, thunk)
 			st.Retries += attempts - 1
 			if ee != nil {
 				err := attachCheckpoint(wd.failEval(ee, st.Evals), capture(k, dirty))
@@ -93,14 +108,40 @@ func RR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 	}
 }
 
+// mapEvaluator builds the reusable evaluation closures of one map-core run:
+// get reads the live assignment, setCur resolves the right-hand side of the
+// unknown about to be evaluated, and thunk performs the evaluation. The
+// trio replaces the closure the solvers used to allocate per evaluation
+// (hoisting is worth a heap allocation and a map-closure construction on
+// every single evaluation; see BenchmarkEvalThunk).
+func mapEvaluator[X comparable, D any](sys *eqn.System[X, D], sigma map[X]D, init func(X) D) (setCur func(X), thunk func() D) {
+	get := func(y X) D {
+		if v, ok := sigma[y]; ok {
+			return v
+		}
+		return init(y)
+	}
+	var cur eqn.RHS[X, D]
+	setCur = func(x X) { cur = sys.RHS(x) }
+	thunk = func() D { return cur(get) }
+	return setCur, thunk
+}
+
 // W is the worklist solver of Fig. 2 with a LIFO discipline: when the value
 // of an unknown changes, all unknowns it influences (including itself, as a
 // precaution for non-idempotent operators) are pushed. W is a generic
 // solver, but with ⊟ it may fail to terminate even on finite monotonic
-// systems (Example 2).
+// systems (Example 2). Runs on the dense core for large systems (see RR).
 func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
+	if cfg.useDense(sys.Len()) {
+		return wDense(sys, l, op, init, cfg)
+	}
+	return wMap(sys, l, op, init, cfg)
+}
+
+func wMap[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
 	order := sys.Order()
-	wd := newWatchdog(cfg, order)
+	wd := newWatchdog(cfg, sys.Index())
 	op = instrument(wd, l, op)
 	g := newEvalGuard(cfg)
 	ck := newCkptSink(cfg)
@@ -145,6 +186,7 @@ func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Oper
 		c.Queue = append([]X(nil), stack...)
 		return c
 	}
+	setCur, thunk := mapEvaluator(sys, sigma, init)
 	for len(stack) > 0 {
 		if err := wd.check(st.Evals); err != nil {
 			return sigma, st, attachCheckpoint(err, capture())
@@ -155,7 +197,8 @@ func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Oper
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		present[x] = false
-		rhsVal, attempts, ee := guardedEval(g, x, func() D { return sys.Eval(x, sigma, init) })
+		setCur(x)
+		rhsVal, attempts, ee := guardedEval(g, x, thunk)
 		st.Retries += attempts - 1
 		if ee != nil {
 			// The failed evaluation never happened: keep x scheduled so the
@@ -192,9 +235,17 @@ func W[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Oper
 // just the assignment plus that frame index; resume re-enters the stack
 // frames from the outside in and continues the interrupted iteration
 // exactly — the resumed run is bit-identical to an uninterrupted one.
+// Runs on the dense core for large systems (see RR).
 func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
+	if cfg.useDense(sys.Len()) {
+		return srrDense(sys, l, op, init, cfg)
+	}
+	return srrMap(sys, l, op, init, cfg)
+}
+
+func srrMap[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
 	order := sys.Order()
-	wd := newWatchdog(cfg, order)
+	wd := newWatchdog(cfg, sys.Index())
 	op = instrument(wd, l, op)
 	g := newEvalGuard(cfg)
 	ck := newCkptSink(cfg)
@@ -222,6 +273,7 @@ func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 		c.Cursor = i
 		return c
 	}
+	setCur, thunk := mapEvaluator(sys, sigma, init)
 	var solve func(i int, resumed bool) error
 	solve = func(i int, resumed bool) error {
 		if i == 0 {
@@ -246,7 +298,8 @@ func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 			if ck.due(st.Evals) {
 				ck.emit(st.Evals, capture(i))
 			}
-			rhsVal, attempts, ee := guardedEval(g, x, func() D { return sys.Eval(x, sigma, init) })
+			setCur(x)
+			rhsVal, attempts, ee := guardedEval(g, x, thunk)
 			st.Retries += attempts - 1
 			if ee != nil {
 				return attachCheckpoint(wd.failEval(ee, st.Evals), capture(i))
@@ -268,10 +321,18 @@ func SRR[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 // re-evaluation are kept in a priority queue ordered by their index in the
 // given linear order, and the least unknown is extracted first. SW is a
 // generic solver and, instantiated with ⊟, terminates for every finite
-// monotonic system (Theorem 2).
+// monotonic system (Theorem 2). Runs on the dense core for large systems,
+// where the heap collapses into a bucket queue over the indices (see RR).
 func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
+	if cfg.useDense(sys.Len()) {
+		return swDense(sys, l, op, init, cfg)
+	}
+	return swMap(sys, l, op, init, cfg)
+}
+
+func swMap[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
 	order := sys.Order()
-	wd := newWatchdog(cfg, order)
+	wd := newWatchdog(cfg, sys.Index())
 	op = instrument(wd, l, op)
 	g := newEvalGuard(cfg)
 	ck := newCkptSink(cfg)
@@ -309,6 +370,7 @@ func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 		c.Queue = queued
 		return c
 	}
+	setCur, thunk := mapEvaluator(sys, sigma, init)
 	for !q.empty() {
 		if err := wd.check(st.Evals); err != nil {
 			return sigma, st, attachCheckpoint(err, capture())
@@ -317,7 +379,8 @@ func SW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Ope
 			ck.emit(st.Evals, capture())
 		}
 		x := q.popMin()
-		rhsVal, attempts, ee := guardedEval(g, x, func() D { return sys.Eval(x, sigma, init) })
+		setCur(x)
+		rhsVal, attempts, ee := guardedEval(g, x, thunk)
 		st.Retries += attempts - 1
 		if ee != nil {
 			// The failed evaluation never happened: keep x scheduled so the

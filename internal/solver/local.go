@@ -55,7 +55,23 @@ func RLD[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 		}
 		return init(y)
 	}
+	// eval and thunk are allocated once per run and read the current frame
+	// from cur; solve is reentrant (eval recurses into it), so each frame
+	// saves and restores cur around its evaluation.
 	var solve func(x X) error
+	var cur struct {
+		x       X
+		rhs     eqn.RHS[X, D]
+		evalErr error
+	}
+	eval := func(y X) D {
+		if cur.evalErr == nil {
+			cur.evalErr = solve(y)
+		}
+		infl[y] = append(infl[y], cur.x)
+		return get(y)
+	}
+	thunk := func() D { return cur.rhs(eval) }
 	solve = func(x X) error {
 		if stable[x] {
 			return nil
@@ -75,15 +91,11 @@ func RLD[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 			ck.emit(st.Evals, capture())
 		}
 		st.Evals++
-		var evalErr error
-		eval := func(y X) D {
-			if evalErr == nil {
-				evalErr = solve(y)
-			}
-			infl[y] = append(infl[y], x)
-			return get(y)
-		}
-		rhsVal, attempts, ee := guardedEval(g, x, func() D { return rhs(eval) })
+		saved := cur
+		cur.x, cur.rhs, cur.evalErr = x, rhs, nil
+		rhsVal, attempts, ee := guardedEval(g, x, thunk)
+		evalErr := cur.evalErr
+		cur = saved
 		st.Retries += attempts - 1
 		if ee != nil {
 			// The failed evaluation never happened; roll its count back.
@@ -250,7 +262,26 @@ func SLR[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 		init = cp.overlayInit(init)
 	}
 	s := newSLRState("slr", l, op, init, nil, cfg)
+	// eval and thunk are allocated once per run and read the current frame
+	// from cur; solve is reentrant (eval recurses into it for fresh
+	// unknowns), so each frame saves and restores cur around its evaluation.
 	var solve func(x X, drainAfter bool) error
+	var cur struct {
+		x       X
+		rhs     eqn.RHS[X, D]
+		evalErr error
+	}
+	eval := func(y X) D {
+		if !s.inDom(y) {
+			s.initVar(y)
+			if cur.evalErr == nil {
+				cur.evalErr = solve(y, true)
+			}
+		}
+		s.infl[y][cur.x] = true
+		return s.sigma[y]
+	}
+	thunk := func() D { return cur.rhs(eval) }
 	solve = func(x X, drainAfter bool) error {
 		if s.stable[x] {
 			return nil
@@ -267,18 +298,11 @@ func SLR[X comparable, D any](sys eqn.Pure[X, D], l lattice.Lattice[D], op Opera
 			s.ck.emit(s.st.Evals, s.capture())
 		}
 		s.st.Evals++
-		var evalErr error
-		eval := func(y X) D {
-			if !s.inDom(y) {
-				s.initVar(y)
-				if evalErr == nil {
-					evalErr = solve(y, true)
-				}
-			}
-			s.infl[y][x] = true
-			return s.sigma[y]
-		}
-		rhsVal, attempts, ee := guardedEval(s.g, x, func() D { return rhs(eval) })
+		saved := cur
+		cur.x, cur.rhs, cur.evalErr = x, rhs, nil
+		rhsVal, attempts, ee := guardedEval(s.g, x, thunk)
+		evalErr := cur.evalErr
+		cur = saved
 		s.st.Retries += attempts - 1
 		if ee != nil {
 			// The failed evaluation never happened; roll its count back.
@@ -361,41 +385,60 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 	// own, and an abort raised there must not be dropped — if the caller
 	// finishes without performing another evaluation, the solver would
 	// otherwise report success on a truncated run.
+	// eval, side and thunk are allocated once per run and read the current
+	// frame from cur; solve is reentrant (eval and side recurse into it for
+	// fresh unknowns), so each frame saves and restores cur around its
+	// evaluation.
 	var sideErr error
 	var solve func(x X, drainAfter bool) error
-	side := func(x X) func(z X, d D) {
-		return func(z X, d D) {
-			if z == x {
-				// A contract violation, not an evaluation fault: the typed
-				// panic passes through the recover barrier unchanged.
-				panic(contractViolation{msg: "solver: SLRPlus right-hand side side-effects its own unknown"})
+	var cur struct {
+		x       X
+		rhs     eqn.SideRHS[X, D]
+		evalErr error
+	}
+	side := func(z X, d D) {
+		x := cur.x
+		if z == x {
+			// A contract violation, not an evaluation fault: the typed
+			// panic passes through the recover barrier unchanged.
+			panic(contractViolation{msg: "solver: SLRPlus right-hand side side-effects its own unknown"})
+		}
+		p := sideKey[X]{From: x, To: z}
+		old, seen := contrib[p]
+		if !seen {
+			old = l.Bottom()
+		}
+		if l.Eq(d, old) {
+			return
+		}
+		contrib[p] = d
+		if !seen {
+			contribSet[z] = append(contribSet[z], x)
+		}
+		if s.inDom(z) {
+			delete(s.stable, z)
+			s.q.push(z, s.key[z])
+			if s.q.len() > s.st.MaxQueue {
+				s.st.MaxQueue = s.q.len()
 			}
-			p := sideKey[X]{From: x, To: z}
-			old, seen := contrib[p]
-			if !seen {
-				old = l.Bottom()
-			}
-			if l.Eq(d, old) {
-				return
-			}
-			contrib[p] = d
-			if !seen {
-				contribSet[z] = append(contribSet[z], x)
-			}
-			if s.inDom(z) {
-				delete(s.stable, z)
-				s.q.push(z, s.key[z])
-				if s.q.len() > s.st.MaxQueue {
-					s.st.MaxQueue = s.q.len()
-				}
-			} else {
-				s.initVar(z)
-				if err := solve(z, true); err != nil && sideErr == nil {
-					sideErr = err
-				}
+		} else {
+			s.initVar(z)
+			if err := solve(z, true); err != nil && sideErr == nil {
+				sideErr = err
 			}
 		}
 	}
+	eval := func(y X) D {
+		if !s.inDom(y) {
+			s.initVar(y)
+			if cur.evalErr == nil {
+				cur.evalErr = solve(y, true)
+			}
+		}
+		s.infl[y][cur.x] = true
+		return s.sigma[y]
+	}
+	thunk := func() D { return cur.rhs(eval, side) }
 	solve = func(x X, drainAfter bool) error {
 		if s.stable[x] {
 			return nil
@@ -412,20 +455,14 @@ func SLRPlusKeyed[X comparable, D any](sys eqn.Sides[X, D], l lattice.Lattice[D]
 			s.ck.emit(s.st.Evals, s.capture())
 		}
 		s.st.Evals++
-		var evalErr error
-		eval := func(y X) D {
-			if !s.inDom(y) {
-				s.initVar(y)
-				if evalErr == nil {
-					evalErr = solve(y, true)
-				}
-			}
-			s.infl[y][x] = true
-			return s.sigma[y]
-		}
 		v := l.Bottom()
+		var evalErr error
 		if rhs != nil {
-			rhsVal, attempts, ee := guardedEval(s.g, x, func() D { return rhs(eval, side(x)) })
+			saved := cur
+			cur.x, cur.rhs, cur.evalErr = x, rhs, nil
+			rhsVal, attempts, ee := guardedEval(s.g, x, thunk)
+			evalErr = cur.evalErr
+			cur = saved
 			s.st.Retries += attempts - 1
 			if ee != nil {
 				// The failed evaluation never happened; roll its count back.

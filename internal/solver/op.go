@@ -261,6 +261,40 @@ type Stats struct {
 // while the error now carries the full divergence diagnosis.
 var ErrEvalBudget = errors.New("solver: evaluation budget exceeded")
 
+// Core selects the execution core of the global solvers (RR, W, SRR, SW).
+// Both cores implement the same algorithms with bit-identical results,
+// Stats and checkpoints; they differ only in representation — hash maps
+// versus the dense index-compiled structures of compile.go. PSW always runs
+// its strata on the dense structures. The local solvers (RLD, SLR, SLR⁺)
+// discover their unknowns on the fly and have no dense core.
+type Core int8
+
+// Cores.
+const (
+	// CoreAuto compiles systems of at least denseMinUnknowns unknowns and
+	// keeps tiny systems on the map core, where compilation overhead would
+	// dominate.
+	CoreAuto Core = iota
+	// CoreMap forces the map core.
+	CoreMap
+	// CoreDense forces the dense core.
+	CoreDense
+)
+
+// String renders the core name.
+func (c Core) String() string {
+	switch c {
+	case CoreAuto:
+		return "auto"
+	case CoreMap:
+		return "map"
+	case CoreDense:
+		return "dense"
+	default:
+		return "?"
+	}
+}
+
 // Config tunes a solver run. The zero value imposes no bound of any kind;
 // setting any of MaxEvals, Ctx, Timeout or MaxFlips arms the divergence
 // watchdog, and an armed run that trips a bound aborts with an *AbortError
@@ -301,6 +335,11 @@ type Config struct {
 	// CheckpointSink receives periodic snapshots as *Checkpoint[X, D]
 	// values (typed any because Config is element-type-agnostic).
 	CheckpointSink func(cp any)
+	// Core selects the execution core of the global solvers; the zero value
+	// (CoreAuto) picks the dense index-compiled core for systems of at
+	// least denseMinUnknowns unknowns. Results are bit-identical either
+	// way, and checkpoints captured by one core resume on the other.
+	Core Core
 	// Resume, when non-nil, must hold a *Checkpoint[X, D] captured by the
 	// same solver on a system with the same shape; the solver continues the
 	// interrupted iteration (exactly for RR, W, SRR, SW, PSW; as a warm
@@ -326,6 +365,20 @@ func (c Config) started(now time.Time) Config {
 		c.deadline = now.Add(c.Timeout)
 	}
 	return c
+}
+
+// useDense decides which core a global solver runs on for a system of n
+// unknowns. CoreAuto keeps tiny systems on the map core: compiling the CSR
+// graph costs more than the whole solve there.
+func (c Config) useDense(n int) bool {
+	switch c.Core {
+	case CoreDense:
+		return true
+	case CoreMap:
+		return false
+	default:
+		return n >= denseMinUnknowns
+	}
 }
 
 func (c Config) workers() int {

@@ -65,6 +65,64 @@ func (q *pq[X]) up(i int) {
 	}
 }
 
+// bucketQueue is the dense priority queue of the index-compiled SW and PSW
+// cores: elements are order indices in a fixed window [base, base+cap), and
+// an element's priority IS its index, so the heap collapses to a bitset of
+// queued indices plus a lower bound on the minimum. push is a mask test and
+// popMin a find-first-set scan from the bound — no hashing, no comparisons,
+// no per-element bookkeeping. Because indices are unique priorities, the pop
+// sequence is exactly the binary heap's, which keeps the dense solvers
+// bit-identical to the map core (same evaluations, same MaxQueue).
+type bucketQueue struct {
+	bits bitset
+	base int // index of bit 0
+	n    int // queued element count
+	min  int // lower bound: no queued index is smaller (absolute, not offset)
+}
+
+// newBucketQueue covers the index window [lo, hi] inclusive.
+func newBucketQueue(lo, hi int) *bucketQueue {
+	return &bucketQueue{bits: newBitset(hi - lo + 1), base: lo, min: hi + 1}
+}
+
+func (q *bucketQueue) empty() bool { return q.n == 0 }
+
+func (q *bucketQueue) len() int { return q.n }
+
+// push inserts index i unless already queued.
+func (q *bucketQueue) push(i int) {
+	o := i - q.base
+	if q.bits.has(o) {
+		return
+	}
+	q.bits.set(o)
+	q.n++
+	if i < q.min {
+		q.min = i
+	}
+}
+
+// popMin removes and returns the smallest queued index; the queue must be
+// nonempty.
+func (q *bucketQueue) popMin() int {
+	o := q.bits.nextSet(q.min - q.base)
+	q.bits.clear(o)
+	q.n--
+	i := q.base + o
+	q.min = i + 1
+	return i
+}
+
+// indices returns the queued indices in ascending order without modifying
+// the queue — the non-destructive snapshot checkpoints are captured from.
+func (q *bucketQueue) indices() []int {
+	out := make([]int, 0, q.n)
+	for o := q.bits.nextSet(0); o >= 0; o = q.bits.nextSet(o + 1) {
+		out = append(out, q.base+o)
+	}
+	return out
+}
+
 func (q *pq[X]) down(i int) {
 	n := len(q.heap)
 	for {

@@ -2,7 +2,6 @@ package solver
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,28 +60,21 @@ import (
 // exactly (PSW totals are schedule-independent).
 func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
 	start := time.Now()
-	order := sys.Order()
+	c := compile(sys, init)
+	order := c.order
 	n := len(order)
 	adj := sys.DepGraph()
 	comp, ncomp := tarjanSCC(adj)
 	strata := stratify(adj)
 
-	wd := newWatchdog(cfg, order)
+	wd := newWatchdog(cfg, c.idx)
 	r := &pswRun[X, D]{
-		sys:    sys,
+		c:      c,
 		l:      l,
 		op:     instrument(wd, l, op),
-		init:   init,
-		order:  order,
-		idx:    sys.Index(),
-		infl:   sys.Infl(),
-		vals:   make([]D, n),
 		budget: int64(cfg.budget()),
 		wd:     wd,
 		g:      newEvalGuard(cfg),
-	}
-	for i, x := range order {
-		r.vals[i] = init(x)
 	}
 
 	var st Stats
@@ -99,11 +91,7 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 		if len(cp.Strata) != len(strata) {
 			return map[X]D{}, st, fmt.Errorf("%w: checkpoint has %d strata, system has %d", ErrBadCheckpoint, len(cp.Strata), len(strata))
 		}
-		for _, e := range cp.Sigma {
-			if j, ok := r.idx[e.X]; ok {
-				r.vals[j] = e.V
-			}
-		}
+		c.restore(cp)
 		for si, sc := range cp.Strata {
 			switch {
 			case sc.Done:
@@ -241,12 +229,9 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 	st.MaxQueue = int(r.maxQueue.Load())
 	st.WallNs = time.Since(start).Nanoseconds()
 
-	sigma := make(map[X]D, n)
-	for i, x := range order {
-		sigma[x] = r.vals[i]
-	}
+	sigma := c.sigmaMap()
 	if firstErr != nil {
-		cp := snapshotGlobal("psw", sys, sigma, st)
+		cp := c.snapshot("psw", st)
 		cp.Strata = make([]StratumCheckpoint, len(strata))
 		for si := range strata {
 			switch {
@@ -270,18 +255,14 @@ type stratumResult struct {
 	err       error
 }
 
-// pswRun is the shared state of one PSW invocation. vals is indexed by
-// order position; concurrent strata write disjoint index ranges and read
-// only ranges whose strata completed before they were dispatched.
+// pswRun is the shared state of one PSW invocation. The compiled assignment
+// c.vals is indexed by order position; concurrent strata write disjoint
+// index ranges and read only ranges whose strata completed before they were
+// dispatched.
 type pswRun[X comparable, D any] struct {
-	sys   *eqn.System[X, D]
-	l     lattice.Lattice[D]
-	op    Operator[X, D]
-	init  func(X) D
-	order []X
-	idx   map[X]int
-	infl  map[X][]X
-	vals  []D
+	c  *compiled[X, D]
+	l  lattice.Lattice[D]
+	op Operator[X, D]
 
 	budget   int64
 	wd       *watchdog[X]
@@ -300,33 +281,24 @@ type pswRun[X comparable, D any] struct {
 // It returns the sorted indices still queued if the run was interrupted
 // (nil when the stratum stabilized) and the abort error, if any.
 func (r *pswRun[X, D]) runStratum(s stratum, initQ []int) ([]int, error) {
-	q := newPQ[X]()
+	q := newBucketQueue(s.lo, s.hi)
 	if initQ == nil {
 		for i := s.lo; i <= s.hi; i++ {
-			q.push(r.order[i], int64(i))
+			q.push(i)
 		}
 	} else {
 		for _, i := range initQ {
-			q.push(r.order[i], int64(i))
+			q.push(i)
 		}
 	}
-	get := func(y X) D {
-		if j, ok := r.idx[y]; ok {
-			return r.vals[j]
-		}
-		return r.init(y)
-	}
+	// Each stratum gets its own evaluator: e.cur is per-run mutable state,
+	// but the get callback reads the shared assignment, which is safe —
+	// concurrent strata write disjoint ranges and read only stable ones.
+	e := r.c.evaluator()
 	// suspend captures the still-queued indices in ascending order; the
 	// result is never nil, which is how the scheduler tells an interrupted
 	// stratum from a stabilized one.
-	suspend := func() []int {
-		idxs := make([]int, 0, q.len())
-		for _, x := range q.heap {
-			idxs = append(idxs, r.idx[x])
-		}
-		sort.Ints(idxs)
-		return idxs
-	}
+	suspend := func() []int { return q.indices() }
 	localMax := int64(q.len())
 	for !q.empty() {
 		if r.abort.Load() {
@@ -345,9 +317,10 @@ func (r *pswRun[X, D]) runStratum(s stratum, initQ []int) ([]int, error) {
 			r.evals.Add(-1)
 			return suspend(), err
 		}
-		x := q.popMin()
-		i := r.idx[x]
-		rhsVal, attempts, ee := guardedEval(r.g, x, func() D { return r.sys.RHS(x)(get) })
+		i := q.popMin()
+		x := r.c.order[i]
+		e.cur = i
+		rhsVal, attempts, ee := guardedEval(r.g, x, e.thunk)
 		if attempts > 1 {
 			r.retries.Add(int64(attempts - 1))
 		}
@@ -355,17 +328,17 @@ func (r *pswRun[X, D]) runStratum(s stratum, initQ []int) ([]int, error) {
 			// The failed evaluation never happened: roll the reservation back
 			// and keep x scheduled so the checkpoint re-evaluates it.
 			r.evals.Add(-1)
-			q.push(x, int64(i))
+			q.push(i)
 			return suspend(), r.wd.failEval(ee, int(n-1))
 		}
-		next := r.op.Apply(x, r.vals[i], rhsVal)
-		if !r.l.Eq(r.vals[i], next) {
-			r.vals[i] = next
+		next := r.op.Apply(x, r.c.vals[i], rhsVal)
+		if !r.l.Eq(r.c.vals[i], next) {
+			r.c.vals[i] = next
 			r.updates.Add(1)
-			q.push(x, int64(i))
-			for _, y := range r.infl[x] {
-				if j := r.idx[y]; j >= s.lo && j <= s.hi {
-					q.push(y, int64(j))
+			q.push(i)
+			for _, j := range r.c.infl(i) {
+				if int(j) >= s.lo && int(j) <= s.hi {
+					q.push(int(j))
 				}
 			}
 			if int64(q.len()) > localMax {
