@@ -44,12 +44,18 @@ bench-psw:
 bench-dense:
 	go run ./cmd/bench -dense -json BENCH_dense.json
 
-# Bench smoke: the reduced map-vs-dense matrix (bit-identity gate + timing
-# sanity, minutes not tens of minutes) plus the -benchmem micro-benchmarks
-# of the solver hot loops. Keeps the dense core's perf claims continuously
-# exercised without regenerating the committed BENCH_*.json artifacts.
+bench-unboxed:
+	go run ./cmd/bench -unboxed -json BENCH_unboxed.json
+
+# Bench smoke: the reduced map-vs-dense and dense-vs-unboxed matrices
+# (bit-identity gate + timing sanity, minutes not tens of minutes) plus the
+# -benchmem micro-benchmarks of the solver hot loops — including the
+# zero-alloc unboxed rows. Keeps the compiled cores' perf claims
+# continuously exercised without regenerating the committed BENCH_*.json
+# artifacts.
 bench-smoke:
 	go run ./cmd/bench -dense -smoke
+	go run ./cmd/bench -unboxed -smoke
 	go test ./internal/solver -run '^$$' -bench 'BenchmarkRR|BenchmarkSW|BenchmarkSLRThunk' -benchmem -benchtime 50x
 
-.PHONY: tier1 tier2 chaos-smoke fuzz race-solver bench-psw bench-dense bench-smoke
+.PHONY: tier1 tier2 chaos-smoke fuzz race-solver bench-psw bench-dense bench-unboxed bench-smoke

@@ -6,6 +6,7 @@
 //	bench -ablations  ⊟ₖ degradation, solver work, threshold widening
 //	bench -psw        SW vs PSW speedup on the synthetic wide system
 //	bench -dense      map core vs dense compiled core on eqgen systems
+//	bench -unboxed    dense-boxed core vs unboxed word core on eqgen systems
 //	bench -all        everything
 //
 // The suites fan out across -workers goroutines (0 = GOMAXPROCS) with
@@ -40,6 +41,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the ablation studies")
 	psw := flag.Bool("psw", false, "measure SW vs PSW at several worker counts")
 	dense := flag.Bool("dense", false, "measure the map core vs the dense compiled core on eqgen systems")
+	unboxed := flag.Bool("unboxed", false, "measure the dense-boxed core vs the unboxed word core on eqgen systems")
 	faults := flag.Bool("faults", false, "measure the fault-isolation layer: checkpoint and retry overhead")
 	all := flag.Bool("all", false, "run everything")
 	workers := flag.Int("workers", 0, "harness worker-pool size (0 = GOMAXPROCS)")
@@ -50,15 +52,16 @@ func main() {
 	flag.Parse()
 	experiments.SolveTimeout = *timeout
 
-	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*dense && !*faults && !*all {
+	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*dense && !*unboxed && !*faults && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig7, *table1, *traces, *ablations, *psw, *dense, *faults = true, true, true, true, true, true, true
+		*fig7, *table1, *traces, *ablations, *psw, *dense, *unboxed, *faults = true, true, true, true, true, true, true, true
 	}
 	var note string
 	var geomean float64
+	var breakdown *experiments.GeomeanBreakdown
 	if *psw && runtime.GOMAXPROCS(0) == 1 {
 		if !*allowSerial {
 			fmt.Fprintln(os.Stderr, "psw: GOMAXPROCS=1 — worker-scaling rows would be meaningless on serial hardware.")
@@ -129,6 +132,28 @@ func main() {
 		}
 		perf = append(perf, rows...)
 	}
+	if *unboxed {
+		rows, g, bd, notes, err := experiments.UnboxedVsDense(experiments.DenseCases(*smoke), 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "unboxed:", err)
+			os.Exit(1)
+		}
+		geomean, breakdown = g, bd
+		fmt.Println("Dense-boxed core vs unboxed word core on eqgen macro-benchmarks:")
+		fmt.Println(experiments.FormatUnboxedRows(rows, g, bd))
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "unboxed: NOTE:", n)
+		}
+		if len(notes) > 0 {
+			joined := strings.Join(notes, "; ")
+			if note != "" {
+				note += "; " + joined
+			} else {
+				note = joined
+			}
+		}
+		perf = append(perf, rows...)
+	}
 	if *faults {
 		rows, err := experiments.FaultOverhead(8, 3000, 24, 10000, 0.002)
 		if err != nil {
@@ -140,7 +165,7 @@ func main() {
 		perf = append(perf, rows...)
 	}
 	if *jsonOut != "" {
-		f := experiments.BenchFile{Note: note, GeomeanSpeedup: geomean, Rows: perf}
+		f := experiments.BenchFile{Note: note, GeomeanSpeedup: geomean, Breakdown: breakdown, Rows: perf}
 		if err := experiments.WriteBenchFile(*jsonOut, f); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
 			os.Exit(1)

@@ -246,3 +246,62 @@ func TestChaosDenseCore(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosUnboxedCore is TestChaosDenseCore for the unboxed value store:
+// chaos.Check runs the full solver matrix with Core=CoreUnboxed (the
+// structured ⊟ plus the interval lattice's raw encoding route these solves
+// through the word-store core, with the injector living in the boxed
+// right-hand sides behind the boundary adapter), and the cross-core
+// determinism pin compares map against unboxed under the identical fault
+// schedule.
+func TestChaosUnboxedCore(t *testing.T) {
+	l := lattice.Ints
+	op := solver.WarrowOp[int, lattice.Interval](l)
+	for _, seed := range []uint64{1, 2, 3} {
+		sys := genInterval(seed, 24)
+		ccfg := chaos.Config{Seed: seed * 77, Transient: 0.1, Persistent: 0.01, MaxFaults: 30}
+		scfg := solver.Config{
+			Core:     solver.CoreUnboxed,
+			MaxEvals: 300_000,
+			Retry:    solver.RetryPolicy{MaxAttempts: 45, Seed: seed},
+		}
+		verdicts, err := chaos.Check(l, sys, ivInit(), ccfg, scfg, []int{1, 4})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		faults := 0
+		for _, v := range verdicts {
+			faults += v.Faults
+		}
+		if faults == 0 {
+			t.Fatalf("seed %d: no faults injected; the unboxed-core chaos check is vacuous", seed)
+		}
+
+		run := func(core solver.Core) (faults int, st solver.Stats, err error, sigma map[int]lattice.Interval) {
+			chaotic, inj := chaos.Wrap(sys, ccfg)
+			c := scfg
+			c.Core = core
+			sigma, st, err = solver.SW(chaotic, l, op, ivInit(), c)
+			return inj.Faults(), st, err, sigma
+		}
+		mf, mst, merr, msig := run(solver.CoreMap)
+		uf, ust, uerr, usig := run(solver.CoreUnboxed)
+		if mf != uf {
+			t.Fatalf("seed %d: fault schedules diverge across cores: map %d, unboxed %d", seed, mf, uf)
+		}
+		if (merr == nil) != (uerr == nil) {
+			t.Fatalf("seed %d: chaotic termination differs: map err=%v, unboxed err=%v", seed, merr, uerr)
+		}
+		if mst.Evals != ust.Evals || mst.Updates != ust.Updates {
+			t.Fatalf("seed %d: chaotic schedules diverge: map %d/%d, unboxed %d/%d",
+				seed, mst.Evals, mst.Updates, ust.Evals, ust.Updates)
+		}
+		if merr == nil {
+			for _, x := range sys.Order() {
+				if !l.Eq(msig[x], usig[x]) {
+					t.Fatalf("seed %d: chaotic value of %d diverges across cores", seed, x)
+				}
+			}
+		}
+	}
+}

@@ -40,7 +40,9 @@ type Verdict struct {
 // A nil error means every solver upheld the property; the verdicts report
 // which branch each one took.
 func Check[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], init func(X) D, ccfg Config, scfg solver.Config, workers []int) ([]Verdict, error) {
-	op := solver.Op[X](solver.Warrow[D](l))
+	// The structured ⊟: bit-identical to Op(Warrow(l)) and eligible for the
+	// unboxed value store when scfg requests (or auto-selects) it.
+	op := solver.WarrowOp[X, D](l)
 
 	type runner struct {
 		name string

@@ -1,10 +1,11 @@
-// Cross-core differential verdicts: the dense compiled execution core must
-// be bit-identical to the map core — same values, same Evals, Updates,
-// Rounds and MaxQueue, same termination status — for every global solver,
-// and checkpoints taken under one core must resume under the other with no
-// observable difference. These are the properties the dense core's
-// correctness argument rests on (see DESIGN.md §10), so they get their own
-// harness entry points next to the solver-vs-solver matrix.
+// Cross-core differential verdicts: the compiled execution cores — dense
+// with boxed values and unboxed with raw words (valuerep.go) — must be
+// bit-identical to the map core: same values, same Evals, Updates, Rounds
+// and MaxQueue, same termination status, for every global solver; and
+// checkpoints taken under any core must resume under any other with no
+// observable difference. These are the properties the compiled cores'
+// correctness argument rests on (see DESIGN.md §10 and §11), so they get
+// their own harness entry points next to the solver-vs-solver matrix.
 package diffsolve
 
 import (
@@ -26,7 +27,9 @@ type coreRunner[X comparable, D any] struct {
 }
 
 func coreRunners[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], init func(X) D) []coreRunner[X, D] {
-	op := solver.Op[X](solver.Warrow[D](l))
+	// WarrowOp is the structured ⊟: bit-identical to Op(Warrow(l)) on the
+	// boxed cores and the form that unlocks the unboxed value store.
+	op := solver.WarrowOp[X, D](l)
 	return []coreRunner[X, D]{
 		{"rr", func(c solver.Config) (map[X]D, solver.Stats, error) { return solver.RR(sys, l, op, init, c) }},
 		{"w", func(c solver.Config) (map[X]D, solver.Stats, error) { return solver.W(sys, l, op, init, c) }},
@@ -35,13 +38,14 @@ func coreRunners[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D
 	}
 }
 
-// CheckCores runs every global solver once per execution core and demands
-// bit-identity: identical termination status, identical Evals, Updates,
-// Rounds and MaxQueue (on aborts too — the cores run the same schedule, so
-// the work record at the abort point must agree exactly), and identical
-// values on termination. PSW — which always executes on the compiled core —
-// is then compared against the map-core SW outcome for every worker count in
-// opt.Workers, crossing the cores a second way.
+// CheckCores runs every global solver once per execution core — map, dense
+// with boxed values, and unboxed — and demands bit-identity: identical
+// termination status, identical Evals, Updates, Rounds and MaxQueue (on
+// aborts too — the cores run the same schedule, so the work record at the
+// abort point must agree exactly), and identical values on termination.
+// PSW — which always executes on the compiled structures — is then compared
+// against the map-core SW outcome for every worker count in opt.Workers and
+// both value stores, crossing the cores a second way.
 func CheckCores[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], init func(X) D, opt Options) error {
 	opt = opt.defaults()
 	base := solver.Config{MaxEvals: opt.MaxEvals, MaxFlips: opt.MaxFlips}
@@ -49,29 +53,34 @@ func CheckCores[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D]
 	var swVals map[X]D
 	var swSt solver.Stats
 	var swErr error
+	compiledCores := []solver.Core{solver.CoreDense, solver.CoreUnboxed}
 	for _, r := range coreRunners(l, sys, init) {
-		mc, dc := base, base
-		mc.Core, dc.Core = solver.CoreMap, solver.CoreDense
+		mc := base
+		mc.Core = solver.CoreMap
 		mSigma, mSt, mErr := r.run(mc)
-		dSigma, dSt, dErr := r.run(dc)
 		if mErr != nil && !acceptableAbort(mErr) {
 			return fmt.Errorf("%s map: unexpected error: %w", r.name, mErr)
 		}
-		if dErr != nil && !acceptableAbort(dErr) {
-			return fmt.Errorf("%s dense: unexpected error: %w", r.name, dErr)
-		}
-		if (mErr == nil) != (dErr == nil) {
-			return fmt.Errorf("%s: termination differs: map err=%v, dense err=%v", r.name, mErr, dErr)
-		}
-		if mSt.Evals != dSt.Evals || mSt.Updates != dSt.Updates ||
-			mSt.Rounds != dSt.Rounds || mSt.MaxQueue != dSt.MaxQueue {
-			return fmt.Errorf("%s: schedules diverge: map %+v, dense %+v", r.name, mSt, dSt)
-		}
-		if mErr == nil {
-			for _, x := range sys.Order() {
-				if !l.Eq(mSigma[x], dSigma[x]) {
-					return fmt.Errorf("%s: value of %v: map %s, dense %s",
-						r.name, x, l.Format(mSigma[x]), l.Format(dSigma[x]))
+		for _, core := range compiledCores {
+			dc := base
+			dc.Core = core
+			dSigma, dSt, dErr := r.run(dc)
+			if dErr != nil && !acceptableAbort(dErr) {
+				return fmt.Errorf("%s %s: unexpected error: %w", r.name, core, dErr)
+			}
+			if (mErr == nil) != (dErr == nil) {
+				return fmt.Errorf("%s: termination differs: map err=%v, %s err=%v", r.name, mErr, core, dErr)
+			}
+			if mSt.Evals != dSt.Evals || mSt.Updates != dSt.Updates ||
+				mSt.Rounds != dSt.Rounds || mSt.MaxQueue != dSt.MaxQueue {
+				return fmt.Errorf("%s: schedules diverge: map %+v, %s %+v", r.name, mSt, core, dSt)
+			}
+			if mErr == nil {
+				for _, x := range sys.Order() {
+					if !l.Eq(mSigma[x], dSigma[x]) {
+						return fmt.Errorf("%s: value of %v: map %s, %s %s",
+							r.name, x, l.Format(mSigma[x]), core, l.Format(dSigma[x]))
+					}
 				}
 			}
 		}
@@ -81,29 +90,32 @@ func CheckCores[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D]
 	}
 
 	for _, w := range opt.Workers {
-		cfg := base
-		cfg.Workers = w
-		op := solver.Op[X](solver.Warrow[D](l))
-		sigma, st, err := solver.PSW(sys, l, op, init, cfg)
-		if err != nil && !acceptableAbort(err) {
-			return fmt.Errorf("psw/w=%d: unexpected error: %w", w, err)
-		}
-		if (err == nil) != (swErr == nil) {
-			return fmt.Errorf("psw/w=%d: termination differs from map-core sw: psw err=%v, sw err=%v", w, err, swErr)
-		}
-		if st.Evals != swSt.Evals {
-			return fmt.Errorf("psw/w=%d: %d evals, map-core sw %d", w, st.Evals, swSt.Evals)
-		}
-		if err != nil {
-			continue
-		}
-		if st.Updates != swSt.Updates {
-			return fmt.Errorf("psw/w=%d: %d updates, map-core sw %d", w, st.Updates, swSt.Updates)
-		}
-		for _, x := range sys.Order() {
-			if !l.Eq(sigma[x], swVals[x]) {
-				return fmt.Errorf("psw/w=%d: value of %v = %s, map-core sw %s",
-					w, x, l.Format(sigma[x]), l.Format(swVals[x]))
+		for _, core := range compiledCores {
+			cfg := base
+			cfg.Workers = w
+			cfg.Core = core
+			op := solver.WarrowOp[X, D](l)
+			sigma, st, err := solver.PSW(sys, l, op, init, cfg)
+			if err != nil && !acceptableAbort(err) {
+				return fmt.Errorf("psw/%s/w=%d: unexpected error: %w", core, w, err)
+			}
+			if (err == nil) != (swErr == nil) {
+				return fmt.Errorf("psw/%s/w=%d: termination differs from map-core sw: psw err=%v, sw err=%v", core, w, err, swErr)
+			}
+			if st.Evals != swSt.Evals {
+				return fmt.Errorf("psw/%s/w=%d: %d evals, map-core sw %d", core, w, st.Evals, swSt.Evals)
+			}
+			if err != nil {
+				continue
+			}
+			if st.Updates != swSt.Updates {
+				return fmt.Errorf("psw/%s/w=%d: %d updates, map-core sw %d", core, w, st.Updates, swSt.Updates)
+			}
+			for _, x := range sys.Order() {
+				if !l.Eq(sigma[x], swVals[x]) {
+					return fmt.Errorf("psw/%s/w=%d: value of %v = %s, map-core sw %s",
+						core, w, x, l.Format(sigma[x]), l.Format(swVals[x]))
+				}
 			}
 		}
 	}
@@ -111,7 +123,8 @@ func CheckCores[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D]
 }
 
 // CheckCoreResume interrupts every global solver under one core, resumes the
-// checkpoint under the other — both directions, at the usual abort points —
+// checkpoint under another — all six cross-core directions over map, dense
+// and unboxed, at the usual abort points —
 // and demands the resumed run reproduce the uninterrupted map-core run's
 // Evals, Updates and assignment exactly. Checkpoints store the assignment
 // and queue in X-space precisely so they cross cores; this is the verdict
@@ -127,6 +140,10 @@ func CheckCoreResume[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[
 	}{
 		{"map→dense", solver.CoreMap, solver.CoreDense},
 		{"dense→map", solver.CoreDense, solver.CoreMap},
+		{"map→unboxed", solver.CoreMap, solver.CoreUnboxed},
+		{"unboxed→map", solver.CoreUnboxed, solver.CoreMap},
+		{"dense→unboxed", solver.CoreDense, solver.CoreUnboxed},
+		{"unboxed→dense", solver.CoreUnboxed, solver.CoreDense},
 	}
 	for _, r := range coreRunners(l, sys, init) {
 		mc := base

@@ -390,6 +390,10 @@ func (f *File) NatSystem() (*eqn.System[string, lattice.Nat], error) {
 }
 
 // IntervalSystem builds the eqn.System over intervals for an interval file.
+// Expressions built from literals, variables, +, -, join and meet are also
+// compiled to a fused raw form (eqn.AttachRaw), so the unboxed solver core
+// evaluates them without materializing a boxed Interval; expressions using
+// multiplication or literals outside the raw encoding's range stay boxed.
 func (f *File) IntervalSystem() (*eqn.System[string, lattice.Interval], error) {
 	if f.Domain != DomainInterval {
 		return nil, fmt.Errorf("eqdsl: system has domain %s, not interval", f.Domain)
@@ -401,8 +405,73 @@ func (f *File) IntervalSystem() (*eqn.System[string, lattice.Interval], error) {
 		sys.Define(name, deps, func(get func(string) lattice.Interval) lattice.Interval {
 			return evalInterval(e, get)
 		})
+		if rf, ok := compileIv(e); ok {
+			sys.AttachRaw(name, rf)
+		}
 	}
 	return sys, nil
+}
+
+// tryEncIv encodes v into dst, reporting false for values the raw interval
+// encoding cannot represent (bounds colliding with the ±∞ sentinels).
+func tryEncIv(dst []uint64, v lattice.Interval) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	lattice.Ints.RawEncode(dst, v)
+	return true
+}
+
+// compileIv compiles an interval expression to a closure tree over raw word
+// pairs, mirroring evalInterval node for node. Literals are encoded once at
+// compile time; each binary node owns a private scratch pair, so evaluation
+// allocates nothing. Returns false for expressions the raw layer cannot
+// express (multiplication, unencodable literals) — those stay boxed.
+func compileIv(e Expr) (func(get func(string) []uint64, dst []uint64), bool) {
+	switch x := e.(type) {
+	case *Lit:
+		w := make([]uint64, 2)
+		if !tryEncIv(w, lattice.NewInterval(x.Lo, x.Hi)) {
+			return nil, false
+		}
+		return func(_ func(string) []uint64, dst []uint64) {
+			dst[0], dst[1] = w[0], w[1]
+		}, true
+	case *Var:
+		name := x.Name
+		return func(get func(string) []uint64, dst []uint64) {
+			t := get(name)
+			dst[0], dst[1] = t[0], t[1]
+		}, true
+	case *BinOp:
+		var apply func(dst, a, b []uint64)
+		switch x.Op {
+		case "+":
+			apply = lattice.RawIntervalAdd
+		case "-":
+			apply = lattice.RawIntervalSub
+		case "join":
+			apply = lattice.RawIntervalJoin
+		case "meet":
+			apply = lattice.RawIntervalMeet
+		default: // "*" has no raw form
+			return nil, false
+		}
+		lf, lok := compileIv(x.L)
+		rf, rok := compileIv(x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		tmp := make([]uint64, 2)
+		return func(get func(string) []uint64, dst []uint64) {
+			lf(get, dst)
+			rf(get, tmp)
+			apply(dst, dst, tmp)
+		}, true
+	}
+	return nil, false
 }
 
 // depsOf collects the referenced unknowns.

@@ -182,3 +182,80 @@ func TestComments(t *testing.T) {
 		t.Fatalf("order: %v", f.Order)
 	}
 }
+
+// TestCompiledRawInterval: the fused raw form IntervalSystem attaches
+// computes exactly the boxed right-hand side on random assignments, and
+// expressions the raw layer cannot express (multiplication, sentinel-range
+// literals) are left boxed-only.
+func TestCompiledRawInterval(t *testing.T) {
+	src := `domain interval
+h = join([0,0], b + [1,1])
+b = meet(h, [-inf,99])
+e = meet(h, [100,inf])
+d = h - join(b, [2,5])
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := f.IntervalSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := lattice.AsRaw[lattice.Interval](lattice.Ints)
+	names := sys.Order()
+	samples := []lattice.Interval{
+		lattice.EmptyInterval, lattice.FullInterval,
+		lattice.Range(0, 0), lattice.Range(-7, 99), lattice.Range(100, 250),
+		lattice.NewInterval(lattice.NegInf, lattice.Fin(5)),
+		lattice.NewInterval(lattice.Fin(-3), lattice.PosInf),
+	}
+	rng := uint64(0x9e3779b97f4a7c15)
+	pick := func() lattice.Interval {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return samples[rng>>33%uint64(len(samples))]
+	}
+	for round := 0; round < 200; round++ {
+		vals := make(map[string]lattice.Interval, len(names))
+		words := make(map[string][]uint64, len(names))
+		for _, x := range names {
+			v := pick()
+			vals[x] = v
+			w := make([]uint64, 2)
+			raw.RawEncode(w, v)
+			words[x] = w
+		}
+		get := func(y string) lattice.Interval { return vals[y] }
+		getRaw := func(y string) []uint64 { return words[y] }
+		dst, want := make([]uint64, 2), make([]uint64, 2)
+		for _, x := range names {
+			rf := sys.RawRHSOf(x)
+			if rf == nil {
+				t.Fatalf("%s: no raw RHS attached", x)
+			}
+			rf(getRaw, dst)
+			raw.RawEncode(want, sys.RHS(x)(get))
+			if dst[0] != want[0] || dst[1] != want[1] {
+				t.Fatalf("round %d %s: raw %v boxed %v", round, x, dst, want)
+			}
+		}
+	}
+
+	// Multiplication and sentinel-colliding literals have no raw form.
+	f2, err := Parse("domain interval\na = [1,2] * [3,4]\nb = [9223372036854775807,inf]\nc = a + b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := f2.IntervalSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []string{"a", "b"} {
+		if sys2.RawRHSOf(x) != nil {
+			t.Errorf("%s: expected boxed-only RHS", x)
+		}
+	}
+	if sys2.RawRHSOf("c") == nil {
+		t.Errorf("c: pure variable sum should compile to a raw form")
+	}
+}

@@ -326,6 +326,44 @@ func IntervalSystem(s *Shape) *eqn.System[int, lattice.Interval] {
 			}
 			return v
 		})
+		// Fused unboxed twin of the right-hand side above: the constants are
+		// encoded once here, and evaluation never materializes a boxed
+		// Interval. Reads are consumed before the next get call, and tmp is
+		// private to unknown i (one stratum owns one unknown), so the closure
+		// is safe under PSW. The raw-vs-boxed agreement test pins the bit
+		// identity of the two forms.
+		encIv := func(v lattice.Interval) []uint64 {
+			w := make([]uint64, 2)
+			lattice.Ints.RawEncode(w, v)
+			return w
+		}
+		rawBase := encIv(base)
+		rawBound := encIv(lattice.Range(boundLo, boundHi))
+		rawFlip := encIv(flip)
+		rawBig := encIv(big)
+		rawOne := encIv(lattice.Singleton(1))
+		tmp := make([]uint64, 2)
+		sys.AttachRaw(i, func(get func(int) []uint64, dst []uint64) {
+			copy(dst, rawBase)
+			for k, d := range ds {
+				t := get(d)
+				if s.Grow[i] && k == 0 {
+					lattice.RawIntervalAdd(tmp, t, rawOne)
+					t = tmp
+				}
+				lattice.RawIntervalJoin(dst, dst, t)
+			}
+			if s.Bound[i] {
+				lattice.RawIntervalMeet(dst, dst, rawBound)
+			}
+			if nm := s.NonMono[i]; nm >= 0 {
+				if lattice.RawIntervalLeq(get(ds[nm]), rawFlip) {
+					lattice.RawIntervalJoin(dst, dst, rawBig)
+				} else {
+					lattice.RawIntervalMeet(dst, dst, rawFlip)
+				}
+			}
+		})
 	}
 	return sys
 }
@@ -364,6 +402,35 @@ func FlatSystem(s *Shape) *eqn.System[int, lattice.Flat[int64]] {
 				return reset // antitone: a dependency reaching ⊤ shrinks the result
 			}
 			return v
+		})
+		// Fused unboxed twin: flat values are (kind, value) word pairs with
+		// the value word zero unless the kind is FlatVal, and the join is
+		// inlined. All values in a generated flat system are non-negative, so
+		// the int64 modular arithmetic matches the boxed form exactly.
+		rawBase := [2]uint64{uint64(lattice.FlatVal), uint64(base.V)}
+		rawReset := [2]uint64{uint64(lattice.FlatVal), uint64(reset.V)}
+		sys.AttachRaw(i, func(get func(int) []uint64, dst []uint64) {
+			dst[0], dst[1] = rawBase[0], rawBase[1]
+			for _, d := range ds {
+				t := get(d)
+				tk, tv := t[0], t[1]
+				if lattice.FlatKind(tk) == lattice.FlatVal {
+					tv = uint64((int64(tv)*mul + add) % 17)
+				}
+				switch {
+				case lattice.FlatKind(tk) == lattice.FlatBot:
+					// join with ⊥: keep dst
+				case lattice.FlatKind(dst[0]) == lattice.FlatBot:
+					dst[0], dst[1] = tk, tv
+				case lattice.FlatKind(dst[0]) == lattice.FlatVal && lattice.FlatKind(tk) == lattice.FlatVal && dst[1] == tv:
+					// equal values: keep dst
+				default:
+					dst[0], dst[1] = uint64(lattice.FlatTop), 0
+				}
+			}
+			if nm := s.NonMono[i]; nm >= 0 && lattice.FlatKind(get(ds[nm])[0]) == lattice.FlatTop {
+				dst[0], dst[1] = rawReset[0], rawReset[1]
+			}
 		})
 	}
 	return sys
@@ -434,6 +501,31 @@ func PowersetSystem(s *Shape) *eqn.System[int, lattice.Set[int]] {
 				v = v.Intersect(dropMask) // antitone: gaining trigger drops an element
 			}
 			return v
+		})
+		// Fused unboxed twin: PowersetL's universe is 0..15 in order, so the
+		// raw encoding maps element e to bit e and every set is one word.
+		// Rotating every element by +rot mod 16 is a 16-bit rotate of the
+		// mask; union, intersection and membership are single bit operations.
+		baseBits := uint64(1)<<(mat%powersetUniverse) | uint64(1)<<(mat>>4%powersetUniverse)
+		boundBits := maskBits&0xFFFF | baseBits
+		dropBits := uint64(0xFFFF) &^ (uint64(1) << drop)
+		triggerBit := uint64(1) << trigger
+		sys.AttachRaw(i, func(get func(int) []uint64, dst []uint64) {
+			v := baseBits
+			for k, d := range ds {
+				t := get(d)[0]
+				if s.Grow[i] && k == 0 && rot > 0 {
+					t |= (t<<rot | t>>(powersetUniverse-rot)) & 0xFFFF
+				}
+				v |= t
+			}
+			if s.Bound[i] {
+				v &= boundBits
+			}
+			if nm := s.NonMono[i]; nm >= 0 && get(ds[nm])[0]&triggerBit != 0 {
+				v &= dropBits
+			}
+			dst[0] = v
 		})
 	}
 	return sys

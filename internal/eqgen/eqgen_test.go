@@ -197,3 +197,136 @@ func TestAllDomainsSolvable(t *testing.T) {
 		}
 	}
 }
+
+// TestRawRHSAgreement: the fused raw right-hand sides attached by the domain
+// builders compute, word for word, the canonical encoding of what the boxed
+// right-hand sides compute — on random assignments drawn from the values a
+// solve can reach, non-monotonic flips and growth terms included. This is
+// the contract the unboxed solver core relies on for bit identity.
+func TestRawRHSAgreement(t *testing.T) {
+	const rounds = 25
+	for seed := uint64(1); seed <= 8; seed++ {
+		cfg := Config{Seed: seed, N: 24, NonMonoDensity: 0.4, ForwardDensity: 0.3}
+		shape := BuildShape(cfg)
+		r := &rng{s: seed ^ 0x5bf03635}
+
+		t.Run("interval", func(t *testing.T) {
+			sys := IntervalSystem(shape)
+			l := lattice.Ints
+			raw := lattice.AsRaw[lattice.Interval](l)
+			n := cfg.N
+			randIv := func() lattice.Interval {
+				switch r.intn(6) {
+				case 0:
+					return lattice.EmptyInterval
+				case 1:
+					return lattice.FullInterval
+				case 2:
+					return lattice.NewInterval(lattice.NegInf, lattice.Fin(int64(r.intn(1100)-100)))
+				case 3:
+					return lattice.NewInterval(lattice.Fin(int64(r.intn(1100)-100)), lattice.PosInf)
+				default:
+					lo := int64(r.intn(1200) - 100)
+					hi := lo + int64(r.intn(64))
+					return lattice.Range(lo, hi)
+				}
+			}
+			for round := 0; round < rounds; round++ {
+				vals := make([]lattice.Interval, n)
+				words := make([]uint64, 2*n)
+				for i := range vals {
+					vals[i] = randIv()
+					raw.RawEncode(words[2*i:2*i+2], vals[i])
+				}
+				get := func(y int) lattice.Interval { return vals[y] }
+				getRaw := func(y int) []uint64 { return words[2*y : 2*y+2] }
+				dst, want := make([]uint64, 2), make([]uint64, 2)
+				for _, x := range sys.Order() {
+					rf := sys.RawRHSOf(x)
+					if rf == nil {
+						t.Fatalf("seed %d: x%d has no raw RHS", seed, x)
+					}
+					rf(getRaw, dst)
+					raw.RawEncode(want, sys.RHS(x)(get))
+					if dst[0] != want[0] || dst[1] != want[1] {
+						t.Fatalf("seed %d round %d x%d: raw %v boxed %v", seed, round, x, dst, want)
+					}
+				}
+			}
+		})
+
+		t.Run("flat", func(t *testing.T) {
+			sys := FlatSystem(shape)
+			raw := lattice.AsRaw[lattice.Flat[int64]](FlatL)
+			n := cfg.N
+			randFlat := func() lattice.Flat[int64] {
+				switch r.intn(4) {
+				case 0:
+					return lattice.Flat[int64]{Kind: lattice.FlatBot}
+				case 1:
+					return lattice.Flat[int64]{Kind: lattice.FlatTop}
+				default:
+					return lattice.FlatOf(int64(r.intn(17)))
+				}
+			}
+			for round := 0; round < rounds; round++ {
+				vals := make([]lattice.Flat[int64], n)
+				words := make([]uint64, 2*n)
+				for i := range vals {
+					vals[i] = randFlat()
+					raw.RawEncode(words[2*i:2*i+2], vals[i])
+				}
+				get := func(y int) lattice.Flat[int64] { return vals[y] }
+				getRaw := func(y int) []uint64 { return words[2*y : 2*y+2] }
+				dst, want := make([]uint64, 2), make([]uint64, 2)
+				for _, x := range sys.Order() {
+					rf := sys.RawRHSOf(x)
+					if rf == nil {
+						t.Fatalf("seed %d: x%d has no raw RHS", seed, x)
+					}
+					rf(getRaw, dst)
+					raw.RawEncode(want, sys.RHS(x)(get))
+					if dst[0] != want[0] || dst[1] != want[1] {
+						t.Fatalf("seed %d round %d x%d: raw %v boxed %v", seed, round, x, dst, want)
+					}
+				}
+			}
+		})
+
+		t.Run("powerset", func(t *testing.T) {
+			sys := PowersetSystem(shape)
+			l := PowersetL()
+			raw := lattice.AsRaw[lattice.Set[int]](l)
+			n := cfg.N
+			for round := 0; round < rounds; round++ {
+				vals := make([]lattice.Set[int], n)
+				words := make([]uint64, n)
+				for i := range vals {
+					var elems []int
+					bits := r.next() & 0xFFFF
+					for e := 0; e < powersetUniverse; e++ {
+						if bits>>e&1 == 1 {
+							elems = append(elems, e)
+						}
+					}
+					vals[i] = lattice.NewSet(elems...)
+					raw.RawEncode(words[i:i+1], vals[i])
+				}
+				get := func(y int) lattice.Set[int] { return vals[y] }
+				getRaw := func(y int) []uint64 { return words[y : y+1] }
+				dst, want := make([]uint64, 1), make([]uint64, 1)
+				for _, x := range sys.Order() {
+					rf := sys.RawRHSOf(x)
+					if rf == nil {
+						t.Fatalf("seed %d: x%d has no raw RHS", seed, x)
+					}
+					rf(getRaw, dst)
+					raw.RawEncode(want, sys.RHS(x)(get))
+					if dst[0] != want[0] {
+						t.Fatalf("seed %d round %d x%d: raw %#x boxed %#x", seed, round, x, dst[0], want[0])
+					}
+				}
+			}
+		})
+	}
+}

@@ -34,6 +34,15 @@ type RHS[X comparable, D any] func(get func(X) D) D
 // and contributes to each other unknown at most once per evaluation.
 type SideRHS[X comparable, D any] func(get func(X) D, side func(z X, d D)) D
 
+// RawRHS is the fused unboxed form of a right-hand side: it reads the
+// raw-encoded values of other unknowns through get (a slice of the
+// lattice's RawWords() words, valid only until the next get call or the
+// end of the evaluation) and writes the raw-encoded result into dst. A
+// RawRHS attached via AttachRaw must compute exactly the same value as the
+// boxed RHS it shadows — the unboxed solver core relies on this for bit
+// identity, and the eqgen/eqdsl generators pin it with differential tests.
+type RawRHS[X comparable] func(get func(X) []uint64, dst []uint64)
+
 // Pure is a possibly infinite system of pure equations: it maps an unknown
 // to its right-hand side, or nil if the unknown has no equation (its value
 // stays at the initial assignment).
@@ -62,6 +71,11 @@ type System[X comparable, D any] struct {
 	shapeFP  uint64
 	hasFP    bool
 	memo     map[string]any
+
+	// raw holds the fused unboxed right-hand sides attached via AttachRaw,
+	// keyed by unknown. Nil entries (unknowns without a fused form) are
+	// evaluated through the boxed boundary adapter instead.
+	raw map[X]RawRHS[X]
 }
 
 // NewSystem returns an empty finite system.
@@ -87,6 +101,29 @@ func (s *System[X, D]) Define(x X, deps []X, rhs RHS[X, D]) *System[X, D] {
 	s.mu.Unlock()
 	return s
 }
+
+// AttachRaw attaches the fused unboxed form of x's right-hand side. The
+// unknown must already be defined, and raw must compute exactly the value
+// the boxed RHS computes (same reads, same result) — AttachRaw declares
+// that equivalence, it cannot check it. Attaching invalidates memoized
+// shape derivatives so compiled solver cores pick the fused form up.
+func (s *System[X, D]) AttachRaw(x X, raw RawRHS[X]) *System[X, D] {
+	if _, ok := s.rhs[x]; !ok {
+		panic(fmt.Sprintf("eqn: AttachRaw for undefined unknown %v", x))
+	}
+	if s.raw == nil {
+		s.raw = make(map[X]RawRHS[X])
+	}
+	s.raw[x] = raw
+	s.mu.Lock()
+	s.memo = nil
+	s.mu.Unlock()
+	return s
+}
+
+// RawRHSOf returns the fused unboxed right-hand side of x, or nil if none
+// was attached.
+func (s *System[X, D]) RawRHSOf(x X) RawRHS[X] { return s.raw[x] }
 
 // ShapeMemo caches an arbitrary value derived from the system shape under
 // key, built by build on the first call and invalidated by Define — the

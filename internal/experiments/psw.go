@@ -49,9 +49,10 @@ type BenchFile struct {
 	GoVersion      string    `json:"go_version"`
 	GOOS           string    `json:"goos"`
 	GOARCH         string    `json:"goarch"`
-	Note           string    `json:"note,omitempty"`
-	GeomeanSpeedup float64   `json:"geomean_speedup,omitempty"`
-	Rows           []PerfRow `json:"rows"`
+	Note           string            `json:"note,omitempty"`
+	GeomeanSpeedup float64           `json:"geomean_speedup,omitempty"`
+	Breakdown      *GeomeanBreakdown `json:"geomean_breakdown,omitempty"`
+	Rows           []PerfRow         `json:"rows"`
 }
 
 // WriteBenchJSON writes rows wrapped in a BenchFile to path.

@@ -118,3 +118,86 @@ func CheckNarrowingStabilizes[D any](l Lattice[D], f func(D) D, start D, maxStep
 	}
 	return fmt.Errorf("narrowing chain did not stabilize within %d steps (at %s)", maxSteps, l.Format(a))
 }
+
+// CheckRawAgreement certifies a raw word encoding against its boxed
+// lattice on the given sample elements: encode/decode must round-trip,
+// bottom must encode canonically, and every raw operation must agree with
+// its boxed counterpart — not just up to Eq, but word for word, since the
+// encodings are canonical and the unboxed solver core relies on RawEq
+// being plain word equality. All ternary operations are additionally run
+// with dst aliasing each input, pinning the in-place-update contract.
+func CheckRawAgreement[D any](l Lattice[D], r Raw[D], samples []D) error {
+	n := r.RawWords()
+	if n <= 0 {
+		return fmt.Errorf("RawWords() = %d, want > 0", n)
+	}
+	enc := func(d D) []uint64 {
+		w := make([]uint64, n)
+		r.RawEncode(w, d)
+		return w
+	}
+	wordsEq := func(a, b []uint64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	bot := make([]uint64, n)
+	r.RawBottom(bot)
+	if !wordsEq(bot, enc(l.Bottom())) {
+		return fmt.Errorf("RawBottom %v differs from RawEncode(Bottom) %v", bot, enc(l.Bottom()))
+	}
+	for _, a := range samples {
+		wa := enc(a)
+		if got := r.RawDecode(wa); !l.Eq(got, a) {
+			return fmt.Errorf("decode(encode(%s)) = %s", l.Format(a), l.Format(got))
+		}
+	}
+	type ternary struct {
+		name  string
+		raw   func(dst, a, b []uint64)
+		boxed func(a, b D) D
+	}
+	ops := []ternary{
+		{"Join", r.RawJoin, l.Join},
+		{"Meet", r.RawMeet, l.Meet},
+		{"Widen", r.RawWiden, l.Widen},
+		{"Narrow", r.RawNarrow, l.Narrow},
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			wa, wb := enc(a), enc(b)
+			if got, want := r.RawLeq(wa, wb), l.Leq(a, b); got != want {
+				return fmt.Errorf("RawLeq(%s, %s) = %t, boxed %t", l.Format(a), l.Format(b), got, want)
+			}
+			if got, want := r.RawEq(wa, wb), l.Eq(a, b); got != want {
+				return fmt.Errorf("RawEq(%s, %s) = %t, boxed %t", l.Format(a), l.Format(b), got, want)
+			}
+			for _, op := range ops {
+				want := enc(op.boxed(a, b))
+				dst := make([]uint64, n)
+				op.raw(dst, wa, wb)
+				if !wordsEq(dst, want) {
+					return fmt.Errorf("Raw%s(%s, %s) = %v, boxed encodes to %v",
+						op.name, l.Format(a), l.Format(b), dst, want)
+				}
+				// dst aliasing a, then dst aliasing b.
+				da := append([]uint64(nil), wa...)
+				op.raw(da, da, wb)
+				if !wordsEq(da, want) {
+					return fmt.Errorf("Raw%s(%s, %s) with dst aliasing a = %v, want %v",
+						op.name, l.Format(a), l.Format(b), da, want)
+				}
+				db := append([]uint64(nil), wb...)
+				op.raw(db, wa, db)
+				if !wordsEq(db, want) {
+					return fmt.Errorf("Raw%s(%s, %s) with dst aliasing b = %v, want %v",
+						op.name, l.Format(a), l.Format(b), db, want)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package lattice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rawIntervalSamples builds a seeded sample set that covers every sentinel
+// shape: empty, full, half-open rays, ±∞ singletons, and random finite
+// intervals (bounds drawn away from the unencodable int64 extremes).
+func rawIntervalSamples(seed int64) []Interval {
+	rng := rand.New(rand.NewSource(seed))
+	samples := []Interval{
+		EmptyInterval,
+		FullInterval,
+		AtLeast(-3),
+		AtMost(7),
+		Singleton(0),
+		Singleton(-1),
+		NewInterval(PosInf, PosInf),
+		NewInterval(NegInf, NegInf),
+		Range(-100, 100),
+	}
+	for i := 0; i < 40; i++ {
+		lo := rng.Int63n(2_000_001) - 1_000_000
+		hi := lo + rng.Int63n(5_000)
+		samples = append(samples, Range(lo, hi))
+		if i%4 == 0 {
+			samples = append(samples, AtLeast(lo), AtMost(hi))
+		}
+	}
+	return samples
+}
+
+func TestRawIntervalAgreement(t *testing.T) {
+	lattices := map[string]*IntervalLattice{
+		"plain":      Ints,
+		"thresholds": NewIntervalLattice(-64, -1, 0, 10, 100, 4096),
+	}
+	for name, l := range lattices {
+		r := AsRaw[Interval](l)
+		if r == nil {
+			t.Fatalf("%s: AsRaw returned nil for the interval lattice", name)
+		}
+		if err := CheckRawAgreement[Interval](l, r, rawIntervalSamples(11)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRawIntervalArithmeticAgreement(t *testing.T) {
+	samples := rawIntervalSamples(13)
+	enc := func(iv Interval) []uint64 {
+		w := make([]uint64, 2)
+		Ints.RawEncode(w, iv)
+		return w
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			// Skip pairs whose boxed sum is unencodable or panics (opposite
+			// infinities); the raw ops mirror the panic.
+			func() {
+				defer func() { recover() }()
+				want := a.Add(b)
+				dst := make([]uint64, 2)
+				RawIntervalAdd(dst, enc(a), enc(b))
+				if got := Ints.RawDecode(dst); !Ints.Eq(got, want) {
+					t.Errorf("RawIntervalAdd(%s, %s) = %s, boxed %s", a, b, got, want)
+				}
+			}()
+			func() {
+				defer func() { recover() }()
+				want := a.Sub(b)
+				dst := make([]uint64, 2)
+				RawIntervalSub(dst, enc(a), enc(b))
+				if got := Ints.RawDecode(dst); !Ints.Eq(got, want) {
+					t.Errorf("RawIntervalSub(%s, %s) = %s, boxed %s", a, b, got, want)
+				}
+			}()
+		}
+	}
+}
+
+func TestRawIntervalEncodePanicsOnSentinelCollision(t *testing.T) {
+	for _, v := range []int64{math.MinInt64, math.MaxInt64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RawEncode(Singleton(%d)) did not panic", v)
+				}
+			}()
+			var w [2]uint64
+			Ints.RawEncode(w[:], Singleton(v))
+		}()
+	}
+}
+
+func TestRawFlatAgreement(t *testing.T) {
+	l := FlatLattice[int64]{}
+	r := AsRaw[Flat[int64]](l)
+	if r == nil {
+		t.Fatal("AsRaw returned nil for FlatLattice[int64]")
+	}
+	samples := []Flat[int64]{
+		{Kind: FlatBot}, {Kind: FlatTop},
+		FlatOf[int64](0), FlatOf[int64](1), FlatOf[int64](-5),
+		FlatOf[int64](math.MaxInt64), FlatOf[int64](math.MinInt64),
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 30; i++ {
+		samples = append(samples, FlatOf(rng.Int63()-rng.Int63()))
+	}
+	if err := CheckRawAgreement[Flat[int64]](l, r, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawJoinWidenWrapperAgreement(t *testing.T) {
+	// The eqgen flat domain wraps FlatLattice in JoinWiden; AsRaw must see
+	// through the wrapper and translate Widen/Narrow to Join/copy-b.
+	l := JoinWiden[Flat[int64]]{Inner: FlatLattice[int64]{}}
+	r := AsRaw[Flat[int64]](l)
+	if r == nil {
+		t.Fatal("AsRaw returned nil for JoinWiden over FlatLattice[int64]")
+	}
+	samples := []Flat[int64]{
+		{Kind: FlatBot}, {Kind: FlatTop}, FlatOf[int64](3), FlatOf[int64](-3), FlatOf[int64](16),
+	}
+	if err := CheckRawAgreement[Flat[int64]](l, r, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawSignAgreement(t *testing.T) {
+	r := AsRaw[Sign](Signs)
+	if r == nil {
+		t.Fatal("AsRaw returned nil for the sign lattice")
+	}
+	samples := []Sign{SignBot, SignNeg, SignZero, SignPos, SignLe0, SignGe0, SignNe0, SignTop}
+	if err := CheckRawAgreement[Sign](Signs, r, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawParityAgreement(t *testing.T) {
+	r := AsRaw[Parity](Parities)
+	if r == nil {
+		t.Fatal("AsRaw returned nil for the parity lattice")
+	}
+	samples := []Parity{ParityBot, ParityEven, ParityOdd, ParityTop}
+	if err := CheckRawAgreement[Parity](Parities, r, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawSetAgreement(t *testing.T) {
+	// A 70-element universe forces the bitset across a word boundary.
+	for _, size := range []int{16, 70} {
+		universe := make([]int, size)
+		for i := range universe {
+			universe[i] = i
+		}
+		l := NewSetLattice(universe...)
+		r := AsRaw[Set[int]](l)
+		if r == nil {
+			t.Fatalf("AsRaw returned nil for a %d-element set lattice", size)
+		}
+		wantStride := (size + 63) / 64
+		if got := r.RawWords(); got != wantStride {
+			t.Fatalf("RawWords() = %d, want %d", got, wantStride)
+		}
+		rng := rand.New(rand.NewSource(int64(size)))
+		samples := []Set[int]{{}, l.Top(), NewSet(0), NewSet(size - 1)}
+		for i := 0; i < 25; i++ {
+			var elems []int
+			for _, e := range universe {
+				if rng.Intn(3) == 0 {
+					elems = append(elems, e)
+				}
+			}
+			samples = append(samples, NewSet(elems...))
+		}
+		if err := CheckRawAgreement[Set[int]](l, r, samples); err != nil {
+			t.Fatalf("universe %d: %v", size, err)
+		}
+	}
+}
+
+func TestRawSetEncodeRejectsForeignElements(t *testing.T) {
+	l := NewSetLattice(0, 1, 2)
+	r := AsRaw[Set[int]](l)
+	defer func() {
+		if recover() == nil {
+			t.Error("RawEncode of an out-of-universe element did not panic")
+		}
+	}()
+	var w [1]uint64
+	r.RawEncode(w[:], NewSet(99))
+}
+
+func TestAsRawUnsupported(t *testing.T) {
+	if r := AsRaw[Set[int]](&SetLattice[int]{}); r != nil {
+		t.Error("AsRaw accepted a set lattice without a universe")
+	}
+	if r := AsRaw[Flat[string]](FlatLattice[string]{}); r != nil {
+		t.Error("AsRaw accepted FlatLattice[string]")
+	}
+	if r := AsRaw[Interval](NewIntervalLattice(math.MaxInt64)); r != nil {
+		t.Error("AsRaw accepted an interval lattice with a sentinel-colliding threshold")
+	}
+}

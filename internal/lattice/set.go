@@ -108,11 +108,22 @@ func (s Set[T]) Key() string {
 // lattice was built with a universe via NewSetLattice.
 type SetLattice[T comparable] struct {
 	universe []T
+	// elemIdx maps each universe element to its position (first occurrence
+	// wins), fixing the bit layout of the raw bitset encoding (raw.go). It
+	// is built eagerly so concurrent solvers never race on it.
+	elemIdx map[T]int
 }
 
 // NewSetLattice returns a powerset lattice whose Top is the given universe.
 func NewSetLattice[T comparable](universe ...T) *SetLattice[T] {
-	return &SetLattice[T]{universe: append([]T(nil), universe...)}
+	l := &SetLattice[T]{universe: append([]T(nil), universe...)}
+	l.elemIdx = make(map[T]int, len(l.universe))
+	for i, e := range l.universe {
+		if _, ok := l.elemIdx[e]; !ok {
+			l.elemIdx[e] = i
+		}
+	}
+	return l
 }
 
 // Bottom returns the empty set.

@@ -216,10 +216,10 @@ func (c *compiled[X, D]) restore(cp *Checkpoint[X, D]) {
 
 // queueIndices maps a checkpoint's X-space queue to order positions,
 // rejecting unknowns the system does not define.
-func (c *compiled[X, D]) queueIndices(queue []X) ([]int, error) {
+func (sh *denseShape[X, D]) queueIndices(queue []X) ([]int, error) {
 	out := make([]int, len(queue))
 	for k, x := range queue {
-		j, ok := c.idx[x]
+		j, ok := sh.idx[x]
 		if !ok {
 			return nil, fmt.Errorf("%w: queued unknown %v is not in the system", ErrBadCheckpoint, x)
 		}
@@ -229,10 +229,10 @@ func (c *compiled[X, D]) queueIndices(queue []X) ([]int, error) {
 }
 
 // queueUnknowns maps order positions back to X-space for a checkpoint.
-func (c *compiled[X, D]) queueUnknowns(idxs []int) []X {
+func (sh *denseShape[X, D]) queueUnknowns(idxs []int) []X {
 	out := make([]X, len(idxs))
 	for k, i := range idxs {
-		out[k] = c.order[i]
+		out[k] = sh.order[i]
 	}
 	return out
 }

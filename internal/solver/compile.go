@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"sync"
+
 	"warrow/internal/eqn"
 )
 
@@ -46,6 +48,17 @@ type denseShape[X comparable, D any] struct {
 	// permutation (order[i] == i): there get needs no hash translation at
 	// all — an unknown IS its position (see evaluator).
 	identInt bool
+	// rawRHS holds the fused unboxed right-hand sides (eqn.AttachRaw) by
+	// order position; nil entries go through the boxed boundary adapter.
+	rawRHS []eqn.RawRHS[X]
+	// valsPool and wordsPool recycle the per-solve value stores (the boxed
+	// []D assignment and the unboxed word store). Without them every solve
+	// of a memoized shape pays a fresh n-element allocation, which is what
+	// put the dense core's bytes/eval above the map core's on interval
+	// workloads; see the release methods and the regression benchmark in
+	// alloc_test.go.
+	valsPool  sync.Pool
+	wordsPool sync.Pool
 }
 
 // denseShapeKey is the ShapeMemo slot the compiled shape lives under.
@@ -56,11 +69,28 @@ const denseShapeKey = "solver.denseShape"
 // per solve.
 func compile[X comparable, D any](sys *eqn.System[X, D], init func(X) D) *compiled[X, D] {
 	sh := sys.ShapeMemo(denseShapeKey, func() any { return buildDenseShape(sys) }).(*denseShape[X, D])
-	c := &compiled[X, D]{denseShape: sh, sys: sys, init: init, vals: make([]D, len(sh.order))}
+	var vals []D
+	if v, ok := sh.valsPool.Get().([]D); ok && len(v) == len(sh.order) {
+		vals = v
+	} else {
+		vals = make([]D, len(sh.order))
+	}
+	c := &compiled[X, D]{denseShape: sh, sys: sys, init: init, vals: vals}
 	for i, x := range sh.order {
 		c.vals[i] = init(x)
 	}
 	return c
+}
+
+// release returns the assignment slice to the shape's pool. Callers must
+// not touch c.vals afterwards; snapshots and sigma maps taken earlier are
+// safe because they copied the values out.
+func (c *compiled[X, D]) release() {
+	if c.vals == nil {
+		return
+	}
+	c.valsPool.Put(c.vals)
+	c.vals = nil
 }
 
 func buildDenseShape[X comparable, D any](sys *eqn.System[X, D]) *denseShape[X, D] {
@@ -72,6 +102,7 @@ func buildDenseShape[X comparable, D any](sys *eqn.System[X, D]) *denseShape[X, 
 		order:   order,
 		idx:     idx,
 		rhs:     make([]eqn.RHS[X, D], n),
+		rawRHS:  make([]eqn.RawRHS[X], n),
 		inflOff: make([]int32, n+1),
 	}
 	total := 0
@@ -81,6 +112,7 @@ func buildDenseShape[X comparable, D any](sys *eqn.System[X, D]) *denseShape[X, 
 	sh.inflDat = make([]int32, 0, total)
 	for i, x := range order {
 		sh.rhs[i] = sys.RHS(x)
+		sh.rawRHS[i] = sys.RawRHSOf(x)
 		for _, y := range infl[x] {
 			sh.inflDat = append(sh.inflDat, int32(idx[y]))
 		}
@@ -100,8 +132,8 @@ func buildDenseShape[X comparable, D any](sys *eqn.System[X, D]) *denseShape[X, 
 
 // infl returns the CSR row of unknown i: the positions of its readers, in
 // the exact order eqn.Infl lists them.
-func (c *compiled[X, D]) infl(i int) []int32 {
-	return c.inflDat[c.inflOff[i]:c.inflOff[i+1]]
+func (sh *denseShape[X, D]) infl(i int) []int32 {
+	return sh.inflDat[sh.inflOff[i]:sh.inflOff[i+1]]
 }
 
 // sigmaMap renders the dense assignment back into the map the public API

@@ -4,12 +4,13 @@
 // statement — same scheduling points, same watchdog checks, same checkpoint
 // captures, same Stats accounting — with the hash-map state replaced by the
 // flat structures of compiled: the assignment is a slice indexed by order
-// position, W's present-set is a bitset, SW's priority queue is the bucket
-// queue (priorities are the indices themselves), and the influence sets are
-// CSR rows. The evaluation thunk and the get callback are allocated once
-// per run (denseEval) instead of once per evaluation. Results, counters and
-// checkpoints are bit-identical to the map core; the differential tests in
-// internal/diffsolve pin this.
+// position (or, on the unboxed core, a flat word store — see valuerep.go),
+// W's present-set is a bitset, SW's priority queue is the bucket queue
+// (priorities are the indices themselves), and the influence sets are CSR
+// rows. The per-evaluation work — guard, evaluate, observe, apply, store —
+// lives in the execCore step function, built once per run instead of once
+// per evaluation. Results, counters and checkpoints are bit-identical to
+// the map core; the differential tests in internal/diffsolve pin this.
 package solver
 
 import (
@@ -21,60 +22,55 @@ import (
 
 // rrDense is RR (Fig. 1) on the compiled representation.
 func rrDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	c := compile(sys, init)
-	n := len(c.order)
-	wd := newWatchdog(cfg, c.idx)
-	op = instrument(wd, l, op)
-	g := newEvalGuard(cfg)
+	vc, wd := buildCore(sys, l, op, init, cfg)
+	defer vc.release()
+	sh := vc.shape()
+	n := len(sh.order)
 	ck := newCkptSink(cfg)
 	var st Stats
 	st.Unknowns = n
 	start, dirty := 0, false
 	if cp, err := resumeCheckpoint[X, D](cfg, "rr", Fingerprint(sys)); err != nil {
-		return c.sigmaMap(), st, err
+		return vc.sigmaMap(), st, err
 	} else if cp != nil {
-		c.restore(cp)
+		vc.restore(cp)
 		cp.restoreStats(&st)
 		start, dirty = cp.Cursor, cp.Dirty
 		if start < 0 || start >= n {
-			return c.sigmaMap(), st, fmt.Errorf("%w: rr cursor %d out of range", ErrBadCheckpoint, start)
+			return vc.sigmaMap(), st, fmt.Errorf("%w: rr cursor %d out of range", ErrBadCheckpoint, start)
 		}
 	}
 	capture := func(k int, dirty bool) *Checkpoint[X, D] {
-		cp := c.snapshot("rr", st)
+		cp := vc.snapshot("rr", st)
 		cp.Cursor, cp.Dirty = k, dirty
 		return cp
 	}
-	e := c.evaluator()
+	step := vc.stepper()
 	for {
 		evaled := false
 		for k := start; k < n; k++ {
-			x := c.order[k]
 			if err := wd.check(st.Evals); err != nil {
 				err = attachCheckpoint(err, capture(k, dirty))
 				if evaled {
 					st.Rounds++
 				}
-				return c.sigmaMap(), st, err
+				return vc.sigmaMap(), st, err
 			}
 			if ck.due(st.Evals) {
 				ck.emit(st.Evals, capture(k, dirty))
 			}
-			e.cur = k
-			rhsVal, attempts, ee := guardedEval(g, x, e.thunk)
+			changed, attempts, ee := step(k)
 			st.Retries += attempts - 1
 			if ee != nil {
 				err := attachCheckpoint(wd.failEval(ee, st.Evals), capture(k, dirty))
 				if evaled {
 					st.Rounds++
 				}
-				return c.sigmaMap(), st, err
+				return vc.sigmaMap(), st, err
 			}
 			st.Evals++
 			evaled = true
-			next := op.Apply(x, c.vals[k], rhsVal)
-			if !l.Eq(c.vals[k], next) {
-				c.vals[k] = next
+			if changed {
 				st.Updates++
 				dirty = true
 			}
@@ -82,7 +78,7 @@ func rrDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], o
 		start = 0
 		st.Rounds++
 		if !dirty {
-			return c.sigmaMap(), st, nil
+			return vc.sigmaMap(), st, nil
 		}
 		dirty = false
 	}
@@ -91,11 +87,10 @@ func rrDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], o
 // wDense is W (Fig. 2) on the compiled representation: the LIFO stack holds
 // order positions and the membership set is a bitset.
 func wDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	c := compile(sys, init)
-	n := len(c.order)
-	wd := newWatchdog(cfg, c.idx)
-	op = instrument(wd, l, op)
-	g := newEvalGuard(cfg)
+	vc, wd := buildCore(sys, l, op, init, cfg)
+	defer vc.release()
+	sh := vc.shape()
+	n := len(sh.order)
 	ck := newCkptSink(cfg)
 	var st Stats
 	st.Unknowns = n
@@ -109,15 +104,15 @@ func wDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op
 		}
 	}
 	if cp, err := resumeCheckpoint[X, D](cfg, "w", Fingerprint(sys)); err != nil {
-		return c.sigmaMap(), st, err
+		return vc.sigmaMap(), st, err
 	} else if cp != nil {
-		c.restore(cp)
+		vc.restore(cp)
 		cp.restoreStats(&st)
 		// cp.Queue holds the stack bottom-to-top; pushing in order restores
 		// the exact LIFO state.
-		queued, qerr := c.queueIndices(cp.Queue)
+		queued, qerr := sh.queueIndices(cp.Queue)
 		if qerr != nil {
-			return c.sigmaMap(), st, qerr
+			return vc.sigmaMap(), st, qerr
 		}
 		for _, i := range queued {
 			push(int32(i))
@@ -131,18 +126,18 @@ func wDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op
 		st.MaxQueue = len(stack)
 	}
 	capture := func() *Checkpoint[X, D] {
-		cp := c.snapshot("w", st)
+		cp := vc.snapshot("w", st)
 		idxs := make([]int, len(stack))
 		for k, i := range stack {
 			idxs[k] = int(i)
 		}
-		cp.Queue = c.queueUnknowns(idxs)
+		cp.Queue = sh.queueUnknowns(idxs)
 		return cp
 	}
-	e := c.evaluator()
+	step := vc.stepper()
 	for len(stack) > 0 {
 		if err := wd.check(st.Evals); err != nil {
-			return c.sigmaMap(), st, attachCheckpoint(err, capture())
+			return vc.sigmaMap(), st, attachCheckpoint(err, capture())
 		}
 		if ck.due(st.Evals) {
 			ck.emit(st.Evals, capture())
@@ -150,22 +145,18 @@ func wDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		present.clear(int(i))
-		x := c.order[i]
-		e.cur = int(i)
-		rhsVal, attempts, ee := guardedEval(g, x, e.thunk)
+		changed, attempts, ee := step(int(i))
 		st.Retries += attempts - 1
 		if ee != nil {
 			// The failed evaluation never happened: keep x scheduled so the
 			// checkpoint resumes by re-evaluating it.
 			push(i)
-			return c.sigmaMap(), st, attachCheckpoint(wd.failEval(ee, st.Evals), capture())
+			return vc.sigmaMap(), st, attachCheckpoint(wd.failEval(ee, st.Evals), capture())
 		}
 		st.Evals++
-		next := op.Apply(x, c.vals[i], rhsVal)
-		if !l.Eq(c.vals[i], next) {
-			c.vals[i] = next
+		if changed {
 			st.Updates++
-			readers := c.infl(int(i))
+			readers := sh.infl(int(i))
 			for k := len(readers) - 1; k >= 0; k-- {
 				push(readers[k])
 			}
@@ -174,36 +165,35 @@ func wDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op
 			}
 		}
 	}
-	return c.sigmaMap(), st, nil
+	return vc.sigmaMap(), st, nil
 }
 
 // srrDense is SRR (Fig. 3) on the compiled representation.
 func srrDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	c := compile(sys, init)
-	n := len(c.order)
-	wd := newWatchdog(cfg, c.idx)
-	op = instrument(wd, l, op)
-	g := newEvalGuard(cfg)
+	vc, wd := buildCore(sys, l, op, init, cfg)
+	defer vc.release()
+	sh := vc.shape()
+	n := len(sh.order)
 	ck := newCkptSink(cfg)
 	var st Stats
 	st.Unknowns = n
 	resumeLevel := 0
 	if cp, err := resumeCheckpoint[X, D](cfg, "srr", Fingerprint(sys)); err != nil {
-		return c.sigmaMap(), st, err
+		return vc.sigmaMap(), st, err
 	} else if cp != nil {
-		c.restore(cp)
+		vc.restore(cp)
 		cp.restoreStats(&st)
 		resumeLevel = cp.Cursor
 		if resumeLevel < 1 || resumeLevel > n {
-			return c.sigmaMap(), st, fmt.Errorf("%w: srr cursor %d out of range", ErrBadCheckpoint, resumeLevel)
+			return vc.sigmaMap(), st, fmt.Errorf("%w: srr cursor %d out of range", ErrBadCheckpoint, resumeLevel)
 		}
 	}
 	capture := func(i int) *Checkpoint[X, D] {
-		cp := c.snapshot("srr", st)
+		cp := vc.snapshot("srr", st)
 		cp.Cursor = i
 		return cp
 	}
-	e := c.evaluator()
+	step := vc.stepper()
 	var solve func(i int, resumed bool) error
 	solve = func(i int, resumed bool) error {
 		if i == 0 {
@@ -218,54 +208,49 @@ func srrDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], 
 				}
 			}
 			first = false
-			x := c.order[i-1]
 			if err := wd.check(st.Evals); err != nil {
 				return attachCheckpoint(err, capture(i))
 			}
 			if ck.due(st.Evals) {
 				ck.emit(st.Evals, capture(i))
 			}
-			e.cur = i - 1
-			rhsVal, attempts, ee := guardedEval(g, x, e.thunk)
+			changed, attempts, ee := step(i - 1)
 			st.Retries += attempts - 1
 			if ee != nil {
 				return attachCheckpoint(wd.failEval(ee, st.Evals), capture(i))
 			}
 			st.Evals++
-			next := op.Apply(x, c.vals[i-1], rhsVal)
-			if l.Eq(c.vals[i-1], next) {
+			if !changed {
 				return nil
 			}
-			c.vals[i-1] = next
 			st.Updates++
 		}
 	}
 	err := solve(n, resumeLevel > 0)
-	return c.sigmaMap(), st, err
+	return vc.sigmaMap(), st, err
 }
 
 // swDense is SW (Fig. 4) on the compiled representation: the index-ordered
 // binary heap collapses into the monotone bucket queue, because an
 // unknown's priority is exactly its order position.
 func swDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
-	c := compile(sys, init)
-	n := len(c.order)
-	wd := newWatchdog(cfg, c.idx)
-	op = instrument(wd, l, op)
-	g := newEvalGuard(cfg)
+	vc, wd := buildCore(sys, l, op, init, cfg)
+	defer vc.release()
+	sh := vc.shape()
+	n := len(sh.order)
 	ck := newCkptSink(cfg)
 	var st Stats
 	st.Unknowns = n
 
 	q := newBucketQueue(0, n-1)
 	if cp, err := resumeCheckpoint[X, D](cfg, "sw", Fingerprint(sys)); err != nil {
-		return c.sigmaMap(), st, err
+		return vc.sigmaMap(), st, err
 	} else if cp != nil {
-		c.restore(cp)
+		vc.restore(cp)
 		cp.restoreStats(&st)
-		queued, qerr := c.queueIndices(cp.Queue)
+		queued, qerr := sh.queueIndices(cp.Queue)
 		if qerr != nil {
-			return c.sigmaMap(), st, qerr
+			return vc.sigmaMap(), st, qerr
 		}
 		for _, i := range queued {
 			q.push(i)
@@ -277,37 +262,33 @@ func swDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], o
 		st.MaxQueue = q.len()
 	}
 	capture := func() *Checkpoint[X, D] {
-		cp := c.snapshot("sw", st)
+		cp := vc.snapshot("sw", st)
 		// indices() is ascending, matching the map core's sort by index.
-		cp.Queue = c.queueUnknowns(q.indices())
+		cp.Queue = sh.queueUnknowns(q.indices())
 		return cp
 	}
-	e := c.evaluator()
+	step := vc.stepper()
 	for !q.empty() {
 		if err := wd.check(st.Evals); err != nil {
-			return c.sigmaMap(), st, attachCheckpoint(err, capture())
+			return vc.sigmaMap(), st, attachCheckpoint(err, capture())
 		}
 		if ck.due(st.Evals) {
 			ck.emit(st.Evals, capture())
 		}
 		i := q.popMin()
-		x := c.order[i]
-		e.cur = i
-		rhsVal, attempts, ee := guardedEval(g, x, e.thunk)
+		changed, attempts, ee := step(i)
 		st.Retries += attempts - 1
 		if ee != nil {
 			// The failed evaluation never happened: keep x scheduled so the
 			// checkpoint resumes by re-evaluating it.
 			q.push(i)
-			return c.sigmaMap(), st, attachCheckpoint(wd.failEval(ee, st.Evals), capture())
+			return vc.sigmaMap(), st, attachCheckpoint(wd.failEval(ee, st.Evals), capture())
 		}
 		st.Evals++
-		next := op.Apply(x, c.vals[i], rhsVal)
-		if !l.Eq(c.vals[i], next) {
-			c.vals[i] = next
+		if changed {
 			st.Updates++
 			q.push(i)
-			for _, j := range c.infl(i) {
+			for _, j := range sh.infl(i) {
 				q.push(int(j))
 			}
 			if q.len() > st.MaxQueue {
@@ -315,5 +296,5 @@ func swDense[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], o
 			}
 		}
 	}
-	return c.sigmaMap(), st, nil
+	return vc.sigmaMap(), st, nil
 }

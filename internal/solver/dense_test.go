@@ -203,6 +203,23 @@ func BenchmarkSWDense(b *testing.B) {
 	benchCore(b, CoreDense, func(c Config) (map[int]lattice.Interval, Stats, error) { return SW(sys, l, op, init, c) })
 }
 
+// The unboxed benchmarks use the structured WarrowOp: it is what unlocks
+// the raw word core, and its Apply is bit-identical to Op(Warrow), so the
+// boxed baselines above measure the same computation. Run with -benchmem:
+// the dense rows pin the pooled-store fix (allocs/op must stay well below
+// one per evaluation) and the unboxed rows pin the zero-alloc hot loop.
+func BenchmarkRRUnboxed(b *testing.B) {
+	sys, init := benchSystem()
+	l, op := lattice.Ints, WarrowOp[int, lattice.Interval](lattice.Ints)
+	benchCore(b, CoreUnboxed, func(c Config) (map[int]lattice.Interval, Stats, error) { return RR(sys, l, op, init, c) })
+}
+
+func BenchmarkSWUnboxed(b *testing.B) {
+	sys, init := benchSystem()
+	l, op := lattice.Ints, WarrowOp[int, lattice.Interval](lattice.Ints)
+	benchCore(b, CoreUnboxed, func(c Config) (map[int]lattice.Interval, Stats, error) { return SW(sys, l, op, init, c) })
+}
+
 // BenchmarkSLRThunk exercises the local solver's hoisted eval/thunk pair;
 // run with -benchmem to see the per-run (not per-evaluation) closure cost.
 func BenchmarkSLRThunk(b *testing.B) {

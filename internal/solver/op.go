@@ -87,6 +87,112 @@ func Warrow[D any](l lattice.Lattice[D]) Combine[D] {
 	}
 }
 
+// rawOperator is implemented by structured operators that can apply
+// themselves directly on raw-encoded values (lattice.Raw word slices).
+// The unboxed core requires it: an opaque Combine closure cannot be
+// translated to the raw layer, so solvers given one fall back to the
+// boxed dense core.
+type rawOperator[D any] interface {
+	rawApply(r lattice.Raw[D], dst, old, new []uint64)
+}
+
+// stdOpKind enumerates the structured update operators.
+type stdOpKind int8
+
+const (
+	opReplace stdOpKind = iota
+	opJoin
+	opMeet
+	opWiden
+	opNarrow
+	opWarrow
+)
+
+// stdOp is the structured form of the stateless update operators: the same
+// six combinators Op(Replace(..)) … Op(Warrow(..)) produce, but with the
+// kind reified so the unboxed core can apply them on raw-encoded values.
+// The boxed Apply is bit-identical to the closure-based forms.
+type stdOp[X comparable, D any] struct {
+	kind stdOpKind
+	l    lattice.Lattice[D]
+}
+
+// Apply implements Operator.
+func (o stdOp[X, D]) Apply(_ X, old, new D) D {
+	switch o.kind {
+	case opReplace:
+		return new
+	case opJoin:
+		return o.l.Join(old, new)
+	case opMeet:
+		return o.l.Meet(old, new)
+	case opWiden:
+		return o.l.Widen(old, new)
+	case opNarrow:
+		return o.l.Narrow(old, new)
+	default: // opWarrow
+		if o.l.Leq(new, old) {
+			return o.l.Narrow(old, new)
+		}
+		return o.l.Widen(old, new)
+	}
+}
+
+// rawApply implements rawOperator, mirroring Apply on encoded values.
+func (o stdOp[X, D]) rawApply(r lattice.Raw[D], dst, old, new []uint64) {
+	switch o.kind {
+	case opReplace:
+		copy(dst, new)
+	case opJoin:
+		r.RawJoin(dst, old, new)
+	case opMeet:
+		r.RawMeet(dst, old, new)
+	case opWiden:
+		r.RawWiden(dst, old, new)
+	case opNarrow:
+		r.RawNarrow(dst, old, new)
+	default: // opWarrow
+		if r.RawLeq(new, old) {
+			r.RawNarrow(dst, old, new)
+		} else {
+			r.RawWiden(dst, old, new)
+		}
+	}
+}
+
+// ReplaceOp is the structured form of Op(Replace[D]()).
+func ReplaceOp[X comparable, D any](l lattice.Lattice[D]) Operator[X, D] {
+	return stdOp[X, D]{kind: opReplace, l: l}
+}
+
+// JoinOp is the structured form of Op(Join(l)).
+func JoinOp[X comparable, D any](l lattice.Lattice[D]) Operator[X, D] {
+	return stdOp[X, D]{kind: opJoin, l: l}
+}
+
+// MeetOp is the structured form of Op(Meet(l)).
+func MeetOp[X comparable, D any](l lattice.Lattice[D]) Operator[X, D] {
+	return stdOp[X, D]{kind: opMeet, l: l}
+}
+
+// WidenOp is the structured form of Op(Widen(l)).
+func WidenOp[X comparable, D any](l lattice.Lattice[D]) Operator[X, D] {
+	return stdOp[X, D]{kind: opWiden, l: l}
+}
+
+// NarrowOp is the structured form of Op(Narrow(l)).
+func NarrowOp[X comparable, D any](l lattice.Lattice[D]) Operator[X, D] {
+	return stdOp[X, D]{kind: opNarrow, l: l}
+}
+
+// WarrowOp is the structured form of Op(Warrow(l)): the paper's ⊟ with the
+// branch reified, which is what lets the unboxed core run ⊟ solves with no
+// boxed values on the hot path. Prefer it over Op(Warrow(l)) wherever the
+// lattice might have a raw encoding.
+func WarrowOp[X comparable, D any](l lattice.Lattice[D]) Operator[X, D] {
+	return stdOp[X, D]{kind: opWarrow, l: l}
+}
+
 // Degrading is the ⊟ₖ operator sketched at the end of Sec. 4: each unknown
 // carries a counter of how often iteration has switched from the narrowing
 // phase back to widening. Once the counter reaches the threshold K the
@@ -262,23 +368,33 @@ type Stats struct {
 var ErrEvalBudget = errors.New("solver: evaluation budget exceeded")
 
 // Core selects the execution core of the global solvers (RR, W, SRR, SW).
-// Both cores implement the same algorithms with bit-identical results,
-// Stats and checkpoints; they differ only in representation — hash maps
-// versus the dense index-compiled structures of compile.go. PSW always runs
-// its strata on the dense structures. The local solvers (RLD, SLR, SLR⁺)
-// discover their unknowns on the fly and have no dense core.
+// All cores implement the same algorithms with bit-identical results,
+// Stats and checkpoints; they differ only in representation — hash maps,
+// the dense index-compiled structures of compile.go with boxed D values,
+// or the unboxed core of valuerep.go, which additionally stores values as
+// raw machine words when the lattice has a raw encoding (lattice.AsRaw)
+// and the operator is structured (WarrowOp and friends). PSW always runs
+// its strata on the compiled structures and picks the unboxed value store
+// under the same conditions. The local solvers (RLD, SLR, SLR⁺) discover
+// their unknowns on the fly and have no compiled core.
 type Core int8
 
 // Cores.
 const (
 	// CoreAuto compiles systems of at least denseMinUnknowns unknowns and
 	// keeps tiny systems on the map core, where compilation overhead would
-	// dominate.
+	// dominate. Compiled systems store values unboxed when the domain and
+	// operator support it, boxed otherwise.
 	CoreAuto Core = iota
 	// CoreMap forces the map core.
 	CoreMap
-	// CoreDense forces the dense core.
+	// CoreDense forces the dense core with boxed values.
 	CoreDense
+	// CoreUnboxed forces the compiled core and requests the unboxed value
+	// store regardless of system size; if the lattice has no raw encoding
+	// or the operator is opaque, the solve gracefully falls back to the
+	// boxed dense core.
+	CoreUnboxed
 )
 
 // String renders the core name.
@@ -290,6 +406,8 @@ func (c Core) String() string {
 		return "map"
 	case CoreDense:
 		return "dense"
+	case CoreUnboxed:
+		return "unboxed"
 	default:
 		return "?"
 	}
@@ -372,7 +490,7 @@ func (c Config) started(now time.Time) Config {
 // graph costs more than the whole solve there.
 func (c Config) useDense(n int) bool {
 	switch c.Core {
-	case CoreDense:
+	case CoreDense, CoreUnboxed:
 		return true
 	case CoreMap:
 		return false

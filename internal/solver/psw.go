@@ -60,21 +60,20 @@ import (
 // exactly (PSW totals are schedule-independent).
 func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Operator[X, D], init func(X) D, cfg Config) (map[X]D, Stats, error) {
 	start := time.Now()
-	c := compile(sys, init)
-	order := c.order
+	vc, wd := buildCore(sys, l, op, init, cfg)
+	defer vc.release()
+	sh := vc.shape()
+	order := sh.order
 	n := len(order)
 	adj := sys.DepGraph()
 	comp, ncomp := tarjanSCC(adj)
 	strata := stratify(adj)
 
-	wd := newWatchdog(cfg, c.idx)
 	r := &pswRun[X, D]{
-		c:      c,
-		l:      l,
-		op:     instrument(wd, l, op),
+		vc:     vc,
+		sh:     sh,
 		budget: int64(cfg.budget()),
 		wd:     wd,
-		g:      newEvalGuard(cfg),
 	}
 
 	var st Stats
@@ -91,7 +90,7 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 		if len(cp.Strata) != len(strata) {
 			return map[X]D{}, st, fmt.Errorf("%w: checkpoint has %d strata, system has %d", ErrBadCheckpoint, len(cp.Strata), len(strata))
 		}
-		c.restore(cp)
+		vc.restore(cp)
 		for si, sc := range cp.Strata {
 			switch {
 			case sc.Done:
@@ -229,9 +228,9 @@ func PSW[X comparable, D any](sys *eqn.System[X, D], l lattice.Lattice[D], op Op
 	st.MaxQueue = int(r.maxQueue.Load())
 	st.WallNs = time.Since(start).Nanoseconds()
 
-	sigma := c.sigmaMap()
+	sigma := vc.sigmaMap()
 	if firstErr != nil {
-		cp := c.snapshot("psw", st)
+		cp := vc.snapshot("psw", st)
 		cp.Strata = make([]StratumCheckpoint, len(strata))
 		for si := range strata {
 			switch {
@@ -255,18 +254,16 @@ type stratumResult struct {
 	err       error
 }
 
-// pswRun is the shared state of one PSW invocation. The compiled assignment
-// c.vals is indexed by order position; concurrent strata write disjoint
-// index ranges and read only ranges whose strata completed before they were
-// dispatched.
+// pswRun is the shared state of one PSW invocation. The core's assignment
+// (boxed values or raw words) is indexed by order position; concurrent
+// strata write disjoint index ranges and read only ranges whose strata
+// completed before they were dispatched.
 type pswRun[X comparable, D any] struct {
-	c  *compiled[X, D]
-	l  lattice.Lattice[D]
-	op Operator[X, D]
+	vc execCore[X, D]
+	sh *denseShape[X, D]
 
 	budget   int64
 	wd       *watchdog[X]
-	g        *evalGuard
 	evals    atomic.Int64
 	updates  atomic.Int64
 	retries  atomic.Int64
@@ -291,10 +288,10 @@ func (r *pswRun[X, D]) runStratum(s stratum, initQ []int) ([]int, error) {
 			q.push(i)
 		}
 	}
-	// Each stratum gets its own evaluator: e.cur is per-run mutable state,
-	// but the get callback reads the shared assignment, which is safe —
+	// Each stratum gets its own step function: its evaluation scratch is
+	// per-run mutable state, while the shared assignment is safe to touch —
 	// concurrent strata write disjoint ranges and read only stable ones.
-	e := r.c.evaluator()
+	step := r.vc.stepper()
 	// suspend captures the still-queued indices in ascending order; the
 	// result is never nil, which is how the scheduler tells an interrupted
 	// stratum from a stabilized one.
@@ -318,9 +315,7 @@ func (r *pswRun[X, D]) runStratum(s stratum, initQ []int) ([]int, error) {
 			return suspend(), err
 		}
 		i := q.popMin()
-		x := r.c.order[i]
-		e.cur = i
-		rhsVal, attempts, ee := guardedEval(r.g, x, e.thunk)
+		changed, attempts, ee := step(i)
 		if attempts > 1 {
 			r.retries.Add(int64(attempts - 1))
 		}
@@ -331,12 +326,10 @@ func (r *pswRun[X, D]) runStratum(s stratum, initQ []int) ([]int, error) {
 			q.push(i)
 			return suspend(), r.wd.failEval(ee, int(n-1))
 		}
-		next := r.op.Apply(x, r.c.vals[i], rhsVal)
-		if !r.l.Eq(r.c.vals[i], next) {
-			r.c.vals[i] = next
+		if changed {
 			r.updates.Add(1)
 			q.push(i)
-			for _, j := range r.c.infl(i) {
+			for _, j := range r.sh.infl(i) {
 				if int(j) >= s.lo && int(j) <= s.hi {
 					q.push(int(j))
 				}
