@@ -7,12 +7,14 @@ tier1:
 	GOARCH=386 go build ./...
 
 # Tier-2: vet + race-checked tests + the chaos smoke + the dense-core bench
-# smoke + a bounded fuzz pass — the concurrency gate for the parallel solver
-# (PSW), the differential harness, and the fault-isolation layer.
+# smoke + the incremental-engine bench smoke + a bounded fuzz pass — the
+# concurrency gate for the parallel solver (PSW), the differential harness,
+# and the fault-isolation layer.
 tier2:
 	go vet ./... && go test -race ./...
 	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) incr-smoke
 	$(MAKE) fuzz
 
 # Chaos smoke: the seeded fault-injection property tests (every solver
@@ -28,6 +30,7 @@ FUZZTIME ?= 10s
 fuzz:
 	go test ./internal/diffsolve -run '^$$' -fuzz '^FuzzSolvers$$' -fuzztime $(FUZZTIME)
 	go test ./internal/diffsolve -run '^$$' -fuzz '^FuzzCertify$$' -fuzztime $(FUZZTIME)
+	go test ./internal/diffsolve -run '^$$' -fuzz '^FuzzIncremental$$' -fuzztime $(FUZZTIME)
 	go test ./internal/chaos -run '^$$' -fuzz '^FuzzChaos$$' -fuzztime $(FUZZTIME)
 
 # Race-check just the solver package (fast inner loop while touching PSW).
@@ -47,6 +50,15 @@ bench-dense:
 bench-unboxed:
 	go run ./cmd/bench -unboxed -json BENCH_unboxed.json
 
+bench-incr:
+	go run ./cmd/bench -incr -json BENCH_incr.json
+
+# Incremental smoke: the reduced edit-workload matrix — bit-identity of
+# every incremental re-solve against its from-scratch control, on all three
+# domains, in seconds.
+incr-smoke:
+	go run ./cmd/bench -incr -smoke
+
 # Bench smoke: the reduced map-vs-dense and dense-vs-unboxed matrices
 # (bit-identity gate + timing sanity, minutes not tens of minutes) plus the
 # -benchmem micro-benchmarks of the solver hot loops — including the
@@ -58,4 +70,4 @@ bench-smoke:
 	go run ./cmd/bench -unboxed -smoke
 	go test ./internal/solver -run '^$$' -bench 'BenchmarkRR|BenchmarkSW|BenchmarkSLRThunk' -benchmem -benchtime 50x
 
-.PHONY: tier1 tier2 chaos-smoke fuzz race-solver bench-psw bench-dense bench-unboxed bench-smoke
+.PHONY: tier1 tier2 chaos-smoke fuzz race-solver bench-psw bench-dense bench-unboxed bench-smoke bench-incr incr-smoke

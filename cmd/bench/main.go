@@ -7,6 +7,7 @@
 //	bench -psw        SW vs PSW speedup on the synthetic wide system
 //	bench -dense      map core vs dense compiled core on eqgen systems
 //	bench -unboxed    dense-boxed core vs unboxed word core on eqgen systems
+//	bench -incr       incremental re-solve vs from-scratch on edit workloads
 //	bench -all        everything
 //
 // The suites fan out across -workers goroutines (0 = GOMAXPROCS) with
@@ -43,6 +44,7 @@ func main() {
 	dense := flag.Bool("dense", false, "measure the map core vs the dense compiled core on eqgen systems")
 	unboxed := flag.Bool("unboxed", false, "measure the dense-boxed core vs the unboxed word core on eqgen systems")
 	faults := flag.Bool("faults", false, "measure the fault-isolation layer: checkpoint and retry overhead")
+	incrf := flag.Bool("incr", false, "measure incremental re-solves against from-scratch solves on edit workloads")
 	all := flag.Bool("all", false, "run everything")
 	workers := flag.Int("workers", 0, "harness worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write machine-readable perf rows to this file")
@@ -52,12 +54,12 @@ func main() {
 	flag.Parse()
 	experiments.SolveTimeout = *timeout
 
-	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*dense && !*unboxed && !*faults && !*all {
+	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*dense && !*unboxed && !*faults && !*incrf && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig7, *table1, *traces, *ablations, *psw, *dense, *unboxed, *faults = true, true, true, true, true, true, true, true
+		*fig7, *table1, *traces, *ablations, *psw, *dense, *unboxed, *faults, *incrf = true, true, true, true, true, true, true, true, true
 	}
 	var note string
 	var geomean float64
@@ -162,6 +164,17 @@ func main() {
 		}
 		fmt.Println("Fault-isolation overhead on the synthetic wide system (SW):")
 		fmt.Println(experiments.FormatPerfRows(rows))
+		perf = append(perf, rows...)
+	}
+	if *incrf {
+		rows, g, err := experiments.IncrWorkload(experiments.IncrCases(*smoke))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incr:", err)
+			os.Exit(1)
+		}
+		geomean = g
+		fmt.Println("Incremental re-solve vs from-scratch SW on edit workloads:")
+		fmt.Println(experiments.FormatIncrRows(rows, g))
 		perf = append(perf, rows...)
 	}
 	if *jsonOut != "" {

@@ -24,6 +24,16 @@
 //	eqsolve -solver sw -op warrow -resume /tmp/cp examples/systems/loop.eq
 //
 // and flaky right-hand sides can be retried with -retry.
+//
+// Edited systems can be re-solved incrementally: -edit FILE overlays the
+// definitions of a second .eq file (same domain) onto the base system —
+// replacing equations that exist, adding ones that don't — and -resolve
+// solves the base system once, applies the overlay, and re-solves only the
+// dirty cone of the edit, reporting how many unknowns were re-solved versus
+// reused (see internal/incr):
+//
+//	eqsolve -solver sw -edit examples/systems/loop_edit.eq examples/systems/loop.eq           # scratch solve of the edited system
+//	eqsolve -solver sw -edit examples/systems/loop_edit.eq -resolve examples/systems/loop.eq  # incremental re-solve with delta stats
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"warrow/internal/ckptcodec"
 	"warrow/internal/eqdsl"
 	"warrow/internal/eqn"
+	"warrow/internal/incr"
 	"warrow/internal/lattice"
 	"warrow/internal/solver"
 )
@@ -54,6 +65,8 @@ func main() {
 	resumePath := flag.String("resume", "", "resume the solve from a checkpoint file written by -checkpoint")
 	retry := flag.Int("retry", 0, "attempts per right-hand-side evaluation; >1 retries transient failures")
 	retryBase := flag.Duration("retry-base", 0, "backoff before the second attempt, doubling per retry (0 = immediate)")
+	editPath := flag.String("edit", "", "overlay the definitions of this .eq file (same domain) onto the base system")
+	resolveFlag := flag.Bool("resolve", false, "with -edit: solve, apply the overlay, and incrementally re-solve its dirty cone")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -70,9 +83,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "eqsolve:", err)
 		os.Exit(1)
 	}
+	if f.Open {
+		fmt.Fprintln(os.Stderr, "eqsolve:", flag.Arg(0), "is an edit overlay (open); apply it to a base system with -edit")
+		os.Exit(1)
+	}
 	cfg := solver.Config{
 		MaxEvals: *maxEvals, Workers: *workers, Timeout: *timeout, MaxFlips: *maxFlips,
 		Retry: solver.RetryPolicy{MaxAttempts: *retry, BaseDelay: *retryBase},
+	}
+	if *resolveFlag && *editPath == "" {
+		fatal(fmt.Errorf("-resolve requires -edit"))
+	}
+	var editF *eqdsl.File
+	if *editPath != "" {
+		data, err := os.ReadFile(*editPath)
+		if err != nil {
+			fatal(err)
+		}
+		if editF, err = eqdsl.ParseOverlay(string(data)); err != nil {
+			fatal(fmt.Errorf("edit file: %w", err))
+		}
+		if editF.Domain != f.Domain {
+			fatal(fmt.Errorf("edit file domain differs from the base system's"))
+		}
 	}
 	persist := persistence{path: *ckptPath, every: *ckptEvery, resume: *resumePath}
 	switch f.Domain {
@@ -81,18 +114,40 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		edit := overlay(editF, (*eqdsl.File).NatSystem)
 		run(f, sys, lattice.NatInf, *solverFlag, *opFlag, *query,
 			func(string) lattice.Nat { return lattice.NatOf(0) }, cfg, *certifyFlag, *escalateFlag,
-			persist, natCodec())
+			persist, natCodec(), edit, *resolveFlag)
 	case eqdsl.DomainInterval:
 		sys, err := f.IntervalSystem()
 		if err != nil {
 			fatal(err)
 		}
+		edit := overlay(editF, (*eqdsl.File).IntervalSystem)
 		run(f, sys, lattice.Ints, *solverFlag, *opFlag, *query,
 			func(string) lattice.Interval { return lattice.EmptyInterval }, cfg, *certifyFlag, *escalateFlag,
-			persist, intervalCodec())
+			persist, intervalCodec(), edit, *resolveFlag)
 	}
+}
+
+// editSet is the parsed -edit overlay for one concrete domain: the overlay
+// system plus its definition order.
+type editSet[D any] struct {
+	sys   *eqn.System[string, D]
+	order []string
+}
+
+// overlay builds the typed edit set from the parsed -edit file (nil when no
+// overlay was requested).
+func overlay[D any](f *eqdsl.File, build func(*eqdsl.File) (*eqn.System[string, D], error)) *editSet[D] {
+	if f == nil {
+		return nil
+	}
+	sys, err := build(f)
+	if err != nil {
+		fatal(fmt.Errorf("edit file: %w", err))
+	}
+	return &editSet[D]{sys: sys, order: f.Order}
 }
 
 // persistence bundles the -checkpoint/-checkpoint-every/-resume flags.
@@ -149,7 +204,7 @@ func fatal(err error) {
 // run dispatches on solver and operator names for a concrete domain.
 func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 	solverName, opName, query string, init func(string) D, cfg solver.Config, check, escalate bool,
-	persist persistence, codec solver.Codec[string, D]) {
+	persist persistence, codec solver.Codec[string, D], edit *editSet[D], resolve bool) {
 
 	writeCkpt := func(cp *solver.Checkpoint[string, D]) {
 		data, err := solver.MarshalCheckpoint(cp, codec)
@@ -197,6 +252,80 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 		fatal(fmt.Errorf("unknown operator %q", opName))
 	}
 	op := solver.Op[string](combine)
+
+	// printOrder is the base definition order plus any unknowns the -edit
+	// overlay adds.
+	printOrder := f.Order
+	applyEdits := func() {}
+	if edit != nil {
+		seen := make(map[string]bool, len(f.Order))
+		for _, x := range f.Order {
+			seen[x] = true
+		}
+		for _, x := range edit.order {
+			if !seen[x] {
+				printOrder = append(printOrder, x)
+			}
+		}
+		applyEdits = func() {
+			for _, x := range edit.order {
+				deps, rhs, raw := edit.sys.Deps(x), edit.sys.RHS(x), edit.sys.RawRHSOf(x)
+				switch {
+				case sys.RHS(x) == nil:
+					sys.Define(x, deps, rhs)
+					if raw != nil {
+						sys.AttachRaw(x, raw)
+					}
+				default:
+					sys.RedefineRaw(x, deps, rhs, raw)
+				}
+			}
+		}
+	}
+
+	if resolve {
+		if opName != "warrow" {
+			fatal(fmt.Errorf("-resolve drives the ⊟ incremental engine (use -op warrow)"))
+		}
+		eng, err := incr.New(l, sys, init, solverName)
+		if err != nil {
+			fatal(err)
+		}
+		scfg := cfg
+		scfg.Resume = nil // a -resume checkpoint belongs to the interrupted re-solve
+		if _, err := eng.Solve(scfg); err != nil {
+			fatal(fmt.Errorf("initial solve: %w", err))
+		}
+		applyEdits()
+		res, err := eng.Resolve(cfg)
+		if err != nil {
+			fmt.Printf("%s incremental: %v\n", solverName, err)
+			if persist.path != "" {
+				if cp, ok := solver.CheckpointOf[string, D](err); ok {
+					writeCkpt(cp)
+					fmt.Printf("  checkpoint written to %s (%d evaluations done)\n", persist.path, cp.Evals)
+				}
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("%s with %s: incrementally re-solved %d of %d unknowns (%d reused, %d dirty strata) in %d evaluations, %d updates\n",
+			solverName, opName, res.DirtyUnknowns, res.DirtyUnknowns+res.ReusedUnknowns,
+			res.ReusedUnknowns, res.ConeStrata, res.Stats.Evals, res.Stats.Updates)
+		for _, x := range printOrder {
+			if v, ok := res.Values[x]; ok {
+				fmt.Printf("  %-8s = %s\n", x, l.Format(v))
+			}
+		}
+		if check {
+			rep := certify.System(l, sys, res.Values, init)
+			fmt.Printf("  certify: %s\n", rep)
+			if !rep.OK() {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	applyEdits()
 
 	solveOnce := func(name string) (map[string]D, solver.Stats, error) {
 		switch name {
@@ -255,7 +384,7 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 		fmt.Printf("  parallel: %d workers, %d strata over %d SCCs\n",
 			st.Workers, st.Strata, st.SCCs)
 	}
-	for _, x := range f.Order {
+	for _, x := range printOrder {
 		if v, ok := sigma[x]; ok {
 			fmt.Printf("  %-8s = %s\n", x, l.Format(v))
 		}

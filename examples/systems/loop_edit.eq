@@ -1,0 +1,8 @@
+# An edit overlay for loop.eq: the loop bound tightens from 100 to 50
+# (i = 0; while (i < 50) i = i + 1;). Overlaying replaces b's equation; with
+# eqsolve -edit loop_edit.eq -resolve the incremental engine re-solves only
+# the dirty cone of b and reuses everything the edit cannot reach.
+domain interval
+open
+b = meet(h, [-inf,49])
+e = meet(h, [50,inf])

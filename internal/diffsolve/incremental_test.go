@@ -1,0 +1,96 @@
+package diffsolve
+
+import (
+	"testing"
+
+	"warrow/internal/eqgen"
+)
+
+// incrOpt is the matrix the incremental property tests run under: every
+// forced core for the sequential solvers, PSW at 1, 2, 4 and 8 workers.
+var incrOpt = Options{MaxEvals: 20_000, Workers: []int{1, 2, 4, 8}}
+
+// incrSweep enumerates the generator recipes of the incremental sweep:
+// three shape families per domain — plain monotonic, deliberately
+// non-monotonic, and forward-edged with wide SCCs — across enough seeds to
+// clear sixty systems total (trimmed under -short).
+func incrSweep(t *testing.T) []eqgen.Config {
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	var cfgs []eqgen.Config
+	for _, dom := range []eqgen.Domain{eqgen.Interval, eqgen.Flat, eqgen.Powerset} {
+		for _, seed := range seeds {
+			cfgs = append(cfgs,
+				eqgen.Config{Seed: seed, Dom: dom, N: 24},
+				eqgen.Config{Seed: seed, Dom: dom, N: 18, NonMonoDensity: 0.3},
+				eqgen.Config{Seed: seed, Dom: dom, N: 32, MaxSCC: 6, ForwardDensity: 0.3},
+			)
+		}
+	}
+	if !testing.Short() && len(cfgs) < 60 {
+		t.Fatalf("sweep covers only %d systems, want at least 60", len(cfgs))
+	}
+	return cfgs
+}
+
+// TestIncrementalGenerated sweeps seeded systems through the incremental
+// verdict: three edit generations each, every engine of the solver × core ×
+// workers matrix bit-identical to its from-scratch control.
+func TestIncrementalGenerated(t *testing.T) {
+	t.Parallel()
+	for _, cfg := range incrSweep(t) {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			t.Parallel()
+			if err := CheckGeneratedIncremental(cfg, cfg.Seed*0x9e37+uint64(cfg.Dom), incrOpt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestIncrementalResumeGenerated is the checkpoint column: incremental
+// re-solves interrupted mid-cone must resume — through the wire codec, and
+// across execution cores — to the uninterrupted incremental result.
+func TestIncrementalResumeGenerated(t *testing.T) {
+	t.Parallel()
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, dom := range []eqgen.Domain{eqgen.Interval, eqgen.Flat, eqgen.Powerset} {
+		for _, seed := range seeds {
+			for _, cfg := range []eqgen.Config{
+				{Seed: seed, Dom: dom, N: 24},
+				{Seed: seed, Dom: dom, N: 18, NonMonoDensity: 0.25},
+			} {
+				cfg := cfg
+				t.Run(cfg.String(), func(t *testing.T) {
+					t.Parallel()
+					if err := CheckGeneratedIncrementalResume(cfg, seed^0xd1b54a32d192ed03, incrOpt); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// FuzzIncremental feeds fuzzer-chosen (generator recipe, edit seed) pairs
+// through the incremental verdict. A crash is a two-part reproduction
+// recipe: the failure message embeds the eqgen.Config and the edit seed.
+func FuzzIncremental(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(42))                      // defaults, interval
+	f.Add(uint64(2), uint64(1), uint64(7))                       // flat domain
+	f.Add(uint64(3), uint64(2), uint64(99))                      // powerset domain
+	f.Add(uint64(7), uint64(0x00_40_00_00_00_28_54), uint64(13)) // non-monotonic interval
+	f.Add(uint64(11), uint64(0x09_20_00_32_19_7d), uint64(1234)) // forward edges, wide SCCs
+	f.Fuzz(func(t *testing.T, seed, knobs, editSeed uint64) {
+		cfg := recipeFromWords(seed, knobs)
+		if err := CheckGeneratedIncremental(cfg, editSeed, Options{MaxEvals: 10_000, Workers: []int{1, 3}}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -27,6 +27,11 @@
 //
 // Equations are listed one per line as `name = expr`; # starts a comment.
 // The order of equations fixes the linear order the structured solvers use.
+//
+// A bare `open` line after the domain header marks the file as an edit
+// overlay: its equations may reference unknowns the file itself does not
+// define, because they resolve against the base system the overlay is
+// applied to (eqsolve -edit). Open files are not solvable on their own.
 package eqdsl
 
 import (
@@ -62,6 +67,11 @@ type File struct {
 	Order []string
 	// Defs maps unknowns to their right-hand-side expressions.
 	Defs map[string]Expr
+	// Open marks an edit overlay — a file carrying a bare `open` directive,
+	// or any file parsed with ParseOverlay: its equations may reference
+	// unknowns it does not define, because they resolve against the base
+	// system the overlay is applied to.
+	Open bool
 }
 
 // Expr is an expression tree.
@@ -85,9 +95,21 @@ func (*Var) exprNode()   {}
 func (*Lit) exprNode()   {}
 func (*BinOp) exprNode() {}
 
-// Parse reads a system file.
+// Parse reads a system file. Every referenced unknown must be defined in
+// the file itself.
 func Parse(src string) (*File, error) {
-	f := &File{Defs: make(map[string]Expr)}
+	return parse(src, false)
+}
+
+// ParseOverlay reads an edit-overlay file: same format, but equations may
+// reference unknowns the overlay does not define — they resolve against the
+// base system the overlay is applied to (eqsolve -edit).
+func ParseOverlay(src string) (*File, error) {
+	return parse(src, true)
+}
+
+func parse(src string, open bool) (*File, error) {
+	f := &File{Defs: make(map[string]Expr), Open: open}
 	sawDomain := false
 	for lineNo, raw := range strings.Split(src, "\n") {
 		line := raw
@@ -114,6 +136,10 @@ func Parse(src string) (*File, error) {
 			sawDomain = true
 			continue
 		}
+		if line == "open" && len(f.Order) == 0 {
+			f.Open = true
+			continue
+		}
 		name, rhs, ok := strings.Cut(line, "=")
 		if !ok {
 			return nil, fmt.Errorf("line %d: expected `name = expr`", lineNo+1)
@@ -138,18 +164,20 @@ func Parse(src string) (*File, error) {
 	if len(f.Order) == 0 {
 		return nil, fmt.Errorf("no equations")
 	}
-	// All referenced unknowns must be defined.
-	for _, name := range f.Order {
-		var undef string
-		walk(f.Defs[name], func(e Expr) {
-			if v, ok := e.(*Var); ok {
-				if _, defined := f.Defs[v.Name]; !defined && undef == "" {
-					undef = v.Name
+	if !f.Open {
+		// All referenced unknowns must be defined.
+		for _, name := range f.Order {
+			var undef string
+			walk(f.Defs[name], func(e Expr) {
+				if v, ok := e.(*Var); ok {
+					if _, defined := f.Defs[v.Name]; !defined && undef == "" {
+						undef = v.Name
+					}
 				}
+			})
+			if undef != "" {
+				return nil, fmt.Errorf("equation for %s references undefined unknown %q", name, undef)
 			}
-		})
-		if undef != "" {
-			return nil, fmt.Errorf("equation for %s references undefined unknown %q", name, undef)
 		}
 	}
 	return f, nil

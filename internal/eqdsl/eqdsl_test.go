@@ -173,6 +173,41 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestOpenOverlay: the `open` directive and ParseOverlay both admit
+// references to unknowns the file does not define; a closed Parse of the
+// same equations rejects them, and `open` after the first equation is an
+// ordinary (bad) equation line, not a directive.
+func TestOpenOverlay(t *testing.T) {
+	const body = "b = meet(h, [-inf,49])\n"
+	for _, src := range []string{
+		"domain interval\nopen\n" + body,
+		"domain interval\n" + body, // closed text, opened by ParseOverlay
+	} {
+		f, err := ParseOverlay(src)
+		if err != nil {
+			t.Fatalf("ParseOverlay(%q): %v", src, err)
+		}
+		if !f.Open {
+			t.Errorf("ParseOverlay(%q): Open = false", src)
+		}
+	}
+	f, err := Parse("domain interval\nopen\n" + body)
+	if err != nil {
+		t.Fatalf("Parse with open directive: %v", err)
+	}
+	if !f.Open {
+		t.Error("open directive did not set File.Open")
+	}
+	if _, err := Parse("domain interval\n" + body); err == nil ||
+		!strings.Contains(err.Error(), "undefined unknown") {
+		t.Errorf("closed Parse of overlay body: err = %v, want undefined unknown", err)
+	}
+	if _, err := Parse("domain interval\nx = 1\nopen\n"); err == nil ||
+		!strings.Contains(err.Error(), "expected") {
+		t.Errorf("open after first equation: err = %v, want parse error", err)
+	}
+}
+
 func TestComments(t *testing.T) {
 	f, err := Parse("# header\ndomain natinf # trailing\nx = 1 # eol\n")
 	if err != nil {

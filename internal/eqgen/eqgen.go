@@ -282,6 +282,24 @@ func New(cfg Config) System {
 	return out
 }
 
+// Spec is the per-unknown material a domain builder interprets: the
+// dependence list, the widening/bound/flip flags and the constant material,
+// copied out of the Shape (or freshly drawn by Mutate). Right-hand sides
+// capture a Spec by value, never the Shape itself, so redefining one unknown
+// can draw new material without aliasing the equations of any other.
+type Spec struct {
+	Deps    []int
+	Grow    bool
+	Bound   bool
+	NonMono int
+	Mat     uint64
+}
+
+// SpecOf extracts unknown i's spec from the shape.
+func (s *Shape) SpecOf(i int) Spec {
+	return Spec{Deps: s.Deps[i], Grow: s.Grow[i], Bound: s.Bound[i], NonMono: s.NonMono[i], Mat: s.Mat[i]}
+}
+
 // IntervalSystem interprets the shape over integer intervals. Growth points
 // add +1 around the cycle (the loop-counter pattern that forces widening);
 // bounds are meets with small constant ranges (the precision ⊟ recovers by
@@ -290,82 +308,88 @@ func New(cfg Config) System {
 func IntervalSystem(s *Shape) *eqn.System[int, lattice.Interval] {
 	sys := eqn.NewSystem[int, lattice.Interval]()
 	for i := 0; i < len(s.Deps); i++ {
-		i := i
-		ds := s.Deps[i]
-		mat := s.Mat[i]
-		base := lattice.Singleton(int64(mat % 8))
-		boundLo := int64(mat >> 3 % 4)
-		boundHi := boundLo + int64(8+mat>>5%96)
-		flip := lattice.Range(0, int64(4+mat>>12%32))
-		big := lattice.Singleton(int64(mat >> 17 % 1000))
-		sys.Define(i, ds, func(get func(int) lattice.Interval) lattice.Interval {
-			vals := make([]lattice.Interval, len(ds))
-			for k, d := range ds {
-				vals[k] = get(d)
-			}
-			v := base
-			for k := range vals {
-				t := vals[k]
-				if s.Grow[i] && k == 0 {
-					t = t.Add(lattice.Singleton(1))
-				}
-				v = lattice.Ints.Join(v, t)
-			}
-			if s.Bound[i] {
-				v = lattice.Ints.Meet(v, lattice.Range(boundLo, boundHi))
-			}
-			if nm := s.NonMono[i]; nm >= 0 {
-				// Antitone in vals[nm]: while the dependency is still inside
-				// flip, the result includes big; once it grows past, the
-				// result is capped instead — strictly smaller.
-				if lattice.Ints.Leq(vals[nm], flip) {
-					v = lattice.Ints.Join(v, big)
-				} else {
-					v = lattice.Ints.Meet(v, flip)
-				}
-			}
-			return v
-		})
-		// Fused unboxed twin of the right-hand side above: the constants are
-		// encoded once here, and evaluation never materializes a boxed
-		// Interval. Reads are consumed before the next get call, and tmp is
-		// private to unknown i (one stratum owns one unknown), so the closure
-		// is safe under PSW. The raw-vs-boxed agreement test pins the bit
-		// identity of the two forms.
-		encIv := func(v lattice.Interval) []uint64 {
-			w := make([]uint64, 2)
-			lattice.Ints.RawEncode(w, v)
-			return w
-		}
-		rawBase := encIv(base)
-		rawBound := encIv(lattice.Range(boundLo, boundHi))
-		rawFlip := encIv(flip)
-		rawBig := encIv(big)
-		rawOne := encIv(lattice.Singleton(1))
-		tmp := make([]uint64, 2)
-		sys.AttachRaw(i, func(get func(int) []uint64, dst []uint64) {
-			copy(dst, rawBase)
-			for k, d := range ds {
-				t := get(d)
-				if s.Grow[i] && k == 0 {
-					lattice.RawIntervalAdd(tmp, t, rawOne)
-					t = tmp
-				}
-				lattice.RawIntervalJoin(dst, dst, t)
-			}
-			if s.Bound[i] {
-				lattice.RawIntervalMeet(dst, dst, rawBound)
-			}
-			if nm := s.NonMono[i]; nm >= 0 {
-				if lattice.RawIntervalLeq(get(ds[nm]), rawFlip) {
-					lattice.RawIntervalJoin(dst, dst, rawBig)
-				} else {
-					lattice.RawIntervalMeet(dst, dst, rawFlip)
-				}
-			}
-		})
+		rhs, raw := IntervalRHS(s.SpecOf(i))
+		sys.Define(i, s.Deps[i], rhs)
+		sys.AttachRaw(i, raw)
 	}
 	return sys
+}
+
+// IntervalRHS builds the interval right-hand side a spec describes, together
+// with its fused unboxed twin. The twin encodes the constants once and never
+// materializes a boxed Interval; reads are consumed before the next get
+// call, and tmp is private to the unknown (one stratum owns one unknown),
+// so the closure is safe under PSW. The raw-vs-boxed agreement test pins
+// the bit identity of the two forms.
+func IntervalRHS(sp Spec) (eqn.RHS[int, lattice.Interval], eqn.RawRHS[int]) {
+	ds := sp.Deps
+	mat := sp.Mat
+	base := lattice.Singleton(int64(mat % 8))
+	boundLo := int64(mat >> 3 % 4)
+	boundHi := boundLo + int64(8+mat>>5%96)
+	flip := lattice.Range(0, int64(4+mat>>12%32))
+	big := lattice.Singleton(int64(mat >> 17 % 1000))
+	rhs := func(get func(int) lattice.Interval) lattice.Interval {
+		vals := make([]lattice.Interval, len(ds))
+		for k, d := range ds {
+			vals[k] = get(d)
+		}
+		v := base
+		for k := range vals {
+			t := vals[k]
+			if sp.Grow && k == 0 {
+				t = t.Add(lattice.Singleton(1))
+			}
+			v = lattice.Ints.Join(v, t)
+		}
+		if sp.Bound {
+			v = lattice.Ints.Meet(v, lattice.Range(boundLo, boundHi))
+		}
+		if nm := sp.NonMono; nm >= 0 {
+			// Antitone in vals[nm]: while the dependency is still inside
+			// flip, the result includes big; once it grows past, the
+			// result is capped instead — strictly smaller.
+			if lattice.Ints.Leq(vals[nm], flip) {
+				v = lattice.Ints.Join(v, big)
+			} else {
+				v = lattice.Ints.Meet(v, flip)
+			}
+		}
+		return v
+	}
+	encIv := func(v lattice.Interval) []uint64 {
+		w := make([]uint64, 2)
+		lattice.Ints.RawEncode(w, v)
+		return w
+	}
+	rawBase := encIv(base)
+	rawBound := encIv(lattice.Range(boundLo, boundHi))
+	rawFlip := encIv(flip)
+	rawBig := encIv(big)
+	rawOne := encIv(lattice.Singleton(1))
+	tmp := make([]uint64, 2)
+	raw := func(get func(int) []uint64, dst []uint64) {
+		copy(dst, rawBase)
+		for k, d := range ds {
+			t := get(d)
+			if sp.Grow && k == 0 {
+				lattice.RawIntervalAdd(tmp, t, rawOne)
+				t = tmp
+			}
+			lattice.RawIntervalJoin(dst, dst, t)
+		}
+		if sp.Bound {
+			lattice.RawIntervalMeet(dst, dst, rawBound)
+		}
+		if nm := sp.NonMono; nm >= 0 {
+			if lattice.RawIntervalLeq(get(ds[nm]), rawFlip) {
+				lattice.RawIntervalJoin(dst, dst, rawBig)
+			} else {
+				lattice.RawIntervalMeet(dst, dst, rawFlip)
+			}
+		}
+	}
+	return rhs, raw
 }
 
 // FlatL is the flat constant-propagation lattice the generated flat systems
@@ -379,61 +403,68 @@ var FlatL = lattice.JoinWiden[lattice.Flat[int64]]{Inner: lattice.FlatLattice[in
 func FlatSystem(s *Shape) *eqn.System[int, lattice.Flat[int64]] {
 	sys := eqn.NewSystem[int, lattice.Flat[int64]]()
 	for i := 0; i < len(s.Deps); i++ {
-		i := i
-		ds := s.Deps[i]
-		mat := s.Mat[i]
-		base := lattice.FlatOf(int64(mat % 5))
-		mul := int64(1 + mat>>3%3)
-		add := int64(mat >> 5 % 7)
-		reset := lattice.FlatOf(int64(mat >> 8 % 5))
-		sys.Define(i, ds, func(get func(int) lattice.Flat[int64]) lattice.Flat[int64] {
-			vals := make([]lattice.Flat[int64], len(ds))
-			for k, d := range ds {
-				vals[k] = get(d)
-			}
-			v := base
-			for _, t := range vals {
-				if t.Kind == lattice.FlatVal {
-					t = lattice.FlatOf((t.V*mul + add) % 17)
-				}
-				v = FlatL.Join(v, t)
-			}
-			if nm := s.NonMono[i]; nm >= 0 && vals[nm].Kind == lattice.FlatTop {
-				return reset // antitone: a dependency reaching ⊤ shrinks the result
-			}
-			return v
-		})
-		// Fused unboxed twin: flat values are (kind, value) word pairs with
-		// the value word zero unless the kind is FlatVal, and the join is
-		// inlined. All values in a generated flat system are non-negative, so
-		// the int64 modular arithmetic matches the boxed form exactly.
-		rawBase := [2]uint64{uint64(lattice.FlatVal), uint64(base.V)}
-		rawReset := [2]uint64{uint64(lattice.FlatVal), uint64(reset.V)}
-		sys.AttachRaw(i, func(get func(int) []uint64, dst []uint64) {
-			dst[0], dst[1] = rawBase[0], rawBase[1]
-			for _, d := range ds {
-				t := get(d)
-				tk, tv := t[0], t[1]
-				if lattice.FlatKind(tk) == lattice.FlatVal {
-					tv = uint64((int64(tv)*mul + add) % 17)
-				}
-				switch {
-				case lattice.FlatKind(tk) == lattice.FlatBot:
-					// join with ⊥: keep dst
-				case lattice.FlatKind(dst[0]) == lattice.FlatBot:
-					dst[0], dst[1] = tk, tv
-				case lattice.FlatKind(dst[0]) == lattice.FlatVal && lattice.FlatKind(tk) == lattice.FlatVal && dst[1] == tv:
-					// equal values: keep dst
-				default:
-					dst[0], dst[1] = uint64(lattice.FlatTop), 0
-				}
-			}
-			if nm := s.NonMono[i]; nm >= 0 && lattice.FlatKind(get(ds[nm])[0]) == lattice.FlatTop {
-				dst[0], dst[1] = rawReset[0], rawReset[1]
-			}
-		})
+		rhs, raw := FlatRHS(s.SpecOf(i))
+		sys.Define(i, s.Deps[i], rhs)
+		sys.AttachRaw(i, raw)
 	}
 	return sys
+}
+
+// FlatRHS builds the flat right-hand side a spec describes, with its fused
+// unboxed twin: flat values are (kind, value) word pairs with the value word
+// zero unless the kind is FlatVal, and the join is inlined. All values in a
+// generated flat system are non-negative, so the int64 modular arithmetic
+// matches the boxed form exactly.
+func FlatRHS(sp Spec) (eqn.RHS[int, lattice.Flat[int64]], eqn.RawRHS[int]) {
+	ds := sp.Deps
+	mat := sp.Mat
+	base := lattice.FlatOf(int64(mat % 5))
+	mul := int64(1 + mat>>3%3)
+	add := int64(mat >> 5 % 7)
+	reset := lattice.FlatOf(int64(mat >> 8 % 5))
+	rhs := func(get func(int) lattice.Flat[int64]) lattice.Flat[int64] {
+		vals := make([]lattice.Flat[int64], len(ds))
+		for k, d := range ds {
+			vals[k] = get(d)
+		}
+		v := base
+		for _, t := range vals {
+			if t.Kind == lattice.FlatVal {
+				t = lattice.FlatOf((t.V*mul + add) % 17)
+			}
+			v = FlatL.Join(v, t)
+		}
+		if nm := sp.NonMono; nm >= 0 && vals[nm].Kind == lattice.FlatTop {
+			return reset // antitone: a dependency reaching ⊤ shrinks the result
+		}
+		return v
+	}
+	rawBase := [2]uint64{uint64(lattice.FlatVal), uint64(base.V)}
+	rawReset := [2]uint64{uint64(lattice.FlatVal), uint64(reset.V)}
+	raw := func(get func(int) []uint64, dst []uint64) {
+		dst[0], dst[1] = rawBase[0], rawBase[1]
+		for _, d := range ds {
+			t := get(d)
+			tk, tv := t[0], t[1]
+			if lattice.FlatKind(tk) == lattice.FlatVal {
+				tv = uint64((int64(tv)*mul + add) % 17)
+			}
+			switch {
+			case lattice.FlatKind(tk) == lattice.FlatBot:
+				// join with ⊥: keep dst
+			case lattice.FlatKind(dst[0]) == lattice.FlatBot:
+				dst[0], dst[1] = tk, tv
+			case lattice.FlatKind(dst[0]) == lattice.FlatVal && lattice.FlatKind(tk) == lattice.FlatVal && dst[1] == tv:
+				// equal values: keep dst
+			default:
+				dst[0], dst[1] = uint64(lattice.FlatTop), 0
+			}
+		}
+		if nm := sp.NonMono; nm >= 0 && lattice.FlatKind(get(ds[nm])[0]) == lattice.FlatTop {
+			dst[0], dst[1] = rawReset[0], rawReset[1]
+		}
+	}
+	return rhs, raw
 }
 
 // powersetUniverse is the element universe of generated powerset systems.
@@ -456,77 +487,84 @@ func PowersetL() *lattice.SetLattice[int] {
 func PowersetSystem(s *Shape) *eqn.System[int, lattice.Set[int]] {
 	sys := eqn.NewSystem[int, lattice.Set[int]]()
 	for i := 0; i < len(s.Deps); i++ {
-		i := i
-		ds := s.Deps[i]
-		mat := s.Mat[i]
-		base := lattice.NewSet(int(mat%powersetUniverse), int(mat>>4%powersetUniverse))
-		rot := int(mat >> 8 % 3)
-		maskBits := mat>>11%0xFFFF | uint64(mat%powersetUniverse)<<1 | 1
-		var maskElems []int
-		for e := 0; e < powersetUniverse; e++ {
-			if maskBits>>e&1 == 1 {
-				maskElems = append(maskElems, e)
-			}
-		}
-		mask := lattice.NewSet(maskElems...)
-		trigger := int(mat >> 27 % powersetUniverse)
-		var dropElems []int
-		drop := int(mat >> 31 % powersetUniverse)
-		for e := 0; e < powersetUniverse; e++ {
-			if e != drop {
-				dropElems = append(dropElems, e)
-			}
-		}
-		dropMask := lattice.NewSet(dropElems...)
-		sys.Define(i, ds, func(get func(int) lattice.Set[int]) lattice.Set[int] {
-			vals := make([]lattice.Set[int], len(ds))
-			for k, d := range ds {
-				vals[k] = get(d)
-			}
-			v := base
-			for k, t := range vals {
-				if s.Grow[i] && k == 0 && rot > 0 {
-					rotated := make([]int, 0, t.Len())
-					for _, e := range t.Elems() {
-						rotated = append(rotated, (e+rot)%powersetUniverse)
-					}
-					t = t.Union(lattice.NewSet(rotated...))
-				}
-				v = v.Union(t)
-			}
-			if s.Bound[i] {
-				v = v.Intersect(mask.Union(base))
-			}
-			if nm := s.NonMono[i]; nm >= 0 && vals[nm].Has(trigger) {
-				v = v.Intersect(dropMask) // antitone: gaining trigger drops an element
-			}
-			return v
-		})
-		// Fused unboxed twin: PowersetL's universe is 0..15 in order, so the
-		// raw encoding maps element e to bit e and every set is one word.
-		// Rotating every element by +rot mod 16 is a 16-bit rotate of the
-		// mask; union, intersection and membership are single bit operations.
-		baseBits := uint64(1)<<(mat%powersetUniverse) | uint64(1)<<(mat>>4%powersetUniverse)
-		boundBits := maskBits&0xFFFF | baseBits
-		dropBits := uint64(0xFFFF) &^ (uint64(1) << drop)
-		triggerBit := uint64(1) << trigger
-		sys.AttachRaw(i, func(get func(int) []uint64, dst []uint64) {
-			v := baseBits
-			for k, d := range ds {
-				t := get(d)[0]
-				if s.Grow[i] && k == 0 && rot > 0 {
-					t |= (t<<rot | t>>(powersetUniverse-rot)) & 0xFFFF
-				}
-				v |= t
-			}
-			if s.Bound[i] {
-				v &= boundBits
-			}
-			if nm := s.NonMono[i]; nm >= 0 && get(ds[nm])[0]&triggerBit != 0 {
-				v &= dropBits
-			}
-			dst[0] = v
-		})
+		rhs, raw := PowersetRHS(s.SpecOf(i))
+		sys.Define(i, s.Deps[i], rhs)
+		sys.AttachRaw(i, raw)
 	}
 	return sys
+}
+
+// PowersetRHS builds the powerset right-hand side a spec describes, with its
+// fused unboxed twin: PowersetL's universe is 0..15 in order, so the raw
+// encoding maps element e to bit e and every set is one word. Rotating every
+// element by +rot mod 16 is a 16-bit rotate of the mask; union, intersection
+// and membership are single bit operations.
+func PowersetRHS(sp Spec) (eqn.RHS[int, lattice.Set[int]], eqn.RawRHS[int]) {
+	ds := sp.Deps
+	mat := sp.Mat
+	base := lattice.NewSet(int(mat%powersetUniverse), int(mat>>4%powersetUniverse))
+	rot := int(mat >> 8 % 3)
+	maskBits := mat>>11%0xFFFF | uint64(mat%powersetUniverse)<<1 | 1
+	var maskElems []int
+	for e := 0; e < powersetUniverse; e++ {
+		if maskBits>>e&1 == 1 {
+			maskElems = append(maskElems, e)
+		}
+	}
+	mask := lattice.NewSet(maskElems...)
+	trigger := int(mat >> 27 % powersetUniverse)
+	var dropElems []int
+	drop := int(mat >> 31 % powersetUniverse)
+	for e := 0; e < powersetUniverse; e++ {
+		if e != drop {
+			dropElems = append(dropElems, e)
+		}
+	}
+	dropMask := lattice.NewSet(dropElems...)
+	rhs := func(get func(int) lattice.Set[int]) lattice.Set[int] {
+		vals := make([]lattice.Set[int], len(ds))
+		for k, d := range ds {
+			vals[k] = get(d)
+		}
+		v := base
+		for k, t := range vals {
+			if sp.Grow && k == 0 && rot > 0 {
+				rotated := make([]int, 0, t.Len())
+				for _, e := range t.Elems() {
+					rotated = append(rotated, (e+rot)%powersetUniverse)
+				}
+				t = t.Union(lattice.NewSet(rotated...))
+			}
+			v = v.Union(t)
+		}
+		if sp.Bound {
+			v = v.Intersect(mask.Union(base))
+		}
+		if nm := sp.NonMono; nm >= 0 && vals[nm].Has(trigger) {
+			v = v.Intersect(dropMask) // antitone: gaining trigger drops an element
+		}
+		return v
+	}
+	baseBits := uint64(1)<<(mat%powersetUniverse) | uint64(1)<<(mat>>4%powersetUniverse)
+	boundBits := maskBits&0xFFFF | baseBits
+	dropBits := uint64(0xFFFF) &^ (uint64(1) << drop)
+	triggerBit := uint64(1) << trigger
+	raw := func(get func(int) []uint64, dst []uint64) {
+		v := baseBits
+		for k, d := range ds {
+			t := get(d)[0]
+			if sp.Grow && k == 0 && rot > 0 {
+				t |= (t<<rot | t>>(powersetUniverse-rot)) & 0xFFFF
+			}
+			v |= t
+		}
+		if sp.Bound {
+			v &= boundBits
+		}
+		if nm := sp.NonMono; nm >= 0 && get(ds[nm])[0]&triggerBit != 0 {
+			v &= dropBits
+		}
+		dst[0] = v
+	}
+	return rhs, raw
 }

@@ -72,6 +72,13 @@ type System[X comparable, D any] struct {
 	hasFP    bool
 	memo     map[string]any
 
+	// journal records every unknown that gained or replaced an equation
+	// (Define and Redefine), in order. Its length is the system's version;
+	// EditsSince(v) returns the suffix an incremental consumer has not yet
+	// absorbed. AttachRaw is not journaled: a fused twin must compute the
+	// same value as the boxed form, so attaching one changes no solution.
+	journal []X
+
 	// raw holds the fused unboxed right-hand sides attached via AttachRaw,
 	// keyed by unknown. Nil entries (unknowns without a fused form) are
 	// evaluated through the boxed boundary adapter instead.
@@ -98,8 +105,118 @@ func (s *System[X, D]) Define(x X, deps []X, rhs RHS[X, D]) *System[X, D] {
 	s.deps[x] = append([]X(nil), deps...)
 	s.mu.Lock()
 	s.idx, s.infl, s.depGraph, s.hasFP, s.memo = nil, nil, nil, false, nil
+	s.journal = append(s.journal, x)
 	s.mu.Unlock()
 	return s
+}
+
+// RHSPatcher is implemented by memoized shape derivatives (values stored via
+// ShapeMemo) that can absorb a same-dependences redefinition in place: when
+// Redefine replaces the right-hand side of the i-th unknown without touching
+// its dependence list, the system shape is unchanged, so a compiled
+// representation stays valid except for the one right-hand-side slot.
+// PatchRHS must replace that slot (raw is the fused unboxed twin, or nil if
+// the new equation has none). Memo values that do not implement the
+// interface are dropped instead and rebuilt on next use.
+type RHSPatcher[X comparable, D any] interface {
+	PatchRHS(i int, rhs RHS[X, D], raw RawRHS[X])
+}
+
+// Redefine replaces the equation of an already-defined unknown, keeping its
+// position in the linear order. It panics if x is not defined — Define is
+// for new unknowns, Redefine for edits.
+//
+// Invalidation is as granular as the edit: when deps equals the current
+// dependence list element-for-element, the system shape is unchanged, so
+// Index, Infl, DepGraph and ShapeHash all stay memoized and shape-derived
+// memo values implementing RHSPatcher are patched in place (any others are
+// dropped). A changed dependence list invalidates the shape derivatives
+// wholesale, exactly like Define. Either way the edit is journaled for
+// EditsSince. The previously attached fused raw form, if any, is removed:
+// it computed the old equation. Use RedefineRaw to supply the new twin in
+// the same step.
+func (s *System[X, D]) Redefine(x X, deps []X, rhs RHS[X, D]) *System[X, D] {
+	return s.redefine(x, deps, rhs, nil)
+}
+
+// RedefineRaw is Redefine with a fused unboxed twin of the new right-hand
+// side, the edit-time analogue of Define followed by AttachRaw — in one step
+// so a same-dependences edit patches compiled shapes in place instead of
+// discarding them (AttachRaw alone must invalidate wholesale, since it
+// cannot know the previous raw form is obsolete).
+func (s *System[X, D]) RedefineRaw(x X, deps []X, rhs RHS[X, D], raw RawRHS[X]) *System[X, D] {
+	return s.redefine(x, deps, rhs, raw)
+}
+
+func (s *System[X, D]) redefine(x X, deps []X, rhs RHS[X, D], raw RawRHS[X]) *System[X, D] {
+	if _, ok := s.rhs[x]; !ok {
+		panic(fmt.Sprintf("eqn: Redefine of undefined unknown %v", x))
+	}
+	sameDeps := len(deps) == len(s.deps[x])
+	if sameDeps {
+		for i, d := range deps {
+			if d != s.deps[x][i] {
+				sameDeps = false
+				break
+			}
+		}
+	}
+	s.rhs[x] = rhs
+	if raw != nil {
+		if s.raw == nil {
+			s.raw = make(map[X]RawRHS[X])
+		}
+		s.raw[x] = raw
+	} else {
+		delete(s.raw, x)
+	}
+	if !sameDeps {
+		s.deps[x] = append([]X(nil), deps...)
+	}
+	// Index is keyed by position in the order, which Redefine never changes,
+	// so it survives every edit; the remaining shape derivatives survive only
+	// same-dependences edits.
+	var i int
+	if sameDeps {
+		i = s.Index()[x]
+	}
+	s.mu.Lock()
+	if sameDeps {
+		for key, v := range s.memo {
+			if p, ok := v.(RHSPatcher[X, D]); ok {
+				p.PatchRHS(i, rhs, raw)
+			} else {
+				delete(s.memo, key)
+			}
+		}
+	} else {
+		s.infl, s.depGraph, s.hasFP, s.memo = nil, nil, false, nil
+	}
+	s.journal = append(s.journal, x)
+	s.mu.Unlock()
+	return s
+}
+
+// Version is the number of journaled edits (Define and Redefine calls). A
+// consumer that recorded Version v can later ask EditsSince(v) for exactly
+// the unknowns edited in between.
+func (s *System[X, D]) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.journal))
+}
+
+// EditsSince returns the unknowns defined or redefined after version v (a
+// value previously returned by Version), in edit order, possibly with
+// repeats. It is the hook incremental consumers use to pick up edits applied
+// directly to the system rather than routed through them.
+func (s *System[X, D]) EditsSince(v uint64) []X {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v >= uint64(len(s.journal)) {
+		return nil
+	}
+	return append([]X(nil), s.journal[v:]...)
 }
 
 // AttachRaw attaches the fused unboxed form of x's right-hand side. The

@@ -1,0 +1,353 @@
+// Package incr is the incremental re-solve engine: it treats a solved
+// constraint system as a live artifact that absorbs batches of edits —
+// equation replacements (eqn.Redefine) and initial-value perturbations —
+// and re-solves only what an edit can actually reach, seeded from the
+// previous assignment instead of ⊥.
+//
+// The engine computes the downstream dirty cone of an edit batch over the
+// memoized static dependence graph (solver.DirtyCone: the transitive
+// readers of the edited unknowns, rounded up to whole strata of the SCC
+// stratification) and re-runs the chosen solver on the induced subsystem.
+// Unknowns outside the cone are pinned at their previous finals: the
+// subsystem's initial assignment answers out-of-cone reads with the stored
+// values, which every execution core (map, dense, unboxed) already treats
+// as the fallback for out-of-system unknowns. Inside the cone the solve
+// starts from the original initial assignment, so warrowing — the ∇/Δ phase
+// machinery of ⊟ — re-arms exactly there and nowhere else: an unknown
+// re-entered at its previous (narrowed) final would otherwise have nothing
+// left to widen from, and a non-monotonic edit could strand it above the
+// scratch solution (DESIGN.md §12).
+//
+// Exactness contract: for the structured solvers SRR, SW and PSW the merged
+// incremental result is bit-identical to re-running the same solver from
+// scratch on the edited system (stratum-compositionality; certified over
+// the whole solver×core×workers matrix by diffsolve.CheckIncremental). The
+// generic solvers RR and W do not decompose over strata — their sweeps read
+// cross-stratum intermediate values, and no cone granularity preserves
+// bit-identity for them (§12 has a counterexample) — so for "rr" and "w"
+// the engine re-solves the full system from scratch: still correct, never
+// silently approximate, with the delta stats reporting zero reuse.
+//
+// Interrupted incremental solves resume: the solver's checkpoint machinery
+// runs unchanged on the induced subsystem, pending edits stay queued until
+// a Resolve completes, and the subsystem is rebuilt deterministically from
+// the system state plus the pending batch, so a checkpoint taken mid-cone
+// fingerprint-matches the rebuilt subsystem in a later call (or process —
+// the wire format is unchanged).
+package incr
+
+import (
+	"fmt"
+
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// EditKind distinguishes the two edit flavours.
+type EditKind int8
+
+// Edit kinds.
+const (
+	// EditRedefine replaces (or newly defines) the equation of an unknown.
+	EditRedefine EditKind = iota
+	// EditPerturb overrides the initial value σ₀(x) of an unknown — the
+	// "input changed" edit: for a defined unknown the re-solve restarts it
+	// from the new value; for an undefined one (a parameter every reader
+	// falls back to σ₀ for) the new value flows into the readers' cone.
+	EditPerturb
+)
+
+// Edit is one element of an edit batch.
+type Edit[X comparable, D any] struct {
+	Kind    EditKind
+	Unknown X
+	// Deps, RHS, Raw describe the replacement equation (EditRedefine); Raw
+	// is the optional fused unboxed twin and must compute the same value.
+	Deps []X
+	RHS  eqn.RHS[X, D]
+	Raw  eqn.RawRHS[X]
+	// Value is the σ₀ override (EditPerturb).
+	Value D
+}
+
+// Redefine builds an equation-replacement edit.
+func Redefine[X comparable, D any](x X, deps []X, rhs eqn.RHS[X, D]) Edit[X, D] {
+	return Edit[X, D]{Kind: EditRedefine, Unknown: x, Deps: deps, RHS: rhs}
+}
+
+// RedefineRaw builds an equation-replacement edit with a fused unboxed twin.
+func RedefineRaw[X comparable, D any](x X, deps []X, rhs eqn.RHS[X, D], raw eqn.RawRHS[X]) Edit[X, D] {
+	return Edit[X, D]{Kind: EditRedefine, Unknown: x, Deps: deps, RHS: rhs, Raw: raw}
+}
+
+// Perturb builds an initial-value perturbation edit.
+func Perturb[X comparable, D any](x X, v D) Edit[X, D] {
+	return Edit[X, D]{Kind: EditPerturb, Unknown: x, Value: v}
+}
+
+// Result is the outcome of a Solve or Resolve: the full merged assignment
+// plus the delta accounting of how much work the edit actually cost.
+type Result[X comparable, D any] struct {
+	// Values is the complete assignment for the whole system — reused finals
+	// outside the cone, freshly solved values inside it.
+	Values map[X]D
+	// Stats records the re-solve's work only: evaluations of reused unknowns
+	// never happen, so they are not counted anywhere.
+	Stats solver.Stats
+	// DirtyUnknowns is the number of unknowns re-solved (the rounded cone),
+	// ReusedUnknowns the number whose previous finals were reused verbatim;
+	// the two always sum to the system size.
+	DirtyUnknowns  int
+	ReusedUnknowns int
+	// ConeStrata is the number of strata the cone covers (0 when an edit
+	// batch turned out to reach nothing).
+	ConeStrata int
+}
+
+// Engine drives incremental re-solves of one system with one solver. It is
+// not safe for concurrent use; like the System it wraps, it expects edits
+// and solves to be serialized.
+type Engine[X comparable, D any] struct {
+	l          lattice.Lattice[D]
+	sys        *eqn.System[X, D]
+	init       func(X) D
+	solverName string
+
+	overrides map[X]D // accumulated σ₀ perturbations, part of the live init
+	prev      map[X]D // finals of the last completed solve
+	solved    bool
+	version   uint64     // journal cursor: sys edits past this are pending
+	perturbed map[X]bool // pending perturbation seeds
+}
+
+// Solvers the engine dispatches to.
+var solverNames = map[string]bool{"rr": true, "w": true, "srr": true, "sw": true, "psw": true}
+
+// New builds an engine over a system for one of the global solvers ("rr",
+// "w", "srr", "sw", "psw"). The local solvers discover dependences on the
+// fly and have no static cone to restrict; they are out of scope here.
+func New[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], init func(X) D, solverName string) (*Engine[X, D], error) {
+	if !solverNames[solverName] {
+		return nil, fmt.Errorf("incr: unknown solver %q (want rr, w, srr, sw or psw)", solverName)
+	}
+	return &Engine[X, D]{l: l, sys: sys, init: init, solverName: solverName}, nil
+}
+
+// SolverName reports the solver the engine dispatches to.
+func (e *Engine[X, D]) SolverName() string { return e.solverName }
+
+// Init returns the engine's live initial assignment: the constructor's init
+// overlaid with every perturbation applied so far. A from-scratch control
+// solve must use this function to be comparable with the engine's results.
+func (e *Engine[X, D]) Init() func(X) D {
+	return func(x X) D {
+		if v, ok := e.overrides[x]; ok {
+			return v
+		}
+		return e.init(x)
+	}
+}
+
+// run dispatches one solve. The structured operator form is used so the
+// unboxed core engages whenever the domain supports it.
+func (e *Engine[X, D]) run(sys *eqn.System[X, D], init func(X) D, cfg solver.Config) (map[X]D, solver.Stats, error) {
+	op := solver.WarrowOp[X](e.l)
+	switch e.solverName {
+	case "rr":
+		return solver.RR(sys, e.l, op, init, cfg)
+	case "w":
+		return solver.W(sys, e.l, op, init, cfg)
+	case "srr":
+		return solver.SRR(sys, e.l, op, init, cfg)
+	case "sw":
+		return solver.SW(sys, e.l, op, init, cfg)
+	default:
+		return solver.PSW(sys, e.l, op, init, cfg)
+	}
+}
+
+// Solve runs the initial from-scratch solve and arms the engine: subsequent
+// edits are re-solved incrementally by Resolve. cfg passes through to the
+// solver unchanged (budget, deadline, checkpointing, core, resume). On an
+// abort the engine state does not advance; re-running Solve — optionally
+// resuming the abort's checkpoint via cfg.Resume — continues the work.
+func (e *Engine[X, D]) Solve(cfg solver.Config) (*Result[X, D], error) {
+	sigma, st, err := e.run(e.sys, e.Init(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.prev = sigma
+	e.solved = true
+	e.version = e.sys.Version()
+	e.perturbed = nil
+	n := e.sys.Len()
+	return &Result[X, D]{
+		Values:        sigma,
+		Stats:         st,
+		DirtyUnknowns: n,
+		ConeStrata:    len(solver.Stratify(e.sys.DepGraph())),
+	}, nil
+}
+
+// Apply stages a batch of edits. Redefinitions are applied to the system
+// immediately (and journaled by eqn, so edits made directly on the system
+// through Redefine/Define are picked up just the same); perturbations
+// update the live initial assignment. Nothing is re-solved until Resolve.
+func (e *Engine[X, D]) Apply(edits ...Edit[X, D]) {
+	for _, ed := range edits {
+		switch ed.Kind {
+		case EditPerturb:
+			if e.overrides == nil {
+				e.overrides = make(map[X]D)
+			}
+			e.overrides[ed.Unknown] = ed.Value
+			if e.perturbed == nil {
+				e.perturbed = make(map[X]bool)
+			}
+			e.perturbed[ed.Unknown] = true
+		default: // EditRedefine
+			if e.sys.RHS(ed.Unknown) == nil {
+				e.sys.Define(ed.Unknown, ed.Deps, ed.RHS)
+				if ed.Raw != nil {
+					e.sys.AttachRaw(ed.Unknown, ed.Raw)
+				}
+			} else {
+				e.sys.RedefineRaw(ed.Unknown, ed.Deps, ed.RHS, ed.Raw)
+			}
+		}
+	}
+}
+
+// pending collects the dirty seeds of the staged batch in index space: the
+// journal suffix the engine has not absorbed plus the perturbed unknowns.
+// Perturbing an undefined unknown (a parameter) seeds its readers instead —
+// the parameter itself has no equation to re-solve, but everything that
+// falls back to σ₀ for it sees the new value.
+func (e *Engine[X, D]) pending() []int {
+	idx := e.sys.Index()
+	var seeds []int
+	seen := make(map[int]bool)
+	add := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			seeds = append(seeds, i)
+		}
+	}
+	addUnknown := func(x X) {
+		if i, ok := idx[x]; ok {
+			add(i)
+			return
+		}
+		for i, y := range e.sys.Order() {
+			for _, d := range e.sys.Deps(y) {
+				if d == x {
+					add(i)
+					break
+				}
+			}
+		}
+	}
+	for _, x := range e.sys.EditsSince(e.version) {
+		addUnknown(x)
+	}
+	for x := range e.perturbed {
+		addUnknown(x)
+	}
+	return seeds
+}
+
+// Resolve re-solves the staged edit batch and returns the merged delta
+// result. It requires a completed Solve. On success the engine advances (the
+// merged assignment becomes the new baseline and the batch is consumed); on
+// an abort the batch stays pending, and a later Resolve — with a larger
+// budget, or resuming the abort's checkpoint via cfg.Resume — continues.
+// The subsystem a checkpoint was taken on is rebuilt deterministically from
+// the system and the pending batch, so the fingerprint matches.
+func (e *Engine[X, D]) Resolve(cfg solver.Config) (*Result[X, D], error) {
+	if !e.solved {
+		return nil, fmt.Errorf("incr: Resolve before a completed Solve")
+	}
+	n := e.sys.Len()
+	seeds := e.pending()
+	if len(seeds) == 0 {
+		return &Result[X, D]{Values: copyMap(e.prev), ReusedUnknowns: n}, nil
+	}
+
+	if e.solverName == "rr" || e.solverName == "w" {
+		// The generic solvers read cross-stratum intermediates: no cone
+		// restriction preserves bit-identity (DESIGN.md §12), so the honest
+		// incremental policy is a full re-solve of the edited system.
+		sigma, st, err := e.run(e.sys, e.Init(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.prev = sigma
+		e.version = e.sys.Version()
+		e.perturbed = nil
+		return &Result[X, D]{
+			Values:        sigma,
+			Stats:         st,
+			DirtyUnknowns: n,
+			ConeStrata:    len(solver.Stratify(e.sys.DepGraph())),
+		}, nil
+	}
+
+	members, coneStrata := solver.DirtyCone(e.sys.DepGraph(), seeds)
+	order := e.sys.Order()
+	sub := eqn.NewSystem[X, D]()
+	inCone := make(map[X]bool, len(members))
+	for _, i := range members {
+		x := order[i]
+		sub.Define(x, e.sys.Deps(x), e.sys.RHS(x))
+		if raw := e.sys.RawRHSOf(x); raw != nil {
+			sub.AttachRaw(x, raw)
+		}
+		inCone[x] = true
+	}
+	effInit := e.Init()
+	prev := e.prev
+	// Inside the cone the solve restarts from σ₀ — re-arming ⊟'s widening
+	// phase — while reads that escape the subsystem are pinned at the
+	// previous finals (or at σ₀ for unknowns no solve has ever defined).
+	init := func(y X) D {
+		if inCone[y] {
+			return effInit(y)
+		}
+		if v, ok := prev[y]; ok {
+			return v
+		}
+		return effInit(y)
+	}
+	sigma, st, err := e.run(sub, init, cfg)
+	if err != nil {
+		return nil, err
+	}
+	merged := copyMap(prev)
+	for x, v := range sigma {
+		merged[x] = v
+	}
+	e.prev = merged
+	e.version = e.sys.Version()
+	e.perturbed = nil
+	return &Result[X, D]{
+		Values:         merged,
+		Stats:          st,
+		DirtyUnknowns:  len(members),
+		ReusedUnknowns: n - len(members),
+		ConeStrata:     coneStrata,
+	}, nil
+}
+
+// Values returns the engine's current baseline assignment (the last
+// completed solve's finals), or nil before the first Solve. Callers must
+// treat it as read-only.
+func (e *Engine[X, D]) Values() map[X]D { return e.prev }
+
+func copyMap[X comparable, D any](m map[X]D) map[X]D {
+	out := make(map[X]D, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

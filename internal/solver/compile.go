@@ -130,6 +130,16 @@ func buildDenseShape[X comparable, D any](sys *eqn.System[X, D]) *denseShape[X, 
 	return sh
 }
 
+// PatchRHS implements eqn.RHSPatcher: a same-dependences Redefine replaces
+// exactly one right-hand-side slot, so the memoized shape — order, CSR
+// influence rows, pools and all — stays live across the edit instead of
+// being rebuilt. Patching is mutation of shared state: like any edit to a
+// system, it must not race a solve running on the same shape.
+func (sh *denseShape[X, D]) PatchRHS(i int, rhs eqn.RHS[X, D], raw eqn.RawRHS[X]) {
+	sh.rhs[i] = rhs
+	sh.rawRHS[i] = raw
+}
+
 // infl returns the CSR row of unknown i: the positions of its readers, in
 // the exact order eqn.Infl lists them.
 func (sh *denseShape[X, D]) infl(i int) []int32 {

@@ -1,0 +1,99 @@
+package solver
+
+// Dirty-cone computation for the incremental re-solve engine (internal/incr):
+// given the static dependence graph and the unknowns whose equations (or
+// initial values) changed, which part of a finished solution can an edit
+// actually reach, and at what granularity can the rest be reused verbatim?
+//
+// The answer is stratum-granular. The downstream closure of the edited
+// unknowns over the influence relation (the transitive readers) is the set
+// of unknowns whose values may change — everything outside it has no
+// dependence path to an edit, so its self-contained dynamics replays exactly
+// and its previous finals remain correct. But reusing *individual* clean
+// unknowns inside a stratum that also contains dirty ones would break
+// bit-identity with a from-scratch solve: during scratch iteration, dirty
+// members of the stratum read their clean stratum-mates' *intermediate*
+// values, not their finals. Rounding the cone up to whole strata of
+// stratify's decomposition restores exactness: a stratum is re-solved as one
+// closed unit from the initial assignment, with every earlier stratum —
+// clean or already re-solved — pinned at final values (see DESIGN.md §12 for
+// why this makes SRR/SW/PSW re-solves bit-identical, and why no rounding
+// discipline can do the same for RR and W).
+
+// Stratum is a contiguous interval [Lo, Hi] of the linear order with no
+// dependence crossing its boundary forwards — the exported form of the
+// scheduling unit PSW and the dirty-cone computation share.
+type Stratum struct{ Lo, Hi int }
+
+// Stratify partitions the index line 0..n-1 of a static dependence graph
+// (eqn.System.DepGraph) into the minimal contiguous intervals such that no
+// dependence crosses a boundary forwards. Every strongly connected component
+// lies inside a single stratum, and processing strata left to right visits
+// every dependence before its reader.
+func Stratify(adj [][]int) []Stratum {
+	raw := stratify(adj)
+	out := make([]Stratum, len(raw))
+	for i, s := range raw {
+		out[i] = Stratum{s.lo, s.hi}
+	}
+	return out
+}
+
+// DirtyCone computes which unknowns an edit batch can affect: the downstream
+// closure of the seed indices over the influence relation (the reverse of
+// adj), rounded up to whole strata. It returns the member indices in
+// increasing order and the number of dirty strata. Unknowns outside the
+// returned set have no dependence path to any seed; their previous finals
+// are exact for any solver.
+func DirtyCone(adj [][]int, seeds []int) (members []int, dirtyStrata int) {
+	n := len(adj)
+	if n == 0 || len(seeds) == 0 {
+		return nil, 0
+	}
+	// Reverse adjacency: readers[j] lists the i with an edge i → j.
+	readers := make([][]int, n)
+	for i, row := range adj {
+		for _, j := range row {
+			readers[j] = append(readers[j], i)
+		}
+	}
+	dirty := make([]bool, n)
+	queue := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s >= 0 && s < n && !dirty[s] {
+			dirty[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		j := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, i := range readers[j] {
+			if !dirty[i] {
+				dirty[i] = true
+				queue = append(queue, i)
+			}
+		}
+	}
+	// Round up to whole strata. No re-closure is needed: a reader of any
+	// stratum member lives in the same or a later stratum, and the rounded-in
+	// clean members reproduce their previous finals (their dependences are
+	// all clean), so readers of theirs in later strata stay clean.
+	for _, s := range stratify(adj) {
+		hasDirty := false
+		for i := s.lo; i <= s.hi; i++ {
+			if dirty[i] {
+				hasDirty = true
+				break
+			}
+		}
+		if !hasDirty {
+			continue
+		}
+		dirtyStrata++
+		for i := s.lo; i <= s.hi; i++ {
+			members = append(members, i)
+		}
+	}
+	return members, dirtyStrata
+}
