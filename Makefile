@@ -7,14 +7,15 @@ tier1:
 	GOARCH=386 go build ./...
 
 # Tier-2: vet + race-checked tests + the chaos smoke + the dense-core bench
-# smoke + the incremental-engine bench smoke + a bounded fuzz pass — the
-# concurrency gate for the parallel solver (PSW), the differential harness,
-# and the fault-isolation layer.
+# smoke + the incremental-engine bench smoke + the widening-point family
+# smoke + a bounded fuzz pass — the concurrency gate for the parallel solver
+# (PSW), the differential harness, and the fault-isolation layer.
 tier2:
 	go vet ./... && go test -race ./...
 	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) incr-smoke
+	$(MAKE) slr-smoke
 	$(MAKE) fuzz
 
 # Chaos smoke: the seeded fault-injection property tests (every solver
@@ -53,6 +54,18 @@ bench-unboxed:
 bench-incr:
 	go run ./cmd/bench -incr -json BENCH_incr.json
 
+# Regenerate the committed widening-point-family artifact: SLR2/SLR3/SLR4
+# precision (interval widths on the WCET suite) and evaluation totals (eqgen
+# macro matrix) against the ⊟-everywhere SW baseline, every row certified.
+bench-slr:
+	go run ./cmd/bench -slr -slrjson BENCH_slr.json
+
+# SLR smoke: the reduced WCET + eqgen matrices — certification and the
+# at-least-one-strictly-tighter gate in seconds, without rewriting the
+# committed artifact.
+slr-smoke:
+	go run ./cmd/bench -slr -smoke
+
 # Incremental smoke: the reduced edit-workload matrix — bit-identity of
 # every incremental re-solve against its from-scratch control, on all three
 # domains, in seconds.
@@ -70,4 +83,4 @@ bench-smoke:
 	go run ./cmd/bench -unboxed -smoke
 	go test ./internal/solver -run '^$$' -bench 'BenchmarkRR|BenchmarkSW|BenchmarkSLRThunk' -benchmem -benchtime 50x
 
-.PHONY: tier1 tier2 chaos-smoke fuzz race-solver bench-psw bench-dense bench-unboxed bench-smoke bench-incr incr-smoke
+.PHONY: tier1 tier2 chaos-smoke fuzz race-solver bench-psw bench-dense bench-unboxed bench-smoke bench-incr incr-smoke bench-slr slr-smoke

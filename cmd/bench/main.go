@@ -8,6 +8,9 @@
 //	bench -dense      map core vs dense compiled core on eqgen systems
 //	bench -unboxed    dense-boxed core vs unboxed word core on eqgen systems
 //	bench -incr       incremental re-solve vs from-scratch on edit workloads
+//	bench -slr        widening-point family SLR2/SLR3/SLR4: precision on the
+//	                  WCET suite, evaluation totals on the eqgen macro matrix
+//	                  (-slrjson regenerates the committed BENCH_slr.json)
 //	bench -all        everything
 //
 // The suites fan out across -workers goroutines (0 = GOMAXPROCS) with
@@ -45,6 +48,8 @@ func main() {
 	unboxed := flag.Bool("unboxed", false, "measure the dense-boxed core vs the unboxed word core on eqgen systems")
 	faults := flag.Bool("faults", false, "measure the fault-isolation layer: checkpoint and retry overhead")
 	incrf := flag.Bool("incr", false, "measure incremental re-solves against from-scratch solves on edit workloads")
+	slr := flag.Bool("slr", false, "measure the widening-point family SLR2/SLR3/SLR4: precision (interval widths) on the WCET suite, evals on the eqgen macro matrix")
+	slrJSON := flag.String("slrjson", "", "write the -slr measurements to this file (the committed BENCH_slr.json artifact)")
 	all := flag.Bool("all", false, "run everything")
 	workers := flag.Int("workers", 0, "harness worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write machine-readable perf rows to this file")
@@ -54,12 +59,12 @@ func main() {
 	flag.Parse()
 	experiments.SolveTimeout = *timeout
 
-	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*dense && !*unboxed && !*faults && !*incrf && !*all {
+	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*dense && !*unboxed && !*faults && !*incrf && !*slr && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig7, *table1, *traces, *ablations, *psw, *dense, *unboxed, *faults, *incrf = true, true, true, true, true, true, true, true, true
+		*fig7, *table1, *traces, *ablations, *psw, *dense, *unboxed, *faults, *incrf, *slr = true, true, true, true, true, true, true, true, true, true
 	}
 	var note string
 	var geomean float64
@@ -176,6 +181,26 @@ func main() {
 		fmt.Println("Incremental re-solve vs from-scratch SW on edit workloads:")
 		fmt.Println(experiments.FormatIncrRows(rows, g))
 		perf = append(perf, rows...)
+	}
+	if *slr {
+		res, err := experiments.SLRBench(*workers, *smoke)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slr:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Widening-point family SLR2/SLR3/SLR4 vs the ⊟-everywhere SW baseline:")
+		fmt.Println(experiments.FormatSLR(res))
+		if *slrJSON != "" {
+			slrNote := ""
+			if *smoke {
+				slrNote = "smoke run: reduced WCET and eqgen matrices"
+			}
+			if err := experiments.WriteSLRBench(*slrJSON, slrNote, res); err != nil {
+				fmt.Fprintln(os.Stderr, "slrjson:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d slr rows to %s\n", len(res.WCET), *slrJSON)
+		}
 	}
 	if *jsonOut != "" {
 		f := experiments.BenchFile{Note: note, GeomeanSpeedup: geomean, Breakdown: breakdown, Rows: perf}

@@ -7,6 +7,14 @@
 //	eqsolve -solver sw  -op warrow examples/systems/loop.eq
 //	eqsolve -solver slr -op warrow -query e examples/systems/loop.eq
 //	eqsolve -solver sw  -op warrow -certify examples/systems/loop.eq
+//	eqsolve -solver slr3 -certify examples/systems/loop.eq   # ∇/⊟ only at widening points
+//
+// The slr2/slr3/slr4 solvers apply the update operator only at widening
+// points (SCC headers of the dependence graph); slr3 restarts the
+// iteration below a shrinking widening point and slr4 localizes the
+// restart to the point's component. Their results certify as
+// post-solutions like every other solver's, but are not bit-identical
+// to sw's (see internal/solver/slrx.go).
 //
 // Divergent workloads can be bounded and recovered from:
 //
@@ -51,7 +59,7 @@ import (
 )
 
 func main() {
-	solverFlag := flag.String("solver", "sw", "solver: rr, w, srr, sw, psw, or slr")
+	solverFlag := flag.String("solver", "sw", "solver: rr, w, srr, sw, psw, slr, slr2, slr3, or slr4")
 	opFlag := flag.String("op", "warrow", "operator: join, widen, narrow, warrow, or replace")
 	query := flag.String("query", "", "with -solver slr: the unknown to solve for (default: last defined)")
 	maxEvals := flag.Int("max-evals", 100000, "evaluation budget (0 = unbounded)")
@@ -92,7 +100,7 @@ func main() {
 		Retry: solver.RetryPolicy{MaxAttempts: *retry, BaseDelay: *retryBase},
 	}
 	if *resolveFlag && *editPath == "" {
-		fatal(fmt.Errorf("-resolve requires -edit"))
+		usage("-resolve re-solves the dirty cone of an edit, so it needs one: pass -edit FILE.eq alongside it")
 	}
 	var editF *eqdsl.File
 	if *editPath != "" {
@@ -102,6 +110,9 @@ func main() {
 		}
 		if editF, err = eqdsl.ParseOverlay(string(data)); err != nil {
 			fatal(fmt.Errorf("edit file: %w", err))
+		}
+		if !editF.DeclaredOpen {
+			usage(fmt.Sprintf("-edit %s: not an edit overlay — add a bare `open` line after its domain header to mark it as one", *editPath))
 		}
 		if editF.Domain != f.Domain {
 			fatal(fmt.Errorf("edit file domain differs from the base system's"))
@@ -199,6 +210,13 @@ var escalation = map[string]string{"rr": "srr", "w": "sw"}
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "eqsolve:", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-combination mistake: one actionable line, exit 2
+// (the conventional usage-error status, matching flag.Usage misuse).
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "eqsolve: usage:", msg)
+	os.Exit(2)
 }
 
 // run dispatches on solver and operator names for a concrete domain.
@@ -339,6 +357,12 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 			return solver.SW(sys, l, op, init, cfg)
 		case "psw":
 			return solver.PSW(sys, l, op, init, cfg)
+		case "slr2":
+			return solver.SLR2(sys, l, op, init, cfg)
+		case "slr3":
+			return solver.SLR3(sys, l, op, init, cfg)
+		case "slr4":
+			return solver.SLR4(sys, l, op, init, cfg)
 		case "slr":
 			if query == "" {
 				query = f.Order[len(f.Order)-1]
@@ -383,6 +407,9 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 	if used == "psw" {
 		fmt.Printf("  parallel: %d workers, %d strata over %d SCCs\n",
 			st.Workers, st.Strata, st.SCCs)
+	}
+	if used == "slr3" || used == "slr4" {
+		fmt.Printf("  widening points: %d restarts\n", st.Restarts)
 	}
 	for _, x := range printOrder {
 		if v, ok := sigma[x]; ok {

@@ -1,18 +1,50 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// eqsolveBin is the test binary, built once in TestMain so the CLI tests can
+// assert real exit codes (go run does not propagate the child's status).
+var eqsolveBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "eqsolve-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eqsolveBin = filepath.Join(dir, "eqsolve")
+	if out, err := exec.Command("go", "build", "-o", eqsolveBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building eqsolve: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
 func runEqsolve(t *testing.T, args ...string) (string, error) {
 	t.Helper()
-	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	cmd := exec.Command(eqsolveBin, args...)
 	cmd.Dir = "."
 	out, err := cmd.CombinedOutput()
 	return string(out), err
+}
+
+// exitCode extracts the process exit status (-1 if the run did not fail with
+// an ExitError).
+func exitCode(err error) int {
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
 }
 
 func TestEqsolveSRRTerminates(t *testing.T) {
@@ -180,6 +212,75 @@ func TestEqsolveRetryFlagAccepted(t *testing.T) {
 	}
 	if !strings.Contains(out, "certified") {
 		t.Errorf("output:\n%s", out)
+	}
+}
+
+// TestEqsolveSLRFamilySolvers: the widening-point solvers are reachable
+// from the CLI and their (non-bit-pinned) results certify as post-solutions.
+// slr3/slr4 additionally report their restart count.
+func TestEqsolveSLRFamilySolvers(t *testing.T) {
+	for _, s := range []string{"slr2", "slr3", "slr4"} {
+		out, err := runEqsolve(t, "-solver", s, "-op", "warrow", "-certify",
+			"../../examples/systems/loop.eq")
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", s, err, out)
+		}
+		for _, want := range []string{"solved", "certified", "[100,100]"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s: missing %q:\n%s", s, want, out)
+			}
+		}
+		if s != "slr2" && !strings.Contains(out, "widening points:") {
+			t.Errorf("%s: no restart report:\n%s", s, out)
+		}
+	}
+}
+
+// TestEqsolveResolveRequiresEdit: -resolve without -edit is a usage error —
+// one actionable line, exit 2.
+func TestEqsolveResolveRequiresEdit(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "sw", "-resolve", "../../examples/systems/loop.eq")
+	if code := exitCode(err); code != 2 {
+		t.Fatalf("exit code = %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "usage:") || !strings.Contains(out, "-edit") {
+		t.Errorf("not an actionable usage line:\n%s", out)
+	}
+	if n := strings.Count(strings.TrimSpace(out), "\n"); n != 0 {
+		t.Errorf("usage error spans %d extra lines:\n%s", n, out)
+	}
+}
+
+// TestEqsolveEditRejectsNonOverlay: pointing -edit at a closed system file
+// (no `open` marker) is a usage error naming the fix — one line, exit 2.
+func TestEqsolveEditRejectsNonOverlay(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "sw", "-edit", "../../examples/systems/example1.eq",
+		"../../examples/systems/loop.eq")
+	if code := exitCode(err); code != 2 {
+		t.Fatalf("exit code = %d, want 2:\n%s", code, out)
+	}
+	for _, want := range []string{"usage:", "example1.eq", "`open`"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in usage line:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(strings.TrimSpace(out), "\n"); n != 0 {
+		t.Errorf("usage error spans %d extra lines:\n%s", n, out)
+	}
+}
+
+// TestEqsolveSLRFamilyEdit: the family solvers compose with -edit overlays
+// (scratch solve of the edited system) like the other global solvers.
+func TestEqsolveSLRFamilyEdit(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "slr3", "-op", "warrow", "-certify",
+		"-edit", "../../examples/systems/loop_edit.eq", "../../examples/systems/loop.eq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"solved", "certified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"warrow/internal/cfg"
+	"warrow/internal/eqn"
+	"warrow/internal/solver"
+)
+
+// StaticSystem materializes the side-effecting constraint system of an
+// analysis run as a pure static eqn.System over the unknowns an
+// instrumented seed solve discovers, so the global solvers — SW and the
+// widening-point family SLR2/SLR3/SLR4 — can iterate a real program
+// analysis instead of only synthetic systems.
+//
+// The purification is the standard one: a side effect x ─side→ g becomes
+// part of g's right-hand side. The pure RHS of g joins g's own RHS (if
+// any) with the contribution of every unknown observed side-effecting g
+// during the seed solve, re-evaluating each contributor's RHS with its
+// side callback filtered to g. Dependencies of g are the union of the
+// reads recorded for g's own RHS and for all its contributors, across
+// every evaluation of the seed solve — conditional reads behind gates that
+// open only transiently are kept, because the seed solve itself widens
+// through those transients.
+//
+// The dependency sets are observed, not proved: a solve of the returned
+// system could in principle open a gate the seed run never did, miss a
+// re-evaluation, and terminate early. Callers must therefore certify
+// results (eqn.IsPostSolution) rather than trust termination — which the
+// experiments and the diffsolve matrix do for every solver anyway.
+//
+// Unknowns, dependencies and contributors are ordered canonically
+// (keyLess), so the system's Order — and with it the widening-point
+// refinement built on top of it — is reproducible across runs.
+func StaticSystem(prog *cfg.Program, opts Options) (*eqn.System[Key, Env], *EnvLattice, error) {
+	a, err := newAnalyzer(prog, &opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := a.system()
+
+	tr := &sideTrace{
+		deps:    map[Key]map[Key]bool{},
+		contrib: map[Key]map[Key]bool{},
+		seen:    map[Key]bool{},
+	}
+	wrapped := eqn.Sides[Key, Env](func(x Key) eqn.SideRHS[Key, Env] {
+		tr.note(x)
+		rhs := sys(x)
+		if rhs == nil {
+			return nil
+		}
+		return func(get func(Key) Env, side func(Key, Env)) Env {
+			rec := func(k Key) Env { tr.dep(x, k); return get(k) }
+			sid := func(g Key, v Env) { tr.side(x, g); side(g, v) }
+			return rhs(rec, sid)
+		}
+	})
+
+	var op solver.Operator[Key, Env]
+	if opts.DegradeAfter > 0 {
+		op = solver.NewDegrading[Key, Env](a.envL, opts.DegradeAfter)
+	} else {
+		op = solver.Op[Key](solver.Warrow[Env](a.envL))
+	}
+	init := func(Key) Env { return BotEnv }
+	if _, err := solver.SLRPlusKeyed(wrapped, a.envL, op, init,
+		Key{Kind: KStart}, Band, solverConfig(opts)); err != nil {
+		return nil, nil, fmt.Errorf("analysis: seed solve for static system: %w", err)
+	}
+
+	keys := make([]Key, 0, len(tr.seen))
+	for k := range tr.seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+
+	out := eqn.NewSystem[Key, Env]()
+	for _, x := range keys {
+		x := x
+		own := sys(x)
+		contribs := sortedKeys(tr.contrib[x])
+		depSet := map[Key]bool{}
+		for d := range tr.deps[x] {
+			depSet[d] = true
+		}
+		for _, c := range contribs {
+			for d := range tr.deps[c] {
+				depSet[d] = true
+			}
+		}
+		out.Define(x, sortedKeys(depSet), func(get func(Key) Env) Env {
+			v := BotEnv
+			if own != nil {
+				v = own(get, func(Key, Env) {})
+			}
+			for _, c := range contribs {
+				crhs := sys(c)
+				if crhs == nil {
+					continue
+				}
+				acc := BotEnv
+				crhs(get, func(g Key, sv Env) {
+					if g == x {
+						acc = a.envL.Join(acc, sv)
+					}
+				})
+				v = a.envL.Join(v, acc)
+			}
+			return v
+		})
+	}
+	return out, a.envL, nil
+}
+
+// StaticSystemOf is the cfg.Program-from-source convenience used by the
+// experiments: parse and build are the caller's job, this merely names the
+// common NoContext configuration of the WCET precision runs.
+func StaticSystemOf(prog *cfg.Program) (*eqn.System[Key, Env], *EnvLattice, error) {
+	return StaticSystem(prog, Options{Context: NoContext, MaxEvals: 20_000_000})
+}
+
+// sideTrace records, across every evaluation of the seed solve, which
+// unknowns each right-hand side read and which it side-effected.
+type sideTrace struct {
+	deps    map[Key]map[Key]bool // x -> keys read by rhs(x)
+	contrib map[Key]map[Key]bool // g -> unknowns whose rhs side-effected g
+	seen    map[Key]bool
+}
+
+func (t *sideTrace) note(x Key) { t.seen[x] = true }
+
+func (t *sideTrace) dep(x, k Key) {
+	t.seen[k] = true
+	s := t.deps[x]
+	if s == nil {
+		s = map[Key]bool{}
+		t.deps[x] = s
+	}
+	s[k] = true
+}
+
+func (t *sideTrace) side(x, g Key) {
+	t.seen[g] = true
+	s := t.contrib[g]
+	if s == nil {
+		s = map[Key]bool{}
+		t.contrib[g] = s
+	}
+	s[x] = true
+}
+
+// keyLess is the canonical unknown order of materialized systems: the root
+// first, then program points grouped by function in node order, then the
+// flow-insensitive variables. Within a function the entry precedes the
+// loop heads, so the refinement's first-defined-member header rule picks
+// the natural loop heads.
+func keyLess(a, b Key) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Fn != b.Fn {
+		return a.Fn < b.Fn
+	}
+	if a.Ctx != b.Ctx {
+		return a.Ctx < b.Ctx
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Var < b.Var
+}
+
+func sortedKeys(s map[Key]bool) []Key {
+	out := make([]Key, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i], out[j]) })
+	return out
+}

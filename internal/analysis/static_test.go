@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"testing"
+
+	"warrow/internal/cfg"
+	"warrow/internal/cint"
+	"warrow/internal/eqn"
+	"warrow/internal/solver"
+	"warrow/internal/wcet"
+)
+
+func staticWCET(t *testing.T, name string) (*eqn.System[Key, Env], *EnvLattice) {
+	t.Helper()
+	b, ok := wcet.ByName(name)
+	if !ok {
+		t.Fatalf("no WCET benchmark %q", name)
+	}
+	ast, err := cint.Parse(b.Src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	prog := cfg.Build(ast)
+	sys, l, err := StaticSystemOf(prog)
+	if err != nil {
+		t.Fatalf("StaticSystemOf(%s): %v", name, err)
+	}
+	return sys, l
+}
+
+// TestStaticSystemCertifies: the materialized pure system of a WCET
+// benchmark is solvable by the global solvers, and their results certify —
+// the gate that protects against the observed (rather than proved)
+// dependency sets of the purification.
+func TestStaticSystemCertifies(t *testing.T) {
+	for _, name := range []string{"fibcall", "janne_complex", "fac"} {
+		sys, l := staticWCET(t, name)
+		init := func(Key) Env { return BotEnv }
+		cfg := solver.Config{MaxEvals: 20_000_000}
+		base, _, err := solver.SW(sys, l, solver.WarrowOp[Key](l), init, cfg)
+		if err != nil {
+			t.Fatalf("%s: SW: %v", name, err)
+		}
+		if x, ok := eqn.IsPostSolution[Key, Env](l, sys, base, init); !ok {
+			t.Fatalf("%s: SW result not a post-solution at %v", name, x)
+		}
+		reachable := 0
+		for _, v := range base {
+			if !v.IsBot() {
+				reachable++
+			}
+		}
+		if reachable == 0 {
+			t.Fatalf("%s: SW found no reachable unknowns — materialization lost the program", name)
+		}
+		for sname, run := range map[string]func() (map[Key]Env, solver.Stats, error){
+			"slr2": func() (map[Key]Env, solver.Stats, error) {
+				return solver.SLR2(sys, l, solver.WarrowOp[Key](l), init, cfg)
+			},
+			"slr3": func() (map[Key]Env, solver.Stats, error) {
+				return solver.SLR3(sys, l, solver.WarrowOp[Key](l), init, cfg)
+			},
+			"slr4": func() (map[Key]Env, solver.Stats, error) {
+				return solver.SLR4(sys, l, solver.WarrowOp[Key](l), init, cfg)
+			},
+		} {
+			sigma, _, err := run()
+			if err != nil {
+				t.Fatalf("%s: %s: %v", name, sname, err)
+			}
+			if x, ok := eqn.IsPostSolution[Key, Env](l, sys, sigma, init); !ok {
+				t.Fatalf("%s: %s result not a post-solution at %v", name, sname, x)
+			}
+		}
+	}
+}
+
+// TestStaticSystemDeterministic: two materializations of the same program
+// agree on unknown order and dependency shape, so the widening-point
+// refinement — and with it the committed benchmark artifact — is
+// reproducible.
+func TestStaticSystemDeterministic(t *testing.T) {
+	a, _ := staticWCET(t, "fibcall")
+	b, _ := staticWCET(t, "fibcall")
+	ao, bo := a.Order(), b.Order()
+	if len(ao) != len(bo) {
+		t.Fatalf("orders differ in length: %d vs %d", len(ao), len(bo))
+	}
+	for i := range ao {
+		if ao[i] != bo[i] {
+			t.Fatalf("order[%d]: %v vs %v", i, ao[i], bo[i])
+		}
+	}
+	if a.ShapeHash() != b.ShapeHash() {
+		t.Fatalf("shape hashes differ: %x vs %x", a.ShapeHash(), b.ShapeHash())
+	}
+}

@@ -61,6 +61,18 @@ func Check[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], ini
 		{"sw", func(s *eqn.System[X, D], c solver.Config) (map[X]D, solver.Stats, error) {
 			return solver.SW(s, l, op, init, c)
 		}},
+		// The widening-point family: selective ∇/⊟ placement changes where
+		// values settle, not the fault contract — certified completion or a
+		// clean, resumable abort, like every other global solver.
+		{"slr2", func(s *eqn.System[X, D], c solver.Config) (map[X]D, solver.Stats, error) {
+			return solver.SLR2(s, l, op, init, c)
+		}},
+		{"slr3", func(s *eqn.System[X, D], c solver.Config) (map[X]D, solver.Stats, error) {
+			return solver.SLR3(s, l, op, init, c)
+		}},
+		{"slr4", func(s *eqn.System[X, D], c solver.Config) (map[X]D, solver.Stats, error) {
+			return solver.SLR4(s, l, op, init, c)
+		}},
 	}
 	for _, wk := range workers {
 		wk := wk

@@ -1,8 +1,10 @@
 // Package diffsolve is the cross-solver differential harness: it runs the
-// full solver matrix — RR, W, SRR, SW, PSW (several worker counts), SLR and
-// SLR⁺ — on one equation system, certifies every terminating result through
-// internal/certify, and cross-checks the solver pairs with exact-agreement
-// claims (PSW is bit-identical to SW for any worker count).
+// full solver matrix — RR, W, SRR, SW, PSW (several worker counts), the
+// widening-point family SLR2/SLR3/SLR4, SLR and SLR⁺ — on one equation
+// system, certifies every terminating result through internal/certify, and
+// cross-checks the solver pairs with exact-agreement claims (PSW is
+// bit-identical to SW for any worker count) and order claims (SLR3/SLR4 are
+// pointwise ≤ SW when both terminate).
 //
 // The harness is the oracle behind three consumers:
 //
@@ -51,6 +53,14 @@ type Options struct {
 	// an extra outcome named "rr→srr" / "w→sw" with EscalatedFrom set —
 	// the graceful-degradation policy of the robustness layer.
 	Escalate bool
+	// StrictOrder additionally enforces the precision partial order of the
+	// widening-point family: SLR3/SLR4 values pointwise ≤ SW's whenever both
+	// terminate. The order is a property of structured (loop-shaped) systems
+	// — the analysis-derived and WCET suites — not a theorem for arbitrary
+	// systems, where selective ∇ placement can land the family on post-
+	// solutions incomparable to (or locally coarser than) SW's; leave it off
+	// for random fuzz recipes, where certification alone is the gate.
+	StrictOrder bool
 }
 
 func (o Options) defaults() Options {
@@ -127,6 +137,9 @@ func RunAll[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], in
 			return solver.PSW(sys, l, op, init, pcfg)
 		})
 	}
+	global("slr2", func() (map[X]D, solver.Stats, error) { return solver.SLR2(sys, l, op, init, cfg) })
+	global("slr3", func() (map[X]D, solver.Stats, error) { return solver.SLR3(sys, l, op, init, cfg) })
+	global("slr4", func() (map[X]D, solver.Stats, error) { return solver.SLR4(sys, l, op, init, cfg) })
 
 	if n := sys.Len(); n > 0 {
 		query := sys.Order()[n-1]
@@ -213,6 +226,25 @@ func Check[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], ini
 			if !l.Eq(o.Values[x], sw.Values[x]) {
 				return fmt.Errorf("%s: value of %v = %s differs from sw = %s",
 					o.Solver, x, l.Format(o.Values[x]), l.Format(sw.Values[x]))
+			}
+		}
+	}
+	// The widening-point family is *not* bit-pinned to SW: applying ⊟ at
+	// fewer points legitimately lands on a different post-solution. The gate
+	// is certified-post-solution (above) plus, under StrictOrder, a precision
+	// partial order: the restarting members SLR3/SLR4 must be pointwise ≤ the
+	// ⊟-everywhere warrow baseline whenever both terminate.
+	if opt.StrictOrder && sw != nil && sw.Err == nil {
+		for i := range outcomes {
+			o := &outcomes[i]
+			if (o.Solver != "slr3" && o.Solver != "slr4") || o.Err != nil {
+				continue
+			}
+			for _, x := range sys.Order() {
+				if !l.Leq(o.Values[x], sw.Values[x]) {
+					return fmt.Errorf("%s: value of %v = %s not ≤ sw's %s (precision order violated)",
+						o.Solver, x, l.Format(o.Values[x]), l.Format(sw.Values[x]))
+				}
 			}
 		}
 	}

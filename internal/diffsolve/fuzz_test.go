@@ -39,6 +39,7 @@ func FuzzSolvers(f *testing.F) {
 	f.Add(uint64(3), uint64(2))                      // powerset domain
 	f.Add(uint64(7), uint64(0x00_40_00_00_00_28_54)) // non-monotonic interval
 	f.Add(uint64(11), uint64(0x09_20_00_32_19_7d))   // forward edges, wide SCCs
+	f.Add(uint64(24), uint64(73_424_976))            // slr3 post-solution incomparable to sw's
 	f.Fuzz(func(t *testing.T, seed, knobs uint64) {
 		cfg := recipeFromWords(seed, knobs)
 		if err := CheckGenerated(cfg, Options{MaxEvals: 20_000, Workers: []int{1, 3}}); err != nil {

@@ -72,6 +72,11 @@ type File struct {
 	// unknowns it does not define, because they resolve against the base
 	// system the overlay is applied to.
 	Open bool
+	// DeclaredOpen reports whether the file itself carries the bare `open`
+	// directive. ParseOverlay relaxes reference checking for any file, so
+	// Open alone cannot tell a genuine overlay from a closed system handed
+	// to -edit by mistake; DeclaredOpen can.
+	DeclaredOpen bool
 }
 
 // Expr is an expression tree.
@@ -138,6 +143,7 @@ func parse(src string, open bool) (*File, error) {
 		}
 		if line == "open" && len(f.Order) == 0 {
 			f.Open = true
+			f.DeclaredOpen = true
 			continue
 		}
 		name, rhs, ok := strings.Cut(line, "=")

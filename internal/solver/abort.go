@@ -260,6 +260,15 @@ func (w *watchdog[X]) observe(x X, p Phase) {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if p == PhaseRestart {
+		// A restarting solver (SLR3/SLR4) reset x to its initial value:
+		// forget the phase history so the re-ascension that follows is not
+		// counted as a narrow→widen flip. Restart transitions are deliberate
+		// iteration; genuine oscillation — alternation with no intervening
+		// restart — still accumulates flips and trips MaxFlips.
+		delete(w.last, x)
+		return
+	}
 	w.updates[x]++
 	if p == PhaseWiden {
 		w.widens++

@@ -104,6 +104,7 @@ func addStats(a, b Stats) Stats {
 		Updates:  a.Updates + b.Updates,
 		Rounds:   a.Rounds + b.Rounds,
 		Retries:  a.Retries + b.Retries,
+		Restarts: a.Restarts + b.Restarts,
 		Unknowns: max(a.Unknowns, b.Unknowns),
 		MaxQueue: max(a.MaxQueue, b.MaxQueue),
 		WallNs:   a.WallNs + b.WallNs,

@@ -254,6 +254,14 @@ const (
 	PhaseStable Phase = iota
 	PhaseWiden
 	PhaseNarrow
+	// PhaseRestart marks a restart transition of the restarting solvers
+	// (SLR3/SLR4): a widening point shrank and the solver reset the unknowns
+	// below it to their initial values. PhaseOf never classifies a value pair
+	// as PhaseRestart — the restarting solvers emit it explicitly through the
+	// Observe hook, and the divergence watchdog treats it as phase-history
+	// erasure: the reset unknown's re-ascension (∇→⊟→∇ around the restart) is
+	// deliberate iteration, not the oscillation signature of Examples 1 and 2.
+	PhaseRestart
 )
 
 // String renders the phase.
@@ -265,6 +273,8 @@ func (p Phase) String() string {
 		return "widen"
 	case PhaseNarrow:
 		return "narrow"
+	case PhaseRestart:
+		return "restart"
 	default:
 		return "?"
 	}
@@ -334,6 +344,11 @@ type Stats struct {
 	Retries int
 	// Updates counts update steps that changed a value.
 	Updates int
+	// Restarts counts unknowns reset to their initial value by the
+	// restarting narrowing of SLR3/SLR4 (zero for every other solver). A
+	// resumed run counts only its own resets: restarts are not part of the
+	// checkpoint wire format.
+	Restarts int
 	// Rounds counts outer iterations (RR) or is zero for other solvers.
 	Rounds int
 	// Unknowns counts distinct unknowns touched (local solvers: |dom|).

@@ -207,15 +207,24 @@ func rawPhase[D any](r lattice.Raw[D], old, new []uint64) Phase {
 	return PhaseWiden
 }
 
-func (rc *rawCore[X, D]) stepper() func(i int) (bool, int, *EvalError) {
+// rawEval is the reusable evaluation environment of one raw run (or, under
+// PSW, of one stratum), the unboxed twin of denseEval: newv receives the
+// right-hand-side value of the unknown cur points at when thunk runs.
+type rawEval struct {
+	cur   int
+	newv  []uint64
+	thunk func() struct{}
+}
+
+// evaluator builds the closure environment of one raw run. Per-evaluator
+// scratch: newv receives the right-hand-side value, ext the encoding of an
+// out-of-system read. One stratum owns one evaluator, so the buffers are
+// never shared across goroutines.
+func (rc *rawCore[X, D]) evaluator() *rawEval {
 	stride := rc.stride
 	words := rc.words
 	raw := rc.raw
-	// Per-stepper scratch: newv receives the right-hand-side value, res the
-	// combined result, ext the encoding of an out-of-system read. One stratum
-	// owns one stepper, so the buffers are never shared across goroutines.
-	newv := make([]uint64, stride)
-	res := make([]uint64, stride)
+	e := &rawEval{newv: make([]uint64, stride)}
 	ext := make([]uint64, stride)
 
 	// getRaw translates a right-hand side's X-typed reads to word slices, the
@@ -250,31 +259,39 @@ func (rc *rawCore[X, D]) stepper() func(i int) (bool, int, *EvalError) {
 		}
 		return rc.init(y)
 	}
-
-	cur := 0
 	// The thunk runs under the eval guard so that panics — in the right-hand
 	// side or in the result encoding — become EvalErrors, exactly like boxed
 	// evaluation failures.
-	thunk := func() struct{} {
-		if rf := rc.rawRHS[cur]; rf != nil {
-			rf(getRaw, newv)
+	e.thunk = func() struct{} {
+		if rf := rc.rawRHS[e.cur]; rf != nil {
+			rf(getRaw, e.newv)
 		} else {
-			raw.RawEncode(newv, rc.rhs[cur](getBoxed))
+			raw.RawEncode(e.newv, rc.rhs[e.cur](getBoxed))
 		}
 		return struct{}{}
 	}
+	return e
+}
+
+func (rc *rawCore[X, D]) stepper() func(i int) (bool, int, *EvalError) {
+	stride := rc.stride
+	words := rc.words
+	raw := rc.raw
+	e := rc.evaluator()
+	// res receives the combined result of each step.
+	res := make([]uint64, stride)
 	return func(i int) (bool, int, *EvalError) {
-		cur = i
+		e.cur = i
 		x := rc.order[i]
-		_, attempts, ee := guardedEval(rc.g, x, thunk)
+		_, attempts, ee := guardedEval(rc.g, x, e.thunk)
 		if ee != nil {
 			return false, attempts, ee
 		}
 		old := words[i*stride : (i+1)*stride]
 		if rc.wd != nil {
-			rc.wd.observe(x, rawPhase(raw, old, newv))
+			rc.wd.observe(x, rawPhase(raw, old, e.newv))
 		}
-		rc.op.rawApply(raw, res, old, newv)
+		rc.op.rawApply(raw, res, old, e.newv)
 		if raw.RawEq(old, res) {
 			return false, attempts, nil
 		}
