@@ -13,6 +13,7 @@ tier1:
 tier2:
 	go vet ./... && go test -race ./...
 	$(MAKE) chaos-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) incr-smoke
 	$(MAKE) slr-smoke
@@ -24,6 +25,13 @@ tier2:
 chaos-smoke:
 	go test -race -count=1 ./internal/chaos
 
+# Serve smoke: the eqsolved daemon under the race detector — wire protocol,
+# admission/rejection, preempt/resume bit-identity, mid-solve disconnect and
+# network-fault leak checks, the seeded soak, and the daemon binaries
+# end-to-end (including eqsolve -connect).
+serve-smoke:
+	go test -race -count=1 ./internal/serve/... ./cmd/eqsolved ./cmd/eqsolve
+
 # Native fuzzing of the differential harness, the certifier, and the chaos
 # property (seed corpora under internal/*/testdata/fuzz). Each target runs
 # for FUZZTIME.
@@ -33,6 +41,8 @@ fuzz:
 	go test ./internal/diffsolve -run '^$$' -fuzz '^FuzzCertify$$' -fuzztime $(FUZZTIME)
 	go test ./internal/diffsolve -run '^$$' -fuzz '^FuzzIncremental$$' -fuzztime $(FUZZTIME)
 	go test ./internal/chaos -run '^$$' -fuzz '^FuzzChaos$$' -fuzztime $(FUZZTIME)
+	go test ./internal/serve/proto -run '^$$' -fuzz '^FuzzProto$$' -fuzztime $(FUZZTIME)
+	go test ./internal/ckptcodec -run '^$$' -fuzz '^FuzzCkptDecode$$' -fuzztime $(FUZZTIME)
 
 # Race-check just the solver package (fast inner loop while touching PSW).
 race-solver:
@@ -83,4 +93,4 @@ bench-smoke:
 	go run ./cmd/bench -unboxed -smoke
 	go test ./internal/solver -run '^$$' -bench 'BenchmarkRR|BenchmarkSW|BenchmarkSLRThunk' -benchmem -benchtime 50x
 
-.PHONY: tier1 tier2 chaos-smoke fuzz race-solver bench-psw bench-dense bench-unboxed bench-smoke bench-incr incr-smoke bench-slr slr-smoke
+.PHONY: tier1 tier2 chaos-smoke serve-smoke fuzz race-solver bench-psw bench-dense bench-unboxed bench-smoke bench-incr incr-smoke bench-slr slr-smoke

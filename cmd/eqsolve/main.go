@@ -42,6 +42,14 @@
 //
 //	eqsolve -solver sw -edit examples/systems/loop_edit.eq examples/systems/loop.eq           # scratch solve of the edited system
 //	eqsolve -solver sw -edit examples/systems/loop_edit.eq -resolve examples/systems/loop.eq  # incremental re-solve with delta stats
+//
+// With -connect the system is submitted to a running eqsolved daemon (see
+// cmd/eqsolved) instead of solved in-process; -solver, -max-evals, -timeout,
+// -max-flips, -certify, -checkpoint and -resume keep their meaning:
+//
+//	eqsolve -connect 127.0.0.1:7333 -solver sw -certify examples/systems/loop.eq
+//	eqsolve -connect 127.0.0.1:7333 -max-evals 50 -checkpoint /tmp/cp examples/systems/loop.eq
+//	eqsolve -connect 127.0.0.1:7333 -resume /tmp/cp examples/systems/loop.eq
 package main
 
 import (
@@ -75,6 +83,7 @@ func main() {
 	retryBase := flag.Duration("retry-base", 0, "backoff before the second attempt, doubling per retry (0 = immediate)")
 	editPath := flag.String("edit", "", "overlay the definitions of this .eq file (same domain) onto the base system")
 	resolveFlag := flag.Bool("resolve", false, "with -edit: solve, apply the overlay, and incrementally re-solve its dirty cone")
+	connect := flag.String("connect", "", "submit the system to an eqsolved daemon at this address instead of solving locally")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -98,6 +107,31 @@ func main() {
 	cfg := solver.Config{
 		MaxEvals: *maxEvals, Workers: *workers, Timeout: *timeout, MaxFlips: *maxFlips,
 		Retry: solver.RetryPolicy{MaxAttempts: *retry, BaseDelay: *retryBase},
+	}
+	if *connect != "" {
+		// Served solves run the daemon's fixed ⊟ pipeline; flags that steer
+		// the local pipeline have no served counterpart.
+		switch {
+		case *opFlag != "warrow":
+			usage("-connect always solves with -op warrow (the daemon's operator)")
+		case *editPath != "" || *resolveFlag:
+			usage("-connect does not support -edit/-resolve; apply edits locally")
+		case *escalateFlag:
+			usage("-connect does not support -escalate; pick the structured solver directly")
+		case *query != "":
+			usage("-connect serves the global solvers, which take no -query")
+		case *ckptEvery > 0:
+			usage("-connect checkpoints only on abort; -checkpoint-every is local-only")
+		case *retry > 0:
+			usage("-connect does not support -retry; the daemon retries nothing")
+		}
+		connectDispatch(*connect, f, string(data), connectCfg{
+			solver:   *solverFlag,
+			maxEvals: *maxEvals,
+			timeout:  *timeout,
+			maxFlips: *maxFlips,
+		}, *certifyFlag, persistence{path: *ckptPath, resume: *resumePath})
+		return
 	}
 	if *resolveFlag && *editPath == "" {
 		usage("-resolve re-solves the dirty cone of an edit, so it needs one: pass -edit FILE.eq alongside it")
@@ -128,7 +162,7 @@ func main() {
 		edit := overlay(editF, (*eqdsl.File).NatSystem)
 		run(f, sys, lattice.NatInf, *solverFlag, *opFlag, *query,
 			func(string) lattice.Nat { return lattice.NatOf(0) }, cfg, *certifyFlag, *escalateFlag,
-			persist, natCodec(), edit, *resolveFlag)
+			persist, ckptcodec.NatCodec(), edit, *resolveFlag)
 	case eqdsl.DomainInterval:
 		sys, err := f.IntervalSystem()
 		if err != nil {
@@ -137,7 +171,7 @@ func main() {
 		edit := overlay(editF, (*eqdsl.File).IntervalSystem)
 		run(f, sys, lattice.Ints, *solverFlag, *opFlag, *query,
 			func(string) lattice.Interval { return lattice.EmptyInterval }, cfg, *certifyFlag, *escalateFlag,
-			persist, intervalCodec(), edit, *resolveFlag)
+			persist, ckptcodec.StringIntervalCodec(), edit, *resolveFlag)
 	}
 }
 
@@ -166,41 +200,6 @@ type persistence struct {
 	path   string
 	every  int
 	resume string
-}
-
-// natCodec renders ℕ ∪ {∞} elements as "inf" or the decimal value.
-func natCodec() solver.Codec[string, lattice.Nat] {
-	return solver.Codec[string, lattice.Nat]{
-		EncodeX: func(x string) string { return x },
-		DecodeX: func(s string) (string, error) { return s, nil },
-		EncodeD: func(v lattice.Nat) string {
-			if v.IsInf() {
-				return "inf"
-			}
-			return fmt.Sprintf("%d", v.Val())
-		},
-		DecodeD: func(s string) (lattice.Nat, error) {
-			if s == "inf" {
-				return lattice.NatInfElem, nil
-			}
-			var v uint64
-			if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
-				return lattice.Nat{}, fmt.Errorf("bad nat value %q", s)
-			}
-			return lattice.NatOf(v), nil
-		},
-	}
-}
-
-// intervalCodec renders intervals as "empty" or "lo..hi" with inf bounds,
-// sharing the wire rendering of the generated-system codecs.
-func intervalCodec() solver.Codec[string, lattice.Interval] {
-	return solver.Codec[string, lattice.Interval]{
-		EncodeX: func(x string) string { return x },
-		DecodeX: func(s string) (string, error) { return s, nil },
-		EncodeD: ckptcodec.EncodeInterval,
-		DecodeD: ckptcodec.DecodeInterval,
-	}
 }
 
 // escalation maps each generic solver to the structured variant that

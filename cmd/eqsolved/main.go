@@ -1,0 +1,94 @@
+// Command eqsolved is the multi-tenant solve daemon: it accepts constraint
+// systems over the eqsolved/1 wire protocol (see internal/serve/proto),
+// multiplexes concurrent solves over a bounded worker pool with explicit
+// admission control, enforces per-request deadlines under a server-side
+// ceiling, and preempts long solves at quantum boundaries via the solver
+// library's exact-resume checkpoints so short requests are not starved:
+//
+//	eqsolved -listen 127.0.0.1:7333 -workers 4 -queue 16 -max-timeout 1m -quantum 5000
+//	eqsolved -listen 127.0.0.1:7333 -metrics 127.0.0.1:7334   # counters on /metrics
+//
+// The daemon prints its actual listen address on stdout once it accepts
+// connections (useful with -listen :0), logs one JSON line per event to
+// stderr, and shuts down cleanly on SIGINT/SIGTERM: in-flight solves are
+// cancelled through their contexts and every accepted request reaches a
+// terminal outcome before the process exits.
+//
+// Submit work with `eqsolve -connect ADDR FILE.eq`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"warrow/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to serve the wire protocol on")
+	workers := flag.Int("workers", 0, "solve worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admitted requests allowed beyond the workers before overload rejection (0 = 16)")
+	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on any request's wall-clock deadline (0 = 1m)")
+	quantum := flag.Int("quantum", 0, "preemption slice in evaluations (0 = no preemption)")
+	perClient := flag.Int("per-client", 0, "in-flight requests allowed per connection (0 = 4)")
+	metricsAddr := flag.String("metrics", "", "serve counters on http://ADDR/metrics (empty = off)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eqsolved:", err)
+		os.Exit(1)
+	}
+	srv := serve.New(serve.Options{
+		Workers:    *workers,
+		Queue:      *queue,
+		MaxTimeout: *maxTimeout,
+		Quantum:    *quantum,
+		PerClient:  *perClient,
+		LogWriter:  os.Stderr,
+	})
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eqsolved:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.Metrics())
+		msrv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		fmt.Printf("metrics http://%s/metrics\n", mln.Addr())
+	}
+
+	// The actual address on stdout is the contract test harnesses (and
+	// humans using -listen :0) key on.
+	fmt.Printf("listening %s\n", ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case <-sigs:
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eqsolved:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("shutdown clean")
+}

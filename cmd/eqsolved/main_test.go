@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"warrow/internal/chaos"
+	"warrow/internal/eqgen"
+	"warrow/internal/serve"
+	"warrow/internal/serve/proto"
+)
+
+// The smoke test builds both binaries once and drives a real daemon process
+// over the wire: complete, abort, checkpoint/resume through `eqsolve
+// -connect`, the metrics endpoint, and a clean SIGTERM shutdown.
+var (
+	eqsolvedBin string
+	eqsolveBin  string
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "eqsolved-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eqsolvedBin = filepath.Join(dir, "eqsolved")
+	eqsolveBin = filepath.Join(dir, "eqsolve")
+	for bin, pkg := range map[string]string{eqsolvedBin: ".", eqsolveBin: "../eqsolve"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n%s", pkg, err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// daemon starts the built binary and returns the addresses it printed.
+type daemon struct {
+	cmd     *exec.Cmd
+	addr    string
+	metrics string
+}
+
+func startDaemon(t *testing.T, extraFlags ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-listen", "127.0.0.1:0", "-metrics", "127.0.0.1:0"}, extraFlags...)
+	cmd := exec.Command(eqsolvedBin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string, 4)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for d.addr == "" || d.metrics == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("daemon exited before printing its addresses")
+			}
+			if rest, found := strings.CutPrefix(line, "listening "); found {
+				d.addr = rest
+			}
+			if rest, found := strings.CutPrefix(line, "metrics http://"); found {
+				d.metrics = strings.TrimSuffix(rest, "/metrics")
+			}
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatal("daemon did not print its addresses in time")
+		}
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return d
+}
+
+func TestDaemonSmoke(t *testing.T) {
+	d := startDaemon(t, "-workers", "2", "-quantum", "16", "-max-timeout", "30s")
+	ckpt := filepath.Join(t.TempDir(), "cp")
+	loop := "../../examples/systems/loop.eq"
+
+	// Complete + certify over the wire.
+	out, err := exec.Command(eqsolveBin, "-connect", d.addr, "-solver", "sw", "-certify", loop).CombinedOutput()
+	if err != nil {
+		t.Fatalf("connect solve: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "solved in") || !strings.Contains(string(out), "post-solution verified") {
+		t.Errorf("connect solve output:\n%s", out)
+	}
+
+	// Budget abort returns a resumable handle, which the client writes out.
+	out, err = exec.Command(eqsolveBin, "-connect", d.addr, "-solver", "sw", "-max-evals", "5", "-checkpoint", ckpt, loop).CombinedOutput()
+	if err == nil || !strings.Contains(string(out), "aborted (budget)") {
+		t.Fatalf("budget abort over the wire: err=%v\n%s", err, out)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint handle not written: %v", err)
+	}
+
+	// Resume the served solve from the handle and finish it.
+	out, err = exec.Command(eqsolveBin, "-connect", d.addr, "-solver", "sw", "-resume", ckpt, "-certify", loop).CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume over the wire: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "resuming from") || !strings.Contains(string(out), "post-solution verified") {
+		t.Errorf("resume output:\n%s", out)
+	}
+
+	// The metrics endpoint accounts for everything the daemon just did.
+	resp, err := http.Get("http://" + d.metrics + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		body.WriteString(sc.Text() + "\n")
+	}
+	resp.Body.Close()
+	for _, want := range []string{"eqsolved_accepted_total 3", "eqsolved_completed_total 2", "eqsolved_aborted_total{reason=budget} 1", "eqsolved_resumes_total 1"} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body.String())
+		}
+	}
+
+	// SIGTERM shuts the daemon down cleanly.
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
+}
+
+func TestDaemonConnectRejectsLocalOnlyFlags(t *testing.T) {
+	out, err := exec.Command(eqsolveBin, "-connect", "127.0.0.1:1", "-op", "join", "../../examples/systems/loop.eq").CombinedOutput()
+	if err == nil || !strings.Contains(string(out), "usage") {
+		t.Errorf("-connect with -op join: err=%v\n%s", err, out)
+	}
+}
+
+// TestDaemonInProcessShutdownUnderLoad closes an in-process server while
+// solves are in flight; Close must drain them (no lost requests) and the
+// metrics must balance.
+func TestDaemonInProcessShutdownUnderLoad(t *testing.T) {
+	srv := serve.New(serve.Options{Workers: 2, Quantum: 8, MaxTimeout: 10 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	c, err := serve.Dial(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	results := make(chan *proto.Response, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			resp, _ := c.Do(&proto.Request{Solver: "sw", Source: proto.SourceGen,
+				Gen:   &eqgen.Config{Seed: 7, N: 48},
+				Chaos: &chaos.Config{Latency: 1, Delay: 2 * time.Millisecond}})
+			results <- resp
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	srv.Close()
+	snap := srv.Metrics().Snapshot()
+	finished := snap["eqsolved_completed_total"]
+	for name, n := range snap {
+		if strings.HasPrefix(name, "eqsolved_aborted_total{") {
+			finished += n
+		}
+	}
+	if got := snap["eqsolved_accepted_total"]; got != finished {
+		t.Errorf("accepted %d != terminal outcomes %d after Close", got, finished)
+	}
+	if snap["eqsolved_queue_depth"] != 0 {
+		t.Errorf("queue depth %d after Close, want 0", snap["eqsolved_queue_depth"])
+	}
+}

@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the network side of the chaos package: net.Conn wrappers
+// that misbehave the way real clients of a solve daemon do — vanishing
+// mid-request, trickling bytes out slower than any reasonable frame rate,
+// or corrupting frames in flight. The daemon tests drive eqsolved with
+// these to prove sessions are dropped or answered, never leaked.
+
+// CutAfter returns a conn that writes through normally until n total bytes
+// have been written, then closes the underlying connection mid-write — a
+// client dying in the middle of a request. Reads are untouched until the
+// cut. n <= 0 cuts on the first write.
+func CutAfter(c net.Conn, n int) net.Conn {
+	return &cutConn{Conn: c, left: n}
+}
+
+type cutConn struct {
+	net.Conn
+	mu   sync.Mutex
+	left int
+	cut  bool
+}
+
+func (c *cutConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	if len(p) >= c.left {
+		// Deliver the prefix that fits, then sever the connection so the
+		// peer sees a truncated frame, not a clean shutdown boundary.
+		keep := c.left
+		if keep < 0 {
+			keep = 0
+		}
+		c.cut = true
+		c.mu.Unlock()
+		var n int
+		var err error
+		if keep > 0 {
+			n, err = c.Conn.Write(p[:keep])
+		}
+		c.Conn.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, net.ErrClosed
+	}
+	c.left -= len(p)
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+// SlowWriter returns a conn whose writes trickle out chunk bytes at a time
+// with delay between chunks — a slow-loris client. chunk <= 0 means one
+// byte; delay <= 0 means 1ms.
+func SlowWriter(c net.Conn, chunk int, delay time.Duration) net.Conn {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	return &slowConn{Conn: c, chunk: chunk, delay: delay}
+}
+
+type slowConn struct {
+	net.Conn
+	chunk int
+	delay time.Duration
+}
+
+func (c *slowConn) Write(p []byte) (int, error) {
+	var written int
+	for len(p) > 0 {
+		if written > 0 {
+			time.Sleep(c.delay)
+		}
+		k := c.chunk
+		if k > len(p) {
+			k = len(p)
+		}
+		n, err := c.Conn.Write(p[:k])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		p = p[k:]
+	}
+	return written, nil
+}
+
+// CorruptByte returns a conn that XORs mask into the byte at offset (counted
+// across the whole written stream) — one flipped bit is enough to desync a
+// length-prefixed framing layer or break a JSON envelope, depending on where
+// it lands. A zero mask is promoted to 0xff.
+func CorruptByte(c net.Conn, offset int, mask byte) net.Conn {
+	if mask == 0 {
+		mask = 0xff
+	}
+	return &corruptConn{Conn: c, offset: offset, mask: mask}
+}
+
+type corruptConn struct {
+	net.Conn
+	mu      sync.Mutex
+	written int
+	offset  int
+	mask    byte
+	done    bool
+}
+
+func (c *corruptConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if !c.done && c.offset < c.written+len(p) && c.offset >= c.written {
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[c.offset-c.written] ^= c.mask
+		c.done = true
+		p = q
+	}
+	c.written += len(p)
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}

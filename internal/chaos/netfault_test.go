@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair builds a real TCP loopback pair, so deadline and close semantics
+// match what the daemon sees.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestCutAfterSeversMidWrite(t *testing.T) {
+	client, server := pipePair(t)
+	cut := CutAfter(client, 10)
+	if _, err := cut.Write(make([]byte, 6)); err != nil {
+		t.Fatalf("write below the cut: %v", err)
+	}
+	n, err := cut.Write(make([]byte, 20))
+	if n != 4 || err == nil {
+		t.Fatalf("crossing write: n=%d err=%v, want 4 bytes then an error", n, err)
+	}
+	if _, err := cut.Write([]byte("more")); err == nil {
+		t.Error("write after the cut succeeded")
+	}
+	// The peer sees exactly the delivered prefix, then EOF — a truncated
+	// stream, not a clean boundary the framing layer could absorb.
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(server)
+	if len(got) != 10 {
+		t.Errorf("peer read %d bytes, want 10", len(got))
+	}
+}
+
+func TestSlowWriterDeliversEverything(t *testing.T) {
+	client, server := pipePair(t)
+	slow := SlowWriter(client, 3, time.Millisecond)
+	payload := bytes.Repeat([]byte("abc"), 10)
+	done := make(chan error, 1)
+	go func() {
+		defer client.Close()
+		n, err := slow.Write(payload)
+		if err == nil && n != len(payload) {
+			err = io.ErrShortWrite
+		}
+		done <- err
+	}()
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := io.ReadAll(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatal(werr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("slow write mangled the payload: %d bytes", len(got))
+	}
+}
+
+func TestCorruptByteFlipsExactlyOne(t *testing.T) {
+	client, server := pipePair(t)
+	corrupt := CorruptByte(client, 5, 0x01)
+	payload := []byte("0123456789")
+	go func() {
+		defer client.Close()
+		// Two writes, so the offset bookkeeping must span write boundaries.
+		corrupt.Write(payload[:4])
+		corrupt.Write(payload[4:])
+	}()
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := io.ReadAll(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("01234\x34" + "6789") // '5' ^ 0x01 = 0x34
+	if !bytes.Equal(got, want) {
+		t.Errorf("stream = %q, want %q", got, want)
+	}
+}

@@ -130,6 +130,45 @@ func FlatCodec() solver.Codec[int, lattice.Flat[int64]] {
 	}
 }
 
+// NatCodec round-trips checkpoints of string-keyed ℕ ∪ {∞} systems (the
+// eqdsl natinf domain). Values render as "inf" or the decimal value. Shared
+// by the eqsolve CLI and the eqsolved daemon, so a checkpoint written by one
+// resumes under the other.
+func NatCodec() solver.Codec[string, lattice.Nat] {
+	return solver.Codec[string, lattice.Nat]{
+		EncodeX: func(x string) string { return x },
+		DecodeX: func(s string) (string, error) { return s, nil },
+		EncodeD: func(v lattice.Nat) string {
+			if v.IsInf() {
+				return "inf"
+			}
+			return strconv.FormatUint(v.Val(), 10)
+		},
+		DecodeD: func(s string) (lattice.Nat, error) {
+			if s == "inf" {
+				return lattice.NatInfElem, nil
+			}
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return lattice.Nat{}, fmt.Errorf("bad nat value %q", s)
+			}
+			return lattice.NatOf(v), nil
+		},
+	}
+}
+
+// StringIntervalCodec round-trips checkpoints of string-keyed interval
+// systems (the eqdsl interval domain), with the same value rendering as the
+// int-keyed IntervalCodec.
+func StringIntervalCodec() solver.Codec[string, lattice.Interval] {
+	return solver.Codec[string, lattice.Interval]{
+		EncodeX: func(x string) string { return x },
+		DecodeX: func(s string) (string, error) { return s, nil },
+		EncodeD: EncodeInterval,
+		DecodeD: DecodeInterval,
+	}
+}
+
 // PowersetCodec round-trips checkpoints of powerset-domain systems. Sets
 // render as their sorted elements separated by spaces; the empty set is the
 // empty string.

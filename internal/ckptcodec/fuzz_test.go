@@ -1,0 +1,71 @@
+package ckptcodec
+
+import (
+	"testing"
+
+	"warrow/internal/lattice"
+	"warrow/internal/solver"
+)
+
+// FuzzCkptDecode feeds arbitrary bytes to solver.UnmarshalCheckpoint under
+// every committed codec. The daemon accepts checkpoint payloads from
+// untrusted clients, so truncated or corrupted checkpoints must produce a
+// clean error — never a panic and never a partially-populated checkpoint
+// that a later Resume would trust. Successfully decoded checkpoints must
+// survive a marshal/unmarshal round trip.
+func FuzzCkptDecode(f *testing.F) {
+	// Seed the corpus with genuine checkpoints of each domain, so mutations
+	// start from the real wire format rather than random noise.
+	natCp := &solver.Checkpoint[string, lattice.Nat]{
+		Solver: "sw", SysFP: 42, Evals: 7,
+		Sigma: []solver.CheckpointEntry[string, lattice.Nat]{{X: "x", V: lattice.NatOf(3)}, {X: "y", V: lattice.NatInfElem}},
+		Queue: []string{"x"},
+	}
+	if data, err := solver.MarshalCheckpoint(natCp, NatCodec()); err == nil {
+		f.Add(data)
+	}
+	ivCp := &solver.Checkpoint[int, lattice.Interval]{
+		Solver: "rr", SysFP: 7, Evals: 3, Rounds: 1,
+		Sigma: []solver.CheckpointEntry[int, lattice.Interval]{{X: 0, V: lattice.Singleton(5)}, {X: 1, V: lattice.EmptyInterval}},
+	}
+	if data, err := solver.MarshalCheckpoint(ivCp, IntervalCodec()); err == nil {
+		f.Add(data)
+	}
+	setCp := &solver.Checkpoint[int, lattice.Set[int]]{
+		Solver: "psw", Sigma: []solver.CheckpointEntry[int, lattice.Set[int]]{{X: 0, V: lattice.NewSet(1, 2, 3)}},
+	}
+	if data, err := solver.MarshalCheckpoint(setCp, PowersetCodec()); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte("warrow-checkpoint v1\n"))
+	f.Add([]byte("warrow-checkpoint v99\nsolver sw\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		roundTrip(t, data, NatCodec())
+		roundTrip(t, data, StringIntervalCodec())
+		roundTrip(t, data, IntervalCodec())
+		roundTrip(t, data, FlatCodec())
+		roundTrip(t, data, PowersetCodec())
+	})
+}
+
+// roundTrip decodes data under codec; on success the checkpoint must
+// re-marshal and decode back without error.
+func roundTrip[X comparable, D any](t *testing.T, data []byte, codec solver.Codec[X, D]) {
+	cp, err := solver.UnmarshalCheckpoint(data, codec)
+	if err != nil {
+		return
+	}
+	re, err := solver.MarshalCheckpoint(cp, codec)
+	if err != nil {
+		t.Fatalf("decoded checkpoint failed to re-marshal: %v", err)
+	}
+	back, err := solver.UnmarshalCheckpoint(re, codec)
+	if err != nil {
+		t.Fatalf("re-marshaled checkpoint failed to decode: %v", err)
+	}
+	if back.Solver != cp.Solver || back.SysFP != cp.SysFP || back.Evals != cp.Evals || len(back.Sigma) != len(cp.Sigma) {
+		t.Fatalf("checkpoint round trip drifted: %+v vs %+v", back, cp)
+	}
+}

@@ -1,0 +1,100 @@
+package diffsolve
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"warrow/internal/eqgen"
+	"warrow/internal/serve"
+)
+
+// servedSolvers is the column under differential test: the preemptible
+// exact-resume family, which the daemon may slice at quantum boundaries.
+var servedSolvers = []string{"rr", "w", "srr", "sw", "psw"}
+
+// startServedHarness boots an in-process daemon with a small preemption
+// quantum — so the long solves in the sweep genuinely checkpoint, park and
+// resume — and dials one client.
+func startServedHarness(t *testing.T) (*serve.Server, *serve.Client) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Options{Workers: 2, Queue: 8, Quantum: 64, MaxTimeout: 2 * time.Minute})
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	c, err := serve.Dial(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+// TestServedBitIdentity sweeps 42 generated systems (14 recipes × 3 domains)
+// through a preempting daemon and requires every served solve to be
+// bit-identical to its local control run — values, Evals and Updates — for
+// all five preemptible solvers, completed and aborted alike.
+func TestServedBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("served sweep is not -short work")
+	}
+	srv, c := startServedHarness(t)
+
+	var recipes []eqgen.Config
+	for _, dom := range []eqgen.Domain{eqgen.Interval, eqgen.Flat, eqgen.Powerset} {
+		for seed := uint64(1); seed <= 14; seed++ {
+			recipes = append(recipes, eqgen.Config{
+				Seed: seed, Dom: dom,
+				N:              int(20 + seed*9), // 29..146 unknowns: most solves span several quanta
+				WidenDensity:   0.5,
+				NonMonoDensity: float64(seed%3) * 0.1,
+			})
+		}
+	}
+	if len(recipes) < 40 {
+		t.Fatalf("sweep too small: %d recipes", len(recipes))
+	}
+	for i, cfg := range recipes {
+		// Every third recipe gets a tight budget, so the served-abort row
+		// (preempted solves that run into the client bound) is exercised too.
+		maxEvals := 100000
+		if i%3 == 2 {
+			maxEvals = 75
+		}
+		if err := CheckServed(c, cfg, servedSolvers, maxEvals); err != nil {
+			t.Fatalf("recipe %d: %v", i, err)
+		}
+	}
+
+	snap := srv.Metrics().Snapshot()
+	if snap["eqsolved_preemptions_total"] == 0 {
+		t.Error("the sweep never preempted a solve; the bit-identity claim was not tested across checkpoint/resume")
+	}
+	t.Logf("sweep: %d systems, %d served solves, %d preemptions",
+		len(recipes), snap["eqsolved_accepted_total"], snap["eqsolved_preemptions_total"])
+}
+
+// TestServedClientResume drives the client-visible resume path on all three
+// domains: interrupt at a budget, resume from the returned handle, and
+// require bit-identity with an uninterrupted local run.
+func TestServedClientResume(t *testing.T) {
+	srv, c := startServedHarness(t)
+	for _, tc := range []struct {
+		cfg    eqgen.Config
+		solver string
+	}{
+		{eqgen.Config{Seed: 21, Dom: eqgen.Interval, N: 80, WidenDensity: 0.5}, "sw"},
+		{eqgen.Config{Seed: 22, Dom: eqgen.Flat, N: 80}, "rr"},
+		{eqgen.Config{Seed: 23, Dom: eqgen.Powerset, N: 80}, "srr"},
+	} {
+		if err := CheckServedResume(c, tc.cfg, tc.solver, 60); err != nil {
+			t.Errorf("%s on %s: %v", tc.solver, tc.cfg.Dom, err)
+		}
+	}
+	if srv.Metrics().Snapshot()["eqsolved_resumes_total"] != 3 {
+		t.Error("daemon did not record the three client resumes")
+	}
+}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"warrow/internal/serve/proto"
+)
+
+// Client is a pipelining eqsolved client: requests are written under one
+// lock, responses are routed back to their callers by ID from a single
+// reader goroutine, so many solves may be in flight over one connection
+// (up to the server's per-client cap).
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *proto.Response
+	nextID  uint64
+	err     error
+	closed  chan struct{}
+}
+
+// Dial connects, performs the handshake in both directions, and starts the
+// response reader.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := proto.WriteMagic(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := proto.ReadMagic(conn); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: not an eqsolved server: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan *proto.Response),
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Do submits one request and blocks until its response arrives or the
+// connection dies. The request's ID is assigned by the client; the caller's
+// value is overwritten.
+func (c *Client) Do(req *proto.Request) (*proto.Response, error) {
+	ch := make(chan *proto.Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := proto.WriteRequest(c.conn, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-c.closed:
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+}
+
+// Close tears the connection down; in-flight Do calls fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.closed
+	return err
+}
+
+func (c *Client) readLoop() {
+	for {
+		resp, err := proto.ReadResponse(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+		// Responses to IDs nobody waits on (a raced Close) are dropped.
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if err == nil {
+			err = errors.New("serve: connection closed")
+		}
+		c.err = err
+	}
+	c.pending = make(map[uint64]chan *proto.Response)
+	c.mu.Unlock()
+	close(c.closed)
+}

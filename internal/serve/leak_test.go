@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"warrow/internal/chaos"
+	"warrow/internal/serve/proto"
+)
+
+// dialRaw opens a raw protocol connection with the client half of the
+// handshake already sent (the server's reply is left for the caller).
+func dialRaw(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := proto.WriteMagic(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func dialRawNoMagic(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// waitGoroutines polls until the goroutine count returns to the baseline or
+// the deadline passes, and fails the test with a stack dump hint otherwise.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak: %d running, %d before\n%s", n, before, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestServeNoLeakOnMidSolveDisconnects fires many clients that vanish in the
+// middle of their solves — some cleanly, some mid-frame via the chaos conn
+// wrappers — and asserts the server drains to its baseline goroutine count
+// and loses no accepted request.
+func TestServeNoLeakOnMidSolveDisconnects(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, addr := startServer(t, Options{Workers: 2, Queue: 16, Quantum: 32, PerClient: 8,
+		MaxTimeout: 2 * time.Second, WriteTimeout: time.Second})
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr, 5*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Launch slow solves, then disconnect while they run.
+			for k := 0; k < 3; k++ {
+				go c.Do(slowed(genReq("sw", uint64(i*10+k), 64, 0), time.Millisecond))
+			}
+			time.Sleep(time.Duration(5+i*3) * time.Millisecond)
+			c.Close()
+		}(i)
+	}
+	wg.Wait()
+
+	// Every accepted request must reach a terminal outcome even though its
+	// client is gone (recorded as undelivered), and the queue must drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := srv.Metrics().Snapshot()
+		if snap["eqsolved_queue_depth"] == 0 && snap["eqsolved_active_sessions"] == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap["eqsolved_queue_depth"] != 0 {
+		t.Errorf("queue depth %d after all clients vanished", snap["eqsolved_queue_depth"])
+	}
+	finished := snap["eqsolved_completed_total"]
+	for name, n := range snap {
+		if strings.HasPrefix(name, "eqsolved_aborted_total{") {
+			finished += n
+		}
+	}
+	if snap["eqsolved_accepted_total"] != finished {
+		t.Errorf("accepted %d != terminal outcomes %d (lost requests)", snap["eqsolved_accepted_total"], finished)
+	}
+
+	// Shut the server down and require the goroutine count to return to the
+	// pre-test baseline: no leaked sessions, workers, watchers or tasks.
+	srv.Close()
+	waitGoroutines(t, before)
+}
+
+// TestServeNoLeakOnNetworkFaults drives the daemon with the chaos conn
+// wrappers: connections cut mid-frame, slow-loris handshakes and corrupted
+// frames. All must be dropped without leaking.
+func TestServeNoLeakOnNetworkFaults(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, addr := startServer(t, Options{Workers: 2, Queue: 8,
+		HandshakeTimeout: 200 * time.Millisecond, WriteTimeout: time.Second, MaxTimeout: 2 * time.Second})
+
+	// A request big enough that CutAfter severs it mid-frame.
+	req := genReq("sw", 5, 32, 0)
+	payload, err := proto.EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	faults := []func() error{
+		// Cut mid-frame after the handshake: the server sees a truncated
+		// frame and must count it and drop the session.
+		func() error {
+			conn, err := dialRaw(addr)
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			if err := proto.ReadMagic(conn); err != nil {
+				return err
+			}
+			cut := chaos.CutAfter(conn, len(payload)/2)
+			proto.WriteFrame(cut, payload)
+			return nil
+		},
+		// Slow-loris the handshake itself: the handshake timeout must fire.
+		func() error {
+			conn, err := dialRawNoMagic(addr)
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			slow := chaos.SlowWriter(conn, 1, 60*time.Millisecond)
+			slow.Write([]byte(proto.Magic))
+			return nil
+		},
+		// Corrupt the length prefix: the server reads an absurd frame size
+		// and must reject it without allocating.
+		func() error {
+			conn, err := dialRaw(addr)
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			if err := proto.ReadMagic(conn); err != nil {
+				return err
+			}
+			corrupt := chaos.CorruptByte(conn, 0, 0xff)
+			proto.WriteFrame(corrupt, payload)
+			// Give the server a moment to read the poisoned prefix.
+			time.Sleep(50 * time.Millisecond)
+			return nil
+		},
+	}
+	for i := 0; i < 3; i++ {
+		for _, fault := range faults {
+			wg.Add(1)
+			go func(f func() error) {
+				defer wg.Done()
+				if err := f(); err != nil {
+					t.Error(err)
+				}
+			}(fault)
+		}
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Metrics().Snapshot()["eqsolved_active_sessions"] == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap["eqsolved_active_sessions"] != 0 {
+		t.Errorf("%d sessions still active after every faulty client left", snap["eqsolved_active_sessions"])
+	}
+	if snap["eqsolved_bad_frames_total"] == 0 {
+		t.Error("no bad frame recorded despite cut and corrupted clients")
+	}
+	if snap["eqsolved_bad_handshake_total"] == 0 {
+		t.Error("no bad handshake recorded despite the slow-loris client")
+	}
+	srv.Close()
+	waitGoroutines(t, before)
+}

@@ -1,0 +1,70 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"warrow/internal/eqgen"
+)
+
+// FuzzProto feeds arbitrary bytes to the daemon-facing decoders: the frame
+// reader, the handshake check and the request/response JSON envelopes. The
+// contract under fuzz is purely negative — no panic, no runaway allocation
+// (the frame reader must reject hostile length prefixes before allocating)
+// — plus one positive invariant: whatever decodes successfully re-encodes
+// and decodes to the same value.
+func FuzzProto(f *testing.F) {
+	// Seed corpus: valid frames of valid envelopes, plus the classic
+	// off-by-ones — truncated header, truncated payload, oversize prefix.
+	seed := func(payload []byte) {
+		var buf bytes.Buffer
+		_ = WriteFrame(&buf, payload)
+		f.Add(buf.Bytes())
+	}
+	req, _ := EncodeRequest(&Request{ID: 1, Solver: "sw", Source: SourceEq, System: "domain natinf\nx = x + 1\n"})
+	seed(req)
+	req2, _ := EncodeRequest(&Request{ID: 2, Solver: "psw", Source: SourceGen, Gen: &eqgen.Config{Seed: 7, N: 16}, TimeoutNs: 1e6})
+	seed(req2)
+	resp, _ := EncodeResponse(&Response{ID: 1, Status: StatusCompleted, Values: map[string]string{"x": "inf"}})
+	seed(resp)
+	resp2, _ := EncodeResponse(&Response{ID: 2, Status: StatusRejected, Reason: "overloaded"})
+	seed(resp2)
+	f.Add([]byte(Magic))
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Add([]byte{0, 0, 0, 5, 'h', 'i'})
+	f.Add([]byte(`{"id":1,"solver":"sw","source":"eq","system":"x"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = ReadMagic(bytes.NewReader(data))
+
+		payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			// Also exercise the envelope decoders on the raw bytes, so
+			// mutations of bare JSON (no frame header) reach them too.
+			payload = data
+		}
+		if req, err := DecodeRequest(payload); err == nil {
+			re, err := EncodeRequest(req)
+			if err != nil {
+				t.Fatalf("decoded request failed to re-encode: %v", err)
+			}
+			back, err := DecodeRequest(re)
+			if err != nil {
+				t.Fatalf("re-encoded request failed to decode: %v", err)
+			}
+			if back.ID != req.ID || back.Solver != req.Solver || back.Source != req.Source {
+				t.Fatalf("request round trip drifted: %+v vs %+v", back, req)
+			}
+		}
+		if resp, err := DecodeResponse(payload); err == nil {
+			re, err := EncodeResponse(resp)
+			if err != nil {
+				t.Fatalf("decoded response failed to re-encode: %v", err)
+			}
+			if _, err := DecodeResponse(re); err != nil {
+				t.Fatalf("re-encoded response failed to decode: %v", err)
+			}
+		}
+	})
+}

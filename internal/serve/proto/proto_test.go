@@ -1,0 +1,175 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"warrow/internal/chaos"
+	"warrow/internal/eqgen"
+	"warrow/internal/solver"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte("x"), 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("drained stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsOversizeAndTruncation(t *testing.T) {
+	// A hostile length prefix must fail before allocating the payload.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("oversize prefix: err = %v, want ErrFrameTooBig", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("oversize write: err = %v, want ErrFrameTooBig", err)
+	}
+	// A truncated payload is an unexpected EOF, not a hang or a short read.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("full payload")); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(cut)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated payload: err = %v, want ErrUnexpectedEOF", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated header: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestMagicHandshake(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMagic(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadMagic(&buf); err != nil {
+		t.Fatalf("good handshake rejected: %v", err)
+	}
+	if err := ReadMagic(strings.NewReader("GET / HTTP/1.1\r\n")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("HTTP request accepted as handshake: %v", err)
+	}
+	if err := ReadMagic(strings.NewReader("eq")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("truncated handshake: err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{ID: 1, Solver: "sw", Source: SourceEq, System: "domain natinf\nx = x + 1\n", MaxEvals: 100},
+		{ID: 2, Solver: "psw", Source: SourceGen, Gen: &eqgen.Config{Seed: 7, N: 20}, TimeoutNs: 1e9},
+		{ID: 3, Solver: "rr", Source: SourceGen, Gen: &eqgen.Config{Seed: 1}, Checkpoint: "warrow-checkpoint v1\n...", MaxFlips: 8},
+	}
+	for _, req := range reqs {
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatalf("write %d: %v", req.ID, err)
+		}
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", req.ID, err)
+		}
+		if got.ID != req.ID || got.Solver != req.Solver || got.Source != req.Source ||
+			got.System != req.System || got.Checkpoint != req.Checkpoint ||
+			got.MaxEvals != req.MaxEvals || got.TimeoutNs != req.TimeoutNs || got.MaxFlips != req.MaxFlips {
+			t.Errorf("round trip %d: got %+v, want %+v", req.ID, got, req)
+		}
+		if (got.Gen == nil) != (req.Gen == nil) || (got.Gen != nil && *got.Gen != *req.Gen) {
+			t.Errorf("round trip %d lost the recipe: %+v", req.ID, got.Gen)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	cc := chaos.Config{Transient: 0.1}
+	bad := []*Request{
+		{Solver: "magic", Source: SourceEq, System: "domain natinf\nx = 0\n"},
+		{Solver: "sw", Source: "carrier-pigeon", System: "x"},
+		{Solver: "sw", Source: SourceEq},                                            // no system
+		{Solver: "sw", Source: SourceGen},                                           // no recipe
+		{Solver: "sw", Source: SourceEq, System: "x", Gen: &eqgen.Config{}},         // both
+		{Solver: "sw", Source: SourceGen, Gen: &eqgen.Config{}, System: "x"},        // both
+		{Solver: "sw", Source: SourceEq, System: "x", MaxEvals: -1},                 // negative bound
+		{Solver: "slr3", Source: SourceGen, Gen: &eqgen.Config{}, Checkpoint: "cp"}, // no exact resume
+		{Solver: "sw", Source: SourceEq, System: "x", Chaos: &cc},                   // chaos needs gen
+	}
+	for i, req := range bad {
+		if err := req.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated, want error", i, req)
+		}
+		if _, err := EncodeRequest(req); err == nil {
+			t.Errorf("case %d: encoded despite failing validation", i)
+		}
+	}
+}
+
+func TestDecodeRequestRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		[]byte(``),
+		[]byte(`{`),
+		[]byte(`[]`),
+		[]byte(`{"id":1,"solver":"sw","source":"eq","system":"x","surprise":true}`), // unknown field
+		[]byte(`{"id":1,"solver":"sw","source":"eq","system":"x"}{"id":2}`),         // trailing data
+		[]byte(`{"id":"not-a-number"}`),
+	}
+	for i, payload := range cases {
+		if _, err := DecodeRequest(payload); err == nil {
+			t.Errorf("case %d: garbage %q decoded without error", i, payload)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{
+		ID:     9,
+		Status: StatusAborted,
+		Stats:  &Stats{Evals: 42, Updates: 7},
+		Abort: &AbortReport{
+			Reason: solver.AbortDeadline,
+			Bound:  "timeout",
+			Evals:  42,
+		},
+		Checkpoint:  "warrow-checkpoint v1\nsolver sw\n",
+		Preemptions: 3,
+	}
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 9 || got.Status != StatusAborted || got.Preemptions != 3 || got.Checkpoint != resp.Checkpoint {
+		t.Errorf("round trip: %+v", got)
+	}
+	if got.Stats == nil || got.Stats.Evals != 42 {
+		t.Errorf("round trip lost stats: %+v", got.Stats)
+	}
+	if got.Abort == nil || got.Abort.Reason != solver.AbortDeadline || got.Abort.Bound != "timeout" {
+		t.Errorf("round trip lost abort report: %+v", got.Abort)
+	}
+
+	if _, err := DecodeResponse([]byte(`{"id":1,"status":"exploded"}`)); err == nil {
+		t.Error("unknown status decoded without error")
+	}
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"warrow/internal/chaos"
+	"warrow/internal/serve/proto"
+	"warrow/internal/solver"
+)
+
+// TestServeSoak is the seeded mixed-workload soak: short solves, long
+// preempted solves, wall-clock-heavy solves that blow their deadline, and
+// chaos-panicking solves, all through a small saturated daemon. Every
+// submitted request must reach a terminal outcome — completed, aborted with
+// a structured report (resumable where the solver supports it), or
+// explicitly rejected — the metrics must balance, and the server must drain
+// to its goroutine baseline. Run it under -race for the full effect.
+func TestServeSoak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, addr := startServer(t, Options{Workers: 2, Queue: 6, Quantum: 64, PerClient: 6,
+		MaxTimeout: 300 * time.Millisecond, WriteTimeout: 2 * time.Second})
+
+	rng := rand.New(rand.NewSource(4242))
+	kinds := []func(seed uint64) *proto.Request{
+		// Short: completes comfortably.
+		func(seed uint64) *proto.Request { return genReq("sw", seed, 16, 0) },
+		// Long with a budget: preempted between quanta, aborts at its budget.
+		func(seed uint64) *proto.Request { return genReq("sw", seed, 300, 200) },
+		// Slow: per-eval latency pushes it past the server deadline ceiling.
+		func(seed uint64) *proto.Request { return slowed(genReq("rr", seed, 64, 0), 10*time.Millisecond) },
+		// Panicking: persistent chaos faults abort with eval-failure.
+		func(seed uint64) *proto.Request {
+			req := genReq("psw", seed, 40, 0)
+			req.Chaos = &chaos.Config{Seed: seed, Persistent: 0.3}
+			return req
+		},
+	}
+
+	const clients = 4
+	const perClient = 10
+	var (
+		mu       sync.Mutex
+		resolved int
+		statuses = map[string]int{}
+		reasons  = map[string]int{}
+	)
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		c := dialT(t, addr)
+		// Each client pipelines a seeded shuffle of the workload kinds.
+		seeds := make([]uint64, perClient)
+		picks := make([]int, perClient)
+		for i := range seeds {
+			seeds[i] = rng.Uint64() % 1000
+			picks[i] = rng.Intn(len(kinds))
+		}
+		wg.Add(1)
+		// Each client submits sequentially: four concurrent clients stay
+		// under the admission capacity, so every request is accepted and the
+		// outcome mix is a property of the workloads alone (overload and
+		// client-cap rejection have their own dedicated tests).
+		go func(c *Client, seeds []uint64, picks []int) {
+			defer wg.Done()
+			for i := range seeds {
+				req := kinds[picks[i]](seeds[i])
+				resp, err := c.Do(req)
+				if err != nil {
+					t.Errorf("soak request died: %v", err)
+					return
+				}
+				mu.Lock()
+				resolved++
+				statuses[resp.Status]++
+				if resp.Status == proto.StatusAborted {
+					reasons[resp.Abort.Reason.String()]++
+					// Complete-certified-or-resumable: preemptible solver
+					// aborts must carry a resumable handle.
+					if proto.Preemptible(req.Solver) && resp.Checkpoint == "" {
+						t.Errorf("aborted %s solve carries no checkpoint (reason %s)", req.Solver, resp.Abort.Reason)
+					}
+				}
+				if resp.Status == proto.StatusCompleted && len(resp.Values) == 0 {
+					t.Error("completed solve returned no values")
+				}
+				mu.Unlock()
+			}
+		}(c, seeds, picks)
+	}
+	wg.Wait()
+
+	if resolved != clients*perClient {
+		t.Fatalf("resolved %d of %d requests", resolved, clients*perClient)
+	}
+	if statuses[proto.StatusCompleted] == 0 {
+		t.Error("soak produced no completed solve")
+	}
+	if reasons[solver.AbortBudget.String()] == 0 {
+		t.Error("soak produced no budget abort")
+	}
+	if reasons[solver.AbortEvalFailure.String()] == 0 {
+		t.Error("soak produced no eval-failure abort from the panicking workload")
+	}
+	t.Logf("soak outcomes: %v, abort reasons: %v", statuses, reasons)
+
+	// Metrics balance: accepted == completed + aborted, and rejected covers
+	// the rest of what the clients saw.
+	snap := srv.Metrics().Snapshot()
+	finished := snap["eqsolved_completed_total"]
+	for name, n := range snap {
+		if strings.HasPrefix(name, "eqsolved_aborted_total{") {
+			finished += n
+		}
+	}
+	if snap["eqsolved_accepted_total"] != finished {
+		t.Errorf("accepted %d != terminal outcomes %d", snap["eqsolved_accepted_total"], finished)
+	}
+	if snap["eqsolved_queue_depth"] != 0 {
+		t.Errorf("queue depth %d after the soak drained", snap["eqsolved_queue_depth"])
+	}
+
+	srv.Close()
+	waitGoroutines(t, before)
+}

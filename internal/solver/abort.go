@@ -2,6 +2,7 @@ package solver
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -53,48 +54,79 @@ func (r AbortReason) String() string {
 	}
 }
 
+// MarshalJSON renders the reason as its string name, so structured logs and
+// wire responses say "deadline" rather than an opaque ordinal.
+func (r AbortReason) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.String())
+}
+
+// UnmarshalJSON inverts MarshalJSON, rejecting unknown reason names.
+func (r *AbortReason) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for _, cand := range []AbortReason{AbortBudget, AbortDeadline, AbortCancel, AbortOscillation, AbortEvalFailure} {
+		if cand.String() == s {
+			*r = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("solver: unknown abort reason %q", s)
+}
+
 // HotUnknown is one row of AbortReport.Hottest: an unknown together with
 // the update traffic the watchdog observed on it.
 type HotUnknown struct {
 	// Unknown is the rendered unknown (fmt.Sprint of the solver's X).
-	Unknown string
+	Unknown string `json:"unknown"`
 	// Updates counts the non-stable update steps applied to it.
-	Updates int
+	Updates int `json:"updates"`
 	// Flips counts its narrow→widen phase alternations.
-	Flips int
+	Flips int `json:"flips"`
 }
 
 // AbortReport is the structured diagnosis attached to every aborted solve:
 // why the run stopped, how much work it had done, which unknowns were
 // hottest, and how the ∇/Δ phases were distributed — enough to decide
 // whether to escalate the workload to a terminating structured solver
-// (SRR/SW) or to reject it.
+// (SRR/SW) or to reject it. Like Stats, the JSON field names are wire
+// format, pinned by a golden test.
 type AbortReport struct {
 	// Reason says which bound tripped.
-	Reason AbortReason
+	Reason AbortReason `json:"reason"`
+	// Bound, on AbortDeadline aborts, names the bound that actually fired
+	// when both Config.Timeout and a Ctx deadline can be armed: "timeout"
+	// for the wall-clock bound derived from Config.Timeout, "ctx" for the
+	// deadline carried by Config.Ctx. The effective deadline is always the
+	// minimum of the two; Bound records which one that minimum came from.
+	// Empty for every other abort reason.
+	Bound string `json:"bound,omitempty"`
 	// Evals counts right-hand-side evaluations performed before the abort.
-	Evals int
+	Evals int `json:"evals"`
 	// Elapsed is the wall-clock duration of the run up to the abort.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// Widens and Narrows count the update steps per phase across all
 	// unknowns, as classified by the ⊟ hook (PhaseOf).
-	Widens  int
-	Narrows int
+	Widens  int `json:"widens"`
+	Narrows int `json:"narrows"`
 	// Hottest lists the most-updated unknowns, descending; at most
 	// maxHotUnknowns entries.
-	Hottest []HotUnknown
+	Hottest []HotUnknown `json:"hottest,omitempty"`
 	// FlipHist is a power-of-two histogram over the per-unknown
 	// narrow→widen flip counts (unknowns that never flipped are omitted).
 	// A heavy tail here is the oscillation fingerprint; an empty histogram
 	// with a huge Evals count points at slow convergence instead.
-	FlipHist Hist
+	FlipHist Hist `json:"flip_hist"`
 	// Failure pins the failing evaluation on AbortEvalFailure aborts: the
 	// unknown, the attempt count, and the recovered cause.
-	Failure *EvalError
+	Failure *EvalError `json:"failure,omitempty"`
 	// Checkpoint, when non-nil, is the *Checkpoint[X, D] captured at the
 	// abort's scheduling point; extract it with CheckpointOf. It is typed
-	// any because reports are element-type-agnostic.
-	Checkpoint any
+	// any because reports are element-type-agnostic. Never serialized with
+	// the report: the wire carries checkpoints through their own versioned
+	// format (MarshalCheckpoint), not through JSON.
+	Checkpoint any `json:"-"`
 }
 
 // String renders a one-line summary of the report.
@@ -199,6 +231,10 @@ type watchdog[X comparable] struct {
 	budget   int
 	ctx      context.Context
 	deadline time.Time
+	// bound names the source of deadline — "timeout" (Config.Timeout) or
+	// "ctx" (the deadline carried by Config.Ctx) — whichever is the
+	// minimum; empty when no wall-clock bound is armed.
+	bound    string
 	maxFlips int
 	start    time.Time
 
@@ -231,7 +267,7 @@ func newWatchdog[X comparable](cfg Config, idx map[X]int) *watchdog[X] {
 	if cfg.MaxEvals <= 0 && cfg.Ctx == nil && cfg.deadline.IsZero() && cfg.MaxFlips <= 0 {
 		return nil
 	}
-	return &watchdog[X]{
+	w := &watchdog[X]{
 		budget:   cfg.budget(),
 		ctx:      cfg.Ctx,
 		deadline: cfg.deadline,
@@ -242,6 +278,21 @@ func newWatchdog[X comparable](cfg Config, idx map[X]int) *watchdog[X] {
 		last:     make(map[X]Phase),
 		flips:    make(map[X]int),
 	}
+	// The effective wall-clock bound is the minimum of Config.Timeout and
+	// the deadline carried by Config.Ctx (when both are set); bound records
+	// which of the two that minimum came from, so an AbortDeadline report
+	// can say which bound fired. Ties go to "timeout": the explicit solver
+	// knob outranks the ambient context.
+	if !w.deadline.IsZero() {
+		w.bound = "timeout"
+	}
+	if cfg.Ctx != nil {
+		if cd, ok := cfg.Ctx.Deadline(); ok && (w.deadline.IsZero() || cd.Before(w.deadline)) {
+			w.deadline = cd
+			w.bound = "ctx"
+		}
+	}
+	return w
 }
 
 // instrument routes op through the watchdog's ⊟ hook so phases and update
@@ -301,6 +352,13 @@ func (w *watchdog[X]) check(evals int) error {
 	if w.osc != nil {
 		return w.abortLocked(AbortOscillation, evals)
 	}
+	// The effective deadline (the min of Timeout and the ctx deadline, see
+	// newWatchdog) is checked before the context poll, so deadline aborts
+	// are attributed to the bound that is actually the minimum even when
+	// both have expired by the time this scheduling point is reached.
+	if !w.deadline.IsZero() && !time.Now().Before(w.deadline) {
+		return w.abortLocked(AbortDeadline, evals)
+	}
 	if w.ctx != nil {
 		if err := w.ctx.Err(); err != nil {
 			reason := AbortCancel
@@ -309,9 +367,6 @@ func (w *watchdog[X]) check(evals int) error {
 			}
 			return w.abortLocked(reason, evals)
 		}
-	}
-	if !w.deadline.IsZero() && !time.Now().Before(w.deadline) {
-		return w.abortLocked(AbortDeadline, evals)
 	}
 	return nil
 }
@@ -350,6 +405,14 @@ func (w *watchdog[X]) abortLocked(reason AbortReason, evals int) error {
 		Elapsed: time.Since(w.start),
 		Widens:  w.widens,
 		Narrows: w.narrows,
+	}
+	if reason == AbortDeadline {
+		rep.Bound = w.bound
+		if rep.Bound == "" {
+			// A context that reports DeadlineExceeded without exposing its
+			// deadline (custom implementations) can only have come from Ctx.
+			rep.Bound = "ctx"
+		}
 	}
 	for _, n := range w.flips {
 		rep.FlipHist.Observe(n)

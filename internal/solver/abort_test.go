@@ -51,6 +51,18 @@ func allSolvers() map[string]func(cfg Config) (map[string]lattice.Nat, error) {
 			sigma, _, err := PSW(example1System(), l, natWarrow(), zeroInit, cfg)
 			return sigma, err
 		},
+		"slr2": func(cfg Config) (map[string]lattice.Nat, error) {
+			sigma, _, err := SLR2(example1System(), l, natWarrow(), zeroInit, cfg)
+			return sigma, err
+		},
+		"slr3": func(cfg Config) (map[string]lattice.Nat, error) {
+			sigma, _, err := SLR3(example1System(), l, natWarrow(), zeroInit, cfg)
+			return sigma, err
+		},
+		"slr4": func(cfg Config) (map[string]lattice.Nat, error) {
+			sigma, _, err := SLR4(example1System(), l, natWarrow(), zeroInit, cfg)
+			return sigma, err
+		},
 		"rld": func(cfg Config) (map[string]lattice.Nat, error) {
 			res, err := RLD(example1System().AsPure(), l, natWarrow(), zeroInit, "x1", cfg)
 			return res.Values, err

@@ -1,0 +1,128 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"warrow/internal/lattice"
+)
+
+// TestDeadlineBoundAttribution is the regression test for the
+// Config.Timeout vs. Ctx-deadline interplay: when both are set, the
+// effective deadline is the minimum of the two, and the AbortReport says
+// which bound fired. Both orderings are exercised across every solver entry
+// point (global, structured, parallel, widening-point and local families
+// via allSolvers).
+func TestDeadlineBoundAttribution(t *testing.T) {
+	orderings := []struct {
+		name      string
+		cfg       func() (Config, context.CancelFunc)
+		wantBound string
+	}{
+		{
+			// Timeout is the minimum: a nanosecond wall bound under a
+			// far-future ctx deadline must fire as "timeout", not wait for
+			// the context.
+			name: "timeout-below-ctx",
+			cfg: func() (Config, context.CancelFunc) {
+				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Hour))
+				return Config{Ctx: ctx, Timeout: time.Nanosecond}, cancel
+			},
+			wantBound: "timeout",
+		},
+		{
+			// Ctx deadline is the minimum: an already-expired ctx deadline
+			// under a far-future Timeout must fire as "ctx" — before the fix
+			// the larger Timeout masked nothing (the ctx poll caught it), but
+			// the report could not say which bound was binding.
+			name: "ctx-below-timeout",
+			cfg: func() (Config, context.CancelFunc) {
+				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+				return Config{Ctx: ctx, Timeout: time.Hour}, cancel
+			},
+			wantBound: "ctx",
+		},
+	}
+	for _, ord := range orderings {
+		t.Run(ord.name, func(t *testing.T) {
+			for name, solve := range allSolvers() {
+				t.Run(name, func(t *testing.T) {
+					cfg, cancel := ord.cfg()
+					defer cancel()
+					sigma, err := solve(cfg)
+					if err == nil {
+						t.Skip("solver finished before the first deadline check")
+					}
+					if !errors.Is(err, context.DeadlineExceeded) {
+						t.Fatalf("err = %v, want a deadline abort", err)
+					}
+					rep, ok := ReportOf(err)
+					if !ok || rep.Reason != AbortDeadline {
+						t.Fatalf("report = %+v (ok=%v), want reason deadline", rep, ok)
+					}
+					if rep.Bound != ord.wantBound {
+						t.Errorf("Bound = %q, want %q: the report must name the bound that is the minimum", rep.Bound, ord.wantBound)
+					}
+					if sigma == nil {
+						t.Error("aborted solve returned a nil assignment, want the partial state")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestDeadlineBoundWithoutCtx: with only Timeout armed the report says
+// "timeout", and with only a ctx deadline it says "ctx"; non-deadline aborts
+// carry no bound at all.
+func TestDeadlineBoundWithoutCtx(t *testing.T) {
+	_, _, err := RR(example1System(), lattice.NatInf, natWarrow(), zeroInit, Config{Timeout: time.Nanosecond})
+	rep, ok := ReportOf(err)
+	if !ok || rep.Reason != AbortDeadline || rep.Bound != "timeout" {
+		t.Errorf("Timeout-only abort: report = %+v (ok=%v), want deadline/timeout", rep, ok)
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err = RR(example1System(), lattice.NatInf, natWarrow(), zeroInit, Config{Ctx: ctx})
+	rep, ok = ReportOf(err)
+	if !ok || rep.Reason != AbortDeadline || rep.Bound != "ctx" {
+		t.Errorf("ctx-only abort: report = %+v (ok=%v), want deadline/ctx", rep, ok)
+	}
+
+	_, _, err = RR(example1System(), lattice.NatInf, natWarrow(), zeroInit, Config{MaxEvals: 10})
+	rep, ok = ReportOf(err)
+	if !ok || rep.Reason != AbortBudget || rep.Bound != "" {
+		t.Errorf("budget abort: report = %+v (ok=%v), want empty Bound", rep, ok)
+	}
+}
+
+// TestWatchdogEffectiveDeadlineIsMinimum checks the watchdog directly: the
+// armed deadline is the minimum of the two bounds in both orderings, with
+// ties going to "timeout" (the explicit solver knob outranks the ambient
+// context).
+func TestWatchdogEffectiveDeadlineIsMinimum(t *testing.T) {
+	now := time.Now()
+
+	ctxFar, cancelFar := context.WithDeadline(context.Background(), now.Add(time.Hour))
+	defer cancelFar()
+	wd := newWatchdog[string](Config{Ctx: ctxFar, Timeout: time.Minute}, nil)
+	if wd.bound != "timeout" {
+		t.Errorf("timeout-below-ctx: bound = %q, want timeout", wd.bound)
+	}
+	if !wd.deadline.Before(now.Add(2 * time.Minute)) {
+		t.Errorf("effective deadline %v not the minimum of the two bounds", wd.deadline)
+	}
+
+	ctxNear, cancelNear := context.WithDeadline(context.Background(), now.Add(time.Minute))
+	defer cancelNear()
+	wd = newWatchdog[string](Config{Ctx: ctxNear, Timeout: time.Hour}, nil)
+	if wd.bound != "ctx" {
+		t.Errorf("ctx-below-timeout: bound = %q, want ctx", wd.bound)
+	}
+	if !wd.deadline.Equal(now.Add(time.Minute)) {
+		t.Errorf("effective deadline %v, want the ctx deadline %v", wd.deadline, now.Add(time.Minute))
+	}
+}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,6 +33,40 @@ func (e *EvalError) Error() string {
 
 // Unwrap exposes the cause, so errors.Is(err, ErrTransient) sees through.
 func (e *EvalError) Unwrap() error { return e.Cause }
+
+// evalErrorJSON is the stable wire shape of an EvalError: the cause is
+// flattened to its rendered message, because error values do not survive
+// serialization (and the serving tier only needs the diagnosis, not the
+// chain).
+type evalErrorJSON struct {
+	Unknown string `json:"unknown"`
+	Attempt int    `json:"attempt"`
+	Cause   string `json:"cause"`
+}
+
+// MarshalJSON renders the failure with stable field names (golden-tested),
+// so structured logs and wire responses never hand-roll it.
+func (e *EvalError) MarshalJSON() ([]byte, error) {
+	var cause string
+	if e.Cause != nil {
+		cause = e.Cause.Error()
+	}
+	return json.Marshal(evalErrorJSON{Unknown: e.Unknown, Attempt: e.Attempt, Cause: cause})
+}
+
+// UnmarshalJSON inverts MarshalJSON; the cause comes back as an opaque
+// error carrying the rendered message only.
+func (e *EvalError) UnmarshalJSON(data []byte) error {
+	var aux evalErrorJSON
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	e.Unknown, e.Attempt, e.Cause = aux.Unknown, aux.Attempt, nil
+	if aux.Cause != "" {
+		e.Cause = errors.New(aux.Cause)
+	}
+	return nil
+}
 
 // ErrTransient marks evaluation failures that a retry may heal: timeouts of
 // an external fact provider, injected chaos faults, resource blips. The

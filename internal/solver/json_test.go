@@ -1,0 +1,138 @@
+package solver
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// zeroHistJSON renders the JSON of an all-zero Hist, so the golden strings
+// below stay readable.
+func zeroHistJSON() string {
+	return "[" + strings.TrimSuffix(strings.Repeat("0,", HistBuckets), ",") + "]"
+}
+
+// TestStatsJSONGolden pins the wire format of Stats: the daemon's structured
+// logs and metrics endpoint serialize Stats verbatim, so a renamed or
+// reordered field is a protocol change and must fail here first.
+func TestStatsJSONGolden(t *testing.T) {
+	st := Stats{
+		Evals:    1,
+		Retries:  2,
+		Updates:  3,
+		Restarts: 4,
+		Rounds:   5,
+		Unknowns: 6,
+		MaxQueue: 7,
+		WallNs:   8,
+		Workers:  9,
+		SCCs:     10,
+		Strata:   11,
+	}
+	got, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	want := `{"evals":1,"retries":2,"updates":3,"restarts":4,"rounds":5,"unknowns":6,` +
+		`"max_queue":7,"wall_ns":8,"workers":9,"sccs":10,"strata":11,` +
+		`"scc_size":` + zeroHistJSON() + `,"scc_depth":` + zeroHistJSON() + `}`
+	if string(got) != want {
+		t.Errorf("Stats JSON drifted:\n got %s\nwant %s", got, want)
+	}
+
+	var back Stats
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back != st {
+		t.Errorf("round trip: got %+v, want %+v", back, st)
+	}
+}
+
+// TestAbortReportJSONGolden pins the wire format of AbortReport, including
+// the string rendering of the reason, the bound attribution, the nested
+// hottest rows and the flattened failure cause. Checkpoint is deliberately
+// absent: the wire carries checkpoints through MarshalCheckpoint, never JSON.
+func TestAbortReportJSONGolden(t *testing.T) {
+	rep := AbortReport{
+		Reason:  AbortDeadline,
+		Bound:   "timeout",
+		Evals:   12,
+		Elapsed: 5 * time.Millisecond,
+		Widens:  3,
+		Narrows: 4,
+		Hottest: []HotUnknown{{Unknown: "x1", Updates: 9, Flips: 2}},
+		Failure: &EvalError{Unknown: "x2", Attempt: 2, Cause: errors.New("boom")},
+		Checkpoint: &Checkpoint[string, int]{
+			Solver: "rr",
+		},
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	want := `{"reason":"deadline","bound":"timeout","evals":12,"elapsed_ns":5000000,` +
+		`"widens":3,"narrows":4,` +
+		`"hottest":[{"unknown":"x1","updates":9,"flips":2}],` +
+		`"flip_hist":` + zeroHistJSON() + `,` +
+		`"failure":{"unknown":"x2","attempt":2,"cause":"boom"}}`
+	if string(got) != want {
+		t.Errorf("AbortReport JSON drifted:\n got %s\nwant %s", got, want)
+	}
+
+	var back AbortReport
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Reason != AbortDeadline || back.Bound != "timeout" || back.Evals != 12 ||
+		back.Elapsed != 5*time.Millisecond || back.Widens != 3 || back.Narrows != 4 {
+		t.Errorf("round trip lost scalar fields: %+v", back)
+	}
+	if len(back.Hottest) != 1 || back.Hottest[0] != rep.Hottest[0] {
+		t.Errorf("round trip lost hottest rows: %+v", back.Hottest)
+	}
+	if back.Failure == nil || back.Failure.Unknown != "x2" || back.Failure.Attempt != 2 ||
+		back.Failure.Cause == nil || back.Failure.Cause.Error() != "boom" {
+		t.Errorf("round trip lost failure: %+v", back.Failure)
+	}
+	if back.Checkpoint != nil {
+		t.Error("Checkpoint leaked through JSON; the wire format for checkpoints is MarshalCheckpoint")
+	}
+}
+
+// TestAbortReportJSONOmitsEmpty: non-deadline aborts carry no bound, and
+// reports without hottest rows or failures omit those keys entirely, so log
+// lines stay minimal.
+func TestAbortReportJSONOmitsEmpty(t *testing.T) {
+	got, err := json.Marshal(AbortReport{Reason: AbortBudget, Evals: 100})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	want := `{"reason":"budget","evals":100,"elapsed_ns":0,"widens":0,"narrows":0,` +
+		`"flip_hist":` + zeroHistJSON() + `}`
+	if string(got) != want {
+		t.Errorf("minimal AbortReport JSON drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestAbortReasonJSONRejectsUnknown: decoding an unrecognized reason name is
+// an error, not a silent zero value — a daemon must not misreport a remote
+// abort as "budget" because of a version skew.
+func TestAbortReasonJSONRejectsUnknown(t *testing.T) {
+	var r AbortReason
+	if err := json.Unmarshal([]byte(`"totally-new-reason"`), &r); err == nil {
+		t.Fatal("unknown reason decoded without error")
+	}
+	for _, cand := range []AbortReason{AbortBudget, AbortDeadline, AbortCancel, AbortOscillation, AbortEvalFailure} {
+		data, err := json.Marshal(cand)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", cand, err)
+		}
+		var back AbortReason
+		if err := json.Unmarshal(data, &back); err != nil || back != cand {
+			t.Errorf("round trip of %v: got %v, err %v", cand, back, err)
+		}
+	}
+}

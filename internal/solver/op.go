@@ -332,46 +332,49 @@ func (h *Hist) Observe(v int) {
 	h[b]++
 }
 
-// Stats records the work a solver performed.
+// Stats records the work a solver performed. The JSON field names are part
+// of the serving-tier wire format (eqsolved responses, structured logs, the
+// metrics endpoint) and are pinned by a golden test: renaming one is a
+// protocol change, not a refactor.
 type Stats struct {
 	// Evals counts evaluations of right-hand sides. Failed attempts are not
 	// counted: a panicked or retried evaluation rolls its reservation back,
 	// so Evals always counts performed evaluations only.
-	Evals int
+	Evals int `json:"evals"`
 	// Retries counts failed evaluation attempts that were retried under
 	// Config.Retry (a solve with Retries > 0 healed that many transient
 	// faults on its way to the result).
-	Retries int
+	Retries int `json:"retries"`
 	// Updates counts update steps that changed a value.
-	Updates int
+	Updates int `json:"updates"`
 	// Restarts counts unknowns reset to their initial value by the
 	// restarting narrowing of SLR3/SLR4 (zero for every other solver). A
 	// resumed run counts only its own resets: restarts are not part of the
 	// checkpoint wire format.
-	Restarts int
+	Restarts int `json:"restarts"`
 	// Rounds counts outer iterations (RR) or is zero for other solvers.
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Unknowns counts distinct unknowns touched (local solvers: |dom|).
-	Unknowns int
+	Unknowns int `json:"unknowns"`
 	// MaxQueue is the high-water mark of the scheduling queue for worklist
 	// solvers (W, SW, SLR, SLR⁺; for PSW, the largest per-stratum queue).
-	MaxQueue int
+	MaxQueue int `json:"max_queue"`
 	// WallNs is the wall-clock duration of the solve in nanoseconds
 	// (recorded by PSW; zero for the sequential solvers).
-	WallNs int64
+	WallNs int64 `json:"wall_ns"`
 	// Workers is the size of the worker pool (PSW; zero for sequential
 	// solvers).
-	Workers int
+	Workers int `json:"workers"`
 	// SCCs is the number of strongly connected components of the static
 	// dependence graph, and Strata the number of scheduling units PSW
 	// derived from them (Strata ≤ SCCs; equal when the linear order is
 	// topologically consistent with the condensation).
-	SCCs   int
-	Strata int
+	SCCs   int `json:"sccs"`
+	Strata int `json:"strata"`
 	// SCCSize and SCCDepth are power-of-two histograms of component sizes
 	// and of component depths in the condensation DAG (PSW only).
-	SCCSize  Hist
-	SCCDepth Hist
+	SCCSize  Hist `json:"scc_size"`
+	SCCDepth Hist `json:"scc_depth"`
 }
 
 // ErrEvalBudget is the sentinel for budget exhaustion — the mechanism the
