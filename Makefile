@@ -14,6 +14,7 @@ tier2:
 	go vet ./... && go test -race ./...
 	$(MAKE) chaos-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) cpw-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) incr-smoke
 	$(MAKE) slr-smoke
@@ -48,12 +49,28 @@ fuzz:
 race-solver:
 	go test -race ./internal/solver/...
 
+# CPW smoke: the chaotic intra-stratum solver's certified claim ladder under
+# the race detector — the solver's own tests, the differential worker/core
+# sweep with cross-core resume, the adversarial-schedule chaos harness, the
+# serving-tier preemption path, and the CLI — plus a reduced giant-SCC bench
+# run (-allow-serial: the smoke gate is certification, not speedup).
+cpw-smoke:
+	go test -race -count=1 -run 'CPW' ./internal/solver ./internal/diffsolve ./internal/chaos ./internal/serve ./cmd/eqsolve
+	go run ./cmd/bench -cpw -smoke -allow-serial
+
 # Regenerate the committed machine-readable perf trajectory. bench-psw
 # refuses to run on GOMAXPROCS=1 hosts (serial hardware cannot measure
 # parallel speedup); pass -allow-serial manually to record correctness-only
 # rows with a prominent note in the JSON.
 bench-psw:
 	go run ./cmd/bench -psw -json BENCH_psw.json
+
+# Regenerate the committed giant-SCC artifact at mega scale (>=1e5 unknowns
+# in one SCC): the PSW no-speedup baseline against CPW at workers 1/2/4/8,
+# every CPW row certified, plus the eqgen giant-SCC recipe row. Like
+# bench-psw this refuses GOMAXPROCS=1 hosts unless -allow-serial is passed.
+bench-mega:
+	go run ./cmd/bench -cpw -mega -json BENCH_cpw.json
 
 bench-dense:
 	go run ./cmd/bench -dense -json BENCH_dense.json
@@ -93,4 +110,4 @@ bench-smoke:
 	go run ./cmd/bench -unboxed -smoke
 	go test ./internal/solver -run '^$$' -bench 'BenchmarkRR|BenchmarkSW|BenchmarkSLRThunk' -benchmem -benchtime 50x
 
-.PHONY: tier1 tier2 chaos-smoke serve-smoke fuzz race-solver bench-psw bench-dense bench-unboxed bench-smoke bench-incr incr-smoke bench-slr slr-smoke
+.PHONY: tier1 tier2 chaos-smoke serve-smoke cpw-smoke fuzz race-solver bench-psw bench-mega bench-dense bench-unboxed bench-smoke bench-incr incr-smoke bench-slr slr-smoke

@@ -308,3 +308,31 @@ func TestExperimentsTraces(t *testing.T) {
 		}
 	}
 }
+
+// TestExperimentsCPWSpeedupShape exercises the giant-SCC workload and the
+// CPW scaling experiment exactly as cmd/bench -cpw runs them: the system
+// must really be one giant component (the envelope's giant_scc stamp), PSW
+// must see a single stratum, and every CPW row must come back certified
+// (CPWSpeedup errors out otherwise).
+func TestExperimentsCPWSpeedupShape(t *testing.T) {
+	sys := experiments.GiantSCCSystem(4, 50, 2, 0)
+	if frac := experiments.GiantFraction(sys); frac != 1.0 {
+		t.Fatalf("giant fraction = %.3f, want 1.0 (ring of chains is one SCC)", frac)
+	}
+	rows, frac, err := experiments.CPWSpeedup(4, 50, 2, 0, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 1.0 {
+		t.Errorf("reported giant fraction = %.3f, want 1.0", frac)
+	}
+	if len(rows) != 4 { // psw@1, psw@4, cpw@1, cpw@2
+		t.Fatalf("got %d rows, want 4:\n%s", len(rows), experiments.FormatPerfRows(rows))
+	}
+	for _, r := range rows {
+		if r.Unknowns != 200 || r.Evals == 0 {
+			t.Errorf("row %s/w=%d: unknowns %d, evals %d", r.Solver, r.Workers, r.Unknowns, r.Evals)
+		}
+	}
+	t.Log("\n" + experiments.FormatPerfRows(rows))
+}

@@ -5,6 +5,8 @@
 //	bench -traces     Examples 1–4 (solver divergence and termination)
 //	bench -ablations  ⊟ₖ degradation, solver work, threshold widening
 //	bench -psw        SW vs PSW speedup on the synthetic wide system
+//	bench -cpw        PSW vs CPW on the single giant-SCC ring (-mega scales
+//	                  it past 10⁵ unknowns; the committed BENCH_cpw.json)
 //	bench -dense      map core vs dense compiled core on eqgen systems
 //	bench -unboxed    dense-boxed core vs unboxed word core on eqgen systems
 //	bench -incr       incremental re-solve vs from-scratch on edit workloads
@@ -20,7 +22,7 @@
 // every individual solve with a wall-clock deadline: a run that trips it
 // fails with a structured deadline abort instead of hanging the suite.
 //
-// Worker-scaling rows (-psw) are refused outright on GOMAXPROCS=1 hosts:
+// Worker-scaling rows (-psw, -cpw) are refused outright on GOMAXPROCS=1 hosts:
 // serial hardware cannot measure parallel speedup, and quietly writing
 // rows that look like measurements would poison the perf trajectory.
 // -allow-serial overrides the refusal for correctness smoke runs; the
@@ -35,8 +37,27 @@ import (
 	"runtime"
 	"strings"
 
+	"warrow/internal/eqgen"
 	"warrow/internal/experiments"
 )
+
+// eqgenGiantRecipe is the generator-backed -cpw workload: an interval system
+// with 95% of its unknowns fused into one SCC, the same recipe format the
+// differential harness and the serving tier consume. -smoke shrinks it.
+func eqgenGiantRecipe(smoke bool) eqgen.Config {
+	n := 2048
+	if smoke {
+		n = 256
+	}
+	return eqgen.Config{
+		Seed:         7,
+		Dom:          eqgen.Interval,
+		N:            n,
+		FanIn:        2,
+		GiantSCC:     0.95,
+		WidenDensity: 0.3,
+	}
+}
 
 func main() {
 	fig7 := flag.Bool("fig7", false, "regenerate Figure 7")
@@ -44,6 +65,8 @@ func main() {
 	traces := flag.Bool("traces", false, "print Examples 1-4 solver traces")
 	ablations := flag.Bool("ablations", false, "run the ablation studies")
 	psw := flag.Bool("psw", false, "measure SW vs PSW at several worker counts")
+	cpw := flag.Bool("cpw", false, "measure PSW vs CPW on the single giant-SCC ring at several worker counts")
+	mega := flag.Bool("mega", false, "with -cpw: mega-scale ring (>=1e5 unknowns) instead of the default")
 	dense := flag.Bool("dense", false, "measure the map core vs the dense compiled core on eqgen systems")
 	unboxed := flag.Bool("unboxed", false, "measure the dense-boxed core vs the unboxed word core on eqgen systems")
 	faults := flag.Bool("faults", false, "measure the fault-isolation layer: checkpoint and retry overhead")
@@ -59,24 +82,35 @@ func main() {
 	flag.Parse()
 	experiments.SolveTimeout = *timeout
 
-	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*dense && !*unboxed && !*faults && !*incrf && !*slr && !*all {
+	if !*fig7 && !*table1 && !*traces && !*ablations && !*psw && !*cpw && !*dense && !*unboxed && !*faults && !*incrf && !*slr && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig7, *table1, *traces, *ablations, *psw, *dense, *unboxed, *faults, *incrf, *slr = true, true, true, true, true, true, true, true, true, true
+		*fig7, *table1, *traces, *ablations, *psw, *cpw, *dense, *unboxed, *faults, *incrf, *slr = true, true, true, true, true, true, true, true, true, true, true
 	}
 	var note string
 	var geomean float64
 	var breakdown *experiments.GeomeanBreakdown
-	if *psw && runtime.GOMAXPROCS(0) == 1 {
+	for _, scaling := range []struct {
+		on   bool
+		name string
+	}{{*psw, "psw"}, {*cpw, "cpw"}} {
+		if !scaling.on || runtime.GOMAXPROCS(0) != 1 {
+			continue
+		}
 		if !*allowSerial {
-			fmt.Fprintln(os.Stderr, "psw: GOMAXPROCS=1 — worker-scaling rows would be meaningless on serial hardware.")
-			fmt.Fprintln(os.Stderr, "psw: rerun on a multi-core host, or pass -allow-serial to record correctness-only rows.")
+			fmt.Fprintf(os.Stderr, "%s: GOMAXPROCS=1 — worker-scaling rows would be meaningless on serial hardware.\n", scaling.name)
+			fmt.Fprintf(os.Stderr, "%s: rerun on a multi-core host, or pass -allow-serial to record correctness-only rows.\n", scaling.name)
 			os.Exit(1)
 		}
-		note = "GOMAXPROCS=1: psw worker-scaling rows are serial correctness checks, not speedup measurements"
-		fmt.Fprintln(os.Stderr, "psw: WARNING:", note)
+		n := fmt.Sprintf("GOMAXPROCS=1: %s worker-scaling rows are serial correctness checks, not speedup measurements", scaling.name)
+		if note != "" {
+			note += "; " + n
+		} else {
+			note = n
+		}
+		fmt.Fprintln(os.Stderr, scaling.name+": WARNING:", n)
 	}
 	var perf []experiments.PerfRow
 	if *traces {
@@ -116,6 +150,35 @@ func main() {
 		fmt.Println("SW vs PSW on the synthetic wide system (8 independent loop nests):")
 		fmt.Println(experiments.FormatPerfRows(rows))
 		perf = append(perf, rows...)
+	}
+	var giantFrac float64
+	if *cpw {
+		// Default ~6 400 unknowns; -smoke shrinks to ~1 600 for CI, -mega
+		// scales to 102 400 (the committed BENCH_cpw.json configuration).
+		chains, length := 16, 400
+		switch {
+		case *mega:
+			chains, length = 64, 1600
+		case *smoke:
+			chains, length = 8, 200
+		}
+		rows, frac, err := experiments.CPWSpeedup(chains, length, 2, 0, []int{1, 2, 4, 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpw:", err)
+			os.Exit(1)
+		}
+		giantFrac = frac
+		fmt.Printf("PSW vs CPW on the giant-SCC ring (one stratum, %.0f%% of unknowns in one SCC):\n", 100*frac)
+		fmt.Println(experiments.FormatPerfRows(rows))
+		perf = append(perf, rows...)
+		genRow, genFrac, err := experiments.CPWGenRow(eqgenGiantRecipe(*smoke), 4)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpw:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CPW on the eqgen giant-SCC recipe (certified, %.0f%% giant): %s\n",
+			100*genFrac, experiments.FormatPerfRows([]experiments.PerfRow{genRow}))
+		perf = append(perf, genRow)
 	}
 	if *dense {
 		rows, g, notes, err := experiments.DenseVsMap(experiments.DenseCases(*smoke), 3)
@@ -203,7 +266,7 @@ func main() {
 		}
 	}
 	if *jsonOut != "" {
-		f := experiments.BenchFile{Note: note, GeomeanSpeedup: geomean, Breakdown: breakdown, Rows: perf}
+		f := experiments.BenchFile{Note: note, GeomeanSpeedup: geomean, Breakdown: breakdown, GiantSCC: giantFrac, Rows: perf}
 		if err := experiments.WriteBenchFile(*jsonOut, f); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
 			os.Exit(1)

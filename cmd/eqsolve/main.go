@@ -67,11 +67,11 @@ import (
 )
 
 func main() {
-	solverFlag := flag.String("solver", "sw", "solver: rr, w, srr, sw, psw, slr, slr2, slr3, or slr4")
+	solverFlag := flag.String("solver", "sw", "solver: rr, w, srr, sw, psw, cpw, slr, slr2, slr3, or slr4")
 	opFlag := flag.String("op", "warrow", "operator: join, widen, narrow, warrow, or replace")
 	query := flag.String("query", "", "with -solver slr: the unknown to solve for (default: last defined)")
 	maxEvals := flag.Int("max-evals", 100000, "evaluation budget (0 = unbounded)")
-	workers := flag.Int("workers", 0, "with -solver psw: worker-pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "with -solver psw/cpw: worker-pool size (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the solve (0 = unbounded)")
 	maxFlips := flag.Int("max-flips", 0, "abort once any unknown alternates narrow→widen this often (0 = off)")
 	escalateFlag := flag.Bool("escalate", false, "on rr/w divergence, rerun on the structured variant (srr/sw)")
@@ -241,6 +241,9 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 		if err != nil {
 			fatal(err)
 		}
+		if solverName == "cpw" && cp.Solver != "cpw" {
+			usage(fmt.Sprintf("-solver cpw cannot resume a %q checkpoint; rerun with -solver %s or start cpw fresh", cp.Solver, cp.Solver))
+		}
 		cfg.Resume = cp
 		fmt.Printf("resuming %s from %s (%d evaluations done)\n", cp.Solver, persist.resume, cp.Evals)
 	}
@@ -356,6 +359,8 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 			return solver.SW(sys, l, op, init, cfg)
 		case "psw":
 			return solver.PSW(sys, l, op, init, cfg)
+		case "cpw":
+			return solver.CPW(sys, l, op, init, cfg)
 		case "slr2":
 			return solver.SLR2(sys, l, op, init, cfg)
 		case "slr3":
@@ -406,6 +411,10 @@ func run[D any](f *eqdsl.File, sys *eqn.System[string, D], l lattice.Lattice[D],
 	if used == "psw" {
 		fmt.Printf("  parallel: %d workers, %d strata over %d SCCs\n",
 			st.Workers, st.Strata, st.SCCs)
+	}
+	if used == "cpw" {
+		fmt.Printf("  chaotic: %d workers, %d strata over %d SCCs, %d contended evaluations\n",
+			st.Workers, st.Strata, st.SCCs, st.Contention)
 	}
 	if used == "slr3" || used == "slr4" {
 		fmt.Printf("  widening points: %d restarts\n", st.Restarts)

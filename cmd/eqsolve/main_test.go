@@ -297,3 +297,66 @@ func TestEqsolveCertifyRejectsNonPost(t *testing.T) {
 		t.Errorf("no counterexample in output:\n%s", out)
 	}
 }
+
+// TestEqsolveCPW: the chaotic parallel solver is reachable from the CLI,
+// reports its worker/stratum/contention line, and its (non-bit-pinned)
+// result certifies as a post-solution.
+func TestEqsolveCPW(t *testing.T) {
+	out, err := runEqsolve(t, "-solver", "cpw", "-op", "warrow", "-workers", "2",
+		"-certify", "../../examples/systems/loop.eq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"solved", "chaotic: 2 workers", "certified", "[100,100]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEqsolveCPWCheckpointResume: interrupt CPW with a tiny budget, then
+// resume the quiesce-and-drain checkpoint to a certified completion.
+func TestEqsolveCPWCheckpointResume(t *testing.T) {
+	cp := t.TempDir() + "/loop.cp"
+	out, err := runEqsolve(t, "-solver", "cpw", "-op", "warrow", "-max-evals", "5",
+		"-checkpoint", cp, "../../examples/systems/loop.eq")
+	if err == nil {
+		t.Fatalf("expected budget abort:\n%s", out)
+	}
+	if !strings.Contains(out, "checkpoint written to "+cp) {
+		t.Fatalf("no checkpoint message:\n%s", out)
+	}
+	out, err = runEqsolve(t, "-solver", "cpw", "-op", "warrow", "-certify",
+		"-resume", cp, "../../examples/systems/loop.eq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"resuming cpw from " + cp, "solved", "certified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEqsolveCPWRejectsForeignResume: pointing -solver cpw at a checkpoint
+// written by another solver is a usage error — one actionable line, exit 2,
+// before any solving state is built.
+func TestEqsolveCPWRejectsForeignResume(t *testing.T) {
+	cp := t.TempDir() + "/loop.cp"
+	out, err := runEqsolve(t, "-solver", "sw", "-op", "warrow", "-max-evals", "5",
+		"-checkpoint", cp, "../../examples/systems/loop.eq")
+	if err == nil {
+		t.Fatalf("expected budget abort:\n%s", out)
+	}
+	out, err = runEqsolve(t, "-solver", "cpw", "-op", "warrow", "-resume", cp,
+		"../../examples/systems/loop.eq")
+	if code := exitCode(err); code != 2 {
+		t.Fatalf("exit code = %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "usage:") || !strings.Contains(out, `"sw"`) {
+		t.Errorf("not an actionable usage line:\n%s", out)
+	}
+	if n := strings.Count(strings.TrimSpace(out), "\n"); n != 0 {
+		t.Errorf("usage error spans %d extra lines:\n%s", n, out)
+	}
+}

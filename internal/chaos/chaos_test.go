@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"warrow/internal/certify"
 	"warrow/internal/chaos"
 	"warrow/internal/eqgen"
 	"warrow/internal/eqn"
@@ -300,6 +301,69 @@ func TestChaosUnboxedCore(t *testing.T) {
 			for _, x := range sys.Order() {
 				if !l.Eq(msig[x], usig[x]) {
 					t.Fatalf("seed %d: chaotic value of %d diverges across cores", seed, x)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosCPWAdversarialSchedules is the schedule-perturbation harness for
+// the chaotic parallel solver: seeded per-evaluation latency spikes shift
+// which worker claims which unknown, so every (recipe, chaos seed, pool
+// size) triple drives CPW through a different interleaving — including on
+// giant-SCC recipes where the whole stratum is contended. The property is
+// the claim ladder's: a completed run must certify as a post-solution of
+// the pristine system, and a bounded run must abort cleanly with a
+// quiesce-and-drain checkpoint that resumes on the pristine system to a
+// certified result.
+func TestChaosCPWAdversarialSchedules(t *testing.T) {
+	l := lattice.Ints
+	op := solver.WarrowOp[int, lattice.Interval](l)
+	recipes := []eqgen.Config{
+		{Seed: 1, N: 24},
+		{Seed: 2, N: 32, GiantSCC: 0.9},
+		{Seed: 3, N: 40, GiantSCC: 0.95},
+	}
+	for _, rc := range recipes {
+		sys := eqgen.New(rc).Interval
+		for _, seed := range []uint64{1, 2, 3} {
+			ccfg := chaos.Config{Seed: seed * 131, Latency: 0.5, Delay: 20 * time.Microsecond}
+			for _, workers := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("n=%d giant=%.2f chaos=%d w=%d", rc.N, rc.GiantSCC, seed, workers)
+
+				// Perturbed but unbounded: the run must complete and certify.
+				chaotic, inj := chaos.Wrap(sys, ccfg)
+				scfg := solver.Config{Workers: workers, MaxEvals: 300_000}
+				sigma, _, err := solver.CPW(chaotic, l, op, ivInit(), scfg)
+				if err != nil {
+					t.Fatalf("%s: perturbed run aborted: %v", name, err)
+				}
+				if _, _, delays := inj.Counts(); delays == 0 {
+					t.Fatalf("%s: no latency injected; the perturbation is vacuous", name)
+				}
+				if rep := certify.System(l, sys, sigma, ivInit()); !rep.OK() {
+					t.Errorf("%s: perturbed result does not certify: %s", name, rep)
+				}
+
+				// Perturbed and budget-bound: the abort must carry a resumable
+				// checkpoint, and the pristine resume must certify.
+				chaotic, _ = chaos.Wrap(sys, ccfg)
+				tight := solver.Config{Workers: workers, MaxEvals: rc.N}
+				_, _, err = solver.CPW(chaotic, l, op, ivInit(), tight)
+				if err == nil {
+					t.Fatalf("%s: budget %d did not bound the solve", name, rc.N)
+				}
+				cp, ok := solver.CheckpointOf[int, lattice.Interval](err)
+				if !ok {
+					t.Fatalf("%s: budget abort carries no checkpoint: %v", name, err)
+				}
+				rcfg := solver.Config{Workers: workers, MaxEvals: 300_000, Resume: cp}
+				sigma, _, err = solver.CPW(sys, l, op, ivInit(), rcfg)
+				if err != nil {
+					t.Fatalf("%s: pristine resume failed: %v", name, err)
+				}
+				if rep := certify.System(l, sys, sigma, ivInit()); !rep.OK() {
+					t.Errorf("%s: resumed result does not certify: %s", name, rep)
 				}
 			}
 		}

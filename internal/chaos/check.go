@@ -81,6 +81,18 @@ func Check[X comparable, D any](l lattice.Lattice[D], sys *eqn.System[X, D], ini
 			return solver.PSW(s, l, op, init, c)
 		}})
 	}
+	// CPW under chaos doubles as a schedule perturbation harness: injected
+	// per-evaluation latency shifts which worker claims which unknown, so
+	// each seed exercises a different chaotic interleaving — and the verdict
+	// contract (certified completion or clean resumable abort) must hold for
+	// all of them.
+	for _, wk := range workers {
+		wk := wk
+		runners = append(runners, runner{fmt.Sprintf("cpw/w=%d", wk), func(s *eqn.System[X, D], c solver.Config) (map[X]D, solver.Stats, error) {
+			c.Workers = wk
+			return solver.CPW(s, l, op, init, c)
+		}})
+	}
 
 	var verdicts []Verdict
 	for _, r := range runners {

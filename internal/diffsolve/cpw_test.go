@@ -1,0 +1,56 @@
+package diffsolve
+
+import (
+	"testing"
+
+	"warrow/internal/eqgen"
+)
+
+// TestCPWClaimLadderOnGeneratedSystems sweeps the CPW verdict — certified
+// completion or clean resumable abort, per core and worker count, plus
+// cross-core checkpoint resume — over the shared recipe corpus of all three
+// domains, monotonic and non-monotonic alike.
+func TestCPWClaimLadderOnGeneratedSystems(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for _, dom := range []eqgen.Domain{eqgen.Interval, eqgen.Flat, eqgen.Powerset} {
+		dom := dom
+		t.Run(dom.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, cfg := range recipes(dom, seeds) {
+				if err := CheckGeneratedCPW(cfg, Options{MaxEvals: 30_000, Workers: []int{1, 2, 4, 8}}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCPWClaimLadderOnGiantSCCs points the verdict at the generator's
+// giant-SCC shape: a single component holding ≥90% of the unknowns, so the
+// whole solve is one contended stratum and the worker ladder actually
+// collides on shared unknowns.
+func TestCPWClaimLadderOnGiantSCCs(t *testing.T) {
+	for _, dom := range []eqgen.Domain{eqgen.Interval, eqgen.Flat, eqgen.Powerset} {
+		dom := dom
+		t.Run(dom.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 4; seed++ {
+				cfg := eqgen.Config{
+					Seed:           seed,
+					Dom:            dom,
+					N:              32 + int(seed)*8,
+					FanIn:          2,
+					GiantSCC:       0.9,
+					WidenDensity:   0.4,
+					NonMonoDensity: 0.2 * float64(seed%2),
+				}
+				if err := CheckGeneratedCPW(cfg, Options{MaxEvals: 60_000, Workers: []int{1, 2, 4, 8}}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}

@@ -84,6 +84,15 @@ type Config struct {
 	// forward past the unknown's block (default 0), making the linear order
 	// inconsistent with the condensation.
 	ForwardDensity float64
+	// GiantSCC, when positive, is the fraction of unknowns fused into one
+	// leading giant component (clamped to [0, 1]): the first
+	// ceil(GiantSCC·N) unknowns form a single block that is closed into a
+	// cycle unconditionally, with the remaining unknowns partitioned as
+	// usual. FanIn edges drawn inside the giant block become intra-SCC
+	// cross edges, so FanIn doubles as the cross-edge density knob of the
+	// cycle-heavy regime PSW cannot parallelize (one giant SCC is one
+	// stratum) and CPW targets (default 0 — no giant component).
+	GiantSCC float64
 }
 
 // Defaults returns the config with unset knobs replaced by defaults and all
@@ -111,14 +120,15 @@ func (c Config) Defaults() Config {
 	c.WidenDensity = clampF(c.WidenDensity)
 	c.NonMonoDensity = clampF(c.NonMonoDensity)
 	c.ForwardDensity = clampF(c.ForwardDensity)
+	c.GiantSCC = clampF(c.GiantSCC)
 	return c
 }
 
 // String renders the config as a reproduction recipe.
 func (c Config) String() string {
-	return fmt.Sprintf("eqgen{seed=%d dom=%s n=%d fanin=%d maxscc=%d cyc=%.2f wid=%.2f nonmono=%.2f fwd=%.2f}",
+	return fmt.Sprintf("eqgen{seed=%d dom=%s n=%d fanin=%d maxscc=%d cyc=%.2f wid=%.2f nonmono=%.2f fwd=%.2f giant=%.2f}",
 		c.Seed, c.Dom, c.N, c.FanIn, c.MaxSCC,
-		c.CycleDensity, c.WidenDensity, c.NonMonoDensity, c.ForwardDensity)
+		c.CycleDensity, c.WidenDensity, c.NonMonoDensity, c.ForwardDensity, c.GiantSCC)
 }
 
 func clamp(v, lo, hi int) int {
@@ -203,8 +213,29 @@ func BuildShape(cfg Config) *Shape {
 		Mat:     make([]uint64, n),
 	}
 
+	// Giant component first, when configured: one leading block of
+	// ceil(GiantSCC·n) unknowns closed into a cycle unconditionally. It
+	// consumes no rng draws, so configs with GiantSCC = 0 generate exactly
+	// the systems they always did (the committed fuzz corpora stay valid).
+	start := 0
+	if cfg.GiantSCC > 0 {
+		g := int(cfg.GiantSCC * float64(n))
+		if float64(g) < cfg.GiantSCC*float64(n) {
+			g++ // ceil
+		}
+		g = clamp(g, 1, n)
+		s.Blocks = append(s.Blocks, [2]int{0, g - 1})
+		for i := 1; i < g; i++ {
+			s.Deps[i] = append(s.Deps[i], i-1)
+		}
+		if g > 1 {
+			s.Deps[0] = append(s.Deps[0], g-1)
+		}
+		start = g
+	}
+
 	// Partition into blocks and lay the structural chain/cycle edges.
-	for lo := 0; lo < n; {
+	for lo := start; lo < n; {
 		hi := lo + 1 + r.intn(cfg.MaxSCC)
 		if hi > n {
 			hi = n

@@ -52,7 +52,12 @@ type BenchFile struct {
 	Note           string            `json:"note,omitempty"`
 	GeomeanSpeedup float64           `json:"geomean_speedup,omitempty"`
 	Breakdown      *GeomeanBreakdown `json:"geomean_breakdown,omitempty"`
-	Rows           []PerfRow         `json:"rows"`
+	// GiantSCC stamps the -cpw envelopes with the measured fraction of
+	// unknowns in the workload's largest SCC (see GiantFraction): the
+	// "single giant component" premise of the CPW rows is recorded as a
+	// checked fact, not an assertion.
+	GiantSCC float64   `json:"giant_scc,omitempty"`
+	Rows     []PerfRow `json:"rows"`
 }
 
 // WriteBenchJSON writes rows wrapped in a BenchFile to path.

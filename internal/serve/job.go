@@ -27,6 +27,11 @@ import (
 // served Stats comparable to a local control run with the same setting.
 const pswWorkers = 2
 
+// cpwWorkers fixes the CPW worker-pool size of served solves, for the same
+// reason as pswWorkers. CPW results are certified rather than bit-pinned,
+// so the fixed size buys bounded goroutine fan-out, not reproducibility.
+const cpwWorkers = 2
+
 // outcome is the result of one scheduling slice of a job.
 type outcome struct {
 	// final: the job reached a terminal state and resp is ready. When
@@ -85,6 +90,9 @@ func (j *solveJob[X, D]) runSlice(ctx context.Context, quantum int) outcome {
 	}
 	if j.solverName == "psw" {
 		cfg.Workers = pswWorkers
+	}
+	if j.solverName == "cpw" {
+		cfg.Workers = cpwWorkers
 	}
 	if j.cp != nil {
 		cfg.Resume = j.cp
@@ -145,6 +153,8 @@ func runByName[X comparable, D any](name string, sys *eqn.System[X, D], l lattic
 		return solver.SW(sys, l, op, init, cfg)
 	case "psw":
 		return solver.PSW(sys, l, op, init, cfg)
+	case "cpw":
+		return solver.CPW(sys, l, op, init, cfg)
 	case "slr2":
 		return solver.SLR2(sys, l, op, init, cfg)
 	case "slr3":

@@ -99,16 +99,19 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 }
 
 // Solvers lists the solver names a request may carry: the entry points over
-// parsed/generated systems that the daemon can run. The first five support
-// exact checkpoint resume and are therefore preemptible; the slr2–4 family
-// runs each request in one slice.
-var Solvers = []string{"rr", "w", "srr", "sw", "psw", "slr2", "slr3", "slr4"}
+// parsed/generated systems that the daemon can run. All but the slr2–4
+// family support exact checkpoint resume and are therefore preemptible;
+// slr2–4 run each request in one slice.
+var Solvers = []string{"rr", "w", "srr", "sw", "psw", "cpw", "slr2", "slr3", "slr4"}
 
 // Preemptible reports whether the named solver supports exact checkpoint
 // resume, which is what quantum preemption and client-side resume rely on.
+// cpw's resume handles are quiesce-and-drain snapshots: exact in the sense
+// that the resumed run restores every suspended unknown, not that it replays
+// the same worker interleaving (cpw results are certified, not bit-pinned).
 func Preemptible(solverName string) bool {
 	switch solverName {
-	case "rr", "w", "srr", "sw", "psw":
+	case "rr", "w", "srr", "sw", "psw", "cpw":
 		return true
 	}
 	return false

@@ -6,8 +6,12 @@ import (
 	"testing"
 	"time"
 
+	"warrow/internal/certify"
 	"warrow/internal/chaos"
+	"warrow/internal/ckptcodec"
 	"warrow/internal/eqgen"
+	"warrow/internal/eqn"
+	"warrow/internal/lattice"
 	"warrow/internal/serve/proto"
 	"warrow/internal/solver"
 )
@@ -366,4 +370,42 @@ func TestServeRejectsBadHandshake(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Error("bad handshake not recorded")
+}
+
+// TestServeCPWPreemptedCertified: a served cpw solve survives quantum
+// preemption — the quiesce-and-drain checkpoints park and resume across
+// slices — and the completed result certifies as a post-solution of the
+// regenerated system. cpw is certified, never bit-pinned, so unlike
+// TestServePreemptedResultsBitIdentical there is no Stats comparison.
+func TestServeCPWPreemptedCertified(t *testing.T) {
+	_, addr := startServer(t, Options{Workers: 2, Quantum: 7, MaxTimeout: 30 * time.Second})
+	c := dialT(t, addr)
+	resp, err := c.Do(genReq("cpw", 11, 40, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != proto.StatusCompleted {
+		t.Fatalf("served: %+v", resp)
+	}
+	if resp.Preemptions == 0 {
+		t.Fatal("solve was not preempted; quantum too large for the workload?")
+	}
+	g := eqgen.New(eqgen.Config{Seed: 11, N: 40})
+	codec := ckptcodec.IntervalCodec()
+	sigma := make(map[int]lattice.Interval, len(resp.Values))
+	for xs, ds := range resp.Values {
+		x, err := codec.DecodeX(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := codec.DecodeD(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma[x] = v
+	}
+	init := eqn.ConstBottom[int, lattice.Interval](lattice.Ints)
+	if rep := certify.System(lattice.Ints, g.Interval, sigma, init); !rep.OK() {
+		t.Errorf("preempted cpw result does not certify: %s", rep)
+	}
 }

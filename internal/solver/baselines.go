@@ -100,23 +100,30 @@ func remaining(cfg Config, spent int) Config {
 // phases (summing them would double-count the shared system).
 func addStats(a, b Stats) Stats {
 	out := Stats{
-		Evals:    a.Evals + b.Evals,
-		Updates:  a.Updates + b.Updates,
-		Rounds:   a.Rounds + b.Rounds,
-		Retries:  a.Retries + b.Retries,
-		Restarts: a.Restarts + b.Restarts,
-		Unknowns: max(a.Unknowns, b.Unknowns),
-		MaxQueue: max(a.MaxQueue, b.MaxQueue),
-		WallNs:   a.WallNs + b.WallNs,
-		Workers:  max(a.Workers, b.Workers),
-		SCCs:     max(a.SCCs, b.SCCs),
-		Strata:   max(a.Strata, b.Strata),
+		Evals:      a.Evals + b.Evals,
+		Updates:    a.Updates + b.Updates,
+		Rounds:     a.Rounds + b.Rounds,
+		Retries:    a.Retries + b.Retries,
+		Restarts:   a.Restarts + b.Restarts,
+		Unknowns:   max(a.Unknowns, b.Unknowns),
+		MaxQueue:   max(a.MaxQueue, b.MaxQueue),
+		WallNs:     a.WallNs + b.WallNs,
+		Workers:    max(a.Workers, b.Workers),
+		SCCs:       max(a.SCCs, b.SCCs),
+		Strata:     max(a.Strata, b.Strata),
+		Contention: a.Contention + b.Contention,
 	}
 	// Both phases see the same dependence graph, so the histograms agree
 	// whenever both are populated; keep whichever phase recorded one.
 	out.SCCSize, out.SCCDepth = a.SCCSize, a.SCCDepth
 	if a.SCCs == 0 {
 		out.SCCSize, out.SCCDepth = b.SCCSize, b.SCCDepth
+	}
+	// Per-worker eval distributions are per-phase: keep whichever phase
+	// recorded one (both only when phases ran the same pool).
+	out.WorkerEvals = a.WorkerEvals
+	if a.Workers == 0 {
+		out.WorkerEvals = b.WorkerEvals
 	}
 	return out
 }

@@ -19,17 +19,18 @@ func zeroHistJSON() string {
 // reordered field is a protocol change and must fail here first.
 func TestStatsJSONGolden(t *testing.T) {
 	st := Stats{
-		Evals:    1,
-		Retries:  2,
-		Updates:  3,
-		Restarts: 4,
-		Rounds:   5,
-		Unknowns: 6,
-		MaxQueue: 7,
-		WallNs:   8,
-		Workers:  9,
-		SCCs:     10,
-		Strata:   11,
+		Evals:      1,
+		Retries:    2,
+		Updates:    3,
+		Restarts:   4,
+		Rounds:     5,
+		Unknowns:   6,
+		MaxQueue:   7,
+		WallNs:     8,
+		Workers:    9,
+		SCCs:       10,
+		Strata:     11,
+		Contention: 12,
 	}
 	got, err := json.Marshal(st)
 	if err != nil {
@@ -37,7 +38,8 @@ func TestStatsJSONGolden(t *testing.T) {
 	}
 	want := `{"evals":1,"retries":2,"updates":3,"restarts":4,"rounds":5,"unknowns":6,` +
 		`"max_queue":7,"wall_ns":8,"workers":9,"sccs":10,"strata":11,` +
-		`"scc_size":` + zeroHistJSON() + `,"scc_depth":` + zeroHistJSON() + `}`
+		`"scc_size":` + zeroHistJSON() + `,"scc_depth":` + zeroHistJSON() +
+		`,"worker_evals":` + zeroHistJSON() + `,"contention":12}`
 	if string(got) != want {
 		t.Errorf("Stats JSON drifted:\n got %s\nwant %s", got, want)
 	}

@@ -358,6 +358,11 @@ type Stats struct {
 	Unknowns int `json:"unknowns"`
 	// MaxQueue is the high-water mark of the scheduling queue for worklist
 	// solvers (W, SW, SLR, SLR⁺; for PSW, the largest per-stratum queue).
+	// For CPW the queue is sharded, and the reported value is the maximum
+	// over per-shard high-water marks, never their sum: the shards of one
+	// stratum hold disjoint slices of the same logical worklist, so summing
+	// them would re-count the whole stratum and make the number incomparable
+	// with the sequential solvers' (see shardQueue).
 	MaxQueue int `json:"max_queue"`
 	// WallNs is the wall-clock duration of the solve in nanoseconds
 	// (recorded by PSW; zero for the sequential solvers).
@@ -372,9 +377,18 @@ type Stats struct {
 	SCCs   int `json:"sccs"`
 	Strata int `json:"strata"`
 	// SCCSize and SCCDepth are power-of-two histograms of component sizes
-	// and of component depths in the condensation DAG (PSW only).
+	// and of component depths in the condensation DAG (PSW/CPW only).
 	SCCSize  Hist `json:"scc_size"`
 	SCCDepth Hist `json:"scc_depth"`
+	// WorkerEvals is a power-of-two histogram of per-worker evaluation
+	// counts (CPW only). Chaotic intra-stratum scheduling makes the split of
+	// work across workers schedule-dependent, so it is reported as a
+	// distribution and never compared bit-for-bit (DESIGN.md §15).
+	WorkerEvals Hist `json:"worker_evals"`
+	// Contention counts dirty-while-running collisions (CPW only): an
+	// unknown was marked dirty while a worker was evaluating it, forcing an
+	// immediate re-queue of that unknown after the evaluation completed.
+	Contention int `json:"contention"`
 }
 
 // ErrEvalBudget is the sentinel for budget exhaustion — the mechanism the

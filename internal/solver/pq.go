@@ -1,5 +1,7 @@
 package solver
 
+import "sync"
+
 // pq is a binary min-heap keyed by int64 priorities with O(1) membership
 // dedup: pushing an element already in the queue is a no-op, matching the
 // add function of the paper's SW and SLR solvers. Keys are int64, not int:
@@ -121,6 +123,110 @@ func (q *bucketQueue) indices() []int {
 		out = append(out, q.base+o)
 	}
 	return out
+}
+
+// shardQueue is the sharded present-set of the chaotic intra-stratum solver
+// (CPW): one mutex-guarded bucketQueue per worker over a fixed index window
+// [base, hi]. An index's home shard is (i-base) mod shards, and each shard
+// stores the compressed coordinate (i-base) div shards, so S shards over a
+// window of n indices cost the same total bits as one bucketQueue over the
+// whole window.
+//
+// Per-shard pops are min-first for the same reason SW's are: ⊟ iteration
+// is only guaranteed to terminate under orders that stabilize inner
+// unknowns before their outer readers re-widen them (the paper's Example 1
+// diverges under RR precisely because it lacks this), so each worker
+// drains the lowest dirty index its shard holds and steals round-robin
+// when the shard runs dry. At one worker the single shard makes CPW's pop
+// sequence exactly SW's; at S workers the schedule is "the S smallest
+// dirty indices, concurrently" plus scheduler jitter — chaotic enough to
+// scale, ordered enough to converge, and always under the watchdog
+// envelope because the termination theorem does not cover chaotic orders.
+//
+// Membership dedup does NOT live here (bucketQueue's bitset would provide
+// it, but never fires): CPW's per-unknown claim states guarantee an index
+// is pushed only by the goroutine that transitioned it to queued, so each
+// index is queued at most once globally. Home-shard pushing turns that
+// invariant into a measurable bound: every shard's high-water mark is at
+// most ceil(window/shards). Stats.MaxQueue takes the MAXIMUM over shard
+// marks — summing them would re-count the whole stratum (≈window at seed
+// time, when every shard is simultaneously full) and make the figure
+// incomparable with the sequential solvers'; maxShardHigh and its
+// regression test pin this.
+type shardQueue struct {
+	base   int
+	stride int // == len(shards): the compression factor of shard coordinates
+	shards []queueShard
+}
+
+// queueShard is one lane of the sharded worklist.
+type queueShard struct {
+	mu   sync.Mutex
+	q    *bucketQueue
+	high int
+}
+
+// newShardQueue covers the index window [lo, hi] inclusive with one shard
+// per worker.
+func newShardQueue(lo, hi, shards int) *shardQueue {
+	if shards < 1 {
+		shards = 1
+	}
+	q := &shardQueue{base: lo, stride: shards, shards: make([]queueShard, shards)}
+	per := (hi - lo + shards) / shards // ceil(window/shards)
+	for s := range q.shards {
+		q.shards[s].q = newBucketQueue(0, per-1)
+	}
+	return q
+}
+
+// push queues index i on its home shard. The caller must hold the queued
+// claim on i (see cpwRun.markDirty): that is what keeps each index in at
+// most one shard slot without relying on the bitset dedup.
+func (q *shardQueue) push(i int) {
+	o := i - q.base
+	sh := &q.shards[o%q.stride]
+	sh.mu.Lock()
+	sh.q.push(o / q.stride)
+	if n := sh.q.len(); n > sh.high {
+		sh.high = n
+	}
+	sh.mu.Unlock()
+}
+
+// pop returns the smallest queued index of worker w's own shard, stealing
+// round-robin from the other shards when it is empty; ok is false when
+// every shard was empty at the moment it was inspected (not a stable
+// emptiness claim — concurrent pushes may land behind the scan, which is
+// why CPW terminates on its pending count, not on pop failures).
+func (q *shardQueue) pop(w int) (i int, ok bool) {
+	n := len(q.shards)
+	for k := 0; k < n; k++ {
+		s := (w + k) % n
+		sh := &q.shards[s]
+		sh.mu.Lock()
+		if !sh.q.empty() {
+			c := sh.q.popMin()
+			sh.mu.Unlock()
+			return q.base + c*q.stride + s, true
+		}
+		sh.mu.Unlock()
+	}
+	return 0, false
+}
+
+// maxShardHigh merges the per-shard high-water marks into the stratum's
+// MaxQueue contribution: the maximum, never the sum (see the shardQueue
+// doc). Callers invoke it after the worker pool has quiesced, so the
+// unlocked reads are ordered by the pool's WaitGroup.
+func (q *shardQueue) maxShardHigh() int {
+	m := 0
+	for s := range q.shards {
+		if h := q.shards[s].high; h > m {
+			m = h
+		}
+	}
+	return m
 }
 
 func (q *pq[X]) down(i int) {

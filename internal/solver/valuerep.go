@@ -29,6 +29,9 @@
 package solver
 
 import (
+	"runtime"
+	"sync/atomic"
+
 	"warrow/internal/eqn"
 	"warrow/internal/lattice"
 )
@@ -298,6 +301,76 @@ func (rc *rawCore[X, D]) stepper() func(i int) (bool, int, *EvalError) {
 		copy(old, res)
 		return true, attempts, nil
 	}
+}
+
+// atomicWords is the racy-but-atomic word store of the chaotic solver: the
+// same flat stride-words-per-unknown layout as rawCompiled, but every access
+// goes through sync/atomic so concurrent workers can read a slot while its
+// single writer (CPW's claim protocol guarantees at most one) replaces it.
+//
+// For single-word domains (flat, sign, parity, powerset) an atomic load IS a
+// consistent snapshot. For wider strides a per-unknown seqlock removes torn
+// values entirely: the writer makes the version odd, stores the words, and
+// makes it even again; a reader retries until it sees the same even version
+// on both sides of its copy. Readers therefore always observe some value the
+// slot actually held — possibly a stale one, which chaotic warrowing
+// tolerates by construction (a staleness-induced change re-queues the
+// reader), but never a bit-mix of two values, which nothing tolerates.
+type atomicWords struct {
+	stride int
+	// words is the assignment: unknown i lives at words[i*stride:(i+1)*stride].
+	words []uint64
+	// seq holds the per-unknown seqlock versions; nil when stride == 1 and
+	// plain atomic word access already yields consistent snapshots.
+	seq []atomic.Uint32
+}
+
+func newAtomicWords(n, stride int) *atomicWords {
+	a := &atomicWords{stride: stride, words: make([]uint64, n*stride)}
+	if stride > 1 {
+		a.seq = make([]atomic.Uint32, n)
+	}
+	return a
+}
+
+// load copies unknown i's value into dst (len ≥ stride) as a consistent
+// snapshot.
+func (a *atomicWords) load(i int, dst []uint64) {
+	base := i * a.stride
+	if a.seq == nil {
+		dst[0] = atomic.LoadUint64(&a.words[base])
+		return
+	}
+	for {
+		v := a.seq[i].Load()
+		if v&1 == 0 {
+			for k := 0; k < a.stride; k++ {
+				dst[k] = atomic.LoadUint64(&a.words[base+k])
+			}
+			if a.seq[i].Load() == v {
+				return
+			}
+		}
+		// A write is in flight; yield so its goroutine can finish even on
+		// GOMAXPROCS=1.
+		runtime.Gosched()
+	}
+}
+
+// store publishes src (len ≥ stride) as unknown i's value. Only one
+// goroutine may store to a given slot at a time — CPW's running claim is
+// what enforces that.
+func (a *atomicWords) store(i int, src []uint64) {
+	base := i * a.stride
+	if a.seq == nil {
+		atomic.StoreUint64(&a.words[base], src[0])
+		return
+	}
+	a.seq[i].Add(1) // odd: write in flight
+	for k := 0; k < a.stride; k++ {
+		atomic.StoreUint64(&a.words[base+k], src[k])
+	}
+	a.seq[i].Add(1) // even: published
 }
 
 // buildCore picks the value representation for a compiled solve and builds

@@ -49,6 +49,16 @@ type Config struct {
 	CallFanout int
 	// Recursion adds self-recursive functions with decreasing arguments.
 	Recursion bool
+	// CycleFuncs, when at least 2, fuses the first CycleFuncs functions
+	// into one giant call cycle: each f<i> with i < CycleFuncs calls
+	// f<(i+1) mod CycleFuncs> with a decreasing first argument (guarded
+	// like Recursion, so the program still terminates). The cycle collapses
+	// those functions into a single call-graph SCC — the knob the
+	// mega-scale benchmarks turn to grow constraint systems whose
+	// dependence graph is dominated by one giant component. Emitting the
+	// cycle consumes no generator draws, so CycleFuncs=0 programs are
+	// byte-identical to ones generated before the knob existed.
+	CycleFuncs int
 }
 
 // Program is a generated benchmark.
@@ -153,7 +163,8 @@ func (g *gen) function(f int) {
 		g.w("%s%s = %d;\n", g.indent(), l, g.r.intn(10))
 	}
 	recursive := g.cfg.Recursion && g.r.intn(4) == 0
-	if recursive {
+	cycle := g.cfg.CycleFuncs > 1 && f < g.cfg.CycleFuncs
+	if recursive || cycle {
 		g.w("%sif (p0 <= 0) { return 0; }\n", g.indent())
 	}
 	g.stmts(g.cfg.StmtsPerFunc)
@@ -163,6 +174,16 @@ func (g *gen) function(f int) {
 			args = append(args, p)
 		}
 		g.w("%s%s = f%d(%s);\n", g.indent(), g.locals[0], f, strings.Join(args, ", "))
+	}
+	if cycle {
+		// The back edge of the giant call cycle: deterministic callee and
+		// arguments, no generator draws (see Config.CycleFuncs).
+		callee := (f + 1) % g.cfg.CycleFuncs
+		args := []string{"p0 - 1"}
+		for p := 1; p < g.arities[callee]; p++ {
+			args = append(args, "p0")
+		}
+		g.w("%s%s = f%d(%s);\n", g.indent(), g.locals[0], callee, strings.Join(args, ", "))
 	}
 	g.w("%sreturn %s;\n", g.indent(), g.locals[g.r.intn(len(g.locals))])
 	g.depth = 0
